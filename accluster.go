@@ -1,0 +1,437 @@
+package accluster
+
+import (
+	"fmt"
+	"sync"
+
+	"accluster/internal/core"
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+	"accluster/internal/rstar"
+	"accluster/internal/seqscan"
+)
+
+// Rect is a multidimensional extended object: a closed interval
+// [Min[d], Max[d]] in every dimension of the unit domain.
+type Rect = geom.Rect
+
+// Relation is the spatial predicate of a selection.
+type Relation = geom.Relation
+
+// Spatial relations between a database object o and a query rectangle q.
+const (
+	// Intersects selects objects with o ∩ q ≠ ∅.
+	Intersects = geom.Intersects
+	// ContainedBy selects objects with o ⊆ q.
+	ContainedBy = geom.ContainedBy
+	// Encloses selects objects with o ⊇ q; use a point q for
+	// point-enclosing queries.
+	Encloses = geom.Encloses
+)
+
+// NewRect allocates a rectangle of the given dimensionality.
+func NewRect(dims int) Rect { return geom.NewRect(dims) }
+
+// MakeRect builds a rectangle from bound slices (copied).
+func MakeRect(min, max []float32) (Rect, error) {
+	if len(min) != len(max) || len(min) == 0 {
+		return Rect{}, fmt.Errorf("accluster: mismatched bounds %d/%d", len(min), len(max))
+	}
+	r := geom.NewRect(len(min))
+	copy(r.Min, min)
+	copy(r.Max, max)
+	if !r.Valid() {
+		return Rect{}, fmt.Errorf("accluster: invalid rectangle %v", r)
+	}
+	return r, nil
+}
+
+// MustRect is MakeRect that panics on invalid input; intended for literals.
+func MustRect(min, max []float32) Rect {
+	r, err := MakeRect(min, max)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Point builds a degenerate rectangle from point coordinates (copied).
+func Point(p []float32) Rect { return geom.Point(p) }
+
+// Index is the common interface of the three access methods: the adaptive
+// clustering index (NewAdaptive) and the paper's baselines (NewSeqScan,
+// NewRStar). Implementations are safe for concurrent use.
+type Index interface {
+	// Insert adds an object under an identifier unique to the index.
+	Insert(id uint32, r Rect) error
+	// Delete removes an object, reporting whether it existed.
+	Delete(id uint32) bool
+	// Get returns the rectangle stored under id.
+	Get(id uint32) (Rect, bool)
+	// Search calls emit for every object satisfying the relation with q;
+	// emit returning false stops the search early.
+	Search(q Rect, rel Relation, emit func(id uint32) bool) error
+	// SearchIDs collects all qualifying identifiers.
+	SearchIDs(q Rect, rel Relation) ([]uint32, error)
+	// Count returns the number of qualifying objects.
+	Count(q Rect, rel Relation) (int, error)
+	// Len returns the number of stored objects.
+	Len() int
+	// Dims returns the data space dimensionality.
+	Dims() int
+	// Stats returns a snapshot of the operation counters.
+	Stats() Stats
+	// ResetStats zeroes the operation counters.
+	ResetStats()
+}
+
+// Adaptive is the paper's adaptive cost-based clustering index.
+type Adaptive struct {
+	mu sync.Mutex
+	ix *core.Index
+}
+
+// NewAdaptive builds an adaptive clustering index for the given
+// dimensionality. By default it uses the in-memory cost scenario, division
+// factor 4, reorganization every 100 queries and statistics decay 0.5; see
+// the Option values to tune.
+func NewAdaptive(dims int, opts ...Option) (*Adaptive, error) {
+	o := gatherOptions(opts)
+	ix, err := core.New(core.Config{
+		Dims:           dims,
+		Params:         o.scenario,
+		DivisionFactor: o.divisionFactor,
+		ReorgEvery:     o.reorgEvery,
+		Decay:          o.decay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Adaptive{ix: ix}, nil
+}
+
+// Insert adds an object (placed into the matching cluster with the lowest
+// access probability).
+func (a *Adaptive) Insert(id uint32, r Rect) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.Insert(id, r)
+}
+
+// Delete removes an object, reporting whether it existed.
+func (a *Adaptive) Delete(id uint32) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.Delete(id)
+}
+
+// Get returns the rectangle stored under id.
+func (a *Adaptive) Get(id uint32) (Rect, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.Get(id)
+}
+
+// Search executes a spatial selection, updating clustering statistics and
+// periodically reorganizing clusters.
+func (a *Adaptive) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.Search(q, rel, emit)
+}
+
+// SearchIDs collects all qualifying identifiers.
+func (a *Adaptive) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.SearchIDs(q, rel)
+}
+
+// Count returns the number of qualifying objects.
+func (a *Adaptive) Count(q Rect, rel Relation) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.Count(q, rel)
+}
+
+// Len returns the number of stored objects.
+func (a *Adaptive) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.Len()
+}
+
+// Dims returns the data space dimensionality.
+func (a *Adaptive) Dims() int { return a.ix.Dims() }
+
+// Clusters returns the number of materialized clusters.
+func (a *Adaptive) Clusters() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.Clusters()
+}
+
+// Reorganize forces a reorganization round (normally triggered
+// automatically every ReorgEvery queries).
+func (a *Adaptive) Reorganize() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ix.Reorganize()
+}
+
+// ReorgRounds returns the number of reorganization rounds executed.
+func (a *Adaptive) ReorgRounds() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.ReorgRounds()
+}
+
+// Splits returns the number of cluster materializations performed.
+func (a *Adaptive) Splits() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.Splits()
+}
+
+// Merges returns the number of cluster merge operations performed.
+func (a *Adaptive) Merges() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.Merges()
+}
+
+// Stats returns a snapshot of the operation counters.
+func (a *Adaptive) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return statsFrom(a.ix.Meter(), a.ix.Len(), a.ix.Clusters(), a.ix.Dims())
+}
+
+// ResetStats zeroes the operation counters (clustering statistics are kept).
+func (a *Adaptive) ResetStats() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ix.ResetMeter()
+}
+
+// CheckInvariants validates the structural invariants of the index; it is
+// expensive and intended for tests.
+func (a *Adaptive) CheckInvariants() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.CheckInvariants()
+}
+
+// SeqScan is the sequential scan baseline.
+type SeqScan struct {
+	mu sync.Mutex
+	s  *seqscan.Store
+}
+
+// NewSeqScan builds a sequential scan store.
+func NewSeqScan(dims int) (*SeqScan, error) {
+	s, err := seqscan.New(dims)
+	if err != nil {
+		return nil, err
+	}
+	return &SeqScan{s: s}, nil
+}
+
+// Insert adds an object.
+func (s *SeqScan) Insert(id uint32, r Rect) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Insert(id, r)
+}
+
+// Delete removes an object, reporting whether it existed.
+func (s *SeqScan) Delete(id uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Delete(id)
+}
+
+// Get returns the rectangle stored under id.
+func (s *SeqScan) Get(id uint32) (Rect, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Get(id)
+}
+
+// Search scans the whole collection.
+func (s *SeqScan) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Search(q, rel, emit)
+}
+
+// SearchIDs collects all qualifying identifiers.
+func (s *SeqScan) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.SearchIDs(q, rel)
+}
+
+// Count returns the number of qualifying objects.
+func (s *SeqScan) Count(q Rect, rel Relation) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Count(q, rel)
+}
+
+// Len returns the number of stored objects.
+func (s *SeqScan) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Len()
+}
+
+// Dims returns the data space dimensionality.
+func (s *SeqScan) Dims() int { return s.s.Dims() }
+
+// Stats returns a snapshot of the operation counters.
+func (s *SeqScan) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return statsFrom(s.s.Meter(), s.s.Len(), 1, s.s.Dims())
+}
+
+// ResetStats zeroes the operation counters.
+func (s *SeqScan) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.s.ResetMeter()
+}
+
+// RStar is the R*-tree baseline.
+type RStar struct {
+	mu sync.Mutex
+	t  *rstar.Tree
+}
+
+// NewRStar builds an R*-tree with 16 KB pages by default.
+func NewRStar(dims int, opts ...Option) (*RStar, error) {
+	o := gatherOptions(opts)
+	t, err := rstar.New(rstar.Config{
+		Dims:         dims,
+		PageSize:     o.pageSize,
+		MinFill:      o.minFill,
+		ReinsertFrac: o.reinsertFrac,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RStar{t: t}, nil
+}
+
+// Insert adds an object.
+func (r *RStar) Insert(id uint32, rect Rect) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Insert(id, rect)
+}
+
+// Delete removes an object, reporting whether it existed.
+func (r *RStar) Delete(id uint32) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Delete(id)
+}
+
+// Get returns the rectangle stored under id.
+func (r *RStar) Get(id uint32) (Rect, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Get(id)
+}
+
+// Search walks the tree.
+func (r *RStar) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Search(q, rel, emit)
+}
+
+// SearchIDs collects all qualifying identifiers.
+func (r *RStar) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.SearchIDs(q, rel)
+}
+
+// Count returns the number of qualifying objects.
+func (r *RStar) Count(q Rect, rel Relation) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Count(q, rel)
+}
+
+// Len returns the number of stored objects.
+func (r *RStar) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Len()
+}
+
+// Dims returns the data space dimensionality.
+func (r *RStar) Dims() int { return r.t.Dims() }
+
+// Nodes returns the number of tree nodes (pages).
+func (r *RStar) Nodes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Nodes()
+}
+
+// Height returns the number of tree levels.
+func (r *RStar) Height() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Height()
+}
+
+// Stats returns a snapshot of the operation counters.
+func (r *RStar) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return statsFrom(r.t.Meter(), r.t.Len(), r.t.Nodes(), r.t.Dims())
+}
+
+// ResetStats zeroes the operation counters.
+func (r *RStar) ResetStats() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.t.ResetMeter()
+}
+
+// CheckInvariants validates the structural invariants of the tree; it is
+// expensive and intended for tests.
+func (r *RStar) CheckInvariants() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.CheckInvariants()
+}
+
+// Compile-time interface checks.
+var (
+	_ Index = (*Adaptive)(nil)
+	_ Index = (*SeqScan)(nil)
+	_ Index = (*RStar)(nil)
+)
+
+// statsFrom converts an internal meter into the public Stats.
+func statsFrom(m cost.Meter, objects, partitions, dims int) Stats {
+	return Stats{
+		Objects:            objects,
+		Dims:               dims,
+		Partitions:         partitions,
+		Queries:            m.Queries,
+		PartitionsChecked:  m.SigChecks,
+		PartitionsExplored: m.Explorations,
+		Seeks:              m.Seeks,
+		ObjectsVerified:    m.ObjectsVerified,
+		BytesVerified:      m.BytesVerified,
+		BytesTransferred:   m.BytesTransferred,
+		Results:            m.Results,
+	}
+}

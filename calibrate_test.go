@@ -1,0 +1,108 @@
+package accluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCalibratedScenarios(t *testing.T) {
+	mem := CalibratedMemoryScenario(16)
+	if mem.SigCheckMS <= 0 || mem.VerifyMSPerByte <= 0 {
+		t.Fatalf("calibration produced %+v", mem)
+	}
+	if mem.SeekMS != 0 {
+		t.Error("memory scenario must have no seek cost")
+	}
+	dsk := CalibratedDiskScenario(16)
+	if dsk.SeekMS != 15 {
+		t.Errorf("disk scenario seek = %g, want the paper's 15 ms", dsk.SeekMS)
+	}
+	// A calibrated scenario must be directly usable.
+	ix, err := NewAdaptive(4, WithScenario(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for id := uint32(0); id < 500; id++ {
+		if err := ix.Insert(id, randomRect(rng, 4, 0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ix.Count(randomRect(rng, 4, 0.2), Intersects); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterInfosPublic(t *testing.T) {
+	ix, err := NewAdaptive(3, WithReorgEvery(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for id := uint32(0); id < 2000; id++ {
+		if err := ix.Insert(id, randomRect(rng, 3, 0.15)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := ix.Count(randomRect(rng, 3, 0.1), Intersects); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := ix.ClusterInfos()
+	if len(infos) != ix.Clusters() {
+		t.Fatalf("%d infos, %d clusters", len(infos), ix.Clusters())
+	}
+	total := 0
+	for _, in := range infos {
+		total += in.Objects
+	}
+	if total != ix.Len() {
+		t.Fatalf("infos hold %d objects, index %d", total, ix.Len())
+	}
+	if infos[0].Signature != "{root}" {
+		t.Errorf("first info should be the root, got %q", infos[0].Signature)
+	}
+}
+
+func TestPersistencePublic(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/db.acdb"
+	ix, err := NewAdaptive(5, WithReorgEvery(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for id := uint32(0); id < 1500; id++ {
+		if err := ix.Insert(id, randomRect(rng, 5, 0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := ix.Count(randomRect(rng, 5, 0.2), Intersects); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenAdaptive(path, WithReorgEvery(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ix.Len() || back.Clusters() != ix.Clusters() || back.Dims() != 5 {
+		t.Fatalf("recovered: len=%d clusters=%d dims=%d", back.Len(), back.Clusters(), back.Dims())
+	}
+	q := randomRect(rng, 5, 0.4)
+	a, _ := ix.Count(q, Intersects)
+	b, _ := back.Count(q, Intersects)
+	if a != b {
+		t.Fatalf("answers differ after recovery: %d vs %d", a, b)
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenAdaptive(dir + "/missing.acdb"); err == nil {
+		t.Error("opening a missing file must fail")
+	}
+}

@@ -1,0 +1,103 @@
+// Command acbench regenerates the paper's evaluation (EDBT 2004, Saita &
+// Llirbat, "Clustering Multidimensional Extended Objects to Speed Up
+// Execution of Spatial Queries"): Fig. 7 (selectivity sweep), Fig. 8
+// (dimensionality sweep over skewed data), the point-enclosing experiment,
+// and the ablations indexed in DESIGN.md.
+//
+// Usage:
+//
+//	acbench -exp fig7 -n 200000 -queries 200
+//	acbench -exp all -n 50000 -csv results.csv
+//
+// The tables print the modeled per-query execution time under both storage
+// scenarios (paper cost constants: 15 ms disk access, 20 MB/s transfer,
+// 300 MB/s verification) plus measured wall time, partition counts and the
+// explored/verified percentages of the paper's data-access tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"accluster/internal/harness"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "fig7", "experiments to run: comma-separated list or 'all' ("+strings.Join(harness.Experiments(), ", ")+")")
+		objects = flag.Int("n", 100000, "number of database objects")
+		dims    = flag.Int("dims", 16, "space dimensionality (selectivity experiments)")
+		queries = flag.Int("queries", 200, "measured queries per experiment point")
+		warmup  = flag.Int("warmup", 1000, "warm-up queries before measuring (clustering convergence)")
+		reorg   = flag.Int("reorg", 100, "queries between reorganization rounds")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		maxSize = flag.Float64("maxsize", 1, "maximum object interval size per dimension")
+		csvPath = flag.String("csv", "", "also write results as CSV to this file")
+		charts  = flag.Bool("chart", false, "also draw ASCII charts (the paper's figure shapes)")
+		verbose = flag.Bool("v", false, "log progress to stderr")
+	)
+	flag.Parse()
+
+	o := harness.Options{
+		Objects:    *objects,
+		Dims:       *dims,
+		Queries:    *queries,
+		Warmup:     *warmup,
+		ReorgEvery: *reorg,
+		Seed:       *seed,
+		MaxObjSize: float32(*maxSize),
+	}
+	if *verbose {
+		o.Log = os.Stderr
+	}
+
+	ids := strings.Split(*exps, ",")
+	if *exps == "all" {
+		ids = harness.Experiments()
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		exp, err := harness.Run(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := exp.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "acbench: render %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *charts && len(exp.Points) > 1 {
+			// Memory chart on a linear scale, disk chart on a log
+			// scale, as in the paper's figures.
+			if err := exp.RenderChart(os.Stdout, false, false); err != nil {
+				fmt.Fprintf(os.Stderr, "acbench: chart %s: %v\n", id, err)
+			}
+			if err := exp.RenderChart(os.Stdout, true, true); err != nil {
+				fmt.Fprintf(os.Stderr, "acbench: chart %s: %v\n", id, err)
+			}
+		}
+		if csv != nil {
+			if err := exp.CSV(csv); err != nil {
+				fmt.Fprintf(os.Stderr, "acbench: csv %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

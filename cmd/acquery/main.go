@@ -1,0 +1,148 @@
+// Command acquery replays workload files produced by acgen (or any tool
+// emitting "id lo hi [lo hi ...]" lines) against a chosen access method and
+// reports data-access statistics and modeled execution times under both
+// storage scenarios.
+//
+// Usage:
+//
+//	acgen -n 100000 -dims 16 -out objs.txt
+//	acgen -queries 1000 -selectivity 5e-4 -dims 16 -out qs.txt
+//	acquery -method adaptive -objects objs.txt -queries qs.txt -rel intersects
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"accluster"
+	"accluster/internal/workload"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "acquery: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseRelation(s string) (accluster.Relation, error) {
+	switch s {
+	case "intersects", "intersection":
+		return accluster.Intersects, nil
+	case "contained-by", "containment":
+		return accluster.ContainedBy, nil
+	case "encloses", "enclosure", "point":
+		return accluster.Encloses, nil
+	default:
+		return 0, fmt.Errorf("unknown relation %q (want intersects, contained-by or encloses)", s)
+	}
+}
+
+func buildIndex(method string, dims int, scenario string, reorg int) (accluster.Index, error) {
+	var sc accluster.Scenario
+	switch scenario {
+	case "memory":
+		sc = accluster.MemoryScenario()
+	case "disk":
+		sc = accluster.DiskScenario()
+	case "calibrated":
+		sc = accluster.CalibratedMemoryScenario(dims)
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (want memory, disk or calibrated)", scenario)
+	}
+	switch method {
+	case "adaptive", "ac":
+		return accluster.NewAdaptive(dims, accluster.WithScenario(sc), accluster.WithReorgEvery(reorg))
+	case "seqscan", "ss":
+		return accluster.NewSeqScan(dims)
+	case "rstar", "rs":
+		return accluster.NewRStar(dims)
+	default:
+		return nil, fmt.Errorf("unknown method %q (want adaptive, seqscan or rstar)", method)
+	}
+}
+
+func main() {
+	var (
+		method   = flag.String("method", "adaptive", "access method: adaptive, seqscan, rstar")
+		objPath  = flag.String("objects", "", "objects workload file (required)")
+		qPath    = flag.String("queries", "", "queries workload file (required)")
+		relName  = flag.String("rel", "intersects", "relation: intersects, contained-by, encloses")
+		scenario = flag.String("scenario", "memory", "cost scenario for the adaptive index: memory, disk, calibrated")
+		reorg    = flag.Int("reorg", 100, "queries between reorganizations (adaptive)")
+		repeat   = flag.Int("repeat", 1, "replay the query file this many times (first pass warms the clustering)")
+	)
+	flag.Parse()
+	if *objPath == "" || *qPath == "" {
+		fail("both -objects and -queries are required")
+	}
+	rel, err := parseRelation(*relName)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	of, err := os.Open(*objPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	ids, rects, err := workload.ReadObjects(of)
+	of.Close()
+	if err != nil {
+		fail("objects: %v", err)
+	}
+	qf, err := os.Open(*qPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	_, queries, err := workload.ReadObjects(qf)
+	qf.Close()
+	if err != nil {
+		fail("queries: %v", err)
+	}
+	dims := rects[0].Dims()
+	if queries[0].Dims() != dims {
+		fail("objects have %d dims, queries %d", dims, queries[0].Dims())
+	}
+
+	ix, err := buildIndex(*method, dims, *scenario, *reorg)
+	if err != nil {
+		fail("%v", err)
+	}
+	start := time.Now()
+	for i, r := range rects {
+		if err := ix.Insert(ids[i], r); err != nil {
+			fail("insert %d: %v", ids[i], err)
+		}
+	}
+	loadTime := time.Since(start)
+
+	var elapsed time.Duration
+	for pass := 0; pass < *repeat; pass++ {
+		if pass == *repeat-1 {
+			ix.ResetStats()
+			start = time.Now()
+		}
+		for _, q := range queries {
+			if _, err := ix.Count(q, rel); err != nil {
+				fail("query: %v", err)
+			}
+		}
+		if pass == *repeat-1 {
+			elapsed = time.Since(start)
+		}
+	}
+
+	st := ix.Stats()
+	fmt.Printf("method=%s objects=%d dims=%d queries=%d relation=%v\n",
+		*method, len(rects), dims, len(queries), rel)
+	fmt.Printf("load: %v (%.0f objs/s)\n", loadTime.Round(time.Millisecond),
+		float64(len(rects))/loadTime.Seconds())
+	fmt.Printf("measured: %.1f µs/query (last pass of %d)\n",
+		float64(elapsed.Microseconds())/float64(len(queries)), *repeat)
+	fmt.Printf("partitions=%d explored=%.1f%% verified=%.1f%% avg-results=%.1f\n",
+		st.Partitions, 100*st.ExploredFraction(), 100*st.VerifiedFraction(),
+		float64(st.Results)/float64(st.Queries))
+	fmt.Printf("modeled: %.4g ms/query (memory), %.4g ms/query (disk)\n",
+		st.ModeledMSPerQuery(accluster.MemoryScenario()),
+		st.ModeledMSPerQuery(accluster.DiskScenario()))
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseRelation(t *testing.T) {
+	cases := map[string]bool{
+		"intersects": true, "intersection": true,
+		"contained-by": true, "containment": true,
+		"encloses": true, "enclosure": true, "point": true,
+		"overlap": false, "": false,
+	}
+	for in, ok := range cases {
+		_, err := parseRelation(in)
+		if (err == nil) != ok {
+			t.Errorf("parseRelation(%q): err=%v, want ok=%v", in, err, ok)
+		}
+	}
+}
+
+func TestBuildIndex(t *testing.T) {
+	for _, m := range []string{"adaptive", "ac", "seqscan", "ss", "rstar", "rs"} {
+		ix, err := buildIndex(m, 4, "memory", 100)
+		if err != nil || ix == nil {
+			t.Errorf("buildIndex(%s): %v", m, err)
+		}
+	}
+	if _, err := buildIndex("btree", 4, "memory", 100); err == nil {
+		t.Error("unknown method must fail")
+	}
+	if _, err := buildIndex("adaptive", 4, "tape", 100); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+	if ix, err := buildIndex("adaptive", 4, "disk", 100); err != nil || ix == nil {
+		t.Errorf("disk scenario: %v", err)
+	}
+	if ix, err := buildIndex("adaptive", 4, "calibrated", 100); err != nil || ix == nil {
+		t.Errorf("calibrated scenario: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+// Command sdid is an interactive selective-dissemination (publish/subscribe)
+// daemon over the adaptive clustering index — the paper's motivating
+// application (§1). It reads commands from stdin:
+//
+//	sub price=400:700 rooms=3:5 baths=2     register a range subscription
+//	unsub 3                                  remove subscription 3
+//	pub price=550 rooms=4 baths=2 dist=12    publish a point event
+//	pub price=600:900 rooms=3:5              publish a range event
+//	stats                                    subscription/cluster statistics
+//	quit
+//
+// The attribute schema is configured with repeated -attr flags:
+//
+//	sdid -attr dist:0:100 -attr price:0:5000 -attr rooms:1:10 -attr baths:1:5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"accluster/internal/pubsub"
+)
+
+func parseRange(s string) (pubsub.Range, error) {
+	parts := strings.SplitN(s, ":", 2)
+	lo, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return pubsub.Range{}, fmt.Errorf("bad number %q", parts[0])
+	}
+	if len(parts) == 1 {
+		return pubsub.Value(lo), nil
+	}
+	hi, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return pubsub.Range{}, fmt.Errorf("bad number %q", parts[1])
+	}
+	return pubsub.Range{Lo: lo, Hi: hi}, nil
+}
+
+func parseRanges(args []string) (map[string]pubsub.Range, error) {
+	out := make(map[string]pubsub.Range, len(args))
+	for _, a := range args {
+		kv := strings.SplitN(a, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("expected attr=lo[:hi], got %q", a)
+		}
+		r, err := parseRange(kv[1])
+		if err != nil {
+			return nil, err
+		}
+		out[kv[0]] = r
+	}
+	return out, nil
+}
+
+func main() {
+	var schema pubsub.Schema
+	flag.Func("attr", "attribute as name:min:max (repeatable)", func(s string) error {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("want name:min:max")
+		}
+		min, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return err
+		}
+		max, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return err
+		}
+		schema = append(schema, pubsub.Attribute{Name: parts[0], Min: min, Max: max})
+		return nil
+	})
+	reorg := flag.Int("reorg", 100, "events between cluster reorganizations")
+	flag.Parse()
+
+	if len(schema) == 0 {
+		schema = pubsub.Schema{
+			{Name: "dist", Min: 0, Max: 100},
+			{Name: "price", Min: 0, Max: 5000},
+			{Name: "rooms", Min: 1, Max: 10},
+			{Name: "baths", Min: 1, Max: 5},
+		}
+		fmt.Println("sdid: using default apartment schema (dist, price, rooms, baths)")
+	}
+	broker, err := pubsub.NewBroker(schema, pubsub.Options{ReorgEvery: *reorg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdid: %v\n", err)
+		os.Exit(1)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "sub":
+			ranges, err := parseRanges(fields[1:])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			id, err := broker.Subscribe(pubsub.Subscription(ranges))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("subscribed #%d\n", id)
+		case "unsub":
+			if len(fields) != 2 {
+				fmt.Println("error: usage: unsub <id>")
+				continue
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if broker.Unsubscribe(uint32(id)) {
+				fmt.Printf("removed #%d\n", id)
+			} else {
+				fmt.Printf("no subscription #%d\n", id)
+			}
+		case "pub":
+			ranges, err := parseRanges(fields[1:])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			ids, err := broker.Match(pubsub.Event(ranges))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("matched %d subscription(s): %v\n", len(ids), ids)
+		case "stats":
+			st := broker.Stats()
+			fmt.Printf("subscriptions=%d events=%d matches=%d clusters=%d\n",
+				st.Subscriptions, st.Events, st.Matches, st.Clusters)
+		default:
+			fmt.Println("commands: sub, unsub, pub, stats, quit")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "sdid: %v\n", err)
+		os.Exit(1)
+	}
+}

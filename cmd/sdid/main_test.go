@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"accluster/internal/pubsub"
+)
+
+func TestParseRange(t *testing.T) {
+	r, err := parseRange("400:700")
+	if err != nil || r.Lo != 400 || r.Hi != 700 {
+		t.Fatalf("parseRange(400:700) = %+v, %v", r, err)
+	}
+	r, err = parseRange("2")
+	if err != nil || r != pubsub.Value(2) {
+		t.Fatalf("parseRange(2) = %+v, %v", r, err)
+	}
+	if _, err := parseRange("abc"); err == nil {
+		t.Error("bad lo must fail")
+	}
+	if _, err := parseRange("1:xyz"); err == nil {
+		t.Error("bad hi must fail")
+	}
+}
+
+func TestParseRanges(t *testing.T) {
+	got, err := parseRanges([]string{"price=400:700", "baths=2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["price"].Hi != 700 || got["baths"] != pubsub.Value(2) {
+		t.Fatalf("parseRanges: %+v", got)
+	}
+	if _, err := parseRanges([]string{"price"}); err == nil {
+		t.Error("missing '=' must fail")
+	}
+	if _, err := parseRanges([]string{"price=a:b"}); err == nil {
+		t.Error("bad range must fail")
+	}
+	if got, err := parseRanges(nil); err != nil || len(got) != 0 {
+		t.Error("empty args must parse to empty map")
+	}
+}

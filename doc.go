@@ -1,0 +1,35 @@
+// Package accluster is a Go implementation of the adaptive cost-based
+// clustering index for multidimensional extended objects described in
+//
+//	Cristian-Augustin Saita, François Llirbat:
+//	"Clustering Multidimensional Extended Objects to Speed Up Execution of
+//	Spatial Queries", EDBT 2004.
+//
+// A multidimensional extended object (hyper-rectangle) defines a range
+// interval in every dimension of a [0,1]^d data space. The package answers
+// spatial selections over large collections of such objects:
+//
+//   - intersection queries: objects overlapping a query rectangle,
+//   - containment queries: objects contained in a query rectangle,
+//   - enclosure queries: objects enclosing a query rectangle — with
+//     point-enclosing queries (an event point against a subscription
+//     database) as the motivating special case.
+//
+// The primary index, NewAdaptive, clusters objects with similar interval
+// bounds on a restrained number of dimensions and adapts the clustering to
+// the observed data and query distributions with a cost model of the storage
+// scenario (in-memory or disk-based). Two baselines from the paper's
+// evaluation are provided under the same interface: NewSeqScan (sequential
+// scan) and NewRStar (the R*-tree of Beckmann et al. 1990).
+//
+// # Quick start
+//
+//	ix, _ := accluster.NewAdaptive(16)
+//	_ = ix.Insert(1, accluster.MustRect(
+//		[]float32{0.1, 0.2 /* ... */}, []float32{0.3, 0.4 /* ... */}))
+//	ids, _ := ix.SearchIDs(q, accluster.Intersects)
+//
+// All indexes are safe for concurrent use; operations serialize on an
+// internal mutex (queries update clustering statistics, so even searches are
+// writes here).
+package accluster

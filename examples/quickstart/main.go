@@ -1,0 +1,83 @@
+// Quickstart: build an adaptive clustering index, run the three spatial
+// selections of the paper (intersection, containment, enclosure) and watch
+// the index adapt its clustering to the query load.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"accluster"
+)
+
+func main() {
+	const dims = 8
+
+	// The adaptive index needs only the dimensionality; options tune the
+	// cost scenario and the reorganization cadence.
+	ix, err := accluster.NewAdaptive(dims, accluster.WithReorgEvery(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert 50,000 random extended objects (hyper-rectangles in [0,1]^8).
+	rng := rand.New(rand.NewSource(42))
+	r := accluster.NewRect(dims)
+	for id := uint32(0); id < 50000; id++ {
+		for d := 0; d < dims; d++ {
+			size := rng.Float32() * 0.2
+			lo := rng.Float32() * (1 - size)
+			r.Min[d], r.Max[d] = lo, lo+size
+		}
+		if err := ix.Insert(id, r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d objects in %d dimensions\n", ix.Len(), ix.Dims())
+
+	// A query rectangle around the center of the space.
+	q := accluster.NewRect(dims)
+	for d := 0; d < dims; d++ {
+		q.Min[d], q.Max[d] = 0.45, 0.65
+	}
+
+	// The three relations of the paper.
+	for _, rel := range []accluster.Relation{
+		accluster.Intersects, accluster.ContainedBy, accluster.Encloses,
+	} {
+		n, err := ix.Count(q, rel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13v -> %6d objects\n", rel, n)
+	}
+
+	// Point-enclosing: which objects cover this point?
+	p := accluster.Point([]float32{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5})
+	n, err := ix.Count(p, accluster.Encloses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("point-enclosing -> %6d objects\n", n)
+
+	// Drive the adaptation: repeated queries trigger cost-based
+	// reorganization every 100 queries.
+	for i := 0; i < 1000; i++ {
+		for d := 0; d < dims; d++ {
+			c := rng.Float32()
+			q.Min[d], q.Max[d] = c*0.9, c*0.9+0.1
+		}
+		if _, err := ix.Count(q, accluster.Intersects); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := ix.Stats()
+	fmt.Printf("\nafter 1000 queries: %d clusters (%d reorganizations, %d splits, %d merges)\n",
+		ix.Clusters(), ix.ReorgRounds(), ix.Splits(), ix.Merges())
+	fmt.Printf("avg %.1f%% of clusters explored, %.1f%% of objects verified per query\n",
+		100*st.ExploredFraction(), 100*st.VerifiedFraction())
+	fmt.Printf("modeled per-query time: %.3f ms in memory, %.1f ms on disk\n",
+		st.ModeledMSPerQuery(accluster.MemoryScenario()),
+		st.ModeledMSPerQuery(accluster.DiskScenario()))
+}

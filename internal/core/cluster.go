@@ -1,0 +1,166 @@
+// Package core implements the paper's primary contribution: the adaptive
+// cost-based clustering index for multidimensional extended objects (§3–§6).
+//
+// The database is a flat set of materialized clusters, each carrying a
+// signature (internal/sig), a sequential member store (flat float32 layout
+// for data locality, as the paper stores members contiguously), and
+// performance indicators for itself and for its virtual candidate
+// subclusters. Queries scan all cluster signatures, explore matching
+// clusters, verify members individually, and update statistics; every
+// ReorgEvery queries the index reorganizes clusters by merging or splitting
+// according to the cost model (internal/cost).
+package core
+
+import (
+	"accluster/internal/geom"
+	"accluster/internal/sig"
+)
+
+// candidate is a virtual subcluster of a materialized cluster: the split that
+// defines it, its cached variation-interval bounds for the refined dimension,
+// and its performance indicators (paper §3.1).
+type candidate struct {
+	sp                 sig.Split
+	aLo, aHi, bLo, bHi float32
+	n                  int32   // objects of the owner matching the candidate
+	q                  float64 // decayed count of queries matching the candidate
+}
+
+// matchesObjectDim reports whether an owner member with the refined
+// dimension's interval [lo,hi] qualifies for the candidate.
+func (cd *candidate) matchesObjectDim(lo, hi float32) bool {
+	return sig.InVar(lo, cd.aLo, cd.aHi) && sig.InVar(hi, cd.bLo, cd.bHi)
+}
+
+// matchesQueryDim reports whether a query already matching the owner also
+// matches the candidate on the refined dimension.
+func (cd *candidate) matchesQueryDim(rel geom.Relation, qlo, qhi float32) bool {
+	return sig.QueryDimMatch(rel, qlo, qhi, cd.aLo, cd.aHi, cd.bLo, cd.bHi)
+}
+
+// Cluster is a materialized group of objects accessed and checked together
+// during spatial selections (§3.1). Members are stored sequentially: ids[i]
+// pairs with the flat coordinate block data[i*2*dims : (i+1)*2*dims].
+type Cluster struct {
+	signature sig.Signature
+	parent    *Cluster
+	children  []*Cluster
+
+	ids  []uint32
+	data []float32
+
+	cands []candidate
+	q     float64 // decayed count of queries exploring this cluster
+
+	pos     int  // index in Index.clusters (O(1) removal)
+	removed bool // set when merged away
+}
+
+// Signature returns the cluster's grouping signature.
+func (c *Cluster) Signature() sig.Signature { return c.signature }
+
+// Parent returns the parent cluster (nil for the root).
+func (c *Cluster) Parent() *Cluster { return c.parent }
+
+// Len returns the number of member objects n(c).
+func (c *Cluster) Len() int { return len(c.ids) }
+
+// IDs returns the member identifiers (shared storage; do not mutate).
+func (c *Cluster) IDs() []uint32 { return c.ids }
+
+// Data returns the flat member coordinates (shared storage; do not mutate).
+func (c *Cluster) Data() []float32 { return c.data }
+
+// Candidates returns the number of candidate subclusters tracked.
+func (c *Cluster) Candidates() int { return len(c.cands) }
+
+// newCluster builds a cluster with the given signature and candidate set
+// derived by the clustering function with division factor f.
+func newCluster(s sig.Signature, f int) *Cluster {
+	c := &Cluster{signature: s}
+	splits := sig.Enumerate(s, f)
+	c.cands = make([]candidate, len(splits))
+	for i, sp := range splits {
+		aLo, aHi, bLo, bHi := sp.Bounds(s)
+		c.cands[i] = candidate{sp: sp, aLo: aLo, aHi: aHi, bLo: bLo, bHi: bHi}
+	}
+	return c
+}
+
+// reservedGrowth mirrors the paper's storage utilization rule (§6): freshly
+// (re)located clusters reserve 20–30% free slots to avoid frequent moves. We
+// size capacities at 125% of the live size.
+func reservedCap(n int) int {
+	if n < 4 {
+		return n + 1
+	}
+	return n + n/4
+}
+
+// appendObject adds one member and updates the candidate indicators.
+func (c *Cluster) appendObject(id uint32, r geom.Rect) int {
+	pos := len(c.ids)
+	if cap(c.ids) == len(c.ids) {
+		grow := reservedCap(len(c.ids) + 1)
+		ids := make([]uint32, len(c.ids), grow)
+		copy(ids, c.ids)
+		c.ids = ids
+		data := make([]float32, len(c.data), grow*2*r.Dims())
+		copy(data, c.data)
+		c.data = data
+	}
+	c.ids = append(c.ids, id)
+	c.data = geom.AppendFlat(c.data, r)
+	for i := range c.cands {
+		cd := &c.cands[i]
+		d := cd.sp.Dim
+		if cd.matchesObjectDim(r.Min[d], r.Max[d]) {
+			cd.n++
+		}
+	}
+	return pos
+}
+
+// objectDim returns the [lo,hi] interval of member i in dimension d.
+func (c *Cluster) objectDim(i, dims, d int) (lo, hi float32) {
+	base := i * 2 * dims
+	return c.data[base+2*d], c.data[base+2*d+1]
+}
+
+// removeObjectAt swap-removes member i and updates candidate indicators.
+// It returns the id that was moved into slot i (or 0 and false when the
+// removed member was the last one).
+func (c *Cluster) removeObjectAt(i, dims int) (movedID uint32, moved bool) {
+	for k := range c.cands {
+		cd := &c.cands[k]
+		lo, hi := c.objectDim(i, dims, cd.sp.Dim)
+		if cd.matchesObjectDim(lo, hi) {
+			cd.n--
+		}
+	}
+	last := len(c.ids) - 1
+	if i != last {
+		c.ids[i] = c.ids[last]
+		copy(c.data[i*2*dims:(i+1)*2*dims], c.data[last*2*dims:(last+1)*2*dims])
+		movedID, moved = c.ids[i], true
+	}
+	c.ids = c.ids[:last]
+	c.data = c.data[:last*2*dims]
+	return movedID, moved
+}
+
+// rectAt materializes member i as a Rect.
+func (c *Cluster) rectAt(i, dims int) geom.Rect {
+	return geom.FromFlat(c.data, i, dims)
+}
+
+// detachChild removes ch from c.children.
+func (c *Cluster) detachChild(ch *Cluster) {
+	for i, x := range c.children {
+		if x == ch {
+			c.children[i] = c.children[len(c.children)-1]
+			c.children = c.children[:len(c.children)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+	"accluster/internal/sig"
+)
+
+// Config parameterizes an adaptive clustering index.
+type Config struct {
+	// Dims is the data space dimensionality (required, ≥ 1).
+	Dims int
+	// Params selects the storage scenario driving the clustering
+	// decisions (cost.Memory() or cost.Disk(), possibly tuned).
+	Params cost.Params
+	// DivisionFactor is the clustering function's f (§4.2); default 4.
+	DivisionFactor int
+	// ReorgEvery triggers a reorganization round after that many queries
+	// (§7.1 uses 100); default 100.
+	ReorgEvery int
+	// Decay is the exponential forgetting factor applied to query
+	// statistics at every reorganization round; default 0.5. A value of
+	// 1 never forgets (static query distribution), values close to 0
+	// adapt aggressively.
+	Decay float64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Dims < 1 {
+		return fmt.Errorf("core: invalid dimensionality %d", c.Dims)
+	}
+	if c.DivisionFactor == 0 {
+		c.DivisionFactor = 4
+	}
+	if c.DivisionFactor < 2 {
+		return fmt.Errorf("core: division factor must be ≥ 2, got %d", c.DivisionFactor)
+	}
+	if c.ReorgEvery == 0 {
+		c.ReorgEvery = 100
+	}
+	if c.ReorgEvery < 1 {
+		return fmt.Errorf("core: ReorgEvery must be ≥ 1, got %d", c.ReorgEvery)
+	}
+	if c.Decay == 0 {
+		c.Decay = 0.5
+	}
+	if c.Decay < 0 || c.Decay > 1 {
+		return fmt.Errorf("core: decay must be in (0,1], got %g", c.Decay)
+	}
+	if c.Params.Name == "" {
+		c.Params = cost.Memory()
+	}
+	return nil
+}
+
+// objLoc records where an object currently lives.
+type objLoc struct {
+	c   *Cluster
+	pos int32
+}
+
+// Index is the adaptive cost-based clustering index. It is not safe for
+// concurrent use; the public accluster package serializes access.
+type Index struct {
+	cfg      Config
+	objBytes int
+
+	root     *Cluster
+	clusters []*Cluster // all materialized clusters; clusters[0] == root
+
+	loc map[uint32]objLoc
+
+	// Statistics window: W is the decayed total number of queries; every
+	// cluster's and candidate's q is decayed on the same schedule, so
+	// access probabilities p = q/W stay consistent (§3.1).
+	window           float64
+	sinceReorg       int
+	meter            cost.Meter
+	reorgRounds      int64
+	splits, merges   int64
+	objectsRelocated int64
+}
+
+// ErrDuplicateID is returned when inserting an id already present.
+var ErrDuplicateID = errors.New("core: duplicate object id")
+
+// New builds an empty index holding the root cluster.
+func New(cfg Config) (*Index, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		cfg:      cfg,
+		objBytes: geom.ObjectBytes(cfg.Dims),
+		loc:      make(map[uint32]objLoc),
+	}
+	ix.root = newCluster(sig.Root(cfg.Dims), cfg.DivisionFactor)
+	ix.root.pos = 0
+	ix.clusters = []*Cluster{ix.root}
+	return ix, nil
+}
+
+// Config returns the effective configuration (with defaults applied).
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Dims returns the data space dimensionality.
+func (ix *Index) Dims() int { return ix.cfg.Dims }
+
+// Len returns the number of stored objects.
+func (ix *Index) Len() int { return len(ix.loc) }
+
+// Clusters returns the number of materialized clusters.
+func (ix *Index) Clusters() int { return len(ix.clusters) }
+
+// Meter returns the accumulated operation counters.
+func (ix *Index) Meter() cost.Meter { return ix.meter }
+
+// ResetMeter zeroes the operation counters (statistics windows are kept).
+func (ix *Index) ResetMeter() { ix.meter.Reset() }
+
+// ReorgRounds returns the number of reorganization rounds executed.
+func (ix *Index) ReorgRounds() int64 { return ix.reorgRounds }
+
+// Splits returns the number of cluster materializations performed.
+func (ix *Index) Splits() int64 { return ix.splits }
+
+// Merges returns the number of merge operations performed.
+func (ix *Index) Merges() int64 { return ix.merges }
+
+// ObjectsRelocated returns the number of object moves caused by
+// reorganizations.
+func (ix *Index) ObjectsRelocated() int64 { return ix.objectsRelocated }
+
+// prob converts a decayed match count into an access probability.
+func (ix *Index) prob(q float64) float64 {
+	if ix.window <= 0 {
+		return 0
+	}
+	p := q / ix.window
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Insert adds an object (Fig. 4): among all materialized clusters whose
+// signature accepts the object, the one with the lowest access probability
+// hosts it.
+func (ix *Index) Insert(id uint32, r geom.Rect) error {
+	if r.Dims() != ix.cfg.Dims {
+		return fmt.Errorf("core: object has %d dims, index has %d", r.Dims(), ix.cfg.Dims)
+	}
+	if !r.Valid() {
+		return fmt.Errorf("core: invalid rectangle %v", r)
+	}
+	if _, dup := ix.loc[id]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	best := ix.root
+	bestP := ix.prob(ix.root.q)
+	for _, c := range ix.clusters[1:] {
+		if !c.signature.MatchesObject(r) {
+			continue
+		}
+		if p := ix.prob(c.q); p <= bestP {
+			// ≤ prefers later (deeper, more specific) clusters on
+			// ties, which keeps rarely-explored clusters filled.
+			best, bestP = c, p
+		}
+	}
+	pos := best.appendObject(id, r)
+	ix.loc[id] = objLoc{c: best, pos: int32(pos)}
+	return nil
+}
+
+// Delete removes the object with the given id, reporting whether it existed.
+func (ix *Index) Delete(id uint32) bool {
+	l, ok := ix.loc[id]
+	if !ok {
+		return false
+	}
+	movedID, moved := l.c.removeObjectAt(int(l.pos), ix.cfg.Dims)
+	if moved {
+		ix.loc[movedID] = objLoc{c: l.c, pos: l.pos}
+	}
+	delete(ix.loc, id)
+	return true
+}
+
+// Get returns the rectangle stored under id.
+func (ix *Index) Get(id uint32) (geom.Rect, bool) {
+	l, ok := ix.loc[id]
+	if !ok {
+		return geom.Rect{}, false
+	}
+	return l.c.rectAt(int(l.pos), ix.cfg.Dims), true
+}
+
+// VisitClusters calls fn for every materialized cluster (root first).
+func (ix *Index) VisitClusters(fn func(c *Cluster)) {
+	for _, c := range ix.clusters {
+		fn(c)
+	}
+}

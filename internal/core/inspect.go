@@ -1,0 +1,52 @@
+package core
+
+// ClusterInfo is an operator-facing snapshot of one materialized cluster,
+// exposing the quantities the cost model reasons about.
+type ClusterInfo struct {
+	// Signature renders the constrained dimensions of the cluster.
+	Signature string
+	// Objects is the member count n(c).
+	Objects int
+	// AccessProbability is the current estimate p(c) from the decayed
+	// statistics window.
+	AccessProbability float64
+	// Depth is the distance to the root in the clustering hierarchy.
+	Depth int
+	// ConstrainedDims counts dimensions carrying a grouping constraint.
+	ConstrainedDims int
+	// Candidates is the number of virtual candidate subclusters tracked.
+	Candidates int
+	// Children is the number of materialized child clusters.
+	Children int
+}
+
+// ClusterInfos reports every materialized cluster (root first). It is a
+// diagnostic snapshot; building it is O(clusters · dims).
+func (ix *Index) ClusterInfos() []ClusterInfo {
+	depth := func(c *Cluster) int {
+		d := 0
+		for p := c.parent; p != nil; p = p.parent {
+			d++
+		}
+		return d
+	}
+	out := make([]ClusterInfo, len(ix.clusters))
+	for i, c := range ix.clusters {
+		constrained := 0
+		for d := 0; d < c.signature.Dims(); d++ {
+			if c.signature.Constrained(d) {
+				constrained++
+			}
+		}
+		out[i] = ClusterInfo{
+			Signature:         c.signature.String(),
+			Objects:           len(c.ids),
+			AccessProbability: ix.prob(c.q),
+			Depth:             depth(c),
+			ConstrainedDims:   constrained,
+			Candidates:        len(c.cands),
+			Children:          len(c.children),
+		}
+	}
+	return out
+}

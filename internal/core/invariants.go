@@ -1,0 +1,96 @@
+package core
+
+import "fmt"
+
+// CheckInvariants validates the structural invariants of the index. It is
+// O(objects × candidates) and intended for tests and debugging:
+//
+//  1. clusters[0] is the root; positions and removed flags are consistent;
+//  2. parent/child links are mutual and parent signatures cover child
+//     signatures (backward compatibility, §3.3);
+//  3. every member matches its cluster's signature;
+//  4. the location map is exact (every object in exactly one cluster slot);
+//  5. every candidate's n indicator equals the recomputed count.
+func (ix *Index) CheckInvariants() error {
+	if len(ix.clusters) == 0 || ix.clusters[0] != ix.root {
+		return fmt.Errorf("clusters[0] is not the root")
+	}
+	if !ix.root.signature.IsRoot() {
+		return fmt.Errorf("root cluster signature is constrained: %v", ix.root.signature)
+	}
+	if ix.root.parent != nil {
+		return fmt.Errorf("root has a parent")
+	}
+	dims := ix.cfg.Dims
+	total := 0
+	for pos, c := range ix.clusters {
+		if c.removed {
+			return fmt.Errorf("removed cluster %v still listed", c.signature)
+		}
+		if c.pos != pos {
+			return fmt.Errorf("cluster %v: pos %d, listed at %d", c.signature, c.pos, pos)
+		}
+		if c.signature.Dims() != dims {
+			return fmt.Errorf("cluster %v: wrong dimensionality", c.signature)
+		}
+		if c.parent != nil {
+			if !c.parent.signature.Covers(c.signature) {
+				return fmt.Errorf("parent %v does not cover child %v", c.parent.signature, c.signature)
+			}
+			found := false
+			for _, ch := range c.parent.children {
+				if ch == c {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("cluster %v missing from its parent's children", c.signature)
+			}
+		}
+		for _, ch := range c.children {
+			if ch.parent != c {
+				return fmt.Errorf("child %v of %v has wrong parent", ch.signature, c.signature)
+			}
+			if ch.removed {
+				return fmt.Errorf("cluster %v has removed child", c.signature)
+			}
+		}
+		if len(c.data) != len(c.ids)*2*dims {
+			return fmt.Errorf("cluster %v: data/ids length mismatch", c.signature)
+		}
+		for i, id := range c.ids {
+			l, ok := ix.loc[id]
+			if !ok || l.c != c || int(l.pos) != i {
+				return fmt.Errorf("object %d: location map out of sync", id)
+			}
+			if !c.signature.MatchesObjectFlat(c.data, i) {
+				return fmt.Errorf("object %d does not match its cluster signature %v", id, c.signature)
+			}
+		}
+		for k := range c.cands {
+			cd := &c.cands[k]
+			n := int32(0)
+			for i := range c.ids {
+				lo, hi := c.objectDim(i, dims, cd.sp.Dim)
+				if cd.matchesObjectDim(lo, hi) {
+					n++
+				}
+			}
+			if n != cd.n {
+				return fmt.Errorf("cluster %v candidate %d: n=%d, recomputed %d", c.signature, k, cd.n, n)
+			}
+			if cd.q < 0 || c.q < 0 {
+				return fmt.Errorf("negative query statistics")
+			}
+			if cd.q > c.q+1e-9 {
+				return fmt.Errorf("candidate explored more often than its cluster")
+			}
+		}
+		total += len(c.ids)
+	}
+	if total != len(ix.loc) {
+		return fmt.Errorf("object count mismatch: clusters hold %d, map holds %d", total, len(ix.loc))
+	}
+	return nil
+}

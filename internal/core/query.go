@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"accluster/internal/geom"
+)
+
+// Search executes a spatial selection (Fig. 5): every materialized cluster's
+// signature is checked against the query; matching clusters are explored and
+// their members verified individually. Query statistics are updated for
+// explored clusters and for their virtually explored candidate subclusters.
+// emit is called once per qualifying object; returning false stops early
+// (statistics and the reorganization schedule are still maintained).
+func (ix *Index) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
+	if q.Dims() != ix.cfg.Dims {
+		return fmt.Errorf("core: query has %d dims, index has %d", q.Dims(), ix.cfg.Dims)
+	}
+	if !rel.Valid() {
+		return fmt.Errorf("core: invalid relation %v", rel)
+	}
+	ix.meter.Queries++
+	ix.meter.SigChecks += int64(len(ix.clusters))
+	stopped := false
+	for _, c := range ix.clusters {
+		if !c.signature.MatchesQuery(q, rel) {
+			continue
+		}
+		// Explore the cluster: one sequential region (one seek on
+		// disk, n·objBytes transferred), then per-object verification.
+		ix.meter.Explorations++
+		ix.meter.Seeks++
+		ix.meter.BytesTransferred += int64(len(c.ids)) * int64(ix.objBytes)
+		c.q++
+		for i := range c.cands {
+			cd := &c.cands[i]
+			if cd.matchesQueryDim(rel, q.Min[cd.sp.Dim], q.Max[cd.sp.Dim]) {
+				cd.q++
+			}
+		}
+		if stopped {
+			// The consumer gave up, but statistics for remaining
+			// matching clusters were already counted above; skip
+			// the member verification work only.
+			continue
+		}
+		ix.meter.ObjectsVerified += int64(len(c.ids))
+		for i := range c.ids {
+			ok, checked := geom.FlatMatches(c.data, i, q, rel)
+			ix.meter.BytesVerified += int64(checked) * 8
+			if ok {
+				ix.meter.Results++
+				if !emit(c.ids[i]) {
+					stopped = true
+					break
+				}
+			}
+		}
+	}
+	ix.window++
+	ix.sinceReorg++
+	if ix.sinceReorg >= ix.cfg.ReorgEvery {
+		ix.Reorganize()
+	}
+	return nil
+}
+
+// Count returns the number of objects satisfying the selection.
+func (ix *Index) Count(q geom.Rect, rel geom.Relation) (int, error) {
+	n := 0
+	err := ix.Search(q, rel, func(uint32) bool { n++; return true })
+	return n, err
+}
+
+// SearchIDs collects the identifiers of all qualifying objects.
+func (ix *Index) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	var out []uint32
+	err := ix.Search(q, rel, func(id uint32) bool { out = append(out, id); return true })
+	return out, err
+}

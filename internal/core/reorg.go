@@ -1,0 +1,130 @@
+package core
+
+// Cluster reorganization (§3.4, Figs. 1–3). Every ReorgEvery queries the
+// index revisits each materialized cluster: a cluster is merged back into its
+// parent when the merging benefit function is positive, otherwise its best
+// positive-benefit candidate subclusters are materialized greedily.
+
+// Reorganize runs one reorganization round over all materialized clusters
+// and then ages the statistics window by the configured decay factor. It is
+// normally triggered automatically by Search; it is exported so callers can
+// force convergence (for example after bulk loading and a query warm-up).
+func (ix *Index) Reorganize() {
+	ix.sinceReorg = 0
+	ix.reorgRounds++
+	snapshot := append([]*Cluster(nil), ix.clusters...)
+	for _, c := range snapshot {
+		if c.removed {
+			continue
+		}
+		// Fig. 1: merge when profitable, otherwise attempt a split.
+		if c != ix.root && c.parent != nil && !c.parent.removed {
+			pc, pa := ix.prob(c.q), ix.prob(c.parent.q)
+			if ix.cfg.Params.MergingBenefit(pc, pa, c.Len(), ix.objBytes) > 0 {
+				ix.mergeCluster(c)
+				continue
+			}
+		}
+		ix.tryClusterSplit(c)
+	}
+	d := ix.cfg.Decay
+	ix.window *= d
+	for _, c := range ix.clusters {
+		c.q *= d
+		for i := range c.cands {
+			c.cands[i].q *= d
+		}
+	}
+}
+
+// tryClusterSplit (Fig. 3) greedily materializes the most profitable
+// candidate subclusters of c until none has positive benefit. The candidate
+// set is re-evaluated after every materialization because moving objects out
+// of c updates the indicators of the remaining candidates.
+func (ix *Index) tryClusterSplit(c *Cluster) {
+	for {
+		pc := ix.prob(c.q)
+		best := -1
+		var bestBenefit float64
+		for i := range c.cands {
+			cd := &c.cands[i]
+			if cd.n <= 0 {
+				continue
+			}
+			ps := ix.prob(cd.q)
+			if ps > pc {
+				ps = pc // counters guarantee q_s ≤ q_c; clamp defensively
+			}
+			b := ix.cfg.Params.MaterializationBenefit(pc, ps, int(cd.n), ix.objBytes)
+			if b > 0 && (best < 0 || b > bestBenefit) {
+				best, bestBenefit = i, b
+			}
+		}
+		if best < 0 {
+			return
+		}
+		ix.materialize(c, best)
+	}
+}
+
+// materialize (Fig. 3 steps 4–11) creates a database cluster from candidate
+// ci of c: all qualifying members move to the new cluster, whose own
+// candidate set is derived by the clustering function. The new cluster
+// inherits the candidate's query statistics.
+func (ix *Index) materialize(c *Cluster, ci int) *Cluster {
+	cd := &c.cands[ci]
+	dims := ix.cfg.Dims
+	child := newCluster(cd.sp.Child(c.signature), ix.cfg.DivisionFactor)
+	child.parent = c
+	child.q = cd.q
+
+	// Walk members backwards so the swap-remove only touches already
+	// processed slots.
+	for i := len(c.ids) - 1; i >= 0; i-- {
+		lo, hi := c.objectDim(i, dims, cd.sp.Dim)
+		if !cd.matchesObjectDim(lo, hi) {
+			continue
+		}
+		id := c.ids[i]
+		r := c.rectAt(i, dims)
+		movedID, moved := c.removeObjectAt(i, dims)
+		pos := child.appendObject(id, r)
+		ix.loc[id] = objLoc{c: child, pos: int32(pos)}
+		if moved {
+			ix.loc[movedID] = objLoc{c: c, pos: int32(i)}
+		}
+		ix.objectsRelocated++
+	}
+	c.children = append(c.children, child)
+	child.pos = len(ix.clusters)
+	ix.clusters = append(ix.clusters, child)
+	ix.splits++
+	return child
+}
+
+// mergeCluster (Fig. 2) transfers all members of c to its parent, reparents
+// c's children and removes c from the database.
+func (ix *Index) mergeCluster(c *Cluster) {
+	a := c.parent
+	dims := ix.cfg.Dims
+	for i := range c.ids {
+		id := c.ids[i]
+		pos := a.appendObject(id, c.rectAt(i, dims))
+		ix.loc[id] = objLoc{c: a, pos: int32(pos)}
+		ix.objectsRelocated++
+	}
+	for _, ch := range c.children {
+		ch.parent = a
+		a.children = append(a.children, ch)
+	}
+	a.detachChild(c)
+
+	last := len(ix.clusters) - 1
+	ix.clusters[c.pos] = ix.clusters[last]
+	ix.clusters[c.pos].pos = c.pos
+	ix.clusters = ix.clusters[:last]
+
+	c.removed = true
+	c.ids, c.data, c.cands, c.children = nil, nil, nil, nil
+	ix.merges++
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"accluster/internal/geom"
+	"accluster/internal/sig"
+)
+
+// geomFromSnapshot materializes object k of a flat snapshot block.
+func geomFromSnapshot(data []float32, k, dims int) geom.Rect {
+	return geom.FromFlat(data, k, dims)
+}
+
+// ClusterSnapshot is the persistent image of one materialized cluster: its
+// signature, its position in the clustering hierarchy and its members.
+// Performance indicators are deliberately not part of the image — the paper
+// notes that saving them is optional since new statistics can be gathered
+// (§6, Fail Recovery).
+type ClusterSnapshot struct {
+	// Signature is the cluster's grouping signature.
+	Signature sig.Signature
+	// Parent is the index of the parent cluster in the snapshot slice,
+	// -1 for the root. The root is always the first element.
+	Parent int
+	// IDs are the member identifiers.
+	IDs []uint32
+	// Data is the flat coordinate block matching IDs.
+	Data []float32
+}
+
+// Snapshot captures the index's clusters for persistence, in breadth-first
+// order from the root so that every parent precedes its children (merges
+// reorder the internal cluster list, so positional order is not
+// topological). The returned slices share no storage with the index.
+func (ix *Index) Snapshot() []ClusterSnapshot {
+	order := make([]*Cluster, 0, len(ix.clusters))
+	pos := make(map[*Cluster]int, len(ix.clusters))
+	queue := []*Cluster{ix.root}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		pos[c] = len(order)
+		order = append(order, c)
+		queue = append(queue, c.children...)
+	}
+	out := make([]ClusterSnapshot, len(order))
+	for i, c := range order {
+		parent := -1
+		if c.parent != nil {
+			parent = pos[c.parent]
+		}
+		out[i] = ClusterSnapshot{
+			Signature: c.signature.Clone(),
+			Parent:    parent,
+			IDs:       append([]uint32(nil), c.ids...),
+			Data:      append([]float32(nil), c.data...),
+		}
+	}
+	return out
+}
+
+// Restore rebuilds an index from a snapshot. Candidate indicators are
+// recomputed from the member objects; query statistics start fresh. The
+// snapshot must contain the root cluster first (as produced by Snapshot).
+func Restore(cfg Config, snap []ClusterSnapshot) (*Index, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if len(snap) == 0 {
+		return nil, fmt.Errorf("core: empty snapshot")
+	}
+	if !snap[0].Signature.IsRoot() || snap[0].Parent != -1 {
+		return nil, fmt.Errorf("core: snapshot[0] is not a root cluster")
+	}
+	ix, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	clusters := make([]*Cluster, len(snap))
+	clusters[0] = ix.root
+	for i := 1; i < len(snap); i++ {
+		cs := snap[i]
+		if cs.Signature.Dims() != cfg.Dims {
+			return nil, fmt.Errorf("core: snapshot cluster %d has %d dims, want %d", i, cs.Signature.Dims(), cfg.Dims)
+		}
+		if cs.Parent < 0 || cs.Parent >= len(snap) || cs.Parent == i {
+			return nil, fmt.Errorf("core: snapshot cluster %d has invalid parent %d", i, cs.Parent)
+		}
+		if cs.Parent > i {
+			return nil, fmt.Errorf("core: snapshot cluster %d appears before its parent %d", i, cs.Parent)
+		}
+		c := newCluster(cs.Signature.Clone(), cfg.DivisionFactor)
+		c.pos = i
+		clusters[i] = c
+	}
+	for i := 1; i < len(snap); i++ {
+		c, p := clusters[i], clusters[snap[i].Parent]
+		if !p.signature.Covers(c.signature) {
+			return nil, fmt.Errorf("core: snapshot cluster %d not covered by its parent", i)
+		}
+		c.parent = p
+		p.children = append(p.children, c)
+	}
+	ix.clusters = clusters
+	for i, cs := range snap {
+		c := clusters[i]
+		if len(cs.Data) != len(cs.IDs)*2*cfg.Dims {
+			return nil, fmt.Errorf("core: snapshot cluster %d has inconsistent data length", i)
+		}
+		for k, id := range cs.IDs {
+			if _, dup := ix.loc[id]; dup {
+				return nil, fmt.Errorf("core: snapshot contains duplicate object id %d", id)
+			}
+			r := geomFromSnapshot(cs.Data, k, cfg.Dims)
+			if !c.signature.MatchesObject(r) {
+				return nil, fmt.Errorf("core: snapshot object %d does not match cluster %d signature", id, i)
+			}
+			pos := c.appendObject(id, r)
+			ix.loc[id] = objLoc{c: c, pos: int32(pos)}
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,49 @@
+package cost
+
+import "testing"
+
+func TestCalibrateProducesUsableParams(t *testing.T) {
+	c := Calibrate(16)
+	if c.SigCheckMS <= 0 || c.VerifyMSPerByte <= 0 || c.ExploreSetupMS <= 0 {
+		t.Fatalf("non-positive calibration: %+v", c)
+	}
+	// Sanity bands: a signature check is sub-microsecond on anything
+	// modern; verification faster than 1 ms per byte.
+	if c.SigCheckMS > 1e-2 {
+		t.Errorf("signature check %g ms implausibly slow", c.SigCheckMS)
+	}
+	if c.VerifyMSPerByte > 1e-3 {
+		t.Errorf("verification %g ms/B implausibly slow", c.VerifyMSPerByte)
+	}
+	// Exploration setup covers many candidate updates: it must exceed a
+	// single signature check.
+	if c.ExploreSetupMS <= c.SigCheckMS {
+		t.Errorf("explore setup %g not above sig check %g", c.ExploreSetupMS, c.SigCheckMS)
+	}
+}
+
+func TestCalibratedScenarios(t *testing.T) {
+	c := Calibrate(8)
+	mem := c.MemoryParams()
+	if mem.Name != "memory-calibrated" || mem.SeekMS != 0 || mem.TransferMSPerByte != 0 {
+		t.Fatalf("memory params: %+v", mem)
+	}
+	dsk := c.DiskParams()
+	if dsk.SeekMS != DiskAccessMS || dsk.TransferMSPerByte != TransferMSPerByte {
+		t.Fatalf("disk params must keep the reference disk: %+v", dsk)
+	}
+	if dsk.B() <= mem.B() {
+		t.Error("disk B must include the seek")
+	}
+	// The benefit algebra holds for calibrated params too.
+	if mem.MaterializationBenefit(1, 0, 1_000_000, 132) <= 0 {
+		t.Error("a huge cold candidate must be profitable")
+	}
+}
+
+func TestCalibrateDegenerateDims(t *testing.T) {
+	c := Calibrate(0) // clamped to 1
+	if c.SigCheckMS <= 0 {
+		t.Fatalf("calibration with clamped dims: %+v", c)
+	}
+}

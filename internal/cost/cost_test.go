@@ -1,0 +1,202 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestPaperTable2Constants(t *testing.T) {
+	// Pin the reference constants of paper Table 2 (§6).
+	if DiskAccessMS != 15.0 {
+		t.Errorf("DiskAccessMS = %g, want 15", DiskAccessMS)
+	}
+	if SigCheckMS != 5e-7 {
+		t.Errorf("SigCheckMS = %g, want 5e-7", SigCheckMS)
+	}
+	// 20 MB/s: 1/(20·2^20) s/B ≈ 4.77e-5 ms/B (paper rounds to 4.77e-5).
+	if math.Abs(TransferMSPerByte-4.77e-5) > 1e-7 {
+		t.Errorf("TransferMSPerByte = %g, want ≈4.77e-5", TransferMSPerByte)
+	}
+	// 300 MB/s ≈ 3.18e-6 ms/B.
+	if math.Abs(VerifyMSPerByte-3.18e-6) > 1e-8 {
+		t.Errorf("VerifyMSPerByte = %g, want ≈3.18e-6", VerifyMSPerByte)
+	}
+}
+
+func TestScenarioComposition(t *testing.T) {
+	mem, dsk := Memory(), Disk()
+	if mem.Name != "memory" || dsk.Name != "disk" {
+		t.Error("scenario names")
+	}
+	if mem.SeekMS != 0 || mem.TransferMSPerByte != 0 {
+		t.Error("memory scenario must have no I/O costs")
+	}
+	if dsk.B() <= mem.B() {
+		t.Error("disk B must include the seek (B' = B + access time, §5.ii)")
+	}
+	if !almost(dsk.B()-mem.B(), DiskAccessMS) {
+		t.Errorf("disk B - memory B = %g, want %g", dsk.B()-mem.B(), DiskAccessMS)
+	}
+	objBytes := 132 // 16 dims
+	if !almost(dsk.C(objBytes)-mem.C(objBytes), float64(objBytes)*TransferMSPerByte) {
+		t.Error("disk C must add the per-object transfer time (C' = C + read time)")
+	}
+	if mem.A() != dsk.A() {
+		t.Error("A is storage independent (§5.ii: A' = A)")
+	}
+}
+
+func TestClusterTimeEquation(t *testing.T) {
+	p := Disk()
+	// T = A + p(B + nC) spelled out.
+	pAccess, n, objBytes := 0.25, 1000, 132
+	want := p.A() + pAccess*(p.B()+float64(n)*p.C(objBytes))
+	if got := p.ClusterTime(pAccess, n, objBytes); !almost(got, want) {
+		t.Errorf("ClusterTime = %g, want %g", got, want)
+	}
+	// Zero access probability costs only the signature check.
+	if got := p.ClusterTime(0, 1e6, objBytes); !almost(got, p.A()) {
+		t.Errorf("never-accessed cluster costs %g, want A=%g", got, p.A())
+	}
+}
+
+// TestBenefitDerivation checks the closed forms of eq. 3 and eq. 5 against
+// their definitions as differences of eq. 1 terms (β = T_c − (T_c' + T_s),
+// μ = (T_c + T_a) − T_a'), under the paper's assumptions p_c' = p_c,
+// n_c' = n_c − n_s for splits and p_a' = p_a, n_a' = n_a + n_c for merges.
+func TestBenefitDerivation(t *testing.T) {
+	check := func(p Params) {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			objBytes := 4 + 8*(1+rng.Intn(40))
+			pc := rng.Float64()
+			ps := pc * rng.Float64() // candidate probability ≤ cluster probability
+			nc := rng.Intn(100000) + 1
+			ns := rng.Intn(nc + 1)
+
+			// Split derivation.
+			tBefore := p.ClusterTime(pc, nc, objBytes)
+			tAfter := p.ClusterTime(pc, nc-ns, objBytes) + p.ClusterTime(ps, ns, objBytes)
+			if !almost(p.MaterializationBenefit(pc, ps, ns, objBytes), tBefore-tAfter) {
+				return false
+			}
+
+			// Merge derivation: cluster c with parent a.
+			pa := math.Min(1, pc+rng.Float64()*(1-pc))
+			na := rng.Intn(100000) + 1
+			tBefore = p.ClusterTime(pc, nc, objBytes) + p.ClusterTime(pa, na, objBytes)
+			tAfter = p.ClusterTime(pa, na+nc, objBytes)
+			return almost(p.MergingBenefit(pc, pa, nc, objBytes), tBefore-tAfter)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s scenario: %v", p.Name, err)
+		}
+	}
+	check(Memory())
+	check(Disk())
+}
+
+func TestBenefitMonotonicity(t *testing.T) {
+	p := Disk()
+	objBytes := 132
+	// Lower candidate access probability → higher materialization benefit.
+	b1 := p.MaterializationBenefit(0.8, 0.1, 5000, objBytes)
+	b2 := p.MaterializationBenefit(0.8, 0.5, 5000, objBytes)
+	if b1 <= b2 {
+		t.Error("benefit must grow as candidate probability drops (§5)")
+	}
+	// More matching objects → higher benefit.
+	if p.MaterializationBenefit(0.8, 0.1, 10000, objBytes) <= b1 {
+		t.Error("benefit must grow with the number of qualifying objects")
+	}
+	// Merging pays when child probability approaches the parent's.
+	m1 := p.MergingBenefit(0.75, 0.8, 100, objBytes)
+	m2 := p.MergingBenefit(0.10, 0.8, 100, objBytes)
+	if m1 <= m2 {
+		t.Error("merging benefit must grow as p_c approaches p_a")
+	}
+	// Splitting a candidate with the cluster's own probability never pays.
+	if p.MaterializationBenefit(0.5, 0.5, 100000, objBytes) > 0 {
+		t.Error("no gain when the candidate is explored as often as the cluster")
+	}
+}
+
+func TestDiskDiscouragesFineClusters(t *testing.T) {
+	// The disk seek makes small clusters unprofitable: a candidate worth
+	// materializing in memory can be worthless on disk (§7.2 observes far
+	// fewer clusters on disk). Example: 500 objects, p_s = p_c/2.
+	objBytes := 132
+	mem, dsk := Memory(), Disk()
+	if mem.MaterializationBenefit(1.0, 0.5, 500, objBytes) <= 0 {
+		t.Error("500-object candidate should be profitable in memory")
+	}
+	if dsk.MaterializationBenefit(1.0, 0.5, 500, objBytes) >= 0 {
+		t.Error("500-object candidate should be unprofitable on disk")
+	}
+	// But a large candidate pays even on disk (threshold ≈ B'/C' ≈ 2240
+	// objects at 16 dims).
+	if dsk.MaterializationBenefit(1.0, 0.5, 100000, objBytes) <= 0 {
+		t.Error("100k-object candidate should be profitable on disk")
+	}
+	// Very small candidates do not pay even in memory: the exploration
+	// setup B bounds cluster granularity (≈ B/C ≈ 60 objects at 16 dims).
+	if mem.MaterializationBenefit(1.0, 0.5, 10, objBytes) >= 0 {
+		t.Error("10-object candidate should be unprofitable in memory")
+	}
+}
+
+func TestMeterAccumulation(t *testing.T) {
+	var m Meter
+	m.Add(Meter{Queries: 2, SigChecks: 10, Explorations: 3, Seeks: 3,
+		ObjectsVerified: 100, BytesVerified: 800, BytesTransferred: 1320, Results: 7})
+	m.Add(Meter{Queries: 1, SigChecks: 5, Explorations: 1, Seeks: 1,
+		ObjectsVerified: 50, BytesVerified: 400, BytesTransferred: 660, Results: 3})
+	if m.Queries != 3 || m.SigChecks != 15 || m.Results != 10 {
+		t.Fatalf("Add: %v", m)
+	}
+	d := m.Sub(Meter{Queries: 1, SigChecks: 5, Explorations: 1, Seeks: 1,
+		ObjectsVerified: 50, BytesVerified: 400, BytesTransferred: 660, Results: 3})
+	if d.Queries != 2 || d.BytesTransferred != 1320 {
+		t.Fatalf("Sub: %v", d)
+	}
+	m.Reset()
+	if m != (Meter{}) {
+		t.Fatal("Reset must zero the meter")
+	}
+}
+
+func TestMeterModeledTime(t *testing.T) {
+	m := Meter{
+		Queries:          2,
+		SigChecks:        1000,
+		Explorations:     10,
+		Seeks:            10,
+		BytesVerified:    1 << 20,
+		BytesTransferred: 1 << 20,
+	}
+	mem := Memory()
+	wantMem := 1000*mem.SigCheckMS + 10*mem.ExploreSetupMS + float64(1<<20)*mem.VerifyMSPerByte
+	if got := m.ModeledMS(mem); !almost(got, wantMem) {
+		t.Errorf("memory modeled = %g, want %g", got, wantMem)
+	}
+	dsk := Disk()
+	wantDisk := wantMem + 10*DiskAccessMS + float64(1<<20)*TransferMSPerByte
+	if got := m.ModeledMS(dsk); !almost(got, wantDisk) {
+		t.Errorf("disk modeled = %g, want %g", got, wantDisk)
+	}
+	if got := m.ModeledMSPerQuery(dsk); !almost(got, wantDisk/2) {
+		t.Errorf("per-query = %g, want %g", got, wantDisk/2)
+	}
+	if (Meter{}).ModeledMSPerQuery(mem) != 0 {
+		t.Error("no queries → per-query time 0")
+	}
+	if m.String() == "" {
+		t.Error("String must render")
+	}
+}

@@ -1,0 +1,228 @@
+package diskengine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"accluster/internal/core"
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+	"accluster/internal/store"
+	"accluster/internal/vdisk"
+)
+
+func randomRect(rng *rand.Rand, dims int, maxSize float32) geom.Rect {
+	r := geom.NewRect(dims)
+	for d := 0; d < dims; d++ {
+		size := rng.Float32() * maxSize
+		lo := rng.Float32() * (1 - size)
+		r.Min[d], r.Max[d] = lo, lo+size
+	}
+	return r
+}
+
+// buildCheckpoint creates a clustered index, checkpoints it onto a virtual
+// disk and returns both.
+func buildCheckpoint(t *testing.T, dims, n int) (*core.Index, *vdisk.Disk) {
+	t.Helper()
+	ix, err := core.New(core.Config{Dims: dims, Params: cost.Disk(), ReorgEvery: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for id := 0; id < n; id++ {
+		if err := ix.Insert(uint32(id), randomRect(rng, dims, 0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 400; i++ {
+		q := randomRect(rng, dims, 0.1)
+		if err := ix.Search(q, geom.Intersects, func(uint32) bool { return true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk := vdisk.New(cost.DiskAccessMS, cost.TransferMSPerByte)
+	if err := store.Save(ix, disk); err != nil {
+		t.Fatal(err)
+	}
+	return ix, disk
+}
+
+func TestOpenAndMetadata(t *testing.T) {
+	ix, disk := buildCheckpoint(t, 4, 3000)
+	e, err := Open(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dims() != 4 || e.Clusters() != ix.Clusters() || e.Len() != ix.Len() {
+		t.Fatalf("metadata: dims=%d clusters=%d len=%d", e.Dims(), e.Clusters(), e.Len())
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	disk := vdisk.New(15, 4.77e-5)
+	if _, err := disk.WriteAt(make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(disk); err == nil {
+		t.Error("garbage device must fail to open")
+	}
+}
+
+func TestAnswersMatchInMemoryIndex(t *testing.T) {
+	ix, disk := buildCheckpoint(t, 5, 4000)
+	e, err := Open(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for qi := 0; qi < 60; qi++ {
+		q := randomRect(rng, 5, 0.4)
+		rel := geom.Relation(qi % 3)
+		want, err := ix.SearchIDs(q, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.SearchIDs(q, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %d rel %v: %d results, want %d", qi, rel, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d rel %v: mismatch", qi, rel)
+			}
+		}
+	}
+}
+
+func TestVirtualTimeMatchesAccessPattern(t *testing.T) {
+	_, disk := buildCheckpoint(t, 4, 3000)
+	e, err := Open(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.ResetClock()
+	e.ResetMeter()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20; i++ {
+		q := randomRect(rng, 4, 0.2)
+		if _, err := e.Count(q, geom.Intersects); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := e.Meter()
+	st := disk.Stats()
+	// Every exploration is one region read; region reads at random
+	// offsets each cost one seek on the virtual disk.
+	if st.Reads != m.Explorations {
+		t.Fatalf("disk reads %d != explorations %d", st.Reads, m.Explorations)
+	}
+	if st.Seeks > st.Reads {
+		t.Fatalf("more seeks than reads: %+v", st)
+	}
+	// The virtual clock must agree with the counter-based model: seeks ×
+	// 15 ms + bytes × transfer. Regions include reserved slots, so use
+	// the disk's own byte count.
+	want := float64(st.Seeks)*cost.DiskAccessMS + float64(st.Bytes)*cost.TransferMSPerByte
+	if st.ElapsedMS < want*0.999 || st.ElapsedMS > want*1.001 {
+		t.Fatalf("virtual clock %g, want %g", st.ElapsedMS, want)
+	}
+	// And it must be in the same ballpark as the meter's modeled disk
+	// time (the meter transfers regions too).
+	modeled := m.ModeledMS(cost.Disk()) // byte-level accounting
+	if modeled <= 0 {
+		t.Fatal("modeled time must be positive")
+	}
+	ratio := st.ElapsedMS / modeled
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("virtual clock %g vs modeled %g (ratio %g)", st.ElapsedMS, modeled, ratio)
+	}
+}
+
+func TestSequentialScanLayoutIsOneSeek(t *testing.T) {
+	// A database checkpointed before any query has a single cluster (the
+	// root): the disk engine's scan must then be one seek plus one
+	// sequential transfer — exactly the sequential-scan disk behaviour.
+	ix, err := core.New(core.Config{Dims: 3, Params: cost.Disk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for id := 0; id < 2000; id++ {
+		if err := ix.Insert(uint32(id), randomRect(rng, 3, 0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk := vdisk.New(cost.DiskAccessMS, cost.TransferMSPerByte)
+	if err := store.Save(ix, disk); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Open(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Clusters() != 1 {
+		t.Fatalf("expected the root cluster only, got %d", e.Clusters())
+	}
+	disk.ResetClock()
+	if _, err := e.Count(randomRect(rng, 3, 0.5), geom.Intersects); err != nil {
+		t.Fatal(err)
+	}
+	st := disk.Stats()
+	// One region read; at most one seek (zero when the head happens to
+	// rest exactly at the region start after Open read the directory).
+	if st.Reads != 1 || st.Seeks > 1 {
+		t.Fatalf("full scan should be one region read: %+v", st)
+	}
+	wantMS := float64(st.Seeks)*cost.DiskAccessMS + float64(st.Bytes)*cost.TransferMSPerByte
+	if st.ElapsedMS < wantMS*0.999 || st.ElapsedMS > wantMS*1.001 {
+		t.Fatalf("elapsed %g, want %g", st.ElapsedMS, wantMS)
+	}
+}
+
+func TestSearchValidationAndEarlyStop(t *testing.T) {
+	_, disk := buildCheckpoint(t, 4, 1000)
+	e, err := Open(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Search(geom.Point([]float32{0.5}), geom.Intersects, func(uint32) bool { return true }); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if err := e.Search(geom.Point([]float32{0.5, 0.5, 0.5, 0.5}), geom.Relation(9), func(uint32) bool { return true }); err == nil {
+		t.Error("bad relation must fail")
+	}
+	full := geom.Rect{Min: []float32{0, 0, 0, 0}, Max: []float32{1, 1, 1, 1}}
+	n := 0
+	if err := e.Search(full, geom.Intersects, func(uint32) bool { n++; return n < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early stop delivered %d", n)
+	}
+}
+
+func TestCorruptRegionSurfacesDuringSearch(t *testing.T) {
+	_, disk := buildCheckpoint(t, 4, 1500)
+	e, err := Open(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the device (inside some region, past
+	// the directory).
+	size, _ := disk.Size()
+	// vdisk has no Corrupt helper; overwrite one byte.
+	if _, err := disk.WriteAt([]byte{0xFF}, size-3); err != nil {
+		t.Fatal(err)
+	}
+	full := geom.Rect{Min: []float32{0, 0, 0, 0}, Max: []float32{1, 1, 1, 1}}
+	if err := e.Search(full, geom.Intersects, func(uint32) bool { return true }); err == nil {
+		t.Error("corrupt region must surface as an error on exploration")
+	}
+}

@@ -1,0 +1,268 @@
+// Package geom provides hyper-rectangle geometry for multidimensional
+// extended objects: the Rect type, the spatial relations used by the paper
+// (intersection, containment, enclosure), and helpers for the flat float32
+// layout used by the storage engines.
+//
+// All coordinates live in the unit domain [0,1] per dimension and intervals
+// are closed: an object o defines [o.Lo(d), o.Hi(d)] in every dimension d.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Relation identifies the spatial predicate requested between a query
+// rectangle q and a database object o.
+type Relation int
+
+const (
+	// Intersects selects objects o with o ∩ q ≠ ∅.
+	Intersects Relation = iota
+	// ContainedBy selects objects o with o ⊆ q (the paper's "containment").
+	ContainedBy
+	// Encloses selects objects o with o ⊇ q (the paper's "enclosure");
+	// point-enclosing queries are Encloses with a degenerate q.
+	Encloses
+)
+
+// NumRelations is the number of distinct Relation values.
+const NumRelations = 3
+
+// String returns the relation name.
+func (r Relation) String() string {
+	switch r {
+	case Intersects:
+		return "intersects"
+	case ContainedBy:
+		return "contained-by"
+	case Encloses:
+		return "encloses"
+	default:
+		return fmt.Sprintf("relation(%d)", int(r))
+	}
+}
+
+// Valid reports whether r is one of the defined relations.
+func (r Relation) Valid() bool { return r >= Intersects && r <= Encloses }
+
+// Rect is a multidimensional extended object (hyper-rectangle): a closed
+// interval [Min[d], Max[d]] in each dimension d. A point is a Rect with
+// Min[d] == Max[d] for all d.
+//
+// The zero value is not usable; construct with NewRect or FromFlat.
+type Rect struct {
+	Min []float32
+	Max []float32
+}
+
+// NewRect allocates a rectangle with the given number of dimensions,
+// initialized to the degenerate point at the origin.
+func NewRect(dims int) Rect {
+	return Rect{Min: make([]float32, dims), Max: make([]float32, dims)}
+}
+
+// Point builds a degenerate rectangle from point coordinates. The returned
+// Rect shares no storage with p.
+func Point(p []float32) Rect {
+	r := NewRect(len(p))
+	copy(r.Min, p)
+	copy(r.Max, p)
+	return r
+}
+
+// Dims returns the dimensionality of r.
+func (r Rect) Dims() int { return len(r.Min) }
+
+// Clone returns a deep copy of r.
+func (r Rect) Clone() Rect {
+	c := NewRect(r.Dims())
+	copy(c.Min, r.Min)
+	copy(c.Max, r.Max)
+	return c
+}
+
+// Valid reports whether r has matching dimension slices, ordered bounds and
+// all coordinates inside the unit domain.
+func (r Rect) Valid() bool {
+	if len(r.Min) != len(r.Max) || len(r.Min) == 0 {
+		return false
+	}
+	for d := range r.Min {
+		lo, hi := r.Min[d], r.Max[d]
+		if math.IsNaN(float64(lo)) || math.IsNaN(float64(hi)) {
+			return false
+		}
+		if lo > hi || lo < 0 || hi > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether r and s have identical bounds.
+func (r Rect) Equal(s Rect) bool {
+	if r.Dims() != s.Dims() {
+		return false
+	}
+	for d := range r.Min {
+		if r.Min[d] != s.Min[d] || r.Max[d] != s.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPoint reports whether r is degenerate in every dimension.
+func (r Rect) IsPoint() bool {
+	for d := range r.Min {
+		if r.Min[d] != r.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r ∩ q ≠ ∅ (closed intervals).
+func (r Rect) Intersects(q Rect) bool {
+	for d := range r.Min {
+		if r.Min[d] > q.Max[d] || q.Min[d] > r.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainedBy reports whether r ⊆ q.
+func (r Rect) ContainedBy(q Rect) bool {
+	for d := range r.Min {
+		if r.Min[d] < q.Min[d] || r.Max[d] > q.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Encloses reports whether r ⊇ q.
+func (r Rect) Encloses(q Rect) bool { return q.ContainedBy(r) }
+
+// Matches evaluates the given relation with r as the database object and q as
+// the query rectangle.
+func (r Rect) Matches(rel Relation, q Rect) bool {
+	switch rel {
+	case Intersects:
+		return r.Intersects(q)
+	case ContainedBy:
+		return r.ContainedBy(q)
+	case Encloses:
+		return r.Encloses(q)
+	default:
+		return false
+	}
+}
+
+// Volume returns the product of the side lengths of r.
+func (r Rect) Volume() float64 {
+	v := 1.0
+	for d := range r.Min {
+		v *= float64(r.Max[d] - r.Min[d])
+	}
+	return v
+}
+
+// Margin returns the sum of the side lengths of r (the L1 "perimeter"
+// surrogate used by the R*-tree split heuristic).
+func (r Rect) Margin() float64 {
+	m := 0.0
+	for d := range r.Min {
+		m += float64(r.Max[d] - r.Min[d])
+	}
+	return m
+}
+
+// Center writes the center point of r into dst (allocating when dst is nil
+// or too short) and returns it.
+func (r Rect) Center(dst []float32) []float32 {
+	if cap(dst) < r.Dims() {
+		dst = make([]float32, r.Dims())
+	}
+	dst = dst[:r.Dims()]
+	for d := range r.Min {
+		dst[d] = (r.Min[d] + r.Max[d]) / 2
+	}
+	return dst
+}
+
+// Union returns the minimum bounding rectangle of r and s.
+func (r Rect) Union(s Rect) Rect {
+	u := r.Clone()
+	u.Extend(s)
+	return u
+}
+
+// Extend grows r in place to cover s.
+func (r Rect) Extend(s Rect) {
+	for d := range r.Min {
+		if s.Min[d] < r.Min[d] {
+			r.Min[d] = s.Min[d]
+		}
+		if s.Max[d] > r.Max[d] {
+			r.Max[d] = s.Max[d]
+		}
+	}
+}
+
+// IntersectionVolume returns the volume of r ∩ q (0 when disjoint).
+func (r Rect) IntersectionVolume(q Rect) float64 {
+	v := 1.0
+	for d := range r.Min {
+		lo := r.Min[d]
+		if q.Min[d] > lo {
+			lo = q.Min[d]
+		}
+		hi := r.Max[d]
+		if q.Max[d] < hi {
+			hi = q.Max[d]
+		}
+		if hi <= lo {
+			return 0
+		}
+		v *= float64(hi - lo)
+	}
+	return v
+}
+
+// Enlargement returns the volume increase of r when extended to cover s.
+func (r Rect) Enlargement(s Rect) float64 {
+	v := 1.0
+	for d := range r.Min {
+		lo := r.Min[d]
+		if s.Min[d] < lo {
+			lo = s.Min[d]
+		}
+		hi := r.Max[d]
+		if s.Max[d] > hi {
+			hi = s.Max[d]
+		}
+		v *= float64(hi - lo)
+	}
+	return v - r.Volume()
+}
+
+// String renders r as "[lo,hi]x[lo,hi]...".
+func (r Rect) String() string {
+	var b strings.Builder
+	for d := range r.Min {
+		if d > 0 {
+			b.WriteByte('x')
+		}
+		fmt.Fprintf(&b, "[%.4g,%.4g]", r.Min[d], r.Max[d])
+	}
+	return b.String()
+}
+
+// ObjectBytes returns the storage footprint in bytes of one object with the
+// given dimensionality: 2 interval limits of 4 bytes per dimension plus a
+// 4-byte identifier, as in the paper's experimental setup (§7.1).
+func ObjectBytes(dims int) int { return 8*dims + 4 }

@@ -1,0 +1,267 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkRect(t *testing.T, lo, hi []float32) Rect {
+	t.Helper()
+	if len(lo) != len(hi) {
+		t.Fatalf("mkRect: mismatched dims %d vs %d", len(lo), len(hi))
+	}
+	return Rect{Min: lo, Max: hi}
+}
+
+func TestRelationString(t *testing.T) {
+	cases := map[Relation]string{
+		Intersects:   "intersects",
+		ContainedBy:  "contained-by",
+		Encloses:     "encloses",
+		Relation(99): "relation(99)",
+	}
+	for rel, want := range cases {
+		if got := rel.String(); got != want {
+			t.Errorf("Relation(%d).String() = %q, want %q", int(rel), got, want)
+		}
+	}
+}
+
+func TestRelationValid(t *testing.T) {
+	for _, rel := range []Relation{Intersects, ContainedBy, Encloses} {
+		if !rel.Valid() {
+			t.Errorf("%v should be valid", rel)
+		}
+	}
+	if Relation(-1).Valid() || Relation(3).Valid() {
+		t.Error("out-of-range relations should be invalid")
+	}
+}
+
+func TestPointAndIsPoint(t *testing.T) {
+	p := Point([]float32{0.25, 0.5})
+	if !p.IsPoint() {
+		t.Fatal("Point() result should be a point")
+	}
+	if p.Min[0] != 0.25 || p.Max[1] != 0.5 {
+		t.Fatalf("unexpected point coords: %v", p)
+	}
+	r := mkRect(t, []float32{0, 0}, []float32{0.1, 0})
+	if r.IsPoint() {
+		t.Error("rect with extent in dim 0 is not a point")
+	}
+}
+
+func TestValid(t *testing.T) {
+	tests := []struct {
+		name string
+		r    Rect
+		want bool
+	}{
+		{"ok", mkRect(t, []float32{0, 0.2}, []float32{0.5, 0.9}), true},
+		{"degenerate ok", Point([]float32{1, 1}), true},
+		{"inverted", mkRect(t, []float32{0.6}, []float32{0.5}), false},
+		{"below domain", mkRect(t, []float32{-0.1}, []float32{0.5}), false},
+		{"above domain", mkRect(t, []float32{0.5}, []float32{1.1}), false},
+		{"empty", Rect{}, false},
+		{"mismatched", Rect{Min: []float32{0}, Max: []float32{0, 1}}, false},
+		{"nan", mkRect(t, []float32{float32(nan())}, []float32{0.5}), false},
+	}
+	for _, tc := range tests {
+		if got := tc.r.Valid(); got != tc.want {
+			t.Errorf("%s: Valid() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func nan() float64 { return float64(0) / zero() }
+
+func zero() float64 { return 0 }
+
+func TestIntersects(t *testing.T) {
+	a := mkRect(t, []float32{0.1, 0.1}, []float32{0.4, 0.4})
+	b := mkRect(t, []float32{0.3, 0.3}, []float32{0.6, 0.6})
+	c := mkRect(t, []float32{0.5, 0.5}, []float32{0.7, 0.7})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b overlap")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c are disjoint")
+	}
+	// Touching boundaries intersect under closed semantics.
+	d := mkRect(t, []float32{0.4, 0.4}, []float32{0.5, 0.5})
+	if !a.Intersects(d) {
+		t.Error("touching rectangles intersect (closed intervals)")
+	}
+}
+
+func TestContainedByAndEncloses(t *testing.T) {
+	inner := mkRect(t, []float32{0.2, 0.2}, []float32{0.3, 0.3})
+	outer := mkRect(t, []float32{0.1, 0.1}, []float32{0.4, 0.4})
+	if !inner.ContainedBy(outer) {
+		t.Error("inner ⊆ outer")
+	}
+	if outer.ContainedBy(inner) {
+		t.Error("outer ⊄ inner")
+	}
+	if !outer.Encloses(inner) {
+		t.Error("outer ⊇ inner")
+	}
+	if !inner.ContainedBy(inner) || !inner.Encloses(inner) {
+		t.Error("containment and enclosure are reflexive")
+	}
+}
+
+func TestMatchesDispatch(t *testing.T) {
+	o := mkRect(t, []float32{0.2}, []float32{0.6})
+	q := mkRect(t, []float32{0.1}, []float32{0.7})
+	if !o.Matches(Intersects, q) || !o.Matches(ContainedBy, q) {
+		t.Error("o intersects and is contained by q")
+	}
+	if o.Matches(Encloses, q) {
+		t.Error("o does not enclose q")
+	}
+	if o.Matches(Relation(42), q) {
+		t.Error("unknown relation never matches")
+	}
+}
+
+func TestVolumeMarginCenter(t *testing.T) {
+	r := mkRect(t, []float32{0, 0.5}, []float32{0.5, 1})
+	if v := r.Volume(); v < 0.2499 || v > 0.2501 {
+		t.Errorf("Volume = %g, want 0.25", v)
+	}
+	if m := r.Margin(); m < 0.9999 || m > 1.0001 {
+		t.Errorf("Margin = %g, want 1", m)
+	}
+	c := r.Center(nil)
+	if c[0] != 0.25 || c[1] != 0.75 {
+		t.Errorf("Center = %v, want [0.25 0.75]", c)
+	}
+}
+
+func TestUnionExtend(t *testing.T) {
+	a := mkRect(t, []float32{0.1, 0.4}, []float32{0.2, 0.5})
+	b := mkRect(t, []float32{0.0, 0.45}, []float32{0.15, 0.9})
+	u := a.Union(b)
+	want := mkRect(t, []float32{0.0, 0.4}, []float32{0.2, 0.9})
+	if !u.Equal(want) {
+		t.Errorf("Union = %v, want %v", u, want)
+	}
+	if !a.ContainedBy(u) || !b.ContainedBy(u) {
+		t.Error("union must cover both inputs")
+	}
+}
+
+func TestIntersectionVolume(t *testing.T) {
+	a := mkRect(t, []float32{0, 0}, []float32{0.5, 0.5})
+	b := mkRect(t, []float32{0.25, 0.25}, []float32{0.75, 0.75})
+	if v := a.IntersectionVolume(b); v < 0.0624 || v > 0.0626 {
+		t.Errorf("IntersectionVolume = %g, want 0.0625", v)
+	}
+	c := mkRect(t, []float32{0.6, 0.6}, []float32{0.7, 0.7})
+	if v := a.IntersectionVolume(c); v != 0 {
+		t.Errorf("disjoint IntersectionVolume = %g, want 0", v)
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := mkRect(t, []float32{0, 0}, []float32{0.5, 0.5})
+	inside := mkRect(t, []float32{0.1, 0.1}, []float32{0.2, 0.2})
+	if e := a.Enlargement(inside); e != 0 {
+		t.Errorf("Enlargement by inner rect = %g, want 0", e)
+	}
+	outside := mkRect(t, []float32{0, 0}, []float32{1, 0.5})
+	if e := a.Enlargement(outside); e < 0.2499 || e > 0.2501 {
+		t.Errorf("Enlargement = %g, want 0.25", e)
+	}
+}
+
+func TestObjectBytes(t *testing.T) {
+	// Paper §7.1: 16 dims -> 132 bytes, 40 dims -> 324 bytes.
+	if got := ObjectBytes(16); got != 132 {
+		t.Errorf("ObjectBytes(16) = %d, want 132", got)
+	}
+	if got := ObjectBytes(40); got != 324 {
+		t.Errorf("ObjectBytes(40) = %d, want 324", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := mkRect(t, []float32{0.1}, []float32{0.2})
+	b := a.Clone()
+	b.Min[0] = 0.9
+	if a.Min[0] != 0.1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := mkRect(t, []float32{0, 0.5}, []float32{0.25, 1})
+	if got := r.String(); got != "[0,0.25]x[0.5,1]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// randomRect draws a valid rectangle in the unit domain.
+func randomRect(rng *rand.Rand, dims int) Rect {
+	r := NewRect(dims)
+	for d := 0; d < dims; d++ {
+		a, b := rng.Float32(), rng.Float32()
+		if a > b {
+			a, b = b, a
+		}
+		r.Min[d], r.Max[d] = a, b
+	}
+	return r
+}
+
+func TestPropertyRelationAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64, dimsRaw uint8) bool {
+		dims := int(dimsRaw%8) + 1
+		local := rand.New(rand.NewSource(seed))
+		o := randomRect(local, dims)
+		q := randomRect(local, dims)
+		// Symmetry of intersection.
+		if o.Intersects(q) != q.Intersects(o) {
+			return false
+		}
+		// Containment implies intersection (both rects are non-empty).
+		if o.ContainedBy(q) && !o.Intersects(q) {
+			return false
+		}
+		if o.Encloses(q) && !o.Intersects(q) {
+			return false
+		}
+		// Duality: o ⊆ q iff q ⊇ o.
+		if o.ContainedBy(q) != q.Encloses(o) {
+			return false
+		}
+		// Union covers both and intersects anything either intersects.
+		u := o.Union(q)
+		if !o.ContainedBy(u) || !q.ContainedBy(u) {
+			return false
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyVolumeMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		a := randomRect(local, 4)
+		b := randomRect(local, 4)
+		u := a.Union(b)
+		return u.Volume() >= a.Volume() && u.Volume() >= b.Volume() &&
+			a.IntersectionVolume(b) <= a.Volume()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func chartExperiment() *Experiment {
+	return &Experiment{
+		ID:      "fig7",
+		Title:   "test chart",
+		XLabel:  "selectivity",
+		Methods: []string{MethodSS, MethodRS, MethodACMem, MethodACDisk},
+		Points: []Point{
+			{Label: "5e-5", X: 5e-5, Results: map[string]MethodResult{
+				MethodSS:     {ModeledMemMS: 8.4, ModeledDiskMS: 149},
+				MethodRS:     {ModeledMemMS: 6.6, ModeledDiskMS: 1610},
+				MethodACMem:  {ModeledMemMS: 5.1, ModeledDiskMS: 500},
+				MethodACDisk: {ModeledMemMS: 7.9, ModeledDiskMS: 149},
+			}},
+			{Label: "5e-1", X: 5e-1, Results: map[string]MethodResult{
+				MethodSS:     {ModeledMemMS: 8.4, ModeledDiskMS: 149},
+				MethodRS:     {ModeledMemMS: 13.6, ModeledDiskMS: 3300},
+				MethodACMem:  {ModeledMemMS: 8.6, ModeledDiskMS: 600},
+				MethodACDisk: {ModeledMemMS: 8.4, ModeledDiskMS: 149},
+			}},
+		},
+	}
+}
+
+func TestRenderChartMemoryLinear(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chartExperiment().RenderChart(&buf, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"memory scenario", "linear scale", "S=SS", "R=RS", "A=AC", "5e-5", "5e-1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The AC-disk series must not appear in the memory chart (only
+	// AC-mem renders as 'A' there).
+	lines := strings.Split(out, "\n")
+	if len(lines) < chartHeight {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+	// Glyph presence: all three glyphs must be plotted somewhere.
+	for _, g := range []string{"S", "R", "A"} {
+		if !strings.Contains(out, g) {
+			t.Errorf("glyph %s not plotted", g)
+		}
+	}
+}
+
+func TestRenderChartDiskLog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chartExperiment().RenderChart(&buf, true, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "disk scenario") || !strings.Contains(out, "log scale") {
+		t.Errorf("chart header wrong:\n%s", out)
+	}
+	// Axis bounds reflect the extreme disk values.
+	if !strings.Contains(out, "149") {
+		t.Errorf("lower bound missing:\n%s", out)
+	}
+}
+
+func TestRenderChartErrors(t *testing.T) {
+	empty := &Experiment{Methods: []string{MethodSS}}
+	if err := empty.RenderChart(&bytes.Buffer{}, false, false); err == nil {
+		t.Error("empty experiment must fail")
+	}
+	zero := &Experiment{
+		Methods: []string{MethodSS},
+		Points:  []Point{{Label: "x", Results: map[string]MethodResult{MethodSS: {}}}},
+	}
+	if err := zero.RenderChart(&bytes.Buffer{}, false, false); err == nil {
+		t.Error("all-zero values must fail")
+	}
+}
+
+func TestRenderChartEqualValues(t *testing.T) {
+	e := &Experiment{
+		Title:   "flat",
+		Methods: []string{MethodSS},
+		Points: []Point{
+			{Label: "a", Results: map[string]MethodResult{MethodSS: {ModeledMemMS: 5}}},
+			{Label: "b", Results: map[string]MethodResult{MethodSS: {ModeledMemMS: 5}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := e.RenderChart(&buf, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "S") {
+		t.Error("flat series must still plot")
+	}
+}

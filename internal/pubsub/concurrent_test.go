@@ -1,0 +1,62 @@
+package pubsub
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentBrokerUse hammers the broker from many goroutines mixing
+// subscriptions, unsubscriptions, matches and publishes; run with -race.
+func TestConcurrentBrokerUse(t *testing.T) {
+	b, err := NewBroker(apartmentSchema(), Options{ReorgEvery: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	handler := func(sub uint32, ev Event) { delivered.Add(1) }
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []uint32
+			for i := 0; i < 200; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					lo := rng.Float64() * 4000
+					hi := lo + rng.Float64()*(5000-lo)
+					id, err := b.SubscribeFunc(Subscription{"price": {Lo: lo, Hi: hi}}, handler)
+					if err != nil {
+						t.Errorf("subscribe: %v", err)
+						return
+					}
+					mine = append(mine, id)
+				case 2:
+					if len(mine) > 0 {
+						b.Unsubscribe(mine[rng.Intn(len(mine))])
+					}
+				default:
+					_, err := b.Publish(Event{
+						"distance": Value(rng.Float64() * 100),
+						"price":    Value(rng.Float64() * 5000),
+						"rooms":    Value(1 + rng.Float64()*9),
+						"baths":    Value(1 + rng.Float64()*4),
+					})
+					if err != nil {
+						t.Errorf("publish: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Events == 0 {
+		t.Error("no events processed")
+	}
+	_ = delivered.Load()
+}

@@ -1,0 +1,274 @@
+// Package pubsub implements the paper's motivating application (§1): a
+// selective-dissemination-of-information (SDI) notification system. Range
+// subscriptions ("apartments between 400$ and 700$, 3 to 5 rooms") are
+// multidimensional extended objects over a typed attribute schema; incoming
+// events — points ("this apartment costs 550$, has 4 rooms") or ranges
+// ("apartments for rent: 600$-900$") — are matched against the subscription
+// database through the adaptive clustering index, which is exactly the
+// workload the index was designed for: millions of subscriptions, tens of
+// attributes, high event rates.
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+
+	"accluster/internal/core"
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+)
+
+// Attribute defines one dimension of the subscription schema with its value
+// domain; values are normalized into the index's [0,1] domain.
+type Attribute struct {
+	Name     string
+	Min, Max float64
+}
+
+// Schema is an ordered attribute list.
+type Schema []Attribute
+
+// Validate checks the schema for duplicates and empty domains.
+func (s Schema) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("pubsub: empty schema")
+	}
+	seen := make(map[string]bool, len(s))
+	for _, a := range s {
+		if a.Name == "" {
+			return fmt.Errorf("pubsub: attribute with empty name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("pubsub: duplicate attribute %q", a.Name)
+		}
+		seen[a.Name] = true
+		if !(a.Max > a.Min) {
+			return fmt.Errorf("pubsub: attribute %q has empty domain [%g,%g]", a.Name, a.Min, a.Max)
+		}
+	}
+	return nil
+}
+
+// Range is a closed interval over one attribute's native domain.
+type Range struct{ Lo, Hi float64 }
+
+// Value returns the degenerate range for a single value.
+func Value(v float64) Range { return Range{Lo: v, Hi: v} }
+
+// Subscription is a conjunction of per-attribute ranges; attributes absent
+// from the map accept any value.
+type Subscription map[string]Range
+
+// Event carries the attribute values (or ranges) of a published item.
+// Attributes absent from a point event match only subscriptions that accept
+// the whole domain on them; for range matching, absent attributes are
+// treated as the full domain.
+type Event map[string]Range
+
+// Handler receives matched events for a subscription.
+type Handler func(sub uint32, ev Event)
+
+// Broker is the notification engine. It is safe for concurrent use.
+type Broker struct {
+	schema Schema
+	dims   map[string]int
+
+	mu       sync.Mutex
+	ix       *core.Index
+	nextID   uint32
+	handlers map[uint32]Handler
+	events   int64
+	matches  int64
+}
+
+// Options tune the underlying adaptive index.
+type Options struct {
+	// Scenario selects the cost model (default in-memory).
+	Scenario cost.Params
+	// ReorgEvery is the reorganization period (default 100 events).
+	ReorgEvery int
+}
+
+// NewBroker builds a broker over the given schema.
+func NewBroker(schema Schema, opts Options) (*Broker, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	ix, err := core.New(core.Config{
+		Dims:       len(schema),
+		Params:     opts.Scenario,
+		ReorgEvery: opts.ReorgEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dims := make(map[string]int, len(schema))
+	for i, a := range schema {
+		dims[a.Name] = i
+	}
+	return &Broker{
+		schema:   schema,
+		dims:     dims,
+		ix:       ix,
+		handlers: make(map[uint32]Handler),
+	}, nil
+}
+
+// normalize maps a native value into [0,1] for attribute d.
+func (b *Broker) normalize(d int, v float64) (float32, error) {
+	a := b.schema[d]
+	if v < a.Min || v > a.Max {
+		return 0, fmt.Errorf("pubsub: value %g outside domain [%g,%g] of %q", v, a.Min, a.Max, a.Name)
+	}
+	return float32((v - a.Min) / (a.Max - a.Min)), nil
+}
+
+// rectOf converts per-attribute ranges into an index rectangle; missing
+// attributes span the full domain.
+func (b *Broker) rectOf(ranges map[string]Range) (geom.Rect, error) {
+	r := geom.NewRect(len(b.schema))
+	for d := range b.schema {
+		r.Max[d] = 1
+	}
+	for name, rg := range ranges {
+		d, ok := b.dims[name]
+		if !ok {
+			return geom.Rect{}, fmt.Errorf("pubsub: unknown attribute %q", name)
+		}
+		if rg.Hi < rg.Lo {
+			return geom.Rect{}, fmt.Errorf("pubsub: inverted range for %q", name)
+		}
+		lo, err := b.normalize(d, rg.Lo)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		hi, err := b.normalize(d, rg.Hi)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		r.Min[d], r.Max[d] = lo, hi
+	}
+	return r, nil
+}
+
+// Subscribe registers a subscription and returns its identifier.
+func (b *Broker) Subscribe(sub Subscription) (uint32, error) {
+	return b.SubscribeFunc(sub, nil)
+}
+
+// SubscribeFunc registers a subscription with a notification handler invoked
+// by Publish for every matching event.
+func (b *Broker) SubscribeFunc(sub Subscription, h Handler) (uint32, error) {
+	r, err := b.rectOf(sub)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextID
+	b.nextID++
+	if err := b.ix.Insert(id, r); err != nil {
+		return 0, err
+	}
+	if h != nil {
+		b.handlers[id] = h
+	}
+	return id, nil
+}
+
+// Unsubscribe removes a subscription, reporting whether it existed.
+func (b *Broker) Unsubscribe(id uint32) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.handlers, id)
+	return b.ix.Delete(id)
+}
+
+// Match returns the subscriptions matching the event: subscriptions whose
+// ranges enclose a point event, or intersect a range event (range events let
+// subscribers see offers close to their wishes, §1).
+func (b *Broker) Match(ev Event) ([]uint32, error) {
+	q, rel, err := b.eventQuery(ev)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ids, err := b.ix.SearchIDs(q, rel)
+	if err != nil {
+		return nil, err
+	}
+	b.events++
+	b.matches += int64(len(ids))
+	return ids, nil
+}
+
+// Publish matches the event and invokes the handlers of all matching
+// subscriptions (outside the broker lock).
+func (b *Broker) Publish(ev Event) (int, error) {
+	ids, err := b.Match(ev)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	hs := make([]Handler, 0, len(ids))
+	matched := ids[:0]
+	for _, id := range ids {
+		if h, ok := b.handlers[id]; ok {
+			hs = append(hs, h)
+			matched = append(matched, id)
+		}
+	}
+	b.mu.Unlock()
+	for i, h := range hs {
+		h(matched[i], ev)
+	}
+	return len(ids), nil
+}
+
+// eventQuery converts an event into a query rectangle and relation.
+func (b *Broker) eventQuery(ev Event) (geom.Rect, geom.Relation, error) {
+	point := true
+	for _, rg := range ev {
+		if rg.Hi != rg.Lo {
+			point = false
+			break
+		}
+	}
+	if point && len(ev) != len(b.schema) {
+		// A point event must bind every attribute; otherwise treat the
+		// free attributes as full ranges and fall back to intersection.
+		point = false
+	}
+	q, err := b.rectOf(ev)
+	if err != nil {
+		return geom.Rect{}, 0, err
+	}
+	if point {
+		return q, geom.Encloses, nil
+	}
+	return q, geom.Intersects, nil
+}
+
+// Stats summarizes broker activity.
+type Stats struct {
+	Subscriptions int
+	Events        int64
+	Matches       int64
+	Clusters      int
+}
+
+// Stats returns a snapshot of broker activity.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		Subscriptions: b.ix.Len(),
+		Events:        b.events,
+		Matches:       b.matches,
+		Clusters:      b.ix.Clusters(),
+	}
+}
+
+// Schema returns the broker's attribute schema.
+func (b *Broker) Schema() Schema { return b.schema }

@@ -1,0 +1,233 @@
+package pubsub
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func apartmentSchema() Schema {
+	return Schema{
+		{Name: "distance", Min: 0, Max: 100},
+		{Name: "price", Min: 0, Max: 5000},
+		{Name: "rooms", Min: 1, Max: 10},
+		{Name: "baths", Min: 1, Max: 5},
+	}
+}
+
+func mustBroker(t *testing.T) *Broker {
+	t.Helper()
+	b, err := NewBroker(apartmentSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if err := (Schema{}).Validate(); err == nil {
+		t.Error("empty schema must fail")
+	}
+	if err := (Schema{{Name: "", Min: 0, Max: 1}}).Validate(); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := (Schema{{Name: "a", Min: 0, Max: 1}, {Name: "a", Min: 0, Max: 2}}).Validate(); err == nil {
+		t.Error("duplicate names must fail")
+	}
+	if err := (Schema{{Name: "a", Min: 3, Max: 3}}).Validate(); err == nil {
+		t.Error("empty domain must fail")
+	}
+	if _, err := NewBroker(Schema{}, Options{}); err == nil {
+		t.Error("NewBroker with bad schema must fail")
+	}
+}
+
+func TestPaperExampleSubscription(t *testing.T) {
+	// §1: "Notify me of all new apartments within 30 miles from Newark,
+	// with a rent price between 400$ and 700$, having between 3 and 5
+	// rooms, and 2 baths."
+	b := mustBroker(t)
+	id, err := b.Subscribe(Subscription{
+		"distance": {Lo: 0, Hi: 30},
+		"price":    {Lo: 400, Hi: 700},
+		"rooms":    {Lo: 3, Hi: 5},
+		"baths":    Value(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A matching point event: one concrete apartment.
+	got, err := b.Match(Event{
+		"distance": Value(12),
+		"price":    Value(550),
+		"rooms":    Value(4),
+		"baths":    Value(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("expected match of %d, got %v", id, got)
+	}
+	// Too expensive: no match.
+	got, err = b.Match(Event{
+		"distance": Value(12),
+		"price":    Value(900),
+		"rooms":    Value(4),
+		"baths":    Value(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected no match, got %v", got)
+	}
+	// §1's range event: "Apartments for rent in Newark: 3 to 5 rooms, 1
+	// or 2 baths, 600$-900$" — overlaps the subscription's price range.
+	got, err = b.Match(Event{
+		"distance": Value(0),
+		"price":    {Lo: 600, Hi: 900},
+		"rooms":    {Lo: 3, Hi: 5},
+		"baths":    {Lo: 1, Hi: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("range event should match via intersection, got %v", got)
+	}
+}
+
+func TestSubscriptionDefaultsToFullDomain(t *testing.T) {
+	b := mustBroker(t)
+	id, err := b.Subscribe(Subscription{"price": {Lo: 1000, Hi: 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Match(Event{
+		"distance": Value(99),
+		"price":    Value(1500),
+		"rooms":    Value(9),
+		"baths":    Value(5),
+	})
+	if err != nil || len(got) != 1 || got[0] != id {
+		t.Fatalf("unbounded attributes must accept anything: %v, %v", got, err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	b := mustBroker(t)
+	if _, err := b.Subscribe(Subscription{"bogus": Value(1)}); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	if _, err := b.Subscribe(Subscription{"price": {Lo: 700, Hi: 400}}); err == nil {
+		t.Error("inverted range must fail")
+	}
+	if _, err := b.Subscribe(Subscription{"price": Value(9999)}); err == nil {
+		t.Error("out-of-domain value must fail")
+	}
+	if _, err := b.Match(Event{"price": Value(-5)}); err == nil {
+		t.Error("out-of-domain event must fail")
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := mustBroker(t)
+	id, _ := b.Subscribe(Subscription{"rooms": {Lo: 2, Hi: 4}})
+	if !b.Unsubscribe(id) {
+		t.Fatal("unsubscribe failed")
+	}
+	if b.Unsubscribe(id) {
+		t.Fatal("double unsubscribe must report false")
+	}
+	got, _ := b.Match(Event{
+		"distance": Value(10), "price": Value(100),
+		"rooms": Value(3), "baths": Value(2),
+	})
+	if len(got) != 0 {
+		t.Fatalf("removed subscription still matches: %v", got)
+	}
+}
+
+func TestPublishHandlers(t *testing.T) {
+	b := mustBroker(t)
+	var mu sync.Mutex
+	notified := map[uint32]int{}
+	handler := func(sub uint32, ev Event) {
+		mu.Lock()
+		notified[sub]++
+		mu.Unlock()
+	}
+	cheap, _ := b.SubscribeFunc(Subscription{"price": {Lo: 0, Hi: 1000}}, handler)
+	pricey, _ := b.SubscribeFunc(Subscription{"price": {Lo: 3000, Hi: 5000}}, handler)
+	silent, _ := b.Subscribe(Subscription{"price": {Lo: 0, Hi: 5000}})
+	n, err := b.Publish(Event{
+		"distance": Value(5), "price": Value(500),
+		"rooms": Value(3), "baths": Value(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // cheap + silent match; pricey does not
+		t.Fatalf("published to %d, want 2", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if notified[cheap] != 1 || notified[pricey] != 0 || notified[silent] != 0 {
+		t.Fatalf("handler calls: %v", notified)
+	}
+}
+
+func TestHighVolumeMatchingWithClustering(t *testing.T) {
+	b, err := NewBroker(apartmentSchema(), Options{ReorgEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	type spec struct {
+		lo, hi float64
+	}
+	subs := make(map[uint32]spec, 3000)
+	for i := 0; i < 3000; i++ {
+		lo := rng.Float64() * 4000
+		hi := lo + rng.Float64()*(5000-lo)
+		id, err := b.Subscribe(Subscription{"price": {Lo: lo, Hi: hi}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[id] = spec{lo, hi}
+	}
+	for i := 0; i < 300; i++ {
+		price := rng.Float64() * 5000
+		got, err := b.Match(Event{
+			"distance": Value(rng.Float64() * 100),
+			"price":    Value(price),
+			"rooms":    Value(1 + rng.Float64()*9),
+			"baths":    Value(1 + rng.Float64()*4),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, s := range subs {
+			if price >= s.lo && price <= s.hi {
+				want++
+			}
+		}
+		// Normalization to float32 can shift boundaries by at most one
+		// ulp; with random continuous data exact equality is expected.
+		if len(got) != want {
+			t.Fatalf("event %d: %d matches, want %d", i, len(got), want)
+		}
+	}
+	st := b.Stats()
+	if st.Subscriptions != 3000 || st.Events != 300 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Clusters < 2 {
+		t.Error("expected the subscription database to cluster under event load")
+	}
+	if len(b.Schema()) != 4 {
+		t.Error("Schema accessor")
+	}
+}

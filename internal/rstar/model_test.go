@@ -1,0 +1,95 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"accluster/internal/geom"
+)
+
+// TestStatefulModel runs randomized insert/delete/search sequences against a
+// map model, checking answers and structural invariants throughout — the
+// package's main correctness property.
+func TestStatefulModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := rng.Intn(5) + 1
+		// Small pages force frequent splits, reinsertion and condensing.
+		pageSize := geom.ObjectBytes(dims) * (8 + rng.Intn(24))
+		tr, err := New(Config{Dims: dims, PageSize: pageSize})
+		if err != nil {
+			t.Logf("config: %v", err)
+			return false
+		}
+		model := make(map[uint32]geom.Rect)
+		nextID := uint32(0)
+		for op := 0; op < 700; op++ {
+			switch k := rng.Intn(10); {
+			case k < 5:
+				r := randomRect(rng, dims, 0.4)
+				if err := tr.Insert(nextID, r); err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				model[nextID] = r
+				nextID++
+			case k < 8:
+				if len(model) == 0 {
+					continue
+				}
+				var id uint32
+				for id = range model {
+					break
+				}
+				if !tr.Delete(id) {
+					t.Logf("delete %d failed", id)
+					return false
+				}
+				delete(model, id)
+			default:
+				q := randomRect(rng, dims, 0.6)
+				rel := geom.Relation(rng.Intn(3))
+				got, err := tr.SearchIDs(q, rel)
+				if err != nil {
+					return false
+				}
+				var want []uint32
+				for id, r := range model {
+					if r.Matches(rel, q) {
+						want = append(want, id)
+					}
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				if len(got) != len(want) {
+					t.Logf("seed %d op %d: %d vs %d results", seed, op, len(got), len(want))
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+			if op%150 == 149 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Logf("seed %d op %d: %v", seed, op, err)
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		return tr.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package rstar implements the R*-tree of Beckmann, Kriegel, Schneider and
+// Seeger (SIGMOD 1990), the strongest R-tree variant still supporting
+// multidimensional extended objects and the comparison baseline of the paper
+// (§7.1). It provides ChooseSubtree with minimum overlap enlargement at the
+// leaf level, forced reinsertion (30%), the margin-driven split axis choice
+// with the overlap-driven split index, deletion with tree condensation, and
+// relation-aware search with node access accounting.
+//
+// The tree uses a node page size in bytes (16 KB in the paper's setup); the
+// fan-out M derives from the entry size 8·dims+4.
+package rstar
+
+import (
+	"fmt"
+
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+)
+
+// Config parameterizes an R*-tree.
+type Config struct {
+	// Dims is the data space dimensionality (required).
+	Dims int
+	// PageSize is the node page size in bytes; default 16384 (§7.1).
+	PageSize int
+	// MinFill is the minimum node utilization m as a fraction of M;
+	// default 0.4 (the R*-tree paper's recommendation).
+	MinFill float64
+	// ReinsertFrac is the fraction of entries force-reinserted on first
+	// overflow of a level; default 0.3.
+	ReinsertFrac float64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Dims < 1 {
+		return fmt.Errorf("rstar: invalid dimensionality %d", c.Dims)
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 16384
+	}
+	if c.MinFill == 0 {
+		c.MinFill = 0.4
+	}
+	if c.ReinsertFrac == 0 {
+		c.ReinsertFrac = 0.3
+	}
+	if c.MinFill <= 0 || c.MinFill > 0.5 {
+		return fmt.Errorf("rstar: MinFill must be in (0,0.5], got %g", c.MinFill)
+	}
+	if c.ReinsertFrac <= 0 || c.ReinsertFrac >= 1 {
+		return fmt.Errorf("rstar: ReinsertFrac must be in (0,1), got %g", c.ReinsertFrac)
+	}
+	entry := geom.ObjectBytes(c.Dims)
+	if c.PageSize < 4*entry {
+		return fmt.Errorf("rstar: page size %d too small for %d dims (need ≥ %d)", c.PageSize, c.Dims, 4*entry)
+	}
+	return nil
+}
+
+// entry is a node slot: an MBB plus either a child node (internal) or an
+// object id (leaf).
+type entry struct {
+	rect  geom.Rect
+	child *node
+	id    uint32
+}
+
+// node is a tree node. level 0 is the leaf level.
+type node struct {
+	level   int
+	entries []entry
+}
+
+func (n *node) leaf() bool { return n.level == 0 }
+
+// mbr returns the minimum bounding rectangle of all entries of n.
+func (n *node) mbr() geom.Rect {
+	r := n.entries[0].rect.Clone()
+	for _, e := range n.entries[1:] {
+		r.Extend(e.rect)
+	}
+	return r
+}
+
+// Tree is an R*-tree over multidimensional extended objects. It is not safe
+// for concurrent use.
+type Tree struct {
+	cfg        Config
+	maxEntries int // M
+	minEntries int // m
+	reinsertP  int // entries removed by forced reinsertion
+
+	root  *node
+	size  int
+	nodes int
+
+	rects map[uint32]geom.Rect // id → rect, for Delete/Get
+
+	meter cost.Meter
+
+	// reinsertedAtLevel tracks OverflowTreatment's "first call at this
+	// level during one insertion" rule.
+	reinsertedAtLevel map[int]bool
+}
+
+// New builds an empty R*-tree.
+func New(cfg Config) (*Tree, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	m := cfg.PageSize / geom.ObjectBytes(cfg.Dims)
+	t := &Tree{
+		cfg:        cfg,
+		maxEntries: m,
+		minEntries: int(float64(m) * cfg.MinFill),
+		reinsertP:  int(float64(m+1) * cfg.ReinsertFrac),
+		root:       &node{level: 0},
+		nodes:      1,
+		rects:      make(map[uint32]geom.Rect),
+	}
+	if t.minEntries < 1 {
+		t.minEntries = 1
+	}
+	if t.reinsertP < 1 {
+		t.reinsertP = 1
+	}
+	return t, nil
+}
+
+// Dims returns the data space dimensionality.
+func (t *Tree) Dims() int { return t.cfg.Dims }
+
+// Len returns the number of stored objects.
+func (t *Tree) Len() int { return t.size }
+
+// Nodes returns the number of tree nodes (pages).
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Height returns the number of levels (1 for a single leaf root).
+func (t *Tree) Height() int { return t.root.level + 1 }
+
+// MaxEntries returns the node fan-out M.
+func (t *Tree) MaxEntries() int { return t.maxEntries }
+
+// Meter returns the accumulated operation counters.
+func (t *Tree) Meter() cost.Meter { return t.meter }
+
+// ResetMeter zeroes the operation counters.
+func (t *Tree) ResetMeter() { t.meter.Reset() }
+
+// Get returns the rectangle stored under id.
+func (t *Tree) Get(id uint32) (geom.Rect, bool) {
+	r, ok := t.rects[id]
+	return r, ok
+}
+
+// Insert adds an object to the tree.
+func (t *Tree) Insert(id uint32, r geom.Rect) error {
+	if r.Dims() != t.cfg.Dims {
+		return fmt.Errorf("rstar: object has %d dims, tree has %d", r.Dims(), t.cfg.Dims)
+	}
+	if !r.Valid() {
+		return fmt.Errorf("rstar: invalid rectangle %v", r)
+	}
+	if _, dup := t.rects[id]; dup {
+		return fmt.Errorf("rstar: duplicate object id %d", id)
+	}
+	t.rects[id] = r.Clone()
+	t.reinsertedAtLevel = make(map[int]bool)
+	t.insertAtLevel(entry{rect: r.Clone(), id: id}, 0)
+	t.size++
+	return nil
+}
+
+// insertAtLevel inserts e into a node of the given level, handling overflow
+// by forced reinsertion or splitting (R*-tree InsertData/OverflowTreatment).
+func (t *Tree) insertAtLevel(e entry, level int) {
+	path := t.choosePath(e.rect, level)
+	n := path[len(path)-1]
+	n.entries = append(n.entries, e)
+	// Adjust MBBs along the path.
+	t.adjustPath(path, e.rect)
+	// Overflow treatment bottom-up.
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if len(n.entries) <= t.maxEntries {
+			break
+		}
+		if n != t.root && !t.reinsertedAtLevel[n.level] {
+			t.reinsertedAtLevel[n.level] = true
+			t.forcedReinsert(n, path[:i+1])
+			break // reinsertion re-enters insertAtLevel for each entry
+		}
+		nn := t.split(n)
+		t.nodes++
+		if n == t.root {
+			newRoot := &node{
+				level: n.level + 1,
+				entries: []entry{
+					{rect: n.mbr(), child: n},
+					{rect: nn.mbr(), child: nn},
+				},
+			}
+			t.root = newRoot
+			t.nodes++
+			break
+		}
+		parent := path[i-1]
+		t.refreshChildRect(parent, n)
+		parent.entries = append(parent.entries, entry{rect: nn.mbr(), child: nn})
+	}
+}
+
+// choosePath descends from the root to a node of the target level using the
+// R*-tree ChooseSubtree criterion, returning the nodes along the way.
+func (t *Tree) choosePath(r geom.Rect, level int) []*node {
+	path := []*node{t.root}
+	n := t.root
+	for n.level > level {
+		i := t.chooseSubtree(n, r)
+		n = n.entries[i].child
+		path = append(path, n)
+	}
+	return path
+}
+
+// adjustPath extends the parent entries covering each node of the path by r.
+func (t *Tree) adjustPath(path []*node, r geom.Rect) {
+	for i := 0; i < len(path)-1; i++ {
+		parent, child := path[i], path[i+1]
+		for k := range parent.entries {
+			if parent.entries[k].child == child {
+				parent.entries[k].rect.Extend(r)
+				break
+			}
+		}
+	}
+}
+
+// refreshChildRect recomputes the parent entry MBB for child.
+func (t *Tree) refreshChildRect(parent, child *node) {
+	for k := range parent.entries {
+		if parent.entries[k].child == child {
+			parent.entries[k].rect = child.mbr()
+			return
+		}
+	}
+}
+
+// chooseSubtree picks the child of n to descend into for rectangle r.
+// When the children are leaves it minimizes overlap enlargement (resolving
+// ties by area enlargement, then area); otherwise it minimizes area
+// enlargement (ties by area). For large fan-outs only the 32 entries with
+// the least area enlargement are considered for the quadratic overlap test,
+// as recommended by the R*-tree paper.
+func (t *Tree) chooseSubtree(n *node, r geom.Rect) int {
+	if n.level == 1 {
+		cand := candidateEntries(n, r, 32)
+		best, bestOverlap, bestEnl, bestArea := -1, 0.0, 0.0, 0.0
+		for _, i := range cand {
+			e := &n.entries[i]
+			ext := e.rect.Union(r)
+			var over float64
+			for j := range n.entries {
+				if j == i {
+					continue
+				}
+				over += ext.IntersectionVolume(n.entries[j].rect) -
+					e.rect.IntersectionVolume(n.entries[j].rect)
+			}
+			enl := e.rect.Enlargement(r)
+			area := e.rect.Volume()
+			if best < 0 || over < bestOverlap ||
+				(over == bestOverlap && (enl < bestEnl || (enl == bestEnl && area < bestArea))) {
+				best, bestOverlap, bestEnl, bestArea = i, over, enl, area
+			}
+		}
+		return best
+	}
+	best, bestEnl, bestArea := -1, 0.0, 0.0
+	for i := range n.entries {
+		enl := n.entries[i].rect.Enlargement(r)
+		area := n.entries[i].rect.Volume()
+		if best < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// candidateEntries returns the indexes of the k entries of n with least area
+// enlargement for r (all entries when n has ≤ k).
+func candidateEntries(n *node, r geom.Rect, k int) []int {
+	idx := make([]int, len(n.entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	if len(idx) <= k {
+		return idx
+	}
+	enl := make([]float64, len(n.entries))
+	for i := range n.entries {
+		enl[i] = n.entries[i].rect.Enlargement(r)
+	}
+	// Partial selection sort for the k smallest enlargements.
+	for a := 0; a < k; a++ {
+		min := a
+		for b := a + 1; b < len(idx); b++ {
+			if enl[idx[b]] < enl[idx[min]] {
+				min = b
+			}
+		}
+		idx[a], idx[min] = idx[min], idx[a]
+	}
+	return idx[:k]
+}

@@ -1,0 +1,342 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"accluster/internal/geom"
+)
+
+func randomRect(rng *rand.Rand, dims int, maxSize float32) geom.Rect {
+	r := geom.NewRect(dims)
+	for d := 0; d < dims; d++ {
+		size := rng.Float32() * maxSize
+		lo := rng.Float32() * (1 - size)
+		r.Min[d], r.Max[d] = lo, lo+size
+	}
+	return r
+}
+
+func mustNew(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return tr
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Dims: 0}); err == nil {
+		t.Error("dims=0 must fail")
+	}
+	if _, err := New(Config{Dims: 2, MinFill: 0.9}); err == nil {
+		t.Error("MinFill > 0.5 must fail")
+	}
+	if _, err := New(Config{Dims: 2, ReinsertFrac: 1.5}); err == nil {
+		t.Error("ReinsertFrac ≥ 1 must fail")
+	}
+	if _, err := New(Config{Dims: 40, PageSize: 100}); err == nil {
+		t.Error("page too small for dims must fail")
+	}
+}
+
+func TestFanOutMatchesPaper(t *testing.T) {
+	// §7.1: with 16 KB pages an entry of 8·dims+4 bytes gives a fan-out
+	// of 124 at 16 dims and 50 at 40 dims (the paper quotes 86 and 35
+	// after applying 70% utilization).
+	tr16 := mustNew(t, Config{Dims: 16})
+	if tr16.MaxEntries() != 16384/132 {
+		t.Errorf("16-dim fan-out = %d, want %d", tr16.MaxEntries(), 16384/132)
+	}
+	tr40 := mustNew(t, Config{Dims: 40})
+	if tr40.MaxEntries() != 16384/324 {
+		t.Errorf("40-dim fan-out = %d, want %d", tr40.MaxEntries(), 16384/324)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr := mustNew(t, Config{Dims: 2})
+	r := geom.Rect{Min: []float32{0.1, 0.1}, Max: []float32{0.2, 0.2}}
+	if err := tr.Insert(1, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(1, r); err == nil {
+		t.Error("duplicate id must fail")
+	}
+	if err := tr.Insert(2, geom.Point([]float32{0.5})); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if err := tr.Insert(3, geom.Rect{Min: []float32{0.9, 0}, Max: []float32{0.1, 1}}); err == nil {
+		t.Error("invalid rect must fail")
+	}
+}
+
+func TestGrowthAndInvariants(t *testing.T) {
+	// Small pages force deep trees quickly.
+	tr := mustNew(t, Config{Dims: 2, PageSize: 200}) // M = 10
+	rng := rand.New(rand.NewSource(1))
+	for id := uint32(0); id < 2000; id++ {
+		if err := tr.Insert(id, randomRect(rng, 2, 0.1)); err != nil {
+			t.Fatal(err)
+		}
+		if id%500 == 499 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", id+1, err)
+			}
+		}
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d, expected a deep tree with M=10", tr.Height())
+	}
+	if tr.Nodes() < 100 {
+		t.Errorf("nodes = %d, expected many nodes", tr.Nodes())
+	}
+}
+
+func TestDifferentialSearch(t *testing.T) {
+	for _, dims := range []int{1, 2, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(dims)))
+		tr := mustNew(t, Config{Dims: dims, PageSize: 64 * geom.ObjectBytes(dims) / 4})
+		type obj struct {
+			id uint32
+			r  geom.Rect
+		}
+		var objs []obj
+		for id := uint32(0); id < 1200; id++ {
+			r := randomRect(rng, dims, 0.4)
+			objs = append(objs, obj{id, r})
+			if err := tr.Insert(id, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < 120; qi++ {
+			q := randomRect(rng, dims, 0.6)
+			rel := geom.Relation(qi % 3)
+			got, err := tr.SearchIDs(q, rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []uint32
+			for _, o := range objs {
+				if o.r.Matches(rel, q) {
+					want = append(want, o.id)
+				}
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				t.Fatalf("dims=%d rel=%v: %d results, want %d", dims, rel, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dims=%d rel=%v: result mismatch", dims, rel)
+				}
+			}
+		}
+	}
+}
+
+func TestPointEnclosing(t *testing.T) {
+	tr := mustNew(t, Config{Dims: 3, PageSize: 400})
+	rng := rand.New(rand.NewSource(9))
+	var objs []geom.Rect
+	for id := uint32(0); id < 600; id++ {
+		r := randomRect(rng, 3, 0.5)
+		objs = append(objs, r)
+		if err := tr.Insert(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		p := geom.Point([]float32{rng.Float32(), rng.Float32(), rng.Float32()})
+		got, err := tr.Count(p, geom.Encloses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, r := range objs {
+			if r.Encloses(p) {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("point query %d: %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := mustNew(t, Config{Dims: 2, PageSize: 200})
+	rng := rand.New(rand.NewSource(4))
+	live := make(map[uint32]geom.Rect)
+	for id := uint32(0); id < 1500; id++ {
+		r := randomRect(rng, 2, 0.2)
+		live[id] = r
+		if err := tr.Insert(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete in random order, checking invariants periodically and
+	// differentially validating queries.
+	ids := make([]uint32, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for k, id := range ids[:1200] {
+		if !tr.Delete(id) {
+			t.Fatalf("Delete(%d) failed", id)
+		}
+		delete(live, id)
+		if k%200 == 199 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", k+1, err)
+			}
+			q := randomRect(rng, 2, 0.5)
+			got, err := tr.Count(q, geom.Intersects)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0
+			for _, r := range live {
+				if r.Intersects(q) {
+					want++
+				}
+			}
+			if got != want {
+				t.Fatalf("after %d deletes: count %d, want %d", k+1, got, want)
+			}
+		}
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", tr.Len())
+	}
+	if tr.Delete(ids[0]) {
+		t.Error("double delete must report false")
+	}
+	// Delete everything.
+	for _, id := range ids[1200:] {
+		if !tr.Delete(id) {
+			t.Fatalf("Delete(%d) failed", id)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty: %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGet(t *testing.T) {
+	tr := mustNew(t, Config{Dims: 2})
+	r := geom.Rect{Min: []float32{0.2, 0.3}, Max: []float32{0.4, 0.5}}
+	if err := tr.Insert(7, r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.Get(7)
+	if !ok || !got.Equal(r) {
+		t.Fatalf("Get(7) = %v,%v", got, ok)
+	}
+	if _, ok := tr.Get(8); ok {
+		t.Error("absent id")
+	}
+}
+
+func TestSearchValidationAndEarlyStop(t *testing.T) {
+	tr := mustNew(t, Config{Dims: 2})
+	if err := tr.Search(geom.Point([]float32{0.5}), geom.Intersects, func(uint32) bool { return true }); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if err := tr.Search(geom.Point([]float32{0.5, 0.5}), geom.Relation(9), func(uint32) bool { return true }); err == nil {
+		t.Error("invalid relation must fail")
+	}
+	for id := uint32(0); id < 50; id++ {
+		if err := tr.Insert(id, geom.Rect{Min: []float32{0.4, 0.4}, Max: []float32{0.6, 0.6}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	err := tr.Search(geom.Point([]float32{0.5, 0.5}), geom.Encloses, func(uint32) bool {
+		n++
+		return n < 4
+	})
+	if err != nil || n != 4 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+func TestMeterCountsNodeAccesses(t *testing.T) {
+	tr := mustNew(t, Config{Dims: 2, PageSize: 200})
+	rng := rand.New(rand.NewSource(6))
+	for id := uint32(0); id < 800; id++ {
+		if err := tr.Insert(id, randomRect(rng, 2, 0.05)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.ResetMeter()
+	if _, err := tr.Count(randomRect(rng, 2, 0.3), geom.Intersects); err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Meter()
+	if m.Queries != 1 {
+		t.Fatalf("queries = %d", m.Queries)
+	}
+	if m.Explorations < 1 || m.Explorations != m.Seeks {
+		t.Fatalf("node accesses: %v", m)
+	}
+	if m.BytesTransferred != m.Explorations*int64(tr.cfg.PageSize) {
+		t.Fatalf("transfer accounting: %v", m)
+	}
+	if m.Explorations > int64(tr.Nodes()) {
+		t.Fatalf("visited %d nodes out of %d", m.Explorations, tr.Nodes())
+	}
+}
+
+func TestForcedReinsertionHappens(t *testing.T) {
+	// Forced reinsertion should be exercised by clustered inserts; we
+	// detect it indirectly: with ReinsertFrac close to 0 rejected by
+	// validation, instrument by comparing node counts with/without a
+	// tiny fraction. At minimum, inserting beyond M entries must keep
+	// invariants and produce a multi-node tree.
+	tr := mustNew(t, Config{Dims: 2, PageSize: 200})
+	rng := rand.New(rand.NewSource(8))
+	for id := uint32(0); id < 200; id++ {
+		if err := tr.Insert(id, randomRect(rng, 2, 0.02)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Nodes() < 3 {
+		t.Errorf("expected splits, nodes = %d", tr.Nodes())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewDoesNotBreakSplit(t *testing.T) {
+	// Many identical rectangles stress ChooseSplitIndex with zero-width
+	// distributions.
+	tr := mustNew(t, Config{Dims: 2, PageSize: 200})
+	r := geom.Rect{Min: []float32{0.5, 0.5}, Max: []float32{0.5, 0.5}}
+	for id := uint32(0); id < 300; id++ {
+		if err := tr.Insert(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tr.Count(geom.Point([]float32{0.5, 0.5}), geom.Encloses)
+	if err != nil || n != 300 {
+		t.Fatalf("identical rects: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,254 @@
+package rstar
+
+import (
+	"fmt"
+
+	"accluster/internal/geom"
+)
+
+// matchCount evaluates rel between object o and query q with early exit,
+// returning the verdict and the number of dimensions inspected.
+func matchCount(o, q geom.Rect, rel geom.Relation) (bool, int) {
+	switch rel {
+	case geom.Intersects:
+		for d := range o.Min {
+			if o.Min[d] > q.Max[d] || q.Min[d] > o.Max[d] {
+				return false, d + 1
+			}
+		}
+	case geom.ContainedBy:
+		for d := range o.Min {
+			if o.Min[d] < q.Min[d] || o.Max[d] > q.Max[d] {
+				return false, d + 1
+			}
+		}
+	case geom.Encloses:
+		for d := range o.Min {
+			if o.Min[d] > q.Min[d] || o.Max[d] < q.Max[d] {
+				return false, d + 1
+			}
+		}
+	default:
+		return false, 0
+	}
+	return true, len(o.Min)
+}
+
+// pruneRelation maps the object relation to the node-MBB pruning predicate:
+// a node can host an intersecting or contained object only if its MBB
+// intersects the query; it can host an enclosing object only if its MBB
+// encloses the query (the MBB covers every member).
+func pruneRelation(rel geom.Relation) geom.Relation {
+	if rel == geom.Encloses {
+		return geom.Encloses
+	}
+	return geom.Intersects
+}
+
+// Search walks the tree and emits every object satisfying the relation with
+// q. Every visited node counts as one random page access (§7.1 measures node
+// accesses; random reads dominate the disk scenario). emit returning false
+// stops the search.
+func (t *Tree) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
+	if q.Dims() != t.cfg.Dims {
+		return fmt.Errorf("rstar: query has %d dims, tree has %d", q.Dims(), t.cfg.Dims)
+	}
+	if !rel.Valid() {
+		return fmt.Errorf("rstar: invalid relation %v", rel)
+	}
+	t.meter.Queries++
+	t.searchNode(t.root, q, rel, emit)
+	return nil
+}
+
+// searchNode returns false when the consumer stopped the search.
+func (t *Tree) searchNode(n *node, q geom.Rect, rel geom.Relation, emit func(id uint32) bool) bool {
+	t.meter.Explorations++
+	t.meter.Seeks++
+	t.meter.BytesTransferred += int64(t.cfg.PageSize)
+	if n.leaf() {
+		for i := range n.entries {
+			t.meter.ObjectsVerified++
+			ok, checked := matchCount(n.entries[i].rect, q, rel)
+			t.meter.BytesVerified += int64(checked) * 8
+			if ok {
+				t.meter.Results++
+				if !emit(n.entries[i].id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	prel := pruneRelation(rel)
+	for i := range n.entries {
+		ok, checked := matchCount(n.entries[i].rect, q, prel)
+		t.meter.BytesVerified += int64(checked) * 8
+		if !ok {
+			continue
+		}
+		if !t.searchNode(n.entries[i].child, q, rel, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of objects satisfying the selection.
+func (t *Tree) Count(q geom.Rect, rel geom.Relation) (int, error) {
+	n := 0
+	err := t.Search(q, rel, func(uint32) bool { n++; return true })
+	return n, err
+}
+
+// SearchIDs collects the identifiers of all qualifying objects.
+func (t *Tree) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	var out []uint32
+	err := t.Search(q, rel, func(id uint32) bool { out = append(out, id); return true })
+	return out, err
+}
+
+// Delete removes the object with the given id, condensing the tree: nodes
+// falling under the minimum fill are dissolved and their entries reinserted
+// at their original level; the root shrinks when reduced to one child.
+func (t *Tree) Delete(id uint32) bool {
+	r, ok := t.rects[id]
+	if !ok {
+		return false
+	}
+	path := t.findLeafPath(t.root, r, id)
+	if path == nil {
+		// The location map and tree disagree; repair the map and report
+		// the object as absent rather than corrupting the size counter.
+		delete(t.rects, id)
+		return false
+	}
+	leaf := path[len(path)-1]
+	for i := range leaf.entries {
+		if leaf.entries[i].child == nil && leaf.entries[i].id == id {
+			leaf.entries[i] = leaf.entries[len(leaf.entries)-1]
+			leaf.entries[len(leaf.entries)-1] = entry{}
+			leaf.entries = leaf.entries[:len(leaf.entries)-1]
+			break
+		}
+	}
+	delete(t.rects, id)
+	t.size--
+
+	type orphan struct {
+		level int
+		e     entry
+	}
+	var orphans []orphan
+	for i := len(path) - 1; i >= 1; i-- {
+		n, parent := path[i], path[i-1]
+		if len(n.entries) < t.minEntries {
+			for k := range parent.entries {
+				if parent.entries[k].child == n {
+					parent.entries[k] = parent.entries[len(parent.entries)-1]
+					parent.entries[len(parent.entries)-1] = entry{}
+					parent.entries = parent.entries[:len(parent.entries)-1]
+					break
+				}
+			}
+			t.nodes--
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{level: n.level, e: e})
+			}
+		} else {
+			t.refreshChildRect(parent, n)
+		}
+	}
+	for _, o := range orphans {
+		t.reinsertedAtLevel = make(map[int]bool)
+		t.insertAtLevel(o.e, o.level)
+	}
+	for !t.root.leaf() && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.nodes--
+	}
+	return true
+}
+
+// findLeafPath locates the leaf holding the entry for id (whose rectangle is
+// r), returning the root→leaf path, or nil when absent.
+func (t *Tree) findLeafPath(n *node, r geom.Rect, id uint32) []*node {
+	if n.leaf() {
+		for i := range n.entries {
+			if n.entries[i].id == id {
+				return []*node{n}
+			}
+		}
+		return nil
+	}
+	for i := range n.entries {
+		if !n.entries[i].rect.Encloses(r) {
+			continue
+		}
+		if sub := t.findLeafPath(n.entries[i].child, r, id); sub != nil {
+			return append([]*node{n}, sub...)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants validates the structural invariants of the tree: uniform
+// leaf depth, fill factors within [m,M] (except the root), exact parent
+// MBBs, and the size counter matching the stored entries. Intended for tests.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	var walk func(n *node, isRoot bool) error
+	walk = func(n *node, isRoot bool) error {
+		if len(n.entries) > t.maxEntries {
+			return fmt.Errorf("node at level %d overflows: %d > %d", n.level, len(n.entries), t.maxEntries)
+		}
+		if !isRoot && len(n.entries) < t.minEntries {
+			return fmt.Errorf("node at level %d underflows: %d < %d", n.level, len(n.entries), t.minEntries)
+		}
+		if isRoot && !n.leaf() && len(n.entries) < 2 {
+			return fmt.Errorf("internal root has %d entries", len(n.entries))
+		}
+		if n.leaf() {
+			for i := range n.entries {
+				if n.entries[i].child != nil {
+					return fmt.Errorf("leaf entry with child pointer")
+				}
+				stored, ok := t.rects[n.entries[i].id]
+				if !ok || !stored.Equal(n.entries[i].rect) {
+					return fmt.Errorf("leaf entry %d disagrees with rects map", n.entries[i].id)
+				}
+				count++
+			}
+			return nil
+		}
+		for i := range n.entries {
+			c := n.entries[i].child
+			if c == nil {
+				return fmt.Errorf("internal entry without child")
+			}
+			if c.level != n.level-1 {
+				return fmt.Errorf("child level %d under node level %d", c.level, n.level)
+			}
+			if len(c.entries) == 0 {
+				return fmt.Errorf("empty child node")
+			}
+			if !n.entries[i].rect.Equal(c.mbr()) {
+				return fmt.Errorf("parent MBB %v != child MBB %v", n.entries[i].rect, c.mbr())
+			}
+			if err := walk(c, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, true); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size %d, tree holds %d entries", t.size, count)
+	}
+	if count != len(t.rects) {
+		return fmt.Errorf("rects map holds %d, tree holds %d", len(t.rects), count)
+	}
+	return nil
+}

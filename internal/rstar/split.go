@@ -1,0 +1,153 @@
+package rstar
+
+import (
+	"math"
+	"sort"
+
+	"accluster/internal/geom"
+)
+
+// split performs the R*-tree topological split of an overflowing node:
+// ChooseSplitAxis minimizes the margin sum over all distributions,
+// ChooseSplitIndex minimizes overlap (ties: total area). The first group
+// stays in n; the second group is returned as a new node.
+func (t *Tree) split(n *node) *node {
+	m := t.minEntries
+	total := len(n.entries)
+	// Distributions per sort order: k = 1 .. M-2m+2 with M+1 entries in
+	// the overflowing node, i.e. total-2m+1; both groups keep ≥ m entries.
+	maxK := total - 2*m + 1
+	if maxK < 1 {
+		maxK = 1
+	}
+
+	axis := t.chooseSplitAxis(n, m, maxK)
+
+	// ChooseSplitIndex along the chosen axis.
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	bestSort, bestK := 0, 1
+	for s := 0; s < 2; s++ {
+		sortEntries(n.entries, axis, s == 1)
+		prefix, suffix := boundSweeps(n.entries)
+		for k := 1; k <= maxK; k++ {
+			cut := m - 1 + k
+			bb1, bb2 := prefix[cut-1], suffix[cut]
+			over := bb1.IntersectionVolume(bb2)
+			area := bb1.Volume() + bb2.Volume()
+			if over < bestOverlap || (over == bestOverlap && area < bestArea) {
+				bestOverlap, bestArea = over, area
+				bestSort, bestK = s, k
+			}
+		}
+	}
+	sortEntries(n.entries, axis, bestSort == 1)
+	cut := m - 1 + bestK
+	nn := &node{level: n.level}
+	nn.entries = append(nn.entries, n.entries[cut:]...)
+	// Truncate in place, releasing references in the tail.
+	tail := n.entries[cut:]
+	for i := range tail {
+		tail[i] = entry{}
+	}
+	n.entries = n.entries[:cut]
+	return nn
+}
+
+// chooseSplitAxis returns the axis with the minimum sum of group margins
+// over all distributions and both sort orders (R*-tree ChooseSplitAxis).
+func (t *Tree) chooseSplitAxis(n *node, m, maxK int) int {
+	bestAxis, bestMargin := 0, math.Inf(1)
+	for axis := 0; axis < t.cfg.Dims; axis++ {
+		margin := 0.0
+		for s := 0; s < 2; s++ {
+			sortEntries(n.entries, axis, s == 1)
+			prefix, suffix := boundSweeps(n.entries)
+			for k := 1; k <= maxK; k++ {
+				cut := m - 1 + k
+				margin += prefix[cut-1].Margin() + suffix[cut].Margin()
+			}
+		}
+		if margin < bestMargin {
+			bestAxis, bestMargin = axis, margin
+		}
+	}
+	return bestAxis
+}
+
+// sortEntries orders entries by (lower, upper) bounds on the axis, or by
+// (upper, lower) when byUpper is set.
+func sortEntries(es []entry, axis int, byUpper bool) {
+	if byUpper {
+		sort.SliceStable(es, func(i, j int) bool {
+			a, b := es[i].rect, es[j].rect
+			if a.Max[axis] != b.Max[axis] {
+				return a.Max[axis] < b.Max[axis]
+			}
+			return a.Min[axis] < b.Min[axis]
+		})
+		return
+	}
+	sort.SliceStable(es, func(i, j int) bool {
+		a, b := es[i].rect, es[j].rect
+		if a.Min[axis] != b.Min[axis] {
+			return a.Min[axis] < b.Min[axis]
+		}
+		return a.Max[axis] < b.Max[axis]
+	})
+}
+
+// boundSweeps returns prefix[i] = MBB(entries[0..i]) and
+// suffix[i] = MBB(entries[i..]) for the current entry order.
+func boundSweeps(es []entry) (prefix, suffix []geom.Rect) {
+	prefix = make([]geom.Rect, len(es))
+	suffix = make([]geom.Rect, len(es)+1)
+	acc := es[0].rect.Clone()
+	prefix[0] = acc.Clone()
+	for i := 1; i < len(es); i++ {
+		acc.Extend(es[i].rect)
+		prefix[i] = acc.Clone()
+	}
+	acc = es[len(es)-1].rect.Clone()
+	suffix[len(es)-1] = acc.Clone()
+	for i := len(es) - 2; i >= 0; i-- {
+		acc = acc.Union(es[i].rect)
+		suffix[i] = acc
+	}
+	return prefix, suffix
+}
+
+// forcedReinsert removes the ReinsertFrac entries whose centers lie farthest
+// from the node's MBB center and reinserts them (close-first), letting the
+// tree reshape itself instead of splitting immediately (R*-tree
+// OverflowTreatment).
+func (t *Tree) forcedReinsert(n *node, path []*node) {
+	center := n.mbr().Center(nil)
+	type distEntry struct {
+		d float64
+		e entry
+	}
+	ds := make([]distEntry, len(n.entries))
+	buf := make([]float32, t.cfg.Dims)
+	for i, e := range n.entries {
+		c := e.rect.Center(buf)
+		d := 0.0
+		for k := range c {
+			dx := float64(c[k] - center[k])
+			d += dx * dx
+		}
+		ds[i] = distEntry{d: d, e: e}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	keep := len(ds) - t.reinsertP
+	n.entries = n.entries[:0]
+	for i := 0; i < keep; i++ {
+		n.entries = append(n.entries, ds[i].e)
+	}
+	// Tighten MBBs along the path after shrinking n.
+	for i := len(path) - 1; i >= 1; i-- {
+		t.refreshChildRect(path[i-1], path[i])
+	}
+	for i := keep; i < len(ds); i++ {
+		t.insertAtLevel(ds[i].e, n.level)
+	}
+}

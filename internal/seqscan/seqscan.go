@@ -1,0 +1,136 @@
+// Package seqscan implements the Sequential Scan baseline (§7.1): the whole
+// database is a single sequentially stored collection and every query checks
+// every object against the selection criterion. Despite being quantitatively
+// expensive, it benefits from perfect data locality and sustained sequential
+// transfer, which is why it is the reference competitor in high-dimensional
+// spaces.
+//
+// Verification exits early at the first failing dimension, so the verified
+// byte count (and therefore the modeled in-memory cost) grows for less
+// selective queries — the effect reported in the paper's footnote 4.
+package seqscan
+
+import (
+	"fmt"
+
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+)
+
+// Store is a flat collection of multidimensional extended objects. It is not
+// safe for concurrent use.
+type Store struct {
+	dims     int
+	objBytes int
+	ids      []uint32
+	data     []float32
+	pos      map[uint32]int32
+	meter    cost.Meter
+}
+
+// New returns an empty store for the given dimensionality.
+func New(dims int) (*Store, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("seqscan: invalid dimensionality %d", dims)
+	}
+	return &Store{dims: dims, objBytes: geom.ObjectBytes(dims), pos: make(map[uint32]int32)}, nil
+}
+
+// Dims returns the data space dimensionality.
+func (s *Store) Dims() int { return s.dims }
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int { return len(s.ids) }
+
+// Meter returns the accumulated operation counters.
+func (s *Store) Meter() cost.Meter { return s.meter }
+
+// ResetMeter zeroes the operation counters.
+func (s *Store) ResetMeter() { s.meter.Reset() }
+
+// Insert appends an object.
+func (s *Store) Insert(id uint32, r geom.Rect) error {
+	if r.Dims() != s.dims {
+		return fmt.Errorf("seqscan: object has %d dims, store has %d", r.Dims(), s.dims)
+	}
+	if !r.Valid() {
+		return fmt.Errorf("seqscan: invalid rectangle %v", r)
+	}
+	if _, dup := s.pos[id]; dup {
+		return fmt.Errorf("seqscan: duplicate object id %d", id)
+	}
+	s.pos[id] = int32(len(s.ids))
+	s.ids = append(s.ids, id)
+	s.data = geom.AppendFlat(s.data, r)
+	return nil
+}
+
+// Delete removes the object with the given id, reporting whether it existed.
+func (s *Store) Delete(id uint32) bool {
+	i, ok := s.pos[id]
+	if !ok {
+		return false
+	}
+	last := int32(len(s.ids) - 1)
+	if i != last {
+		s.ids[i] = s.ids[last]
+		copy(s.data[int(i)*2*s.dims:(int(i)+1)*2*s.dims],
+			s.data[int(last)*2*s.dims:(int(last)+1)*2*s.dims])
+		s.pos[s.ids[i]] = i
+	}
+	s.ids = s.ids[:last]
+	s.data = s.data[:int(last)*2*s.dims]
+	delete(s.pos, id)
+	return true
+}
+
+// Get returns the rectangle stored under id.
+func (s *Store) Get(id uint32) (geom.Rect, bool) {
+	i, ok := s.pos[id]
+	if !ok {
+		return geom.Rect{}, false
+	}
+	return geom.FromFlat(s.data, int(i), s.dims), true
+}
+
+// Search scans the database (one seek, one sequential transfer of the whole
+// collection on disk) and verifies every object. emit returning false stops
+// the scan early.
+func (s *Store) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
+	if q.Dims() != s.dims {
+		return fmt.Errorf("seqscan: query has %d dims, store has %d", q.Dims(), s.dims)
+	}
+	if !rel.Valid() {
+		return fmt.Errorf("seqscan: invalid relation %v", rel)
+	}
+	s.meter.Queries++
+	s.meter.Explorations++
+	s.meter.Seeks++
+	s.meter.BytesTransferred += int64(len(s.ids)) * int64(s.objBytes)
+	s.meter.ObjectsVerified += int64(len(s.ids))
+	for i := range s.ids {
+		ok, checked := geom.FlatMatches(s.data, i, q, rel)
+		s.meter.BytesVerified += int64(checked) * 8
+		if ok {
+			s.meter.Results++
+			if !emit(s.ids[i]) {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of objects satisfying the selection.
+func (s *Store) Count(q geom.Rect, rel geom.Relation) (int, error) {
+	n := 0
+	err := s.Search(q, rel, func(uint32) bool { n++; return true })
+	return n, err
+}
+
+// SearchIDs collects the identifiers of all qualifying objects.
+func (s *Store) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	var out []uint32
+	err := s.Search(q, rel, func(id uint32) bool { out = append(out, id); return true })
+	return out, err
+}

@@ -1,0 +1,197 @@
+package seqscan
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+)
+
+func randomRect(rng *rand.Rand, dims int, maxSize float32) geom.Rect {
+	r := geom.NewRect(dims)
+	for d := 0; d < dims; d++ {
+		size := rng.Float32() * maxSize
+		lo := rng.Float32() * (1 - size)
+		r.Min[d], r.Max[d] = lo, lo+size
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("dims=0 must fail")
+	}
+	s, err := New(3)
+	if err != nil || s.Dims() != 3 || s.Len() != 0 {
+		t.Fatalf("New(3): %v", err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	s, _ := New(2)
+	r := geom.Rect{Min: []float32{0.1, 0.1}, Max: []float32{0.2, 0.2}}
+	if err := s.Insert(1, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(1, r); err == nil {
+		t.Error("duplicate id must fail")
+	}
+	if err := s.Insert(2, geom.Point([]float32{0.5})); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if err := s.Insert(3, geom.Rect{Min: []float32{0.9, 0}, Max: []float32{0.1, 1}}); err == nil {
+		t.Error("invalid rect must fail")
+	}
+}
+
+func TestCRUDAndSearch(t *testing.T) {
+	s, _ := New(3)
+	rng := rand.New(rand.NewSource(1))
+	rects := make(map[uint32]geom.Rect)
+	for id := uint32(0); id < 300; id++ {
+		r := randomRect(rng, 3, 0.4)
+		rects[id] = r
+		if err := s.Insert(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, want := range rects {
+		got, ok := s.Get(id)
+		if !ok || !got.Equal(want) {
+			t.Fatalf("Get(%d)", id)
+		}
+	}
+	if _, ok := s.Get(999); ok {
+		t.Error("absent id")
+	}
+	for id := uint32(0); id < 100; id++ {
+		if !s.Delete(id) {
+			t.Fatalf("Delete(%d)", id)
+		}
+		delete(rects, id)
+	}
+	if s.Delete(0) {
+		t.Error("double delete")
+	}
+	for qi := 0; qi < 60; qi++ {
+		q := randomRect(rng, 3, 0.5)
+		rel := geom.Relation(qi % 3)
+		got, err := s.SearchIDs(q, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []uint32
+		for id, r := range rects {
+			if r.Matches(rel, q) {
+				want = append(want, id)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: mismatch at %d", qi, i)
+			}
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s, _ := New(2)
+	if err := s.Search(geom.Point([]float32{0.5}), geom.Intersects, func(uint32) bool { return true }); err == nil {
+		t.Error("wrong query dims must fail")
+	}
+	if err := s.Search(geom.Point([]float32{0.5, 0.5}), geom.Relation(9), func(uint32) bool { return true }); err == nil {
+		t.Error("bad relation must fail")
+	}
+}
+
+func TestMeterSingleSeekPerQuery(t *testing.T) {
+	s, _ := New(2)
+	rng := rand.New(rand.NewSource(2))
+	for id := uint32(0); id < 50; id++ {
+		if err := s.Insert(id, randomRect(rng, 2, 0.2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Count(randomRect(rng, 2, 0.5), geom.Intersects); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Meter()
+	if m.Queries != 4 || m.Seeks != 4 || m.Explorations != 4 {
+		t.Fatalf("meter: %v", m)
+	}
+	if m.ObjectsVerified != 200 {
+		t.Fatalf("ObjectsVerified = %d, want 200", m.ObjectsVerified)
+	}
+	want := int64(4) * 50 * int64(geom.ObjectBytes(2))
+	if m.BytesTransferred != want {
+		t.Fatalf("BytesTransferred = %d, want %d", m.BytesTransferred, want)
+	}
+	s.ResetMeter()
+	if s.Meter() != (cost.Meter{}) {
+		t.Error("ResetMeter")
+	}
+}
+
+func TestFootnote4Effect(t *testing.T) {
+	// Footnote 4: in-memory sequential scan gets more expensive for less
+	// selective queries because more dimensions are verified on average
+	// before the first failing dimension. Verified bytes for a broad
+	// query must exceed those for a narrow query.
+	s, _ := New(16)
+	rng := rand.New(rand.NewSource(3))
+	for id := uint32(0); id < 2000; id++ {
+		if err := s.Insert(id, randomRect(rng, 16, 0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	narrow := geom.Point(make([]float32, 16))
+	for d := range narrow.Min {
+		narrow.Min[d] = 0.01
+		narrow.Max[d] = 0.011
+	}
+	if _, err := s.Count(narrow, geom.Intersects); err != nil {
+		t.Fatal(err)
+	}
+	narrowBytes := s.Meter().BytesVerified
+	s.ResetMeter()
+	broad := geom.Rect{Min: make([]float32, 16), Max: make([]float32, 16)}
+	for d := range broad.Max {
+		broad.Max[d] = 1
+	}
+	if _, err := s.Count(broad, geom.Intersects); err != nil {
+		t.Fatal(err)
+	}
+	broadBytes := s.Meter().BytesVerified
+	if broadBytes <= narrowBytes {
+		t.Errorf("broad query verified %d bytes, narrow %d: want broad > narrow", broadBytes, narrowBytes)
+	}
+	if broadBytes < 2*narrowBytes {
+		t.Errorf("expected a substantial (~up to 3x) gap, got %d vs %d", broadBytes, narrowBytes)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	s, _ := New(1)
+	for id := uint32(0); id < 10; id++ {
+		if err := s.Insert(id, geom.Rect{Min: []float32{0.4}, Max: []float32{0.6}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	err := s.Search(geom.Rect{Min: []float32{0}, Max: []float32{1}}, geom.Intersects, func(uint32) bool {
+		count++
+		return count < 3
+	})
+	if err != nil || count != 3 {
+		t.Fatalf("early stop: count=%d err=%v", count, err)
+	}
+}

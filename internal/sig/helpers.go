@@ -1,0 +1,14 @@
+package sig
+
+import "accluster/internal/geom"
+
+// InVar reports membership of x in the variation interval [lo,hi), closed at
+// the top when hi is the domain maximum 1. Exported for engines that cache
+// candidate bounds instead of re-deriving them through Split.Bounds.
+func InVar(x, lo, hi float32) bool { return inVar(x, lo, hi) }
+
+// QueryDimMatch evaluates the per-dimension query/signature necessary
+// condition for the given relation over explicit variation-interval bounds.
+func QueryDimMatch(rel geom.Relation, qlo, qhi, alo, ahi, blo, bhi float32) bool {
+	return queryMatchesDim(rel, qlo, qhi, alo, ahi, blo, bhi)
+}

@@ -1,0 +1,117 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+
+	"accluster/internal/geom"
+)
+
+// TestDeepSubdivisionStaysConsistent refines a signature to extreme depth:
+// the clustering function must either keep producing feasible candidates or
+// stop cleanly when float32 resolution is exhausted — never emit candidates
+// whose membership contradicts the parent's.
+func TestDeepSubdivisionStaysConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	s := Root(1)
+	for depth := 0; depth < 64; depth++ {
+		splits := Enumerate(s, 4)
+		if len(splits) == 0 {
+			// Resolution exhausted: acceptable terminal state.
+			if depth < 8 {
+				t.Fatalf("enumeration died too early at depth %d (%v)", depth, s)
+			}
+			return
+		}
+		sp := splits[rng.Intn(len(splits))]
+		child := sp.Child(s)
+		if !s.Covers(child) {
+			t.Fatalf("depth %d: child %v escapes parent %v", depth, child, s)
+		}
+		// Candidate bounds must be ordered.
+		aLo, aHi, bLo, bHi := sp.Bounds(s)
+		if aLo > aHi || bLo > bHi {
+			t.Fatalf("depth %d: inverted bounds a=[%g,%g] b=[%g,%g]", depth, aLo, aHi, bLo, bHi)
+		}
+		s = child
+	}
+}
+
+// TestSubBoundEndpointsExact pins that division bounds hit the interval
+// endpoints exactly (no float drift), which the nesting correctness relies
+// on.
+func TestSubBoundEndpointsExact(t *testing.T) {
+	cases := []struct{ lo, hi float32 }{
+		{0, 1}, {0.1, 0.3}, {0.0625, 0.125}, {0.9999, 1},
+	}
+	for _, c := range cases {
+		for _, f := range []int{2, 3, 4, 8} {
+			if got := subBound(c.lo, c.hi, 0, f); got != c.lo {
+				t.Errorf("subBound(%g,%g,0,%d) = %g", c.lo, c.hi, f, got)
+			}
+			if got := subBound(c.lo, c.hi, f, f); got != c.hi {
+				t.Errorf("subBound(%g,%g,%d,%d) = %g", c.lo, c.hi, f, f, got)
+			}
+			// Interior bounds are monotone.
+			prev := c.lo
+			for k := 1; k <= f; k++ {
+				b := subBound(c.lo, c.hi, k, f)
+				if b < prev {
+					t.Errorf("non-monotone bounds for [%g,%g] f=%d", c.lo, c.hi, f)
+				}
+				prev = b
+			}
+		}
+	}
+}
+
+// TestBoundaryObjectAlwaysHasAHome: for any signature and any object it
+// accepts, at least one candidate of every refinable dimension accepts the
+// object too (the tiling property that guarantees objects can always descend
+// during splits).
+func TestBoundaryObjectAlwaysHasAHome(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 200; trial++ {
+		dims := rng.Intn(3) + 1
+		s := Root(dims)
+		for k := 0; k < rng.Intn(3); k++ {
+			splits := Enumerate(s, 4)
+			if len(splits) == 0 {
+				break
+			}
+			s = splits[rng.Intn(len(splits))].Child(s)
+		}
+		// Draw an object inside the signature by rejection sampling.
+		var o geom.Rect
+		found := false
+		for attempt := 0; attempt < 2000; attempt++ {
+			o = randomRect(rng, dims)
+			if s.MatchesObject(o) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue // deep signatures can be tiny; skip
+		}
+		splits := Enumerate(s, 4)
+		byDim := map[int]int{}
+		for _, sp := range splits {
+			if sp.MatchesObjectDim(s, o.Min[sp.Dim], o.Max[sp.Dim]) {
+				byDim[sp.Dim]++
+			}
+		}
+		for d := 0; d < dims; d++ {
+			has := false
+			for _, sp := range splits {
+				if sp.Dim == d {
+					has = true
+					break
+				}
+			}
+			if has && byDim[d] == 0 {
+				t.Fatalf("object %v in %v has no candidate on dim %d", o, s, d)
+			}
+		}
+	}
+}

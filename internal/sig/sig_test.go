@@ -1,0 +1,212 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accluster/internal/geom"
+)
+
+func randomRect(rng *rand.Rand, dims int) geom.Rect {
+	r := geom.NewRect(dims)
+	for d := 0; d < dims; d++ {
+		a, b := rng.Float32(), rng.Float32()
+		if a > b {
+			a, b = b, a
+		}
+		r.Min[d], r.Max[d] = a, b
+	}
+	return r
+}
+
+func TestRootAcceptsEverything(t *testing.T) {
+	root := Root(4)
+	if !root.IsRoot() {
+		t.Fatal("Root() must be unconstrained")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		r := randomRect(rng, 4)
+		if !root.MatchesObject(r) {
+			t.Fatalf("root must accept %v", r)
+		}
+		for _, rel := range []geom.Relation{geom.Intersects, geom.ContainedBy, geom.Encloses} {
+			if !root.MatchesQuery(r, rel) {
+				t.Fatalf("root must be explored by every query (%v, %v)", rel, r)
+			}
+		}
+	}
+	// Boundary objects: lo or hi exactly 0 or 1.
+	for _, r := range []geom.Rect{
+		geom.Point([]float32{0, 0, 0, 0}),
+		geom.Point([]float32{1, 1, 1, 1}),
+		{Min: []float32{0, 0, 0, 0}, Max: []float32{1, 1, 1, 1}},
+	} {
+		if !root.MatchesObject(r) {
+			t.Errorf("root must accept boundary object %v", r)
+		}
+	}
+}
+
+func TestInVarBoundarySemantics(t *testing.T) {
+	// [0.25, 0.5) half-open: 0.5 excluded.
+	if inVar(0.5, 0.25, 0.5) {
+		t.Error("upper bound < 1 must be exclusive")
+	}
+	if !inVar(0.25, 0.25, 0.5) {
+		t.Error("lower bound is inclusive")
+	}
+	// [0.75, 1] closed at the domain maximum.
+	if !inVar(1, 0.75, 1) {
+		t.Error("upper bound == 1 must be inclusive")
+	}
+	if inVar(0.2, 0.25, 0.5) || inVar(0.6, 0.25, 0.5) {
+		t.Error("values outside the interval must not match")
+	}
+}
+
+func TestPaperExample2(t *testing.T) {
+	// §4.1 Example 2: three sample clusters in 2 dimensions.
+	o1 := geom.Rect{Min: []float32{0.05, 0.10}, Max: []float32{0.20, 0.30}}
+	o2 := geom.Rect{Min: []float32{0.10, 0.55}, Max: []float32{0.15, 0.80}}
+	c1 := Root(2)
+	c1.ALo[0], c1.AHi[0] = 0.00, 0.25
+	c1.BLo[0], c1.BHi[0] = 0.00, 0.25
+	if !c1.MatchesObject(o1) || !c1.MatchesObject(o2) {
+		t.Error("O1 and O2 must match c1 (d1 start and end in first quart)")
+	}
+	o3 := geom.Rect{Min: []float32{0.30, 0.55}, Max: []float32{0.80, 0.85}}
+	if c1.MatchesObject(o3) {
+		t.Error("O3 starts in [0.25,0.50) on d1 and must not match c1")
+	}
+	c2 := Root(2)
+	c2.ALo[0], c2.AHi[0] = 0.25, 0.50
+	c2.BLo[0], c2.BHi[0] = 0.75, 1.00
+	c2.ALo[1], c2.AHi[1] = 0.50, 0.75
+	c2.BLo[1], c2.BHi[1] = 0.75, 1.00
+	o4 := geom.Rect{Min: []float32{0.30, 0.60}, Max: []float32{0.90, 0.95}}
+	if !c2.MatchesObject(o4) {
+		t.Error("O4 must match c2")
+	}
+	if c2.MatchesObject(o1) {
+		t.Error("O1 must not match c2")
+	}
+}
+
+func TestQueryMatchConditions(t *testing.T) {
+	s := Root(1)
+	s.ALo[0], s.AHi[0] = 0.25, 0.50 // starts in [0.25,0.50)
+	s.BLo[0], s.BHi[0] = 0.50, 0.75 // ends in [0.50,0.75)
+
+	q := func(lo, hi float32) geom.Rect {
+		return geom.Rect{Min: []float32{lo}, Max: []float32{hi}}
+	}
+	// Intersection: feasible iff alo <= qhi and qlo <= bhi.
+	if s.MatchesQuery(q(0.80, 0.90), geom.Intersects) {
+		t.Error("query entirely above bhi cannot intersect any member")
+	}
+	if s.MatchesQuery(q(0.0, 0.2), geom.Intersects) {
+		t.Error("query entirely below alo cannot intersect any member")
+	}
+	if !s.MatchesQuery(q(0.4, 0.6), geom.Intersects) {
+		t.Error("overlapping query must match")
+	}
+	// Containment: need ahi >= qlo and blo <= qhi.
+	if s.MatchesQuery(q(0.55, 0.95), geom.ContainedBy) {
+		t.Error("no member can start at/after 0.55")
+	}
+	if !s.MatchesQuery(q(0.2, 0.8), geom.ContainedBy) {
+		t.Error("wide query can contain members")
+	}
+	// Enclosure: need alo <= qlo and bhi >= qhi.
+	if s.MatchesQuery(q(0.1, 0.2), geom.Encloses) {
+		t.Error("members start at >= 0.25 and cannot enclose q.lo=0.1")
+	}
+	if !s.MatchesQuery(q(0.45, 0.55), geom.Encloses) {
+		t.Error("members can enclose [0.45,0.55]")
+	}
+}
+
+// TestQueryMatchIsConservative is the key pruning-soundness property: if an
+// object matches a signature and a query selects the object, then the query
+// must match the signature (no false negatives).
+func TestQueryMatchIsConservative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := rng.Intn(5) + 1
+		parent := Root(dims)
+		// Refine the root a few times to get a deep random signature.
+		s := parent
+		for k := 0; k < rng.Intn(4); k++ {
+			splits := Enumerate(s, 4)
+			if len(splits) == 0 {
+				break
+			}
+			s = splits[rng.Intn(len(splits))].Child(s)
+		}
+		for i := 0; i < 50; i++ {
+			o := randomRect(rng, dims)
+			if !s.MatchesObject(o) {
+				continue
+			}
+			q := randomRect(rng, dims)
+			for _, rel := range []geom.Relation{geom.Intersects, geom.ContainedBy, geom.Encloses} {
+				if o.Matches(rel, q) && !s.MatchesQuery(q, rel) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	parent := Root(3)
+	splits := Enumerate(parent, 4)
+	for _, sp := range splits {
+		child := sp.Child(parent)
+		if !parent.Covers(child) {
+			t.Fatalf("parent must cover child %v", child)
+		}
+		if child.Covers(parent) && !child.Equal(parent) {
+			t.Fatalf("strict child must not cover parent: %v", child)
+		}
+	}
+	if parent.Covers(Root(2)) {
+		t.Error("different dimensionality never covers")
+	}
+}
+
+func TestCloneEqualString(t *testing.T) {
+	s := Root(2)
+	s.ALo[1], s.AHi[1] = 0.25, 0.5
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Fatal("clone must equal original")
+	}
+	c.ALo[1] = 0
+	if c.Equal(s) {
+		t.Fatal("clone must not share storage")
+	}
+	if got := Root(1).String(); got != "{root}" {
+		t.Errorf("root String() = %q", got)
+	}
+	if got := s.String(); got == "{root}" {
+		t.Errorf("constrained signature should render its dimension, got %q", got)
+	}
+}
+
+func TestConstrained(t *testing.T) {
+	s := Root(2)
+	if s.Constrained(0) || s.Constrained(1) {
+		t.Error("root has no constrained dimensions")
+	}
+	s.BHi[1] = 0.5
+	if s.Constrained(0) || !s.Constrained(1) {
+		t.Error("only dimension 1 is constrained")
+	}
+}

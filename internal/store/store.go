@@ -1,0 +1,267 @@
+// Package store persists an adaptive clustering database following the
+// paper's disk layout (§6): every cluster is stored sequentially with
+// 20–30% reserved slots at its end (so at least 70% storage utilization and
+// no cluster move on most insertions), cluster signatures are stored with
+// the members, and a directory block at the front of the device records the
+// position of each cluster for fail recovery. Performance indicators are not
+// persisted — new statistics are gathered after recovery, as the paper
+// permits.
+//
+// The on-device format (little endian):
+//
+//	header  : magic "ACDB", version, dims, cluster count,
+//	          directory length, directory CRC32, header CRC32
+//	directory: per cluster — parent index, member count, capacity
+//	          (count + reserve), region offset, region CRC32, signature
+//	          (4·dims float32)
+//	regions : per cluster — ids [capacity]uint32, coords
+//	          [capacity·2·dims]float32 (only count slots are meaningful)
+//
+// Save writes a full checkpoint; Load validates every checksum and rebuilds
+// the index via core.Restore.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"accluster/internal/core"
+	"accluster/internal/sig"
+)
+
+const (
+	magic      = 0x41434442 // "ACDB"
+	version    = 1
+	headerSize = 28
+)
+
+// ErrCorrupt wraps all integrity failures detected by Load.
+type CorruptError struct{ Reason string }
+
+func (e *CorruptError) Error() string { return "store: corrupt database: " + e.Reason }
+
+func corrupt(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// reserveSlots implements the paper's 20–30% reservation rule: capacity is
+// 125% of the live size (≥ 80% utilization), with at least one free slot.
+func reserveSlots(n int) int {
+	extra := n / 4
+	if extra < 1 {
+		extra = 1
+	}
+	return n + extra
+}
+
+// entrySize returns the directory entry size for the given dimensionality.
+func entrySize(dims int) int {
+	return 4 + 4 + 4 + 8 + 4 + 16*dims // parent, count, capacity, offset, crc, signature
+}
+
+// regionSize returns the byte size of a cluster region with the given
+// capacity.
+func regionSize(capacity, dims int) int {
+	return capacity*4 + capacity*2*dims*4
+}
+
+// Save checkpoints the index onto the device, replacing any previous
+// content.
+func Save(ix *core.Index, dev Device) error {
+	snap := ix.Snapshot()
+	dims := ix.Dims()
+	es := entrySize(dims)
+	dirLen := len(snap) * es
+
+	// Lay out the regions after header + directory.
+	offsets := make([]int64, len(snap))
+	caps := make([]int, len(snap))
+	next := int64(headerSize + dirLen)
+	for i, cs := range snap {
+		offsets[i] = next
+		caps[i] = reserveSlots(len(cs.IDs))
+		next += int64(regionSize(caps[i], dims))
+	}
+
+	dir := make([]byte, dirLen)
+	for i, cs := range snap {
+		region := make([]byte, regionSize(caps[i], dims))
+		for k, id := range cs.IDs {
+			binary.LittleEndian.PutUint32(region[k*4:], id)
+		}
+		coordBase := caps[i] * 4
+		for k, v := range cs.Data {
+			binary.LittleEndian.PutUint32(region[coordBase+k*4:], math.Float32bits(v))
+		}
+		if _, err := dev.WriteAt(region, offsets[i]); err != nil {
+			return fmt.Errorf("store: write cluster %d: %w", i, err)
+		}
+		e := dir[i*es:]
+		binary.LittleEndian.PutUint32(e[0:], uint32(int32(cs.Parent)))
+		binary.LittleEndian.PutUint32(e[4:], uint32(len(cs.IDs)))
+		binary.LittleEndian.PutUint32(e[8:], uint32(caps[i]))
+		binary.LittleEndian.PutUint64(e[12:], uint64(offsets[i]))
+		binary.LittleEndian.PutUint32(e[20:], crc32.ChecksumIEEE(region))
+		sigBase := 24
+		for d := 0; d < dims; d++ {
+			binary.LittleEndian.PutUint32(e[sigBase+d*16:], math.Float32bits(cs.Signature.ALo[d]))
+			binary.LittleEndian.PutUint32(e[sigBase+d*16+4:], math.Float32bits(cs.Signature.AHi[d]))
+			binary.LittleEndian.PutUint32(e[sigBase+d*16+8:], math.Float32bits(cs.Signature.BLo[d]))
+			binary.LittleEndian.PutUint32(e[sigBase+d*16+12:], math.Float32bits(cs.Signature.BHi[d]))
+		}
+	}
+	if _, err := dev.WriteAt(dir, headerSize); err != nil {
+		return fmt.Errorf("store: write directory: %w", err)
+	}
+
+	head := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(head[0:], magic)
+	binary.LittleEndian.PutUint32(head[4:], version)
+	binary.LittleEndian.PutUint32(head[8:], uint32(dims))
+	binary.LittleEndian.PutUint32(head[12:], uint32(len(snap)))
+	binary.LittleEndian.PutUint32(head[16:], uint32(dirLen))
+	binary.LittleEndian.PutUint32(head[20:], crc32.ChecksumIEEE(dir))
+	binary.LittleEndian.PutUint32(head[24:], crc32.ChecksumIEEE(head[:24]))
+	if _, err := dev.WriteAt(head, 0); err != nil {
+		return fmt.Errorf("store: write header: %w", err)
+	}
+	if err := dev.Truncate(next); err != nil {
+		return fmt.Errorf("store: truncate: %w", err)
+	}
+	return dev.Sync()
+}
+
+// DirEntry describes one cluster's placement on the device.
+type DirEntry struct {
+	// Signature is the cluster's grouping signature.
+	Signature sig.Signature
+	// Parent is the index of the parent cluster (-1 for the root).
+	Parent int
+	// Count is the number of live members.
+	Count int
+	// Capacity is the number of slots in the region (count + reserve).
+	Capacity int
+	// Offset is the region's byte offset on the device.
+	Offset int64
+	// CRC is the region checksum.
+	CRC uint32
+}
+
+// RegionBytes returns the byte size of the entry's on-device region.
+func (e DirEntry) RegionBytes(dims int) int { return regionSize(e.Capacity, dims) }
+
+// ReadDirectory validates the header and directory checksums and returns the
+// cluster directory and dimensionality. It reads only the header and
+// directory blocks, not the cluster regions — this is the in-memory state a
+// disk-based deployment keeps (§5.ii: "signatures ... managed in memory,
+// while the cluster members are stored on external support").
+func ReadDirectory(dev Device) ([]DirEntry, int, error) {
+	head := make([]byte, headerSize)
+	if _, err := dev.ReadAt(head, 0); err != nil {
+		return nil, 0, corrupt("short header: %v", err)
+	}
+	if crc32.ChecksumIEEE(head[:24]) != binary.LittleEndian.Uint32(head[24:]) {
+		return nil, 0, corrupt("header checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(head[0:]) != magic {
+		return nil, 0, corrupt("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != version {
+		return nil, 0, corrupt("unsupported version %d", v)
+	}
+	dims := int(binary.LittleEndian.Uint32(head[8:]))
+	nClusters := int(binary.LittleEndian.Uint32(head[12:]))
+	dirLen := int(binary.LittleEndian.Uint32(head[16:]))
+	if dims < 1 || nClusters < 1 {
+		return nil, 0, corrupt("implausible geometry: dims=%d clusters=%d", dims, nClusters)
+	}
+	es := entrySize(dims)
+	if dirLen != nClusters*es {
+		return nil, 0, corrupt("directory length %d does not match %d clusters", dirLen, nClusters)
+	}
+	dir := make([]byte, dirLen)
+	if _, err := dev.ReadAt(dir, headerSize); err != nil {
+		return nil, 0, corrupt("short directory: %v", err)
+	}
+	if crc32.ChecksumIEEE(dir) != binary.LittleEndian.Uint32(head[20:]) {
+		return nil, 0, corrupt("directory checksum mismatch")
+	}
+	entries := make([]DirEntry, nClusters)
+	for i := 0; i < nClusters; i++ {
+		e := dir[i*es:]
+		entry := DirEntry{
+			Parent:   int(int32(binary.LittleEndian.Uint32(e[0:]))),
+			Count:    int(binary.LittleEndian.Uint32(e[4:])),
+			Capacity: int(binary.LittleEndian.Uint32(e[8:])),
+			Offset:   int64(binary.LittleEndian.Uint64(e[12:])),
+			CRC:      binary.LittleEndian.Uint32(e[20:]),
+		}
+		if entry.Count > entry.Capacity || entry.Capacity > 1<<30 {
+			return nil, 0, corrupt("cluster %d: count %d exceeds capacity %d", i, entry.Count, entry.Capacity)
+		}
+		s := sig.Root(dims)
+		sigBase := 24
+		for d := 0; d < dims; d++ {
+			s.ALo[d] = math.Float32frombits(binary.LittleEndian.Uint32(e[sigBase+d*16:]))
+			s.AHi[d] = math.Float32frombits(binary.LittleEndian.Uint32(e[sigBase+d*16+4:]))
+			s.BLo[d] = math.Float32frombits(binary.LittleEndian.Uint32(e[sigBase+d*16+8:]))
+			s.BHi[d] = math.Float32frombits(binary.LittleEndian.Uint32(e[sigBase+d*16+12:]))
+		}
+		entry.Signature = s
+		entries[i] = entry
+	}
+	return entries, dims, nil
+}
+
+// ReadRegion reads and verifies one cluster region, returning the member ids
+// and flat coordinates.
+func ReadRegion(dev Device, e DirEntry, dims int) ([]uint32, []float32, error) {
+	region := make([]byte, regionSize(e.Capacity, dims))
+	if _, err := dev.ReadAt(region, e.Offset); err != nil {
+		return nil, nil, corrupt("short region at %d: %v", e.Offset, err)
+	}
+	if crc32.ChecksumIEEE(region) != e.CRC {
+		return nil, nil, corrupt("region checksum mismatch at %d", e.Offset)
+	}
+	ids := make([]uint32, e.Count)
+	for k := range ids {
+		ids[k] = binary.LittleEndian.Uint32(region[k*4:])
+	}
+	coordBase := e.Capacity * 4
+	data := make([]float32, e.Count*2*dims)
+	for k := range data {
+		data[k] = math.Float32frombits(binary.LittleEndian.Uint32(region[coordBase+k*4:]))
+	}
+	return ids, data, nil
+}
+
+// Load validates the device content and rebuilds the index. cfg supplies the
+// runtime parameters (scenario, division factor, …); its Dims must match the
+// stored dimensionality or be zero to adopt it.
+func Load(dev Device, cfg core.Config) (*core.Index, error) {
+	entries, dims, err := ReadDirectory(dev)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Dims == 0 {
+		cfg.Dims = dims
+	}
+	if cfg.Dims != dims {
+		return nil, fmt.Errorf("store: database has %d dims, config wants %d", dims, cfg.Dims)
+	}
+	snap := make([]core.ClusterSnapshot, len(entries))
+	for i, e := range entries {
+		ids, data, err := ReadRegion(dev, e, dims)
+		if err != nil {
+			return nil, err
+		}
+		snap[i] = core.ClusterSnapshot{Signature: e.Signature, Parent: e.Parent, IDs: ids, Data: data}
+	}
+	ix, err := core.Restore(cfg, snap)
+	if err != nil {
+		return nil, corrupt("restore: %v", err)
+	}
+	return ix, nil
+}

@@ -1,0 +1,120 @@
+package vdisk
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSequentialVsRandomAccess(t *testing.T) {
+	const seek, perByte = 15.0, 1e-4
+	d := New(seek, perByte)
+	if _, err := d.WriteAt(make([]byte, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetClock()
+
+	// Sequential read in two chunks: one seek (position 0 differs from
+	// the head position after the write), then pure transfer.
+	buf := make([]byte, 1024)
+	if _, err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadAt(buf, 1024); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Seeks != 1 {
+		t.Fatalf("sequential chunks: %d seeks, want 1", st.Seeks)
+	}
+	want := seek + 2048*perByte
+	if !almost(st.ElapsedMS, want) {
+		t.Fatalf("elapsed %g, want %g", st.ElapsedMS, want)
+	}
+
+	// A random jump costs another seek.
+	if _, err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Seeks; got != 2 {
+		t.Fatalf("random jump: %d seeks, want 2", got)
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	d := New(10, 1e-3)
+	if _, err := d.WriteAt(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential continuation: no extra seek.
+	if _, err := d.WriteAt(make([]byte, 100), 100); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Seeks != 1 || st.Writes != 2 || st.Bytes != 200 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !almost(st.ElapsedMS, 10+200*1e-3) {
+		t.Fatalf("elapsed %g", st.ElapsedMS)
+	}
+}
+
+func TestDeviceSemantics(t *testing.T) {
+	d := New(1, 1e-6)
+	if _, err := d.ReadAt(make([]byte, 8), 0); err == nil {
+		t.Error("read from empty disk must fail")
+	}
+	if _, err := d.WriteAt([]byte{1}, -1); err == nil {
+		t.Error("negative write offset must fail")
+	}
+	if err := d.Truncate(-1); err == nil {
+		t.Error("negative truncate must fail")
+	}
+	if _, err := d.WriteAt([]byte{1, 2, 3, 4}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := d.Size(); sz != 8 {
+		t.Fatalf("size %d, want 8", sz)
+	}
+	if err := d.Truncate(16); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := d.Size(); sz != 16 {
+		t.Fatalf("size after grow %d", sz)
+	}
+	if err := d.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := d.Size(); sz != 2 {
+		t.Fatalf("size after shrink %d", sz)
+	}
+	if err := d.Sync(); err != nil {
+		t.Error("Sync must succeed")
+	}
+	buf := make([]byte, 2)
+	if _, err := d.ReadAt(buf, 0); err != nil || buf[0] != 0 {
+		t.Fatalf("read back: %v %v", buf, err)
+	}
+	// Short read at the tail.
+	if _, err := d.ReadAt(make([]byte, 10), 1); err == nil {
+		t.Error("short read must report an error")
+	}
+}
+
+func TestResetClockKeepsContent(t *testing.T) {
+	d := New(5, 1e-5)
+	if _, err := d.WriteAt([]byte{9, 8, 7}, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetClock()
+	if st := d.Stats(); st.ElapsedMS != 0 || st.Seeks != 0 {
+		t.Fatalf("clock not reset: %+v", st)
+	}
+	buf := make([]byte, 3)
+	if _, err := d.ReadAt(buf, 0); err != nil || buf[0] != 9 {
+		t.Fatalf("content lost after reset: %v %v", buf, err)
+	}
+}

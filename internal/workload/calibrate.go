@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"accluster/internal/geom"
+)
+
+// Selectivity calibration (§7.2). The paper controls average query
+// selectivity by enforcing query interval sizes; we invert that relation by
+// bisection. Because every generator draws its dimensions independently, the
+// expected selectivity of a query factorizes into per-dimension match
+// probabilities; estimating those per dimension on an object sample and
+// multiplying reaches selectivities far below 1/sampleSize (down to the
+// paper's 5e-7) with good accuracy.
+
+// EstimateSelectivity returns the expected fraction of objects drawn from
+// objSpec matched by queries with the given nominal size under rel,
+// estimated with sampleN objects and trials query draws.
+func EstimateSelectivity(objSpec ObjectSpec, rel geom.Relation, size float32, sampleN, trials int, seed int64) (float64, error) {
+	if err := objSpec.setDefaults(); err != nil {
+		return 0, err
+	}
+	if !rel.Valid() {
+		return 0, fmt.Errorf("workload: invalid relation %v", rel)
+	}
+	if sampleN < 1 || trials < 1 {
+		return 0, fmt.Errorf("workload: sampleN and trials must be positive")
+	}
+	sampleSpec := objSpec
+	sampleSpec.Seed = seed
+	og, err := NewObjectGen(sampleSpec)
+	if err != nil {
+		return 0, err
+	}
+	dims := objSpec.Dims
+	// sample[d] holds the (lo,hi) pairs of every sampled object in
+	// dimension d.
+	sample := make([][2][]float32, dims)
+	for d := range sample {
+		sample[d][0] = make([]float32, sampleN)
+		sample[d][1] = make([]float32, sampleN)
+	}
+	r := geom.NewRect(dims)
+	for i := 0; i < sampleN; i++ {
+		og.Fill(r)
+		for d := 0; d < dims; d++ {
+			sample[d][0][i] = r.Min[d]
+			sample[d][1][i] = r.Max[d]
+		}
+	}
+	qg, err := NewQueryGen(QuerySpec{Dims: dims, Size: size, Seed: seed + 1})
+	if err != nil {
+		return 0, err
+	}
+	q := geom.NewRect(dims)
+	total := 0.0
+	for trial := 0; trial < trials; trial++ {
+		qg.Fill(q)
+		p := 1.0
+		for d := 0; d < dims && p > 0; d++ {
+			match := 0
+			lows, highs := sample[d][0], sample[d][1]
+			switch rel {
+			case geom.Intersects:
+				for i := 0; i < sampleN; i++ {
+					if lows[i] <= q.Max[d] && q.Min[d] <= highs[i] {
+						match++
+					}
+				}
+			case geom.ContainedBy:
+				for i := 0; i < sampleN; i++ {
+					if lows[i] >= q.Min[d] && highs[i] <= q.Max[d] {
+						match++
+					}
+				}
+			case geom.Encloses:
+				for i := 0; i < sampleN; i++ {
+					if lows[i] <= q.Min[d] && highs[i] >= q.Max[d] {
+						match++
+					}
+				}
+			}
+			p *= float64(match) / float64(sampleN)
+		}
+		total += p
+	}
+	return total / float64(trials), nil
+}
+
+// CalibrateQuerySize finds a query size whose expected selectivity under rel
+// approximates target, by bisection over [0,1]. It returns the size and the
+// achieved selectivity estimate. Selectivity grows with query size for
+// intersection and containment and shrinks for enclosure; both directions
+// are handled.
+func CalibrateQuerySize(objSpec ObjectSpec, rel geom.Relation, target float64, seed int64) (float32, float64, error) {
+	if target <= 0 || target > 1 {
+		return 0, 0, fmt.Errorf("workload: target selectivity must be in (0,1], got %g", target)
+	}
+	const sampleN, trials = 2000, 48
+	eval := func(size float32) (float64, error) {
+		return EstimateSelectivity(objSpec, rel, size, sampleN, trials, seed)
+	}
+	increasing := rel != geom.Encloses
+	lo, hi := float32(0), float32(1)
+	var achieved float64
+	size := float32(0.5)
+	for iter := 0; iter < 28; iter++ {
+		size = (lo + hi) / 2
+		s, err := eval(size)
+		if err != nil {
+			return 0, 0, err
+		}
+		achieved = s
+		if math.Abs(math.Log(math.Max(s, 1e-300))-math.Log(target)) < 0.05 {
+			break
+		}
+		if (s < target) == increasing {
+			lo = size
+		} else {
+			hi = size
+		}
+	}
+	return size, achieved, nil
+}
+
+// MeasureSelectivity runs actual queries against an index-like Search
+// function and returns the observed average selectivity; used by tests to
+// validate calibration end to end.
+func MeasureSelectivity(search func(q geom.Rect, rel geom.Relation) (int, error),
+	qg *QueryGen, rel geom.Relation, nObjects, queries int) (float64, error) {
+	if nObjects < 1 || queries < 1 {
+		return 0, fmt.Errorf("workload: nothing to measure")
+	}
+	q := geom.NewRect(qg.spec.Dims)
+	total := 0.0
+	for i := 0; i < queries; i++ {
+		qg.Fill(q)
+		n, err := search(q, rel)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(n) / float64(nObjects)
+	}
+	return total / float64(queries), nil
+}
+
+// Shuffle returns a deterministic permutation of 0..n-1, handy for insert
+// order randomization in experiments.
+func Shuffle(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	p := rng.Perm(n)
+	return p
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"accluster/internal/geom"
+)
+
+// Workload files (as written by cmd/acgen) are plain text, one object per
+// line:
+//
+//	id lo1 hi1 lo2 hi2 ... loN hiN
+//
+// Blank lines and lines starting with '#' are skipped. Dimensionality is
+// inferred from the first record and enforced on the rest.
+
+// WriteObjects writes the (id, rect) pairs in workload file format.
+func WriteObjects(w io.Writer, ids []uint32, rects []geom.Rect) error {
+	if len(ids) != len(rects) {
+		return fmt.Errorf("workload: %d ids but %d rects", len(ids), len(rects))
+	}
+	bw := bufio.NewWriter(w)
+	for i, r := range rects {
+		if _, err := fmt.Fprintf(bw, "%d", ids[i]); err != nil {
+			return err
+		}
+		for d := 0; d < r.Dims(); d++ {
+			if _, err := fmt.Fprintf(bw, " %g %g", r.Min[d], r.Max[d]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadObjects parses a workload file. It returns the ids and rectangles in
+// file order.
+func ReadObjects(r io.Reader) ([]uint32, []geom.Rect, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var ids []uint32
+	var rects []geom.Rect
+	dims := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 || (len(fields)-1)%2 != 0 {
+			return nil, nil, fmt.Errorf("workload: line %d: want 'id lo hi [lo hi ...]', got %d fields", line, len(fields))
+		}
+		d := (len(fields) - 1) / 2
+		if dims == -1 {
+			dims = d
+		} else if d != dims {
+			return nil, nil, fmt.Errorf("workload: line %d: %d dims, first record had %d", line, d, dims)
+		}
+		id64, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: line %d: bad id %q", line, fields[0])
+		}
+		rect := geom.NewRect(dims)
+		for k := 0; k < dims; k++ {
+			lo, err := strconv.ParseFloat(fields[1+2*k], 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("workload: line %d: bad bound %q", line, fields[1+2*k])
+			}
+			hi, err := strconv.ParseFloat(fields[2+2*k], 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("workload: line %d: bad bound %q", line, fields[2+2*k])
+			}
+			rect.Min[k], rect.Max[k] = float32(lo), float32(hi)
+		}
+		if !rect.Valid() {
+			return nil, nil, fmt.Errorf("workload: line %d: invalid rectangle %v", line, rect)
+		}
+		ids = append(ids, uint32(id64))
+		rects = append(rects, rect)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(ids) == 0 {
+		return nil, nil, fmt.Errorf("workload: empty file")
+	}
+	return ids, rects, nil
+}

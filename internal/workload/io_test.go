@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"accluster/internal/geom"
+)
+
+func TestObjectsRoundTrip(t *testing.T) {
+	g, err := NewObjectGen(ObjectSpec{Dims: 5, MaxSize: 0.4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint32
+	var rects []geom.Rect
+	for i := uint32(0); i < 200; i++ {
+		ids = append(ids, i*3)
+		rects = append(rects, g.Rect())
+	}
+	var buf bytes.Buffer
+	if err := WriteObjects(&buf, ids, rects); err != nil {
+		t.Fatal(err)
+	}
+	gotIDs, gotRects, err := ReadObjects(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotIDs) != 200 {
+		t.Fatalf("read %d records", len(gotIDs))
+	}
+	for i := range gotIDs {
+		if gotIDs[i] != ids[i] {
+			t.Fatalf("record %d: id %d, want %d", i, gotIDs[i], ids[i])
+		}
+		// float32 → %g → float32 is exact.
+		if !gotRects[i].Equal(rects[i]) {
+			t.Fatalf("record %d: %v != %v", i, gotRects[i], rects[i])
+		}
+	}
+}
+
+func TestWriteObjectsValidation(t *testing.T) {
+	if err := WriteObjects(&bytes.Buffer{}, []uint32{1}, nil); err == nil {
+		t.Error("mismatched lengths must fail")
+	}
+}
+
+func TestReadObjectsSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# workload\n\n1 0.1 0.2 0.3 0.4\n# more\n2 0.5 0.6 0.7 0.8\n"
+	ids, rects, err := ReadObjects(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || rects[0].Dims() != 2 {
+		t.Fatalf("parsed %d records, dims %d", len(ids), rects[0].Dims())
+	}
+}
+
+func TestReadObjectsErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"comment only":     "# nothing\n",
+		"odd fields":       "1 0.1 0.2 0.3\n",
+		"too few":          "1 0.5\n",
+		"bad id":           "x 0.1 0.2\n",
+		"bad bound":        "1 zero 0.2\n",
+		"inverted":         "1 0.9 0.1\n",
+		"out of domain":    "1 0.5 1.5\n",
+		"inconsistent dim": "1 0.1 0.2\n2 0.1 0.2 0.3 0.4\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadObjects(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package workload generates the experimental workloads of the paper (§7):
+// uniformly distributed hyper-rectangles, the skewed distribution of the
+// dimensionality experiment (a random quarter of the dimensions twice as
+// selective per object), query rectangles with calibrated selectivity, and
+// point events for point-enclosing queries. All generators are
+// deterministically seeded.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"accluster/internal/geom"
+)
+
+// ObjectSpec describes a database object distribution.
+type ObjectSpec struct {
+	// Dims is the data space dimensionality.
+	Dims int
+	// MaxSize bounds the per-dimension interval size: sizes are uniform
+	// in [MinSize, MaxSize] and positions uniform in the remaining domain
+	// ("sizes and positions randomly distributed", §7.2). Default 1.
+	MaxSize float32
+	// MinSize bounds interval sizes from below (default 0). Setting it
+	// above 0 models genuinely extended objects — range subscriptions
+	// with meaningful widths — where grouping by minimum bounding cannot
+	// descend because no object fits a sub-region.
+	MinSize float32
+	// Skewed activates the Fig. 8 distribution: per object a random
+	// quarter of the dimensions is two times more selective (half-size
+	// intervals) than the rest.
+	Skewed bool
+	// Seed seeds the generator.
+	Seed int64
+}
+
+func (s *ObjectSpec) setDefaults() error {
+	if s.Dims < 1 {
+		return fmt.Errorf("workload: invalid dimensionality %d", s.Dims)
+	}
+	if s.MaxSize == 0 {
+		s.MaxSize = 1
+	}
+	if s.MaxSize < 0 || s.MaxSize > 1 {
+		return fmt.Errorf("workload: MaxSize must be in (0,1], got %g", s.MaxSize)
+	}
+	if s.MinSize < 0 || s.MinSize > s.MaxSize {
+		return fmt.Errorf("workload: MinSize must be in [0,MaxSize], got %g", s.MinSize)
+	}
+	return nil
+}
+
+// ObjectGen produces database objects.
+type ObjectGen struct {
+	spec ObjectSpec
+	rng  *rand.Rand
+	perm []int // scratch for selective dimension choice
+}
+
+// NewObjectGen builds a generator for the given spec.
+func NewObjectGen(spec ObjectSpec) (*ObjectGen, error) {
+	if err := spec.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &ObjectGen{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+		perm: make([]int, spec.Dims),
+	}, nil
+}
+
+// Fill writes the next object into r, which must have the spec's
+// dimensionality.
+func (g *ObjectGen) Fill(r geom.Rect) {
+	selective := g.perm[:0]
+	if g.spec.Skewed {
+		// Choose a random quarter of the dimensions.
+		q := g.spec.Dims / 4
+		if q < 1 {
+			q = 1
+		}
+		g.perm = g.perm[:g.spec.Dims]
+		for i := range g.perm {
+			g.perm[i] = i
+		}
+		g.rng.Shuffle(len(g.perm), func(i, j int) { g.perm[i], g.perm[j] = g.perm[j], g.perm[i] })
+		selective = g.perm[:q]
+	}
+	isSelective := func(d int) bool {
+		for _, s := range selective {
+			if s == d {
+				return true
+			}
+		}
+		return false
+	}
+	for d := 0; d < g.spec.Dims; d++ {
+		size := g.spec.MinSize + g.rng.Float32()*(g.spec.MaxSize-g.spec.MinSize)
+		if g.spec.Skewed && isSelective(d) {
+			size /= 2
+		}
+		lo := g.rng.Float32() * (1 - size)
+		r.Min[d], r.Max[d] = lo, lo+size
+	}
+}
+
+// Rect allocates and returns the next object.
+func (g *ObjectGen) Rect() geom.Rect {
+	r := geom.NewRect(g.spec.Dims)
+	g.Fill(r)
+	return r
+}
+
+// QuerySpec describes a query workload.
+type QuerySpec struct {
+	// Dims is the data space dimensionality.
+	Dims int
+	// Size is the nominal per-dimension interval size of query objects.
+	// 0 generates point queries.
+	Size float32
+	// Jitter spreads individual sizes uniformly in
+	// [Size·(1−Jitter), Size·(1+Jitter)], implementing the paper's
+	// "minimal/maximal interval sizes enforced to control selectivity";
+	// default 0.5 when Size > 0.
+	Jitter float32
+	// Focus, when non-nil, confines query centers to the given
+	// rectangle, producing a skewed query distribution.
+	Focus *geom.Rect
+	// Seed seeds the generator.
+	Seed int64
+}
+
+func (s *QuerySpec) setDefaults() error {
+	if s.Dims < 1 {
+		return fmt.Errorf("workload: invalid dimensionality %d", s.Dims)
+	}
+	if s.Size < 0 || s.Size > 1 {
+		return fmt.Errorf("workload: Size must be in [0,1], got %g", s.Size)
+	}
+	if s.Jitter == 0 && s.Size > 0 {
+		s.Jitter = 0.5
+	}
+	if s.Jitter < 0 || s.Jitter > 1 {
+		return fmt.Errorf("workload: Jitter must be in [0,1], got %g", s.Jitter)
+	}
+	if s.Focus != nil && s.Focus.Dims() != s.Dims {
+		return fmt.Errorf("workload: focus dimensionality %d != %d", s.Focus.Dims(), s.Dims)
+	}
+	return nil
+}
+
+// QueryGen produces query rectangles (or points when Size is 0).
+type QueryGen struct {
+	spec QuerySpec
+	rng  *rand.Rand
+}
+
+// NewQueryGen builds a generator for the given spec.
+func NewQueryGen(spec QuerySpec) (*QueryGen, error) {
+	if err := spec.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &QueryGen{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}, nil
+}
+
+// Fill writes the next query into q.
+func (g *QueryGen) Fill(q geom.Rect) {
+	for d := 0; d < g.spec.Dims; d++ {
+		size := g.spec.Size
+		if size > 0 && g.spec.Jitter > 0 {
+			size *= 1 - g.spec.Jitter + 2*g.spec.Jitter*g.rng.Float32()
+			if size > 1 {
+				size = 1
+			}
+		}
+		var center float32
+		if f := g.spec.Focus; f != nil {
+			center = f.Min[d] + g.rng.Float32()*(f.Max[d]-f.Min[d])
+		} else {
+			center = g.rng.Float32()
+		}
+		lo := center - size/2
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > 1-size {
+			lo = 1 - size
+		}
+		q.Min[d], q.Max[d] = lo, lo+size
+	}
+}
+
+// Rect allocates and returns the next query.
+func (g *QueryGen) Rect() geom.Rect {
+	q := geom.NewRect(g.spec.Dims)
+	g.Fill(q)
+	return q
+}

@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"accluster/internal/geom"
+)
+
+func TestObjectSpecValidation(t *testing.T) {
+	if _, err := NewObjectGen(ObjectSpec{Dims: 0}); err == nil {
+		t.Error("dims=0 must fail")
+	}
+	if _, err := NewObjectGen(ObjectSpec{Dims: 2, MaxSize: 1.5}); err == nil {
+		t.Error("MaxSize > 1 must fail")
+	}
+	if _, err := NewObjectGen(ObjectSpec{Dims: 2, MaxSize: 0.4, MinSize: 0.5}); err == nil {
+		t.Error("MinSize > MaxSize must fail")
+	}
+	if _, err := NewObjectGen(ObjectSpec{Dims: 2, MinSize: -0.1}); err == nil {
+		t.Error("negative MinSize must fail")
+	}
+}
+
+func TestMinSizeEnforced(t *testing.T) {
+	g, err := NewObjectGen(ObjectSpec{Dims: 4, MaxSize: 0.6, MinSize: 0.3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		r := g.Rect()
+		if !r.Valid() {
+			t.Fatalf("invalid object %v", r)
+		}
+		for d := 0; d < 4; d++ {
+			size := r.Max[d] - r.Min[d]
+			if size < 0.3-1e-6 || size > 0.6+1e-6 {
+				t.Fatalf("size %g outside [0.3,0.6]", size)
+			}
+		}
+	}
+}
+
+func TestObjectGenValidityAndDeterminism(t *testing.T) {
+	g1, err := NewObjectGen(ObjectSpec{Dims: 8, MaxSize: 0.4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewObjectGen(ObjectSpec{Dims: 8, MaxSize: 0.4, Seed: 9})
+	for i := 0; i < 500; i++ {
+		a, b := g1.Rect(), g2.Rect()
+		if !a.Valid() {
+			t.Fatalf("invalid object %v", a)
+		}
+		if !a.Equal(b) {
+			t.Fatal("same seed must reproduce the same stream")
+		}
+		for d := 0; d < 8; d++ {
+			if a.Max[d]-a.Min[d] > 0.4 {
+				t.Fatalf("interval size %g exceeds MaxSize", a.Max[d]-a.Min[d])
+			}
+		}
+	}
+	g3, _ := NewObjectGen(ObjectSpec{Dims: 8, MaxSize: 0.4, Seed: 10})
+	if g3.Rect().Equal(g1.Rect()) {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestSkewedObjects(t *testing.T) {
+	g, err := NewObjectGen(ObjectSpec{Dims: 16, MaxSize: 0.5, Skewed: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per object, 4 of 16 dimensions should have roughly half-sized
+	// intervals; across many objects, per-dimension mean sizes stay
+	// uniform (the selective quarter moves around), but the count of
+	// small intervals per object must be ≥ the quarter.
+	smallTotal := 0
+	n := 2000
+	var meanSize float64
+	for i := 0; i < n; i++ {
+		r := g.Rect()
+		if !r.Valid() {
+			t.Fatalf("invalid skewed object %v", r)
+		}
+		for d := 0; d < 16; d++ {
+			meanSize += float64(r.Max[d] - r.Min[d])
+			if r.Max[d]-r.Min[d] < 0.125 { // < MaxSize/4: likely selective
+				smallTotal++
+			}
+		}
+	}
+	meanSize /= float64(n * 16)
+	// Uniform sizes would average MaxSize/2 = 0.25; the skew lowers it:
+	// 12/16·0.25 + 4/16·0.125 = 0.21875.
+	if math.Abs(meanSize-0.21875) > 0.01 {
+		t.Errorf("mean interval size = %g, want ≈ 0.219", meanSize)
+	}
+	if smallTotal == 0 {
+		t.Error("expected selective dimensions")
+	}
+}
+
+func TestQuerySpecValidation(t *testing.T) {
+	if _, err := NewQueryGen(QuerySpec{Dims: 0}); err == nil {
+		t.Error("dims=0 must fail")
+	}
+	if _, err := NewQueryGen(QuerySpec{Dims: 2, Size: 2}); err == nil {
+		t.Error("Size > 1 must fail")
+	}
+	f := geom.NewRect(3)
+	if _, err := NewQueryGen(QuerySpec{Dims: 2, Focus: &f}); err == nil {
+		t.Error("focus dims mismatch must fail")
+	}
+}
+
+func TestPointQueries(t *testing.T) {
+	g, err := NewQueryGen(QuerySpec{Dims: 5, Size: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		q := g.Rect()
+		if !q.IsPoint() || !q.Valid() {
+			t.Fatalf("expected a valid point, got %v", q)
+		}
+	}
+}
+
+func TestQuerySizesWithinJitter(t *testing.T) {
+	g, err := NewQueryGen(QuerySpec{Dims: 3, Size: 0.2, Jitter: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		q := g.Rect()
+		if !q.Valid() {
+			t.Fatalf("invalid query %v", q)
+		}
+		for d := 0; d < 3; d++ {
+			size := q.Max[d] - q.Min[d]
+			if size < 0.2*0.5-1e-6 || size > 0.2*1.5+1e-6 {
+				t.Fatalf("query size %g outside jitter band", size)
+			}
+		}
+	}
+}
+
+func TestFocusedQueries(t *testing.T) {
+	focus := geom.Rect{Min: []float32{0.8, 0.8}, Max: []float32{0.9, 0.9}}
+	g, err := NewQueryGen(QuerySpec{Dims: 2, Size: 0.05, Focus: &focus, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		q := g.Rect()
+		for d := 0; d < 2; d++ {
+			center := (q.Min[d] + q.Max[d]) / 2
+			if center < 0.7 || center > 1.0 {
+				t.Fatalf("query center %g strayed from focus", center)
+			}
+		}
+	}
+}
+
+func TestEstimateSelectivityValidation(t *testing.T) {
+	spec := ObjectSpec{Dims: 2}
+	if _, err := EstimateSelectivity(spec, geom.Relation(9), 0.1, 100, 10, 1); err == nil {
+		t.Error("bad relation must fail")
+	}
+	if _, err := EstimateSelectivity(spec, geom.Intersects, 0.1, 0, 10, 1); err == nil {
+		t.Error("bad sample must fail")
+	}
+}
+
+func TestEstimateSelectivityMonotonicity(t *testing.T) {
+	spec := ObjectSpec{Dims: 8, MaxSize: 0.3, Seed: 1}
+	sSmall, err := EstimateSelectivity(spec, geom.Intersects, 0.01, 1000, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBig, err := EstimateSelectivity(spec, geom.Intersects, 0.5, 1000, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sBig <= sSmall {
+		t.Errorf("intersection selectivity must grow with query size: %g vs %g", sSmall, sBig)
+	}
+	// Enclosure: bigger queries are enclosed by fewer objects.
+	eSmall, _ := EstimateSelectivity(spec, geom.Encloses, 0.0, 1000, 16, 1)
+	eBig, _ := EstimateSelectivity(spec, geom.Encloses, 0.3, 1000, 16, 1)
+	if eBig >= eSmall {
+		t.Errorf("enclosure selectivity must shrink with query size: %g vs %g", eSmall, eBig)
+	}
+}
+
+func TestCalibrateQuerySizeHitsTarget(t *testing.T) {
+	spec := ObjectSpec{Dims: 16, MaxSize: 0.5, Seed: 7}
+	for _, target := range []float64{5e-5, 5e-3, 5e-2} {
+		size, achieved, err := CalibrateQuerySize(spec, geom.Intersects, target, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size <= 0 || size > 1 {
+			t.Fatalf("target %g: size %g out of range", target, size)
+		}
+		ratio := achieved / target
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("target %g: achieved %g (size %g), off by more than 2x", target, achieved, size)
+		}
+	}
+}
+
+func TestCalibrateTinyTarget(t *testing.T) {
+	// The per-dimension factorization must reach selectivities far below
+	// 1/sampleSize (paper sweeps down to 5e-7).
+	spec := ObjectSpec{Dims: 16, MaxSize: 0.3, Seed: 8}
+	size, achieved, err := CalibrateQuerySize(spec, geom.Intersects, 5e-7, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if achieved <= 0 {
+		t.Fatal("achieved selectivity must be positive")
+	}
+	ratio := achieved / 5e-7
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("tiny target: achieved %g for size %g", achieved, size)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, _, err := CalibrateQuerySize(ObjectSpec{Dims: 2}, geom.Intersects, 0, 1); err == nil {
+		t.Error("target 0 must fail")
+	}
+	if _, _, err := CalibrateQuerySize(ObjectSpec{Dims: 2}, geom.Intersects, 2, 1); err == nil {
+		t.Error("target > 1 must fail")
+	}
+}
+
+func TestMeasureSelectivity(t *testing.T) {
+	// A search function that matches everything gives selectivity 1.
+	qg, _ := NewQueryGen(QuerySpec{Dims: 2, Size: 0.1, Seed: 1})
+	all := func(q geom.Rect, rel geom.Relation) (int, error) { return 50, nil }
+	s, err := MeasureSelectivity(all, qg, geom.Intersects, 50, 10)
+	if err != nil || s != 1 {
+		t.Fatalf("MeasureSelectivity = %g, %v", s, err)
+	}
+	if _, err := MeasureSelectivity(all, qg, geom.Intersects, 0, 10); err == nil {
+		t.Error("0 objects must fail")
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a, b := Shuffle(100, 5), Shuffle(100, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same permutation")
+		}
+	}
+	seen := make([]bool, 100)
+	for _, v := range a {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+}

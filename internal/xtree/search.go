@@ -1,0 +1,262 @@
+package xtree
+
+import (
+	"fmt"
+
+	"accluster/internal/geom"
+)
+
+// matchCount evaluates rel with early exit, counting inspected dimensions.
+func matchCount(o, q geom.Rect, rel geom.Relation) (bool, int) {
+	switch rel {
+	case geom.Intersects:
+		for d := range o.Min {
+			if o.Min[d] > q.Max[d] || q.Min[d] > o.Max[d] {
+				return false, d + 1
+			}
+		}
+	case geom.ContainedBy:
+		for d := range o.Min {
+			if o.Min[d] < q.Min[d] || o.Max[d] > q.Max[d] {
+				return false, d + 1
+			}
+		}
+	case geom.Encloses:
+		for d := range o.Min {
+			if o.Min[d] > q.Min[d] || o.Max[d] < q.Max[d] {
+				return false, d + 1
+			}
+		}
+	default:
+		return false, 0
+	}
+	return true, len(o.Min)
+}
+
+// Search walks the tree. A node access costs one random seek plus the
+// sequential transfer of all its pages — supernodes amortize the seek over
+// more data, which is the X-tree's design point.
+func (t *Tree) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
+	if q.Dims() != t.cfg.Dims {
+		return fmt.Errorf("xtree: query has %d dims, tree has %d", q.Dims(), t.cfg.Dims)
+	}
+	if !rel.Valid() {
+		return fmt.Errorf("xtree: invalid relation %v", rel)
+	}
+	t.meter.Queries++
+	t.searchNode(t.root, q, rel, emit)
+	return nil
+}
+
+func (t *Tree) searchNode(n *node, q geom.Rect, rel geom.Relation, emit func(id uint32) bool) bool {
+	t.meter.Explorations++
+	t.meter.Seeks++
+	t.meter.BytesTransferred += int64(n.pages) * int64(t.cfg.PageSize)
+	if n.leaf() {
+		for i := range n.entries {
+			t.meter.ObjectsVerified++
+			ok, checked := matchCount(n.entries[i].rect, q, rel)
+			t.meter.BytesVerified += int64(checked) * 8
+			if ok {
+				t.meter.Results++
+				if !emit(n.entries[i].id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	prel := rel
+	if rel != geom.Encloses {
+		prel = geom.Intersects
+	}
+	for i := range n.entries {
+		ok, checked := matchCount(n.entries[i].rect, q, prel)
+		t.meter.BytesVerified += int64(checked) * 8
+		if !ok {
+			continue
+		}
+		if !t.searchNode(n.entries[i].child, q, rel, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of objects satisfying the selection.
+func (t *Tree) Count(q geom.Rect, rel geom.Relation) (int, error) {
+	n := 0
+	err := t.Search(q, rel, func(uint32) bool { n++; return true })
+	return n, err
+}
+
+// SearchIDs collects the identifiers of all qualifying objects.
+func (t *Tree) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	var out []uint32
+	err := t.Search(q, rel, func(id uint32) bool { out = append(out, id); return true })
+	return out, err
+}
+
+// Delete removes the object with the given id. Underflowing nodes are
+// dissolved and their entries reinserted at their level; the root shrinks
+// when reduced to a single child.
+func (t *Tree) Delete(id uint32) bool {
+	r, ok := t.rects[id]
+	if !ok {
+		return false
+	}
+	path := t.findLeafPath(t.root, r, id)
+	if path == nil {
+		delete(t.rects, id)
+		return false
+	}
+	leaf := path[len(path)-1]
+	for i := range leaf.entries {
+		if leaf.entries[i].child == nil && leaf.entries[i].id == id {
+			leaf.entries[i] = leaf.entries[len(leaf.entries)-1]
+			leaf.entries[len(leaf.entries)-1] = entry{}
+			leaf.entries = leaf.entries[:len(leaf.entries)-1]
+			break
+		}
+	}
+	delete(t.rects, id)
+	t.size--
+
+	type orphan struct {
+		level int
+		e     entry
+	}
+	var orphans []orphan
+	for i := len(path) - 1; i >= 1; i-- {
+		n, parent := path[i], path[i-1]
+		// Supernodes shrink when entries fit fewer pages again.
+		for n.pages > 1 && len(n.entries) <= (n.pages-1)*t.perPage {
+			n.pages--
+			if n.pages == 1 {
+				t.supernodes--
+			}
+		}
+		if len(n.entries) < t.minEntries {
+			for k := range parent.entries {
+				if parent.entries[k].child == n {
+					parent.entries[k] = parent.entries[len(parent.entries)-1]
+					parent.entries[len(parent.entries)-1] = entry{}
+					parent.entries = parent.entries[:len(parent.entries)-1]
+					break
+				}
+			}
+			t.nodes--
+			if n.pages > 1 {
+				t.supernodes--
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{level: n.level, e: e})
+			}
+		} else {
+			for k := range parent.entries {
+				if parent.entries[k].child == n {
+					parent.entries[k].rect = n.mbr()
+					break
+				}
+			}
+		}
+	}
+	for _, o := range orphans {
+		t.insertAtLevel(o.e, o.level)
+	}
+	for !t.root.leaf() && len(t.root.entries) == 1 {
+		old := t.root
+		t.root = old.entries[0].child
+		t.nodes--
+		if old.pages > 1 {
+			t.supernodes--
+		}
+	}
+	return true
+}
+
+func (t *Tree) findLeafPath(n *node, r geom.Rect, id uint32) []*node {
+	if n.leaf() {
+		for i := range n.entries {
+			if n.entries[i].id == id {
+				return []*node{n}
+			}
+		}
+		return nil
+	}
+	for i := range n.entries {
+		if !n.entries[i].rect.Encloses(r) {
+			continue
+		}
+		if sub := t.findLeafPath(n.entries[i].child, r, id); sub != nil {
+			return append([]*node{n}, sub...)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants validates structure: uniform leaf depth, capacities
+// respected, exact parent MBBs, size consistency. Intended for tests.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	super := 0
+	total := 0
+	var walk func(n *node, isRoot bool) error
+	walk = func(n *node, isRoot bool) error {
+		total++
+		if n.pages > 1 {
+			super++
+		}
+		if n.pages < 1 {
+			return fmt.Errorf("node with %d pages", n.pages)
+		}
+		if len(n.entries) > t.capacity(n) {
+			return fmt.Errorf("node exceeds capacity: %d > %d", len(n.entries), t.capacity(n))
+		}
+		if !isRoot && len(n.entries) == 0 {
+			return fmt.Errorf("empty non-root node")
+		}
+		if n.leaf() {
+			for i := range n.entries {
+				if n.entries[i].child != nil {
+					return fmt.Errorf("leaf entry with child")
+				}
+				stored, ok := t.rects[n.entries[i].id]
+				if !ok || !stored.Equal(n.entries[i].rect) {
+					return fmt.Errorf("leaf entry %d disagrees with map", n.entries[i].id)
+				}
+				count++
+			}
+			return nil
+		}
+		for i := range n.entries {
+			c := n.entries[i].child
+			if c == nil {
+				return fmt.Errorf("internal entry without child")
+			}
+			if c.level != n.level-1 {
+				return fmt.Errorf("level mismatch")
+			}
+			if !n.entries[i].rect.Equal(c.mbr()) {
+				return fmt.Errorf("stale parent MBB")
+			}
+			if err := walk(c, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, true); err != nil {
+		return err
+	}
+	if count != t.size || count != len(t.rects) {
+		return fmt.Errorf("size mismatch: size=%d entries=%d map=%d", t.size, count, len(t.rects))
+	}
+	if total != t.nodes {
+		return fmt.Errorf("node counter %d, walked %d", t.nodes, total)
+	}
+	if super != t.supernodes {
+		return fmt.Errorf("supernode counter %d, walked %d", t.supernodes, super)
+	}
+	return nil
+}

@@ -1,0 +1,430 @@
+// Package xtree implements the X-tree (Berchtold, Keim, Kriegel, VLDB 1996),
+// the high-dimensional R-tree variant the paper discusses in its related
+// work (§2): when a node split would create heavily overlapping directory
+// rectangles, the X-tree refuses to split and extends the node into a
+// *supernode* spanning multiple pages, trading fan-out for sequential scans
+// of larger node regions. In very high dimensions the tree degenerates
+// toward a single large supernode — i.e. toward sequential scan — which is
+// exactly the behaviour the paper's adaptive clustering sidesteps by not
+// bounding objects at all.
+//
+// The implementation follows the published algorithm with the customary
+// simplifications: R*-style topological split as the primary split, an
+// overlap-free split attempt along a dimension of the node's split history
+// when the topological split overlaps too much (threshold MaxOverlap,
+// default 0.2), and supernode extension when neither yields a balanced
+// low-overlap partition.
+package xtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+)
+
+// Config parameterizes an X-tree.
+type Config struct {
+	// Dims is the data space dimensionality (required).
+	Dims int
+	// PageSize is the base node page size in bytes; default 16384.
+	PageSize int
+	// MinFill is the minimum utilization for split groups as a fraction
+	// of the single-page fan-out; default 0.4.
+	MinFill float64
+	// MaxOverlap is the overlap fraction above which a topological split
+	// is rejected; default 0.2 (the X-tree paper's MAX_OVERLAP).
+	MaxOverlap float64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Dims < 1 {
+		return fmt.Errorf("xtree: invalid dimensionality %d", c.Dims)
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 16384
+	}
+	if c.MinFill == 0 {
+		c.MinFill = 0.4
+	}
+	if c.MaxOverlap == 0 {
+		c.MaxOverlap = 0.2
+	}
+	if c.MinFill <= 0 || c.MinFill > 0.5 {
+		return fmt.Errorf("xtree: MinFill must be in (0,0.5], got %g", c.MinFill)
+	}
+	if c.MaxOverlap <= 0 || c.MaxOverlap >= 1 {
+		return fmt.Errorf("xtree: MaxOverlap must be in (0,1), got %g", c.MaxOverlap)
+	}
+	if c.PageSize < 4*geom.ObjectBytes(c.Dims) {
+		return fmt.Errorf("xtree: page size %d too small for %d dims", c.PageSize, c.Dims)
+	}
+	return nil
+}
+
+type entry struct {
+	rect  geom.Rect
+	child *node
+	id    uint32
+}
+
+// node is an X-tree node; pages > 1 makes it a supernode.
+type node struct {
+	level    int
+	pages    int
+	entries  []entry
+	splitDim int // last split dimension (split history), -1 if never split
+}
+
+func (n *node) leaf() bool { return n.level == 0 }
+
+func (n *node) mbr() geom.Rect {
+	r := n.entries[0].rect.Clone()
+	for _, e := range n.entries[1:] {
+		r.Extend(e.rect)
+	}
+	return r
+}
+
+// Tree is an X-tree over multidimensional extended objects. It is not safe
+// for concurrent use.
+type Tree struct {
+	cfg        Config
+	perPage    int // entries per page
+	minEntries int
+
+	root       *node
+	size       int
+	nodes      int
+	supernodes int
+
+	rects map[uint32]geom.Rect
+	meter cost.Meter
+}
+
+// New builds an empty X-tree.
+func New(cfg Config) (*Tree, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	per := cfg.PageSize / geom.ObjectBytes(cfg.Dims)
+	t := &Tree{
+		cfg:        cfg,
+		perPage:    per,
+		minEntries: int(float64(per) * cfg.MinFill),
+		root:       &node{level: 0, pages: 1, splitDim: -1},
+		nodes:      1,
+		rects:      make(map[uint32]geom.Rect),
+	}
+	if t.minEntries < 1 {
+		t.minEntries = 1
+	}
+	return t, nil
+}
+
+// Dims returns the data space dimensionality.
+func (t *Tree) Dims() int { return t.cfg.Dims }
+
+// Len returns the number of stored objects.
+func (t *Tree) Len() int { return t.size }
+
+// Nodes returns the number of tree nodes.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Supernodes returns the number of nodes spanning more than one page.
+func (t *Tree) Supernodes() int { return t.supernodes }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.root.level + 1 }
+
+// Meter returns the accumulated operation counters.
+func (t *Tree) Meter() cost.Meter { return t.meter }
+
+// ResetMeter zeroes the operation counters.
+func (t *Tree) ResetMeter() { t.meter.Reset() }
+
+// Get returns the rectangle stored under id.
+func (t *Tree) Get(id uint32) (geom.Rect, bool) {
+	r, ok := t.rects[id]
+	return r, ok
+}
+
+// capacity is the entry limit of a node given its page count.
+func (t *Tree) capacity(n *node) int { return n.pages * t.perPage }
+
+// Insert adds an object.
+func (t *Tree) Insert(id uint32, r geom.Rect) error {
+	if r.Dims() != t.cfg.Dims {
+		return fmt.Errorf("xtree: object has %d dims, tree has %d", r.Dims(), t.cfg.Dims)
+	}
+	if !r.Valid() {
+		return fmt.Errorf("xtree: invalid rectangle %v", r)
+	}
+	if _, dup := t.rects[id]; dup {
+		return fmt.Errorf("xtree: duplicate object id %d", id)
+	}
+	t.rects[id] = r.Clone()
+	t.insertAtLevel(entry{rect: r.Clone(), id: id}, 0)
+	t.size++
+	return nil
+}
+
+func (t *Tree) insertAtLevel(e entry, level int) {
+	path := []*node{t.root}
+	n := t.root
+	for n.level > level {
+		i := chooseSubtree(n, e.rect)
+		n.entries[i].rect.Extend(e.rect)
+		n = n.entries[i].child
+		path = append(path, n)
+	}
+	n.entries = append(n.entries, e)
+	for i := len(path) - 1; i >= 0; i-- {
+		nd := path[i]
+		if len(nd.entries) <= t.capacity(nd) {
+			break
+		}
+		nn, ok := t.trySplit(nd)
+		if !ok {
+			// Supernode extension: the node absorbs one more page.
+			if nd.pages == 1 {
+				t.supernodes++
+			}
+			nd.pages++
+			break
+		}
+		t.nodes++
+		if nd == t.root {
+			t.root = &node{
+				level: nd.level + 1,
+				pages: 1,
+				entries: []entry{
+					{rect: nd.mbr(), child: nd},
+					{rect: nn.mbr(), child: nn},
+				},
+				splitDim: -1,
+			}
+			t.nodes++
+			break
+		}
+		parent := path[i-1]
+		for k := range parent.entries {
+			if parent.entries[k].child == nd {
+				parent.entries[k].rect = nd.mbr()
+				break
+			}
+		}
+		parent.entries = append(parent.entries, entry{rect: nn.mbr(), child: nn})
+	}
+}
+
+// chooseSubtree picks the child with minimum enlargement (ties: area).
+func chooseSubtree(n *node, r geom.Rect) int {
+	best, bestEnl, bestArea := -1, 0.0, 0.0
+	for i := range n.entries {
+		enl := n.entries[i].rect.Enlargement(r)
+		area := n.entries[i].rect.Volume()
+		if best < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// trySplit attempts the X-tree split cascade: topological split, then an
+// overlap-minimal split along the split history; returns (nil, false) when
+// only a supernode extension remains.
+func (t *Tree) trySplit(n *node) (*node, bool) {
+	axis, cut, order := t.topologicalSplit(n)
+	applyOrder(n.entries, order)
+	bb1, bb2 := boundsOf(n.entries[:cut]), boundsOf(n.entries[cut:])
+	if overlapFraction(bb1, bb2) <= t.cfg.MaxOverlap {
+		return t.finishSplit(n, cut, axis), true
+	}
+	// Overlap-minimal split: a dimension where an overlap-free, balanced
+	// cut exists (the split history seeds the search; for robustness all
+	// dimensions are examined, history dimension first).
+	dims := make([]int, 0, t.cfg.Dims)
+	if n.splitDim >= 0 {
+		dims = append(dims, n.splitDim)
+	}
+	for d := 0; d < t.cfg.Dims; d++ {
+		if d != n.splitDim {
+			dims = append(dims, d)
+		}
+	}
+	for _, d := range dims {
+		if cut, ok := t.overlapFreeCut(n, d); ok {
+			return t.finishSplit(n, cut, d), true
+		}
+	}
+	return nil, false
+}
+
+// topologicalSplit runs the R*-tree margin/overlap split choice and returns
+// the winning axis, cut position and entry order.
+func (t *Tree) topologicalSplit(n *node) (axis, cut int, order []int) {
+	m := t.minEntries
+	total := len(n.entries)
+	maxK := total - 2*m + 1
+	if maxK < 1 {
+		maxK = 1
+		m = total / 2
+	}
+	bestAxis, bestMargin := 0, math.Inf(1)
+	for a := 0; a < t.cfg.Dims; a++ {
+		idx := sortedIdx(n.entries, a)
+		prefix, suffix := sweep(n.entries, idx)
+		margin := 0.0
+		for k := 1; k <= maxK; k++ {
+			c := m - 1 + k
+			margin += prefix[c-1].Margin() + suffix[c].Margin()
+		}
+		if margin < bestMargin {
+			bestAxis, bestMargin = a, margin
+		}
+	}
+	idx := sortedIdx(n.entries, bestAxis)
+	prefix, suffix := sweep(n.entries, idx)
+	bestCut, bestOverlap, bestArea := m, math.Inf(1), math.Inf(1)
+	for k := 1; k <= maxK; k++ {
+		c := m - 1 + k
+		over := prefix[c-1].IntersectionVolume(suffix[c])
+		area := prefix[c-1].Volume() + suffix[c].Volume()
+		if over < bestOverlap || (over == bestOverlap && area < bestArea) {
+			bestCut, bestOverlap, bestArea = c, over, area
+		}
+	}
+	return bestAxis, bestCut, idx
+}
+
+// overlapFreeCut looks for a balanced cut along dimension d with zero
+// overlap between the two groups.
+func (t *Tree) overlapFreeCut(n *node, d int) (int, bool) {
+	idx := sortedIdx(n.entries, d)
+	applyOrder(n.entries, idx)
+	total := len(n.entries)
+	maxHi := make([]float32, total)
+	acc := float32(0)
+	for i, e := range n.entries {
+		if i == 0 || e.rect.Max[d] > acc {
+			acc = e.rect.Max[d]
+		}
+		maxHi[i] = acc
+	}
+	for cut := t.minEntries; cut <= total-t.minEntries; cut++ {
+		if maxHi[cut-1] <= n.entries[cut].rect.Min[d] {
+			return cut, true
+		}
+	}
+	return 0, false
+}
+
+// pagesFor returns the pages needed for n entries (at least one).
+func (t *Tree) pagesFor(n int) int {
+	p := (n + t.perPage - 1) / t.perPage
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// finishSplit divides n at cut (entries already ordered), records the split
+// history, resizes both halves' page counts (splitting a large supernode can
+// leave halves that still span several pages) and returns the new sibling.
+func (t *Tree) finishSplit(n *node, cut, axis int) *node {
+	nn := &node{level: n.level, splitDim: axis}
+	nn.entries = append(nn.entries, n.entries[cut:]...)
+	tail := n.entries[cut:]
+	for i := range tail {
+		tail[i] = entry{}
+	}
+	n.entries = n.entries[:cut]
+	n.splitDim = axis
+	wasSuper := n.pages > 1
+	n.pages = t.pagesFor(len(n.entries))
+	nn.pages = t.pagesFor(len(nn.entries))
+	if wasSuper && n.pages == 1 {
+		t.supernodes--
+	}
+	if !wasSuper && n.pages > 1 {
+		t.supernodes++
+	}
+	if nn.pages > 1 {
+		t.supernodes++
+	}
+	return nn
+}
+
+// sortedIdx returns entry indexes ordered by (lo, hi) on the axis.
+func sortedIdx(es []entry, axis int) []int {
+	idx := make([]int, len(es))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := es[idx[a]].rect, es[idx[b]].rect
+		if ra.Min[axis] != rb.Min[axis] {
+			return ra.Min[axis] < rb.Min[axis]
+		}
+		return ra.Max[axis] < rb.Max[axis]
+	})
+	return idx
+}
+
+// applyOrder permutes es into the given index order.
+func applyOrder(es []entry, idx []int) {
+	tmp := make([]entry, len(es))
+	for i, k := range idx {
+		tmp[i] = es[k]
+	}
+	copy(es, tmp)
+}
+
+// sweep returns prefix/suffix bounding boxes for the index order.
+func sweep(es []entry, idx []int) (prefix, suffix []geom.Rect) {
+	prefix = make([]geom.Rect, len(es))
+	suffix = make([]geom.Rect, len(es)+1)
+	acc := es[idx[0]].rect.Clone()
+	prefix[0] = acc.Clone()
+	for i := 1; i < len(es); i++ {
+		acc.Extend(es[idx[i]].rect)
+		prefix[i] = acc.Clone()
+	}
+	acc = es[idx[len(es)-1]].rect.Clone()
+	suffix[len(es)-1] = acc.Clone()
+	for i := len(es) - 2; i >= 0; i-- {
+		acc = acc.Union(es[idx[i]].rect)
+		suffix[i] = acc
+	}
+	return prefix, suffix
+}
+
+// boundsOf returns the MBB of a group of entries.
+func boundsOf(es []entry) geom.Rect {
+	r := es[0].rect.Clone()
+	for _, e := range es[1:] {
+		r.Extend(e.rect)
+	}
+	return r
+}
+
+// overlapFraction is the X-tree overlap measure: intersection volume over
+// the smaller group volume (0 when either group has zero volume).
+func overlapFraction(a, b geom.Rect) float64 {
+	inter := a.IntersectionVolume(b)
+	if inter == 0 {
+		return 0
+	}
+	den := math.Min(a.Volume(), b.Volume())
+	if den == 0 {
+		return 1
+	}
+	f := inter / den
+	if f > 1 {
+		f = 1
+	}
+	return f
+}

@@ -1,0 +1,262 @@
+package xtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"accluster/internal/geom"
+)
+
+func randomRect(rng *rand.Rand, dims int, maxSize float32) geom.Rect {
+	r := geom.NewRect(dims)
+	for d := 0; d < dims; d++ {
+		size := rng.Float32() * maxSize
+		lo := rng.Float32() * (1 - size)
+		r.Min[d], r.Max[d] = lo, lo+size
+	}
+	return r
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Dims: 0}); err == nil {
+		t.Error("dims=0 must fail")
+	}
+	if _, err := New(Config{Dims: 2, MinFill: 0.9}); err == nil {
+		t.Error("MinFill > 0.5 must fail")
+	}
+	if _, err := New(Config{Dims: 2, MaxOverlap: 1.5}); err == nil {
+		t.Error("MaxOverlap ≥ 1 must fail")
+	}
+	if _, err := New(Config{Dims: 40, PageSize: 64}); err == nil {
+		t.Error("tiny page must fail")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr, err := New(Config{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := geom.Rect{Min: []float32{0.1, 0.1}, Max: []float32{0.2, 0.2}}
+	if err := tr.Insert(1, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(1, r); err == nil {
+		t.Error("duplicate must fail")
+	}
+	if err := tr.Insert(2, geom.Point([]float32{0.5})); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if err := tr.Insert(3, geom.Rect{Min: []float32{0.9, 0}, Max: []float32{0.1, 1}}); err == nil {
+		t.Error("invalid rect must fail")
+	}
+}
+
+func TestDifferentialSearch(t *testing.T) {
+	for _, dims := range []int{2, 6, 12} {
+		rng := rand.New(rand.NewSource(int64(dims)))
+		tr, err := New(Config{Dims: dims, PageSize: 48 * geom.ObjectBytes(dims) / 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type obj struct {
+			id uint32
+			r  geom.Rect
+		}
+		var objs []obj
+		for id := uint32(0); id < 1200; id++ {
+			r := randomRect(rng, dims, 0.5)
+			objs = append(objs, obj{id, r})
+			if err := tr.Insert(id, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < 90; qi++ {
+			q := randomRect(rng, dims, 0.6)
+			rel := geom.Relation(qi % 3)
+			got, err := tr.SearchIDs(q, rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []uint32
+			for _, o := range objs {
+				if o.r.Matches(rel, q) {
+					want = append(want, o.id)
+				}
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				t.Fatalf("dims=%d rel=%v: %d results, want %d", dims, rel, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dims=%d rel=%v: mismatch", dims, rel)
+				}
+			}
+		}
+	}
+}
+
+func TestSupernodesFormInHighDims(t *testing.T) {
+	// Heavily overlapping extended objects in many dimensions defeat
+	// low-overlap splits: supernodes must appear (the X-tree's defining
+	// degradation toward sequential scan).
+	tr, err := New(Config{Dims: 16, PageSize: 16 * geom.ObjectBytes(16) / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for id := uint32(0); id < 3000; id++ {
+		if err := tr.Insert(id, randomRect(rng, 16, 0.9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Supernodes() == 0 {
+		t.Error("expected supernodes with overlapping high-dimensional data")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Low-dimensional point-like data should split normally instead.
+	tr2, err := New(Config{Dims: 2, PageSize: 16 * geom.ObjectBytes(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint32(0); id < 3000; id++ {
+		if err := tr2.Insert(id, randomRect(rng, 2, 0.01)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr2.Nodes() < 10 {
+		t.Errorf("2-dim point data should split into many nodes, got %d", tr2.Nodes())
+	}
+	if float64(tr2.Supernodes()) > 0.2*float64(tr2.Nodes()) {
+		t.Errorf("too many supernodes for easy data: %d of %d", tr2.Supernodes(), tr2.Nodes())
+	}
+}
+
+func TestSupernodeTransferAccounting(t *testing.T) {
+	tr, err := New(Config{Dims: 8, PageSize: 16 * geom.ObjectBytes(8) / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for id := uint32(0); id < 1000; id++ {
+		if err := tr.Insert(id, randomRect(rng, 8, 0.9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.ResetMeter()
+	if _, err := tr.Count(randomRect(rng, 8, 0.5), geom.Intersects); err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Meter()
+	if m.Seeks != m.Explorations {
+		t.Fatalf("one seek per node access: %v", m)
+	}
+	// Transfer must be at least one page per access, more when
+	// supernodes were read.
+	if m.BytesTransferred < m.Explorations*int64(tr.cfg.PageSize) {
+		t.Fatalf("transfer accounting: %v", m)
+	}
+}
+
+func TestStatefulModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := rng.Intn(5) + 1
+		tr, err := New(Config{Dims: dims, PageSize: geom.ObjectBytes(dims) * (8 + rng.Intn(16))})
+		if err != nil {
+			return false
+		}
+		model := make(map[uint32]geom.Rect)
+		nextID := uint32(0)
+		for op := 0; op < 500; op++ {
+			switch k := rng.Intn(10); {
+			case k < 5:
+				r := randomRect(rng, dims, 0.6)
+				if err := tr.Insert(nextID, r); err != nil {
+					return false
+				}
+				model[nextID] = r
+				nextID++
+			case k < 8:
+				if len(model) == 0 {
+					continue
+				}
+				var id uint32
+				for id = range model {
+					break
+				}
+				if !tr.Delete(id) {
+					return false
+				}
+				delete(model, id)
+			default:
+				q := randomRect(rng, dims, 0.5)
+				rel := geom.Relation(rng.Intn(3))
+				got, err := tr.Count(q, rel)
+				if err != nil {
+					return false
+				}
+				want := 0
+				for _, r := range model {
+					if r.Matches(rel, q) {
+						want++
+					}
+				}
+				if got != want {
+					t.Logf("seed %d op %d: %d vs %d", seed, op, got, want)
+					return false
+				}
+			}
+			if op%125 == 124 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Logf("seed %d op %d: %v", seed, op, err)
+					return false
+				}
+			}
+		}
+		return tr.Len() == len(model) && tr.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetAndValidation(t *testing.T) {
+	tr, _ := New(Config{Dims: 2})
+	r := geom.Rect{Min: []float32{0.1, 0.2}, Max: []float32{0.3, 0.4}}
+	if err := tr.Insert(9, r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.Get(9)
+	if !ok || !got.Equal(r) {
+		t.Fatal("Get")
+	}
+	if _, ok := tr.Get(10); ok {
+		t.Error("absent id")
+	}
+	if tr.Delete(10) {
+		t.Error("absent delete")
+	}
+	if err := tr.Search(geom.Point([]float32{0.5}), geom.Intersects, func(uint32) bool { return true }); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if err := tr.Search(geom.Point([]float32{0.5, 0.5}), geom.Relation(8), func(uint32) bool { return true }); err == nil {
+		t.Error("bad relation must fail")
+	}
+	if tr.Dims() != 2 || tr.Height() != 1 {
+		t.Error("metadata")
+	}
+}

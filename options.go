@@ -1,0 +1,91 @@
+package accluster
+
+import "accluster/internal/cost"
+
+// Scenario holds the database and system parameters of a storage scenario
+// for the cost model: signature check time (A), exploration setup and disk
+// seek (B), and per-byte verification and transfer rates (C). The adaptive
+// index bases its clustering decisions on the configured scenario; Stats
+// converts operation counts into modeled time under any scenario.
+type Scenario = cost.Params
+
+// MemoryScenario returns the in-memory storage scenario with the paper's CPU
+// cost constants (§6 Table 2) and no I/O costs.
+func MemoryScenario() Scenario { return cost.Memory() }
+
+// DiskScenario returns the disk-based storage scenario: 15 ms random access,
+// 20 MB/s sequential transfer (§6 Table 2).
+func DiskScenario() Scenario { return cost.Disk() }
+
+// options collects the tunables of all index constructors; each constructor
+// reads the fields relevant to it.
+type options struct {
+	scenario       cost.Params
+	divisionFactor int
+	reorgEvery     int
+	decay          float64
+	pageSize       int
+	minFill        float64
+	reinsertFrac   float64
+	maxOverlap     float64
+}
+
+// Option customizes an index constructor.
+type Option func(*options)
+
+func gatherOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithScenario selects the storage scenario whose cost parameters drive the
+// adaptive clustering decisions (default MemoryScenario).
+func WithScenario(s Scenario) Option {
+	return func(o *options) { o.scenario = s }
+}
+
+// WithDivisionFactor sets the clustering function's division factor f
+// (default 4): each dimension's variation intervals are cut into f
+// subintervals when candidate subclusters are generated.
+func WithDivisionFactor(f int) Option {
+	return func(o *options) { o.divisionFactor = f }
+}
+
+// WithReorgEvery sets the number of queries between reorganization rounds
+// (default 100).
+func WithReorgEvery(n int) Option {
+	return func(o *options) { o.reorgEvery = n }
+}
+
+// WithDecay sets the exponential forgetting factor applied to query
+// statistics at every reorganization round (default 0.5; 1 never forgets).
+func WithDecay(d float64) Option {
+	return func(o *options) { o.decay = d }
+}
+
+// WithPageSize sets the R*-tree node page size in bytes (default 16384).
+func WithPageSize(bytes int) Option {
+	return func(o *options) { o.pageSize = bytes }
+}
+
+// WithMinFill sets the R*-tree minimum node utilization as a fraction of the
+// fan-out (default 0.4).
+func WithMinFill(frac float64) Option {
+	return func(o *options) { o.minFill = frac }
+}
+
+// WithReinsertFrac sets the fraction of entries force-reinserted on the
+// first overflow of a level (default 0.3).
+func WithReinsertFrac(frac float64) Option {
+	return func(o *options) { o.reinsertFrac = frac }
+}
+
+// WithMaxOverlap sets the X-tree's split-overlap threshold (default 0.2):
+// topological splits whose groups overlap more than this fraction are
+// rejected in favour of an overlap-free split or a supernode extension.
+func WithMaxOverlap(frac float64) Option {
+	return func(o *options) { o.maxOverlap = frac }
+}

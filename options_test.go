@@ -1,0 +1,87 @@
+package accluster
+
+import "testing"
+
+func TestOptionsApplied(t *testing.T) {
+	o := gatherOptions([]Option{
+		WithScenario(DiskScenario()),
+		WithDivisionFactor(6),
+		WithReorgEvery(42),
+		WithDecay(0.75),
+		WithPageSize(8192),
+		WithMinFill(0.3),
+		WithReinsertFrac(0.25),
+		WithMaxOverlap(0.15),
+	})
+	if o.scenario.Name != "disk" {
+		t.Errorf("scenario = %q", o.scenario.Name)
+	}
+	if o.divisionFactor != 6 || o.reorgEvery != 42 || o.decay != 0.75 {
+		t.Errorf("adaptive options: %+v", o)
+	}
+	if o.pageSize != 8192 || o.minFill != 0.3 || o.reinsertFrac != 0.25 || o.maxOverlap != 0.15 {
+		t.Errorf("tree options: %+v", o)
+	}
+}
+
+func TestOptionsReachConstructors(t *testing.T) {
+	ac, err := NewAdaptive(4, WithDivisionFactor(3), WithReorgEvery(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Division factor 3 on a 4-dim root: 4 · 3·4/2 = 24 candidates; the
+	// effect is observable through clustering behaviour, but here just
+	// assert construction succeeded with non-defaults.
+	if ac.Dims() != 4 {
+		t.Error("dims")
+	}
+	rs, err := NewRStar(4, WithPageSize(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Dims() != 4 {
+		t.Error("dims")
+	}
+	xt, err := NewXTree(4, WithPageSize(1024), WithMaxOverlap(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xt.Dims() != 4 {
+		t.Error("dims")
+	}
+}
+
+func TestStatsZeroValueSafe(t *testing.T) {
+	var s Stats
+	if s.ModeledMSPerQuery(MemoryScenario()) != 0 {
+		t.Error("zero stats must model to 0")
+	}
+	if s.ExploredFraction() != 0 || s.VerifiedFraction() != 0 {
+		t.Error("zero stats fractions")
+	}
+	if s.String() == "" {
+		t.Error("String on zero value")
+	}
+}
+
+func TestStatsDimsCarried(t *testing.T) {
+	ix, err := NewAdaptive(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Stats().Dims; got != 7 {
+		t.Errorf("Stats.Dims = %d, want 7", got)
+	}
+	ss, _ := NewSeqScan(5)
+	if got := ss.Stats().Dims; got != 5 {
+		t.Errorf("SeqScan Stats.Dims = %d", got)
+	}
+	rs, _ := NewRStar(3)
+	if got := rs.Stats().Dims; got != 3 {
+		t.Errorf("RStar Stats.Dims = %d", got)
+	}
+	xt, _ := NewXTree(2)
+	if got := xt.Stats().Dims; got != 2 {
+		t.Errorf("XTree Stats.Dims = %d", got)
+	}
+}

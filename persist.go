@@ -1,0 +1,44 @@
+package accluster
+
+import (
+	"accluster/internal/core"
+	"accluster/internal/store"
+)
+
+// SaveFile checkpoints the adaptive index into a database file using the
+// paper's disk layout (§6): clusters stored sequentially with reserved
+// slots (≥70% utilization) and a checksummed directory for fail recovery.
+// Query statistics are not persisted; they are re-gathered after recovery.
+func (a *Adaptive) SaveFile(path string) error {
+	dev, err := store.OpenFileDevice(path)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return store.Save(a.ix, dev)
+}
+
+// OpenAdaptive recovers an adaptive index from a database file written by
+// SaveFile, validating every checksum. The options configure the recovered
+// index (scenario, reorganization period, …); the dimensionality comes from
+// the file.
+func OpenAdaptive(path string, opts ...Option) (*Adaptive, error) {
+	dev, err := store.OpenFileDevice(path)
+	if err != nil {
+		return nil, err
+	}
+	defer dev.Close()
+	o := gatherOptions(opts)
+	ix, err := store.Load(dev, core.Config{
+		Params:         o.scenario,
+		DivisionFactor: o.divisionFactor,
+		ReorgEvery:     o.reorgEvery,
+		Decay:          o.decay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Adaptive{ix: ix}, nil
+}

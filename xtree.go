@@ -1,0 +1,129 @@
+package accluster
+
+import (
+	"sync"
+
+	"accluster/internal/xtree"
+)
+
+// XTree is the X-tree baseline (Berchtold, Keim, Kriegel, VLDB 1996): an
+// R-tree variant for high-dimensional data that avoids high-overlap splits
+// by growing multi-page supernodes, trading fan-out for sequential scans of
+// larger regions. The paper discusses it as the related supernode approach
+// (§2); in very high dimensions it degenerates toward sequential scan.
+type XTree struct {
+	mu sync.Mutex
+	t  *xtree.Tree
+}
+
+// NewXTree builds an X-tree with 16 KB base pages by default. WithPageSize,
+// WithMinFill and WithMaxOverlap tune it.
+func NewXTree(dims int, opts ...Option) (*XTree, error) {
+	o := gatherOptions(opts)
+	t, err := xtree.New(xtree.Config{
+		Dims:       dims,
+		PageSize:   o.pageSize,
+		MinFill:    o.minFill,
+		MaxOverlap: o.maxOverlap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &XTree{t: t}, nil
+}
+
+// Insert adds an object.
+func (x *XTree) Insert(id uint32, r Rect) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.Insert(id, r)
+}
+
+// Delete removes an object, reporting whether it existed.
+func (x *XTree) Delete(id uint32) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.Delete(id)
+}
+
+// Get returns the rectangle stored under id.
+func (x *XTree) Get(id uint32) (Rect, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.Get(id)
+}
+
+// Search walks the tree; supernodes are read sequentially.
+func (x *XTree) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.Search(q, rel, emit)
+}
+
+// SearchIDs collects all qualifying identifiers.
+func (x *XTree) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.SearchIDs(q, rel)
+}
+
+// Count returns the number of qualifying objects.
+func (x *XTree) Count(q Rect, rel Relation) (int, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.Count(q, rel)
+}
+
+// Len returns the number of stored objects.
+func (x *XTree) Len() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.Len()
+}
+
+// Dims returns the data space dimensionality.
+func (x *XTree) Dims() int { return x.t.Dims() }
+
+// Nodes returns the number of tree nodes.
+func (x *XTree) Nodes() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.Nodes()
+}
+
+// Supernodes returns the number of multi-page nodes.
+func (x *XTree) Supernodes() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.Supernodes()
+}
+
+// Height returns the number of tree levels.
+func (x *XTree) Height() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.Height()
+}
+
+// Stats returns a snapshot of the operation counters.
+func (x *XTree) Stats() Stats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return statsFrom(x.t.Meter(), x.t.Len(), x.t.Nodes(), x.t.Dims())
+}
+
+// ResetStats zeroes the operation counters.
+func (x *XTree) ResetStats() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.t.ResetMeter()
+}
+
+// CheckInvariants validates the structural invariants; intended for tests.
+func (x *XTree) CheckInvariants() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.t.CheckInvariants()
+}
+
+var _ Index = (*XTree)(nil)

@@ -1,0 +1,89 @@
+package accluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestXTreePublicAPI(t *testing.T) {
+	xt, err := NewXTree(8, WithPageSize(2048), WithMaxOverlap(0.2), WithMinFill(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewSeqScan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	// Point-like objects keep split overlap low so the tree actually
+	// splits (large overlapping objects legitimately degenerate into a
+	// single supernode — covered in internal/xtree tests).
+	for id := uint32(0); id < 1500; id++ {
+		r := randomRect(rng, 8, 0.05)
+		if err := xt.Insert(id, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Insert(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if xt.Len() != 1500 || xt.Dims() != 8 || xt.Nodes() < 2 || xt.Height() < 2 {
+		t.Fatalf("tree shape: len=%d nodes=%d height=%d", xt.Len(), xt.Nodes(), xt.Height())
+	}
+	for qi := 0; qi < 60; qi++ {
+		q := randomRect(rng, 8, 0.6)
+		rel := Relation(qi % 3)
+		got, err := xt.SearchIDs(q, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ss.SearchIDs(q, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %d rel %v: %d results, want %d", qi, rel, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d rel %v: mismatch", qi, rel)
+			}
+		}
+	}
+	if err := xt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deletions mirror seqscan.
+	for id := uint32(0); id < 500; id++ {
+		if !xt.Delete(id) || !ss.Delete(id) {
+			t.Fatalf("delete %d", id)
+		}
+	}
+	q := randomRect(rng, 8, 0.5)
+	a, _ := xt.Count(q, Intersects)
+	b, _ := ss.Count(q, Intersects)
+	if a != b {
+		t.Fatalf("after deletes: %d vs %d", a, b)
+	}
+	if _, ok := xt.Get(1000); !ok {
+		t.Error("Get of live object")
+	}
+	st := xt.Stats()
+	if st.Objects != 1000 || st.Queries == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	xt.ResetStats()
+	if xt.Stats().Queries != 0 {
+		t.Error("ResetStats")
+	}
+	_ = xt.Supernodes()
+	if _, err := NewXTree(0); err == nil {
+		t.Error("NewXTree(0) must fail")
+	}
+	if _, err := NewXTree(2, WithMaxOverlap(2)); err == nil {
+		t.Error("bad overlap must fail")
+	}
+}
