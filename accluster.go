@@ -58,12 +58,16 @@ func MustRect(min, max []float32) Rect {
 // Point builds a degenerate rectangle from point coordinates (copied).
 func Point(p []float32) Rect { return geom.Point(p) }
 
-// Index is the common interface of the three access methods: the adaptive
-// clustering index (NewAdaptive) and the paper's baselines (NewSeqScan,
-// NewRStar). Implementations are safe for concurrent use.
+// Index is the common interface of the access methods: the adaptive
+// clustering index (NewAdaptive), its parallel partitioned variant
+// (NewSharded) and the paper's baselines (NewSeqScan, NewRStar).
+// Implementations are safe for concurrent use.
 type Index interface {
 	// Insert adds an object under an identifier unique to the index.
 	Insert(id uint32, r Rect) error
+	// Update replaces the rectangle stored under an existing id; it
+	// returns an error wrapping ErrNotFound if the id is absent.
+	Update(id uint32, r Rect) error
 	// Delete removes an object, reporting whether it existed.
 	Delete(id uint32) bool
 	// Get returns the rectangle stored under id.
@@ -116,6 +120,32 @@ func (a *Adaptive) Insert(id uint32, r Rect) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.ix.Insert(id, r)
+}
+
+// InsertBatch bulk-loads a batch of objects under a single lock
+// acquisition. On error the batch may be partially applied; objects
+// inserted before the failure remain.
+func (a *Adaptive) InsertBatch(ids []uint32, rects []Rect) error {
+	if len(ids) != len(rects) {
+		return fmt.Errorf("accluster: batch has %d ids but %d rectangles", len(ids), len(rects))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for k := range ids {
+		if err := a.ix.Insert(ids[k], rects[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Update replaces the rectangle stored under id, relocating the object to
+// the matching cluster with the lowest access probability; it returns an
+// error wrapping ErrNotFound if the id is absent.
+func (a *Adaptive) Update(id uint32, r Rect) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.Update(id, r)
 }
 
 // Delete removes an object, reporting whether it existed.
@@ -244,6 +274,14 @@ func (s *SeqScan) Insert(id uint32, r Rect) error {
 	return s.s.Insert(id, r)
 }
 
+// Update replaces the rectangle stored under id; it returns an error
+// wrapping ErrNotFound if the id is absent.
+func (s *SeqScan) Update(id uint32, r Rect) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return updateByReplace(s.s.Dims(), id, r, s.s.Delete, s.s.Insert)
+}
+
 // Delete removes an object, reporting whether it existed.
 func (s *SeqScan) Delete(id uint32) bool {
 	s.mu.Lock()
@@ -329,6 +367,14 @@ func (r *RStar) Insert(id uint32, rect Rect) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.t.Insert(id, rect)
+}
+
+// Update replaces the rectangle stored under id; it returns an error
+// wrapping ErrNotFound if the id is absent.
+func (r *RStar) Update(id uint32, rect Rect) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return updateByReplace(r.t.Dims(), id, rect, r.t.Delete, r.t.Insert)
 }
 
 // Delete removes an object, reporting whether it existed.
@@ -418,6 +464,19 @@ var (
 	_ Index = (*SeqScan)(nil)
 	_ Index = (*RStar)(nil)
 )
+
+// updateByReplace implements Update for engines without a native one:
+// validate first (a failed update must not drop the object), then replace
+// via delete + insert. The caller holds the engine's lock.
+func updateByReplace(dims int, id uint32, r Rect, del func(uint32) bool, ins func(uint32, Rect) error) error {
+	if r.Dims() != dims || !r.Valid() {
+		return fmt.Errorf("accluster: invalid %d-dim rectangle for %d-dim index", r.Dims(), dims)
+	}
+	if !del(id) {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return ins(id, r)
+}
 
 // statsFrom converts an internal meter into the public Stats.
 func statsFrom(m cost.Meter, objects, partitions, dims int) Stats {

@@ -34,6 +34,7 @@ func main() {
 		reorg   = flag.Int("reorg", 100, "queries between reorganization rounds")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		maxSize = flag.Float64("maxsize", 1, "maximum object interval size per dimension")
+		shards  = flag.Int("shards", 0, "max shard count for the sharded experiment: sweep doubles 1,2,4,...,N (0 = default sweep 1,2,4,8)")
 		csvPath = flag.String("csv", "", "also write results as CSV to this file")
 		charts  = flag.Bool("chart", false, "also draw ASCII charts (the paper's figure shapes)")
 		verbose = flag.Bool("v", false, "log progress to stderr")
@@ -48,6 +49,14 @@ func main() {
 		ReorgEvery: *reorg,
 		Seed:       *seed,
 		MaxObjSize: float32(*maxSize),
+	}
+	if *shards > 0 {
+		for k := 1; ; k <<= 1 {
+			o.ShardSweep = append(o.ShardSweep, k)
+			if k >= *shards {
+				break
+			}
+		}
 	}
 	if *verbose {
 		o.Log = os.Stderr

@@ -38,7 +38,7 @@ func parseRelation(s string) (accluster.Relation, error) {
 	}
 }
 
-func buildIndex(method string, dims int, scenario string, reorg int) (accluster.Index, error) {
+func buildIndex(method string, dims int, scenario string, reorg, shards int) (accluster.Index, error) {
 	var sc accluster.Scenario
 	switch scenario {
 	case "memory":
@@ -50,8 +50,15 @@ func buildIndex(method string, dims int, scenario string, reorg int) (accluster.
 	default:
 		return nil, fmt.Errorf("unknown scenario %q (want memory, disk or calibrated)", scenario)
 	}
+	if shards < 0 {
+		return nil, fmt.Errorf("negative shard count %d", shards)
+	}
 	switch method {
 	case "adaptive", "ac":
+		if shards > 1 {
+			return accluster.NewSharded(dims, accluster.WithScenario(sc),
+				accluster.WithReorgEvery(reorg), accluster.WithShards(shards))
+		}
 		return accluster.NewAdaptive(dims, accluster.WithScenario(sc), accluster.WithReorgEvery(reorg))
 	case "seqscan", "ss":
 		return accluster.NewSeqScan(dims)
@@ -70,6 +77,7 @@ func main() {
 		relName  = flag.String("rel", "intersects", "relation: intersects, contained-by, encloses")
 		scenario = flag.String("scenario", "memory", "cost scenario for the adaptive index: memory, disk, calibrated")
 		reorg    = flag.Int("reorg", 100, "queries between reorganizations (adaptive)")
+		shards   = flag.Int("shards", 0, "partition the adaptive index across N shards with parallel fan-out queries (0 or 1 = single index)")
 		repeat   = flag.Int("repeat", 1, "replay the query file this many times (first pass warms the clustering)")
 	)
 	flag.Parse()
@@ -104,7 +112,7 @@ func main() {
 		fail("objects have %d dims, queries %d", dims, queries[0].Dims())
 	}
 
-	ix, err := buildIndex(*method, dims, *scenario, *reorg)
+	ix, err := buildIndex(*method, dims, *scenario, *reorg, *shards)
 	if err != nil {
 		fail("%v", err)
 	}

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"accluster"
+)
 
 func TestParseRelation(t *testing.T) {
 	cases := map[string]bool{
@@ -19,21 +23,28 @@ func TestParseRelation(t *testing.T) {
 
 func TestBuildIndex(t *testing.T) {
 	for _, m := range []string{"adaptive", "ac", "seqscan", "ss", "rstar", "rs"} {
-		ix, err := buildIndex(m, 4, "memory", 100)
+		ix, err := buildIndex(m, 4, "memory", 100, 0)
 		if err != nil || ix == nil {
 			t.Errorf("buildIndex(%s): %v", m, err)
 		}
 	}
-	if _, err := buildIndex("btree", 4, "memory", 100); err == nil {
+	if _, err := buildIndex("btree", 4, "memory", 100, 0); err == nil {
 		t.Error("unknown method must fail")
 	}
-	if _, err := buildIndex("adaptive", 4, "tape", 100); err == nil {
+	if _, err := buildIndex("adaptive", 4, "tape", 100, 0); err == nil {
 		t.Error("unknown scenario must fail")
 	}
-	if ix, err := buildIndex("adaptive", 4, "disk", 100); err != nil || ix == nil {
+	if ix, err := buildIndex("adaptive", 4, "disk", 100, 0); err != nil || ix == nil {
 		t.Errorf("disk scenario: %v", err)
 	}
-	if ix, err := buildIndex("adaptive", 4, "calibrated", 100); err != nil || ix == nil {
+	if ix, err := buildIndex("adaptive", 4, "calibrated", 100, 0); err != nil || ix == nil {
 		t.Errorf("calibrated scenario: %v", err)
+	}
+	sh, err := buildIndex("adaptive", 4, "memory", 100, 4)
+	if err != nil {
+		t.Fatalf("sharded build: %v", err)
+	}
+	if s, ok := sh.(*accluster.Sharded); !ok || s.Shards() != 4 {
+		t.Errorf("buildIndex with -shards 4 = %T, want *accluster.Sharded with 4 shards", sh)
 	}
 }

@@ -29,7 +29,23 @@
 //		[]float32{0.1, 0.2 /* ... */}, []float32{0.3, 0.4 /* ... */}))
 //	ids, _ := ix.SearchIDs(q, accluster.Intersects)
 //
-// All indexes are safe for concurrent use; operations serialize on an
-// internal mutex (queries update clustering statistics, so even searches are
-// writes here).
+// # Concurrency
+//
+// All indexes are safe for concurrent use. NewAdaptive, NewSeqScan and
+// NewRStar serialize operations on a single internal mutex — queries update
+// clustering statistics, so even searches are writes here — which caps
+// throughput at one core.
+//
+// NewSharded is the multi-core engine: it hash-partitions objects by id
+// across independent adaptive indexes (one mutex each), routes Insert,
+// Update, Delete and Get to the owning shard, and fans every Search out to
+// all shards in parallel on a bounded worker pool. It returns exactly the
+// same result sets as NewAdaptive over the same data.
+//
+// Pick NewAdaptive for single-threaded workloads, when reproducing the
+// paper's experiments (one clustering over the whole database), or when
+// modeled cost accounting per clustering decision matters; pick NewSharded
+// when concurrent operations should scale with the available cores —
+// especially high query rates, where shards answer simultaneously instead
+// of queueing on one mutex.
 package accluster

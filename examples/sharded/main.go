@@ -1,0 +1,98 @@
+// Sharded: build the parallel partitioned adaptive index, bulk-load it with
+// a pre-bucketed batch, hammer it with concurrent queries from all cores,
+// and round-trip it through the multi-segment directory checkpoint.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"accluster"
+)
+
+func main() {
+	const dims = 8
+	const objects = 50000
+
+	// Shard count defaults to the next power of two >= GOMAXPROCS.
+	ix, err := accluster.NewSharded(dims, accluster.WithReorgEvery(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sharded engine: %d shards over %d dims\n", ix.Shards(), ix.Dims())
+
+	// Bulk load: the batch is pre-bucketed by owning shard and every shard
+	// ingests its bucket under a single lock acquisition, in parallel.
+	rng := rand.New(rand.NewSource(42))
+	ids := make([]uint32, objects)
+	rects := make([]accluster.Rect, objects)
+	for k := range ids {
+		ids[k] = uint32(k)
+		r := accluster.NewRect(dims)
+		for d := 0; d < dims; d++ {
+			size := rng.Float32() * 0.2
+			lo := rng.Float32() * (1 - size)
+			r.Min[d], r.Max[d] = lo, lo+size
+		}
+		rects[k] = r
+	}
+	start := time.Now()
+	if err := ix.InsertBatch(ids, rects); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bulk-loaded %d objects in %v\n", ix.Len(), time.Since(start).Round(time.Millisecond))
+
+	// Concurrent query load: every worker issues intersection queries; the
+	// shards answer in parallel instead of queueing on one mutex.
+	workers := runtime.GOMAXPROCS(0)
+	const queriesPerWorker = 500
+	var wg sync.WaitGroup
+	start = time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			q := accluster.NewRect(dims)
+			for i := 0; i < queriesPerWorker; i++ {
+				for d := 0; d < dims; d++ {
+					size := 0.1 + rng.Float32()*0.3
+					lo := rng.Float32() * (1 - size)
+					q.Min[d], q.Max[d] = lo, lo+size
+				}
+				if _, err := ix.Count(q, accluster.Intersects); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := workers * queriesPerWorker
+	fmt.Printf("%d queries from %d goroutines: %.0f queries/s\n",
+		total, workers, float64(total)/elapsed.Seconds())
+
+	st := ix.Stats()
+	fmt.Printf("aggregated: %s\n", st)
+	for i, ss := range ix.ShardStats() {
+		fmt.Printf("  shard %d: %d objects, %d clusters\n", i, ss.Objects, ss.Partitions)
+	}
+
+	// Checkpoint all shards into one directory and recover.
+	dir := filepath.Join(os.TempDir(), "accluster-sharded-example")
+	defer os.RemoveAll(dir)
+	if err := ix.SaveDir(dir); err != nil {
+		log.Fatal(err)
+	}
+	re, err := accluster.OpenSharded(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered %d objects across %d shards from %s\n", re.Len(), re.Shards(), dir)
+}

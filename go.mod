@@ -1,0 +1,3 @@
+module accluster
+
+go 1.22

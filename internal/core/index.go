@@ -87,6 +87,9 @@ type Index struct {
 // ErrDuplicateID is returned when inserting an id already present.
 var ErrDuplicateID = errors.New("core: duplicate object id")
 
+// ErrNotFound is returned when updating an id that is not present.
+var ErrNotFound = errors.New("core: object not found")
+
 // New builds an empty index holding the root cluster.
 func New(cfg Config) (*Index, error) {
 	if err := cfg.setDefaults(); err != nil {
@@ -188,6 +191,23 @@ func (ix *Index) Delete(id uint32) bool {
 	}
 	delete(ix.loc, id)
 	return true
+}
+
+// Update replaces the rectangle stored under id, relocating the object to
+// the matching cluster with the lowest access probability. The stored object
+// is untouched if the new rectangle is invalid.
+func (ix *Index) Update(id uint32, r geom.Rect) error {
+	if r.Dims() != ix.cfg.Dims {
+		return fmt.Errorf("core: object has %d dims, index has %d", r.Dims(), ix.cfg.Dims)
+	}
+	if !r.Valid() {
+		return fmt.Errorf("core: invalid rectangle %v", r)
+	}
+	if _, ok := ix.loc[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	ix.Delete(id)
+	return ix.Insert(id, r)
 }
 
 // Get returns the rectangle stored under id.

@@ -225,6 +225,8 @@ func Run(id string, o Options) (*Experiment, error) {
 		return RunBaselines(o)
 	case "disk-exec":
 		return RunDiskExec(o)
+	case "sharded":
+		return RunSharded(o)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", id, Experiments())
 	}
@@ -232,5 +234,5 @@ func Run(id string, o Options) (*Experiment, error) {
 
 // Experiments lists the available experiment identifiers.
 func Experiments() []string {
-	return []string{"fig7", "fig8", "point", "ablation-grouping", "ablation-f", "convergence", "relations", "updates", "baselines", "disk-exec"}
+	return []string{"fig7", "fig8", "point", "ablation-grouping", "ablation-f", "convergence", "relations", "updates", "baselines", "disk-exec", "sharded"}
 }

@@ -95,6 +95,10 @@ type Options struct {
 	Target float64
 	// MaxObjSize bounds object interval sizes (default 1).
 	MaxObjSize float32
+	// ShardSweep is the shard-count sweep of the sharded-engine
+	// experiment (default 1,2,4,8; values are rounded up to powers of
+	// two).
+	ShardSweep []int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -129,6 +133,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.MaxObjSize == 0 {
 		o.MaxObjSize = 1
+	}
+	if len(o.ShardSweep) == 0 {
+		o.ShardSweep = []int{1, 2, 4, 8}
 	}
 }
 

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSharded(t *testing.T) {
+	o := tinyOptions()
+	o.ShardSweep = []int{1, 4}
+	exp, err := RunSharded(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ID != "sharded" || len(exp.Points) != 2 {
+		t.Fatalf("experiment %q with %d points, want sharded/2", exp.ID, len(exp.Points))
+	}
+	if exp.Points[0].Label != "1" || exp.Points[1].Label != "4" {
+		t.Errorf("point labels %q/%q, want 1/4", exp.Points[0].Label, exp.Points[1].Label)
+	}
+	for i, p := range exp.Points {
+		r, ok := p.Results[MethodACPar]
+		if !ok {
+			t.Fatalf("point %d missing %s", i, MethodACPar)
+		}
+		if r.MeasuredUS <= 0 || r.ModeledMemMS <= 0 || r.Partitions < 1 {
+			t.Errorf("point %d implausible result: %+v", i, r)
+		}
+		if r.AvgResults <= 0 {
+			t.Errorf("point %d: queries matched nothing (AvgResults=%g)", i, r.AvgResults)
+		}
+	}
+	if len(exp.Notes) != 2 || !strings.Contains(exp.Notes[1], "queries/s") {
+		t.Errorf("Notes = %v, want per-point throughput notes", exp.Notes)
+	}
+	var buf bytes.Buffer
+	if err := exp.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shards") {
+		t.Error("rendered report lacks the shards column")
+	}
+	var csv bytes.Buffer
+	if err := exp.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "sharded,"); got != 2 {
+		t.Errorf("CSV has %d sharded rows, want 2", got)
+	}
+}
+
+func TestRunShardedDispatch(t *testing.T) {
+	o := tinyOptions()
+	o.Objects = 800
+	o.Warmup = 100
+	o.Queries = 10
+	o.ShardSweep = []int{2}
+	exp, err := Run("sharded", o)
+	if err != nil || exp.ID != "sharded" {
+		t.Fatalf("dispatch: %v", err)
+	}
+}

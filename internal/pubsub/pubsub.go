@@ -16,6 +16,7 @@ import (
 	"accluster/internal/core"
 	"accluster/internal/cost"
 	"accluster/internal/geom"
+	"accluster/internal/shard"
 )
 
 // Attribute defines one dimension of the subscription schema with its value
@@ -68,13 +69,60 @@ type Event map[string]Range
 // Handler receives matched events for a subscription.
 type Handler func(sub uint32, ev Event)
 
+// engine is the index surface the broker needs; it must be internally
+// synchronized. lockedIndex (one adaptive index behind a mutex) and
+// shard.Engine (the parallel partitioned index) both satisfy it.
+type engine interface {
+	Insert(id uint32, r geom.Rect) error
+	Delete(id uint32) bool
+	SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error)
+	Len() int
+	Clusters() int
+}
+
+// lockedIndex serializes a single adaptive index behind one mutex.
+type lockedIndex struct {
+	mu sync.Mutex
+	ix *core.Index
+}
+
+func (l *lockedIndex) Insert(id uint32, r geom.Rect) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ix.Insert(id, r)
+}
+
+func (l *lockedIndex) Delete(id uint32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ix.Delete(id)
+}
+
+func (l *lockedIndex) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ix.SearchIDs(q, rel)
+}
+
+func (l *lockedIndex) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ix.Len()
+}
+
+func (l *lockedIndex) Clusters() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ix.Clusters()
+}
+
 // Broker is the notification engine. It is safe for concurrent use.
 type Broker struct {
 	schema Schema
 	dims   map[string]int
+	ix     engine
 
 	mu       sync.Mutex
-	ix       *core.Index
 	nextID   uint32
 	handlers map[uint32]Handler
 	events   int64
@@ -87,6 +135,11 @@ type Options struct {
 	Scenario cost.Params
 	// ReorgEvery is the reorganization period (default 100 events).
 	ReorgEvery int
+	// Shards, when > 1, runs the broker on the sharded parallel engine
+	// with that many partitions (rounded up to a power of two) instead of
+	// a single mutex-serialized index — events on a busy broker then
+	// match concurrently across cores. 0 or 1 keeps the single index.
+	Shards int
 }
 
 // NewBroker builds a broker over the given schema.
@@ -94,13 +147,24 @@ func NewBroker(schema Schema, opts Options) (*Broker, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	ix, err := core.New(core.Config{
+	cfg := core.Config{
 		Dims:       len(schema),
 		Params:     opts.Scenario,
 		ReorgEvery: opts.ReorgEvery,
-	})
-	if err != nil {
-		return nil, err
+	}
+	var ix engine
+	if opts.Shards > 1 {
+		e, err := shard.New(shard.Config{Shards: opts.Shards, Core: cfg})
+		if err != nil {
+			return nil, err
+		}
+		ix = e
+	} else {
+		cix, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ix = &lockedIndex{ix: cix}
 	}
 	dims := make(map[string]int, len(schema))
 	for i, a := range schema {
@@ -163,15 +227,21 @@ func (b *Broker) SubscribeFunc(sub Subscription, h Handler) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
+	// The handler is registered before the index insert: the subscription
+	// cannot match until it is in the index, and a handler for an absent
+	// id is inert.
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	id := b.nextID
 	b.nextID++
-	if err := b.ix.Insert(id, r); err != nil {
-		return 0, err
-	}
 	if h != nil {
 		b.handlers[id] = h
+	}
+	b.mu.Unlock()
+	if err := b.ix.Insert(id, r); err != nil {
+		b.mu.Lock()
+		delete(b.handlers, id)
+		b.mu.Unlock()
+		return 0, err
 	}
 	return id, nil
 }
@@ -179,8 +249,8 @@ func (b *Broker) SubscribeFunc(sub Subscription, h Handler) (uint32, error) {
 // Unsubscribe removes a subscription, reporting whether it existed.
 func (b *Broker) Unsubscribe(id uint32) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	delete(b.handlers, id)
+	b.mu.Unlock()
 	return b.ix.Delete(id)
 }
 
@@ -192,14 +262,14 @@ func (b *Broker) Match(ev Event) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	ids, err := b.ix.SearchIDs(q, rel)
 	if err != nil {
 		return nil, err
 	}
+	b.mu.Lock()
 	b.events++
 	b.matches += int64(len(ids))
+	b.mu.Unlock()
 	return ids, nil
 }
 
@@ -260,13 +330,14 @@ type Stats struct {
 
 // Stats returns a snapshot of broker activity.
 func (b *Broker) Stats() Stats {
+	subs, clusters := b.ix.Len(), b.ix.Clusters()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return Stats{
-		Subscriptions: b.ix.Len(),
+		Subscriptions: subs,
 		Events:        b.events,
 		Matches:       b.matches,
-		Clusters:      b.ix.Clusters(),
+		Clusters:      clusters,
 	}
 }
 

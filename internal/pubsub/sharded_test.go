@@ -1,0 +1,121 @@
+package pubsub
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestShardedBrokerMatchesSingle proves a broker on the sharded engine
+// notifies exactly the subscriptions a single-index broker does.
+func TestShardedBrokerMatchesSingle(t *testing.T) {
+	schema := apartmentSchema()
+	single, err := NewBroker(schema, Options{ReorgEvery: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewBroker(schema, Options{ReorgEvery: 25, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	sub := func() Subscription {
+		priceLo := rng.Float64() * 4000
+		priceHi := priceLo + rng.Float64()*(5000-priceLo)
+		roomsLo := float64(1 + rng.Intn(5))
+		roomsHi := roomsLo + float64(rng.Intn(3))
+		if roomsHi > 6 {
+			roomsHi = 6
+		}
+		return Subscription{
+			"price": {Lo: priceLo, Hi: priceHi},
+			"rooms": {Lo: roomsLo, Hi: roomsHi},
+		}
+	}
+	for i := 0; i < 800; i++ {
+		s := sub()
+		if _, err := single.Subscribe(s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.Subscribe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		ev := Event{
+			"price": Value(rng.Float64() * 5000),
+			"rooms": Value(float64(1 + rng.Intn(6))),
+		}
+		a, err := single.Match(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sharded.Match(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		if len(a) != len(b) {
+			t.Fatalf("event %d: single matched %d, sharded %d", i, len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("event %d: match sets diverge at %d", i, k)
+			}
+		}
+	}
+	ss, st := single.Stats(), sharded.Stats()
+	if ss.Subscriptions != st.Subscriptions || ss.Events != st.Events || ss.Matches != st.Matches {
+		t.Errorf("stats diverged: single=%+v sharded=%+v", ss, st)
+	}
+}
+
+// TestShardedBrokerConcurrent hammers a sharded broker from many goroutines;
+// run with -race.
+func TestShardedBrokerConcurrent(t *testing.T) {
+	b, err := NewBroker(apartmentSchema(), Options{ReorgEvery: 20, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			var mine []uint32
+			for i := 0; i < 150; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					lo := rng.Float64() * 4000
+					id, err := b.Subscribe(Subscription{"price": {Lo: lo, Hi: lo + 500}})
+					if err != nil {
+						t.Errorf("subscribe: %v", err)
+						return
+					}
+					mine = append(mine, id)
+				case 2:
+					if len(mine) > 0 {
+						b.Unsubscribe(mine[rng.Intn(len(mine))])
+					}
+				default:
+					ev := Event{
+						"price": Value(rng.Float64() * 5000),
+						"rooms": Value(float64(1 + rng.Intn(6))),
+					}
+					if _, err := b.Publish(ev); err != nil {
+						t.Errorf("publish: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Events == 0 {
+		t.Error("no events recorded")
+	}
+}

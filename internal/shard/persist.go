@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"accluster/internal/core"
+	"accluster/internal/store"
+)
+
+// A sharded database is a directory: one store-format segment per shard
+// (shard-NNNN.acdb, §6 disk layout) plus a checksummed MANIFEST recording
+// the shard count and dimensionality. The shard count is part of the data's
+// identity — objects were partitioned by the save-time hash — so a load
+// always restores the saved count regardless of the configured default.
+
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = 0x4143534d // "ACSM"
+	manifestSize  = 20
+)
+
+// segmentName returns the file name of one shard's segment.
+func segmentName(i int) string { return fmt.Sprintf("shard-%04d.acdb", i) }
+
+// SaveDir checkpoints every shard into dir (created if missing), replacing
+// any previous sharded database there. Shards are written in parallel; the
+// manifest is written last so a torn save is detected as corrupt. Each shard
+// is checkpointed under its own lock, so a save concurrent with writes is
+// internally consistent per shard but not a point-in-time snapshot of the
+// whole engine — quiesce writers for that.
+func (e *Engine) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	// Remove a stale manifest first: if this save fails halfway, the old
+	// manifest must not validate a mixed-generation directory.
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	err := e.forEachShard(func(i int, s *lockedShard) error {
+		dev, err := store.OpenFileDevice(filepath.Join(dir, segmentName(i)))
+		if err != nil {
+			return err
+		}
+		defer dev.Close()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return store.Save(s.ix, dev)
+	})
+	if err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	// Drop segments a previous, wider generation left behind.
+	stale, err := filepath.Glob(filepath.Join(dir, "shard-*.acdb"))
+	if err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	for _, p := range stale {
+		var i int
+		if _, err := fmt.Sscanf(filepath.Base(p), "shard-%d.acdb", &i); err == nil && i >= len(e.shards) {
+			if err := os.Remove(p); err != nil {
+				return fmt.Errorf("shard: save: %w", err)
+			}
+		}
+	}
+	man := make([]byte, manifestSize)
+	binary.LittleEndian.PutUint32(man[0:], manifestMagic)
+	binary.LittleEndian.PutUint32(man[4:], 1) // version
+	binary.LittleEndian.PutUint32(man[8:], uint32(len(e.shards)))
+	binary.LittleEndian.PutUint32(man[12:], uint32(e.Dims()))
+	binary.LittleEndian.PutUint32(man[16:], crc32.ChecksumIEEE(man[:16]))
+	if err := os.WriteFile(filepath.Join(dir, manifestName), man, 0o644); err != nil {
+		return fmt.Errorf("shard: save manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest validates and decodes the directory manifest.
+func readManifest(dir string) (shards, dims int, err error) {
+	man, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard: open manifest: %w", err)
+	}
+	if len(man) != manifestSize ||
+		crc32.ChecksumIEEE(man[:16]) != binary.LittleEndian.Uint32(man[16:]) {
+		return 0, 0, fmt.Errorf("shard: corrupt manifest in %s", dir)
+	}
+	if binary.LittleEndian.Uint32(man[0:]) != manifestMagic {
+		return 0, 0, fmt.Errorf("shard: %s is not a sharded database", dir)
+	}
+	if v := binary.LittleEndian.Uint32(man[4:]); v != 1 {
+		return 0, 0, fmt.Errorf("shard: unsupported manifest version %d", v)
+	}
+	shards = int(binary.LittleEndian.Uint32(man[8:]))
+	dims = int(binary.LittleEndian.Uint32(man[12:]))
+	if shards < 1 || shards > maxShards || shards != ceilPow2(shards) || dims < 1 {
+		return 0, 0, fmt.Errorf("shard: implausible manifest: shards=%d dims=%d", shards, dims)
+	}
+	return shards, dims, nil
+}
+
+// LoadDir recovers a sharded engine from a directory written by SaveDir,
+// validating every segment checksum. cfg supplies the runtime parameters;
+// the shard count and dimensionality come from the manifest (cfg.Core.Dims
+// must match the stored dimensionality or be zero to adopt it).
+func LoadDir(dir string, cfg Config) (*Engine, error) {
+	shards, dims, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Core.Dims != 0 && cfg.Core.Dims != dims {
+		return nil, fmt.Errorf("shard: database has %d dims, config wants %d", dims, cfg.Core.Dims)
+	}
+	cfg.Core.Dims = dims
+	ixs := make([]*core.Index, shards)
+	for i := range ixs {
+		dev, err := store.OpenFileDevice(filepath.Join(dir, segmentName(i)))
+		if err != nil {
+			return nil, fmt.Errorf("shard: open segment %d: %w", i, err)
+		}
+		ix, err := store.Load(dev, cfg.Core)
+		dev.Close()
+		if err != nil {
+			return nil, fmt.Errorf("shard: segment %d: %w", i, err)
+		}
+		ixs[i] = ix
+	}
+	return Wrap(cfg, ixs)
+}

@@ -1,0 +1,448 @@
+// Package shard partitions an adaptive clustering database across several
+// independent core indexes so that operations on different partitions run in
+// parallel. Objects are hash-partitioned by identifier (Fibonacci hashing
+// over a power-of-two shard count, so routing is one multiply and one
+// shift); point operations — Insert, Update, Delete, Get — lock only the
+// owning shard, while spatial selections fan out to every shard on a bounded
+// worker pool and merge the per-shard answers.
+//
+// Every shard is a complete adaptive index: it keeps its own clustering,
+// query statistics and reorganization schedule. Because a selection visits
+// all shards, each shard observes the full query stream and converges on the
+// same cadence as a single index, just over its slice of the objects.
+//
+// Exactness is unaffected by partitioning: cluster signatures only prune,
+// and every candidate object is verified against the selection individually,
+// so the union of the shard answers equals the single-index answer.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"accluster/internal/core"
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+)
+
+// maxShards bounds the shard count; beyond this the per-query fan-out
+// overhead dwarfs any conceivable parallelism win.
+const maxShards = 1 << 10
+
+// Config parameterizes a sharded engine.
+type Config struct {
+	// Shards is the number of partitions, rounded up to a power of two;
+	// 0 picks the next power of two ≥ GOMAXPROCS.
+	Shards int
+	// Workers bounds the fan-out worker pool; 0 picks
+	// min(Shards, GOMAXPROCS).
+	Workers int
+	// Core configures every shard's adaptive index (Dims is required).
+	Core core.Config
+}
+
+// ceilPow2 returns the smallest power of two ≥ n.
+func ceilPow2(n int) int {
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return k
+}
+
+func (c *Config) setDefaults() error {
+	if c.Shards == 0 {
+		c.Shards = ceilPow2(runtime.GOMAXPROCS(0))
+	}
+	if c.Shards < 0 || c.Shards > maxShards {
+		return fmt.Errorf("shard: shard count %d out of range [1,%d]", c.Shards, maxShards)
+	}
+	c.Shards = ceilPow2(c.Shards)
+	if c.Workers <= 0 {
+		c.Workers = c.Shards
+		if p := runtime.GOMAXPROCS(0); p < c.Workers {
+			c.Workers = p
+		}
+	}
+	return nil
+}
+
+// lockedShard pairs one partition's index with its mutex.
+type lockedShard struct {
+	mu sync.Mutex
+	ix *core.Index
+}
+
+// Engine is the sharded adaptive clustering engine. All methods are safe for
+// concurrent use.
+type Engine struct {
+	cfg    Config
+	shift  uint // 32 - log2(shards), for Fibonacci routing
+	shards []*lockedShard
+	// queries counts logical selections (each fans out to every shard, so
+	// the per-shard meters would overcount by the shard factor).
+	queries atomic.Int64
+}
+
+// New builds an empty sharded engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	shards := make([]*lockedShard, cfg.Shards)
+	for i := range shards {
+		ix, err := core.New(cfg.Core)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = &lockedShard{ix: ix}
+	}
+	// core.New applied the per-shard defaults; keep the effective config.
+	cfg.Core = shards[0].ix.Config()
+	return newEngine(cfg, shards), nil
+}
+
+// Wrap assembles an engine from pre-built shard indexes (the load path).
+// The index count must be a power of two and all dimensionalities equal.
+func Wrap(cfg Config, ixs []*core.Index) (*Engine, error) {
+	if len(ixs) == 0 || len(ixs) != ceilPow2(len(ixs)) || len(ixs) > maxShards {
+		return nil, fmt.Errorf("shard: shard count %d is not a power of two in [1,%d]", len(ixs), maxShards)
+	}
+	cfg.Shards = len(ixs)
+	cfg.Core = ixs[0].Config()
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	shards := make([]*lockedShard, len(ixs))
+	for i, ix := range ixs {
+		if ix.Dims() != cfg.Core.Dims {
+			return nil, fmt.Errorf("shard: shard %d has %d dims, shard 0 has %d", i, ix.Dims(), cfg.Core.Dims)
+		}
+		shards[i] = &lockedShard{ix: ix}
+	}
+	return newEngine(cfg, shards), nil
+}
+
+func newEngine(cfg Config, shards []*lockedShard) *Engine {
+	shift := uint(32)
+	for k := 1; k < len(shards); k <<= 1 {
+		shift--
+	}
+	return &Engine{cfg: cfg, shift: shift, shards: shards}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Shards returns the number of partitions.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Dims returns the data space dimensionality.
+func (e *Engine) Dims() int { return e.cfg.Core.Dims }
+
+// route returns the owning shard's position for an object id: Fibonacci
+// hashing spreads arbitrary id patterns (sequential, strided, clustered)
+// evenly over the power-of-two shard count.
+func (e *Engine) route(id uint32) int {
+	return int((id * 2654435761) >> e.shift)
+}
+
+// forEachShard runs fn over every shard on at most cfg.Workers goroutines
+// and returns the first error. fn is responsible for the shard's lock.
+func (e *Engine) forEachShard(fn func(i int, s *lockedShard) error) error {
+	if len(e.shards) == 1 {
+		return fn(0, e.shards[0])
+	}
+	if e.cfg.Workers == 1 {
+		// Single-worker pool (e.g. GOMAXPROCS=1): run inline, the
+		// goroutine round-trips would be pure overhead.
+		for i, s := range e.shards {
+			if err := fn(i, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := e.cfg.Workers
+	if workers > len(e.shards) {
+		workers = len(e.shards)
+	}
+	var (
+		next     atomic.Int32
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(e.shards) {
+					return
+				}
+				if err := fn(i, e.shards[i]); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Insert adds an object to its owning shard.
+func (e *Engine) Insert(id uint32, r geom.Rect) error {
+	s := e.shards[e.route(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Insert(id, r)
+}
+
+// Update replaces the rectangle stored under id in its owning shard.
+func (e *Engine) Update(id uint32, r geom.Rect) error {
+	s := e.shards[e.route(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Update(id, r)
+}
+
+// Delete removes an object from its owning shard, reporting whether it
+// existed.
+func (e *Engine) Delete(id uint32) bool {
+	s := e.shards[e.route(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Delete(id)
+}
+
+// Get returns the rectangle stored under id.
+func (e *Engine) Get(id uint32) (geom.Rect, bool) {
+	s := e.shards[e.route(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Get(id)
+}
+
+// InsertBatch bulk-loads a batch: ids are pre-bucketed by owning shard, then
+// every shard ingests its bucket under a single lock acquisition, with the
+// shards loading in parallel. On error the batch may be partially applied;
+// objects inserted before the failure remain.
+func (e *Engine) InsertBatch(ids []uint32, rects []geom.Rect) error {
+	if len(ids) != len(rects) {
+		return fmt.Errorf("shard: batch has %d ids but %d rectangles", len(ids), len(rects))
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	buckets := make([][]int32, len(e.shards))
+	for k := range ids {
+		b := e.route(ids[k])
+		buckets[b] = append(buckets[b], int32(k))
+	}
+	return e.forEachShard(func(i int, s *lockedShard) error {
+		if len(buckets[i]) == 0 {
+			return nil
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, k := range buckets[i] {
+			if err := s.ix.Insert(ids[k], rects[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Search executes a spatial selection: the query fans out to every shard in
+// parallel, each shard runs the selection over its partition (updating its
+// own clustering statistics), and the merged answers are emitted in shard
+// order. emit returning false stops the emission; shard-side statistics for
+// the query are still recorded, as in the single index.
+func (e *Engine) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
+	results := make([][]uint32, len(e.shards))
+	err := e.forEachShard(func(i int, s *lockedShard) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		ids, err := s.ix.SearchIDs(q, rel)
+		results[i] = ids
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	e.queries.Add(1)
+	for _, ids := range results {
+		for _, id := range ids {
+			if !emit(id) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// SearchIDs collects the identifiers of all qualifying objects.
+func (e *Engine) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	var out []uint32
+	err := e.Search(q, rel, func(id uint32) bool { out = append(out, id); return true })
+	return out, err
+}
+
+// Count returns the number of objects satisfying the selection.
+func (e *Engine) Count(q geom.Rect, rel geom.Relation) (int, error) {
+	n := 0
+	err := e.Search(q, rel, func(uint32) bool { n++; return true })
+	return n, err
+}
+
+// Len returns the number of stored objects across all shards.
+func (e *Engine) Len() int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += s.ix.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Clusters returns the number of materialized clusters across all shards.
+func (e *Engine) Clusters() int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += s.ix.Clusters()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Meter returns the engine-wide operation counters: the sum of the shard
+// meters, with Queries being the number of logical selections (every
+// selection visits all shards; summing the shard query counts would inflate
+// it by the shard factor). The summed counters are total work, so modeled
+// per-query times represent sequential cost — the parallel speedup shows up
+// in wall time, not in the model.
+func (e *Engine) Meter() cost.Meter {
+	var m cost.Meter
+	for _, s := range e.shards {
+		s.mu.Lock()
+		m.Add(s.ix.Meter())
+		s.mu.Unlock()
+	}
+	m.Queries = e.queries.Load()
+	return m
+}
+
+// ResetMeter zeroes the operation counters (clustering statistics are kept).
+func (e *Engine) ResetMeter() {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.ix.ResetMeter()
+		s.mu.Unlock()
+	}
+	e.queries.Store(0)
+}
+
+// Reorganize forces a reorganization round on every shard, in parallel.
+func (e *Engine) Reorganize() {
+	_ = e.forEachShard(func(_ int, s *lockedShard) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.ix.Reorganize()
+		return nil
+	})
+}
+
+// ReorgRounds returns the total number of reorganization rounds across all
+// shards.
+func (e *Engine) ReorgRounds() int64 {
+	var n int64
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += s.ix.ReorgRounds()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Splits returns the total number of cluster materializations.
+func (e *Engine) Splits() int64 {
+	var n int64
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += s.ix.Splits()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Merges returns the total number of cluster merges.
+func (e *Engine) Merges() int64 {
+	var n int64
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += s.ix.Merges()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// ShardInfo summarizes one partition for balance monitoring.
+type ShardInfo struct {
+	// Objects is the number of objects the shard stores.
+	Objects int
+	// Clusters is the shard's materialized cluster count.
+	Clusters int
+	// Meter is the shard-local operation counters.
+	Meter cost.Meter
+}
+
+// ShardInfos reports every partition in routing order.
+func (e *Engine) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		out[i] = ShardInfo{Objects: s.ix.Len(), Clusters: s.ix.Clusters(), Meter: s.ix.Meter()}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ClusterInfos reports every materialized cluster, shard by shard in routing
+// order (each shard's root first).
+func (e *Engine) ClusterInfos() []core.ClusterInfo {
+	var out []core.ClusterInfo
+	for _, s := range e.shards {
+		s.mu.Lock()
+		out = append(out, s.ix.ClusterInfos()...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// CheckInvariants validates every shard's structural invariants plus the
+// routing invariant (every object lives in the shard its id hashes to); it
+// is expensive and intended for tests.
+func (e *Engine) CheckInvariants() error {
+	return e.forEachShard(func(i int, s *lockedShard) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.ix.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		for _, cs := range s.ix.Snapshot() {
+			for _, id := range cs.IDs {
+				if e.route(id) != i {
+					return fmt.Errorf("shard %d: object %d routes to shard %d", i, id, e.route(id))
+				}
+			}
+		}
+		return nil
+	})
+}

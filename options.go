@@ -28,6 +28,8 @@ type options struct {
 	minFill        float64
 	reinsertFrac   float64
 	maxOverlap     float64
+	shards         int
+	fanout         int
 }
 
 // Option customizes an index constructor.
@@ -81,6 +83,20 @@ func WithMinFill(frac float64) Option {
 // first overflow of a level (default 0.3).
 func WithReinsertFrac(frac float64) Option {
 	return func(o *options) { o.reinsertFrac = frac }
+}
+
+// WithShards sets the sharded index's partition count, rounded up to a
+// power of two (default: the next power of two ≥ GOMAXPROCS). The shard
+// count is fixed for the life of the index and recorded by SaveDir — a
+// loaded database keeps its save-time shard count.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// WithFanout bounds the worker pool used to fan a query out across shards
+// (default min(shards, GOMAXPROCS)).
+func WithFanout(workers int) Option {
+	return func(o *options) { o.fanout = workers }
 }
 
 // WithMaxOverlap sets the X-tree's split-overlap threshold (default 0.2):

@@ -2,6 +2,7 @@ package accluster
 
 import (
 	"accluster/internal/core"
+	"accluster/internal/shard"
 	"accluster/internal/store"
 )
 
@@ -41,4 +42,32 @@ func OpenAdaptive(path string, opts ...Option) (*Adaptive, error) {
 		return nil, err
 	}
 	return &Adaptive{ix: ix}, nil
+}
+
+// SaveDir checkpoints the sharded index into a directory: one database
+// segment per shard in the paper's disk layout plus a checksummed manifest
+// recording the shard count. Shards are written in parallel, each under its
+// own lock — quiesce writers if a point-in-time snapshot of the whole engine
+// is required. Query statistics are not persisted.
+func (s *Sharded) SaveDir(dir string) error { return s.e.SaveDir(dir) }
+
+// OpenSharded recovers a sharded index from a directory written by SaveDir,
+// validating every checksum. The options configure the recovered index; the
+// shard count and dimensionality come from the manifest (WithShards is
+// ignored — the save-time partitioning is part of the data).
+func OpenSharded(dir string, opts ...Option) (*Sharded, error) {
+	o := gatherOptions(opts)
+	e, err := shard.LoadDir(dir, shard.Config{
+		Workers: o.fanout,
+		Core: core.Config{
+			Params:         o.scenario,
+			DivisionFactor: o.divisionFactor,
+			ReorgEvery:     o.reorgEvery,
+			Decay:          o.decay,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{e: e}, nil
 }

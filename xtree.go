@@ -39,6 +39,14 @@ func (x *XTree) Insert(id uint32, r Rect) error {
 	return x.t.Insert(id, r)
 }
 
+// Update replaces the rectangle stored under id; it returns an error
+// wrapping ErrNotFound if the id is absent.
+func (x *XTree) Update(id uint32, r Rect) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return updateByReplace(x.t.Dims(), id, r, x.t.Delete, x.t.Insert)
+}
+
 // Delete removes an object, reporting whether it existed.
 func (x *XTree) Delete(id uint32) bool {
 	x.mu.Lock()
