@@ -77,6 +77,11 @@ type Index interface {
 	Search(q Rect, rel Relation, emit func(id uint32) bool) error
 	// SearchIDs collects all qualifying identifiers.
 	SearchIDs(q Rect, rel Relation) ([]uint32, error)
+	// SearchIDsAppend appends all qualifying identifiers to dst and
+	// returns the extended slice; reusing the returned slice across calls
+	// keeps steady-state selections allocation-free on engines with an
+	// allocation-free query path (Adaptive, Sharded).
+	SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error)
 	// Count returns the number of qualifying objects.
 	Count(q Rect, rel Relation) (int, error)
 	// Len returns the number of stored objects.
@@ -175,6 +180,15 @@ func (a *Adaptive) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.ix.SearchIDs(q, rel)
+}
+
+// SearchIDsAppend appends all qualifying identifiers to dst and returns the
+// extended slice; with a reused dst of sufficient capacity the selection
+// allocates nothing.
+func (a *Adaptive) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix.SearchIDsAppend(dst, q, rel)
 }
 
 // Count returns the number of qualifying objects.
@@ -310,6 +324,14 @@ func (s *SeqScan) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 	return s.s.SearchIDs(q, rel)
 }
 
+// SearchIDsAppend appends all qualifying identifiers to dst and returns the
+// extended slice.
+func (s *SeqScan) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return appendViaSearch(s.s.Search, dst, q, rel)
+}
+
 // Count returns the number of qualifying objects.
 func (s *SeqScan) Count(q Rect, rel Relation) (int, error) {
 	s.mu.Lock()
@@ -405,6 +427,14 @@ func (r *RStar) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 	return r.t.SearchIDs(q, rel)
 }
 
+// SearchIDsAppend appends all qualifying identifiers to dst and returns the
+// extended slice.
+func (r *RStar) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return appendViaSearch(r.t.Search, dst, q, rel)
+}
+
 // Count returns the number of qualifying objects.
 func (r *RStar) Count(q Rect, rel Relation) (int, error) {
 	r.mu.Lock()
@@ -464,6 +494,15 @@ var (
 	_ Index = (*SeqScan)(nil)
 	_ Index = (*RStar)(nil)
 )
+
+// appendViaSearch implements SearchIDsAppend for engines without a native
+// append path, collecting emitted ids into dst. The caller holds the
+// engine's lock.
+func appendViaSearch(search func(q Rect, rel Relation, emit func(uint32) bool) error, dst []uint32, q Rect, rel Relation) ([]uint32, error) {
+	out := dst
+	err := search(q, rel, func(id uint32) bool { out = append(out, id); return true })
+	return out, err
+}
 
 // updateByReplace implements Update for engines without a native one:
 // validate first (a failed update must not drop the object), then replace

@@ -8,6 +8,7 @@
 //
 //	acbench -exp fig7 -n 200000 -queries 200
 //	acbench -exp all -n 50000 -csv results.csv
+//	acbench -benchjson bench.json -cpuprofile cpu.out
 //
 // The tables print the modeled per-query execution time under both storage
 // scenarios (paper cost constants: 15 ms disk access, 20 MB/s transfer,
@@ -19,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"accluster/internal/harness"
@@ -38,6 +41,10 @@ func main() {
 		csvPath = flag.String("csv", "", "also write results as CSV to this file")
 		charts  = flag.Bool("chart", false, "also draw ASCII charts (the paper's figure shapes)")
 		verbose = flag.Bool("v", false, "log progress to stderr")
+
+		benchJSON  = flag.String("benchjson", "", "run the steady-state query micro-benchmark and write JSON results to this file (skips -exp)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -62,17 +69,71 @@ func main() {
 		o.Log = os.Stderr
 	}
 
-	ids := strings.Split(*exps, ",")
-	if *exps == "all" {
+	// run executes inside this wrapper (instead of os.Exit-ing in place)
+	// so the profile defers flush even when an experiment fails — a
+	// truncated CPU profile is useless in exactly the debugging session
+	// the flags exist for.
+	err := func() error {
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := pprof.StartCPUProfile(f); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+			defer pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			defer func() {
+				f, err := os.Create(*memProfile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "acbench: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "acbench: memprofile: %v\n", err)
+				}
+			}()
+		}
+		return run(o, *exps, *benchJSON, *csvPath, *charts)
+	}()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(o harness.Options, exps, benchJSON, csvPath string, charts bool) error {
+	if benchJSON != "" {
+		rep, err := harness.RunQueryBench(o)
+		if err != nil {
+			return fmt.Errorf("benchjson: %w", err)
+		}
+		f, err := os.Create(benchJSON)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("benchjson: %w", err)
+		}
+		return f.Close()
+	}
+
+	ids := strings.Split(exps, ",")
+	if exps == "all" {
 		ids = harness.Experiments()
 	}
 
 	var csv *os.File
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "acbench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		csv = f
@@ -85,14 +146,12 @@ func main() {
 		}
 		exp, err := harness.Run(id, o)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "acbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", id, err)
 		}
 		if err := exp.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "acbench: render %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("render %s: %w", id, err)
 		}
-		if *charts && len(exp.Points) > 1 {
+		if charts && len(exp.Points) > 1 {
 			// Memory chart on a linear scale, disk chart on a log
 			// scale, as in the paper's figures.
 			if err := exp.RenderChart(os.Stdout, false, false); err != nil {
@@ -104,9 +163,9 @@ func main() {
 		}
 		if csv != nil {
 			if err := exp.CSV(csv); err != nil {
-				fmt.Fprintf(os.Stderr, "acbench: csv %s: %v\n", id, err)
-				os.Exit(1)
+				return fmt.Errorf("csv %s: %w", id, err)
 			}
 		}
 	}
+	return nil
 }

@@ -48,4 +48,23 @@
 // when concurrent operations should scale with the available cores —
 // especially high query rates, where shards answer simultaneously instead
 // of queueing on one mutex.
+//
+// # Storage layout and allocation behaviour
+//
+// Internally each cluster stores its members in column-major
+// (structure-of-arrays) order: one contiguous lo/hi float32 column per
+// dimension, plus a flat side-array mirroring every cluster signature. A
+// selection therefore runs as two linear scans — signatures first, then,
+// per explored cluster, a bitmap-driven block scan of the dimension columns
+// (most selective dimensions first, early exit when the bitmap empties,
+// columns skipped entirely when the signature already proves them). The
+// on-disk store format keeps the interleaved row-major layout and is
+// transposed at save/load, so segments persist unchanged across versions.
+//
+// Steady-state searches are allocation-free: the verification bitmap and
+// the matching-cluster list are per-index scratch, and SearchIDsAppend
+// reuses the caller's result buffer (the sharded engine merges its fan-out
+// through pooled per-shard buffers). Use SearchIDsAppend with a retained
+// buffer in hot loops; SearchIDs is the convenience form that allocates a
+// fresh result slice per call.
 package accluster

@@ -2,13 +2,14 @@
 // cost-based clustering index for multidimensional extended objects (§3–§6).
 //
 // The database is a flat set of materialized clusters, each carrying a
-// signature (internal/sig), a sequential member store (flat float32 layout
-// for data locality, as the paper stores members contiguously), and
-// performance indicators for itself and for its virtual candidate
-// subclusters. Queries scan all cluster signatures, explore matching
-// clusters, verify members individually, and update statistics; every
-// ReorgEvery queries the index reorganizes clusters by merging or splitting
-// according to the cost model (internal/cost).
+// signature (internal/sig), a sequential member store (column-major float32
+// layout for data locality, so a query verifies one dimension of all members
+// as one contiguous scan), and performance indicators for itself and for its
+// virtual candidate subclusters. Queries scan all cluster signatures,
+// explore matching clusters, verify members with the columnar block-scan
+// kernels, and update statistics; every ReorgEvery queries the index
+// reorganizes clusters by merging or splitting according to the cost model
+// (internal/cost).
 package core
 
 import (
@@ -16,40 +17,54 @@ import (
 	"accluster/internal/sig"
 )
 
-// candidate is a virtual subcluster of a materialized cluster: the split that
-// defines it, its cached variation-interval bounds for the refined dimension,
-// and its performance indicators (paper §3.1).
-type candidate struct {
-	sp                 sig.Split
-	aLo, aHi, bLo, bHi float32
-	n                  int32   // objects of the owner matching the candidate
-	q                  float64 // decayed count of queries matching the candidate
+// candSet stores the virtual candidate subclusters of one materialized
+// cluster (paper §3.1) in parallel structure-of-arrays columns: the split
+// defining each candidate, its cached variation-interval bounds for the
+// refined dimension, and its performance indicators. The columnar layout
+// matters because every exploration updates the query indicator of every
+// candidate — with the bounds packed contiguously that pass streams a few
+// bytes per candidate instead of striding through per-candidate records.
+type candSet struct {
+	sp       []sig.Split
+	dim      []int32   // sp[i].Dim, the hot copy for the query-stat pass
+	aLo, aHi []float32 // variation interval for interval starts
+	bLo, bHi []float32 // variation interval for interval ends
+	n        []int32   // objects of the owner matching the candidate
+	q        []float64 // decayed count of queries matching the candidate
 }
 
+// len returns the number of candidates.
+func (cs *candSet) len() int { return len(cs.sp) }
+
 // matchesObjectDim reports whether an owner member with the refined
-// dimension's interval [lo,hi] qualifies for the candidate.
-func (cd *candidate) matchesObjectDim(lo, hi float32) bool {
-	return sig.InVar(lo, cd.aLo, cd.aHi) && sig.InVar(hi, cd.bLo, cd.bHi)
+// dimension's interval [lo,hi] qualifies for candidate i.
+func (cs *candSet) matchesObjectDim(i int, lo, hi float32) bool {
+	return sig.InVar(lo, cs.aLo[i], cs.aHi[i]) && sig.InVar(hi, cs.bLo[i], cs.bHi[i])
 }
 
 // matchesQueryDim reports whether a query already matching the owner also
-// matches the candidate on the refined dimension.
-func (cd *candidate) matchesQueryDim(rel geom.Relation, qlo, qhi float32) bool {
-	return sig.QueryDimMatch(rel, qlo, qhi, cd.aLo, cd.aHi, cd.bLo, cd.bHi)
+// matches candidate i on the refined dimension.
+func (cs *candSet) matchesQueryDim(i int, rel geom.Relation, qlo, qhi float32) bool {
+	return sig.QueryDimMatch(rel, qlo, qhi, cs.aLo[i], cs.aHi[i], cs.bLo[i], cs.bHi[i])
 }
 
 // Cluster is a materialized group of objects accessed and checked together
-// during spatial selections (§3.1). Members are stored sequentially: ids[i]
-// pairs with the flat coordinate block data[i*2*dims : (i+1)*2*dims].
+// during spatial selections (§3.1). Members are stored sequentially in
+// column-major (structure-of-arrays) order: ids[i] pairs with the
+// per-dimension coordinate columns lo[d][i], hi[d][i]. The columnar layout
+// lets a selection verify one dimension of every member as a single
+// contiguous scan (internal/geom's Filter kernels) instead of striding
+// through interleaved per-object records.
 type Cluster struct {
 	signature sig.Signature
 	parent    *Cluster
 	children  []*Cluster
 
-	ids  []uint32
-	data []float32
+	ids []uint32
+	lo  [][]float32 // lo[d][i] = interval start of member i in dimension d
+	hi  [][]float32 // hi[d][i] = interval end of member i in dimension d
 
-	cands []candidate
+	cands candSet
 	q     float64 // decayed count of queries exploring this cluster
 
 	pos     int  // index in Index.clusters (O(1) removal)
@@ -68,21 +83,53 @@ func (c *Cluster) Len() int { return len(c.ids) }
 // IDs returns the member identifiers (shared storage; do not mutate).
 func (c *Cluster) IDs() []uint32 { return c.ids }
 
-// Data returns the flat member coordinates (shared storage; do not mutate).
-func (c *Cluster) Data() []float32 { return c.data }
+// Column returns the coordinate columns of dimension d (shared storage; do
+// not mutate).
+func (c *Cluster) Column(d int) (lo, hi []float32) { return c.lo[d], c.hi[d] }
+
+// flatData materializes the members as one interleaved (row-major) block in
+// the flat layout of internal/geom — the transpose used by snapshots and the
+// on-device store format, which keep the pre-columnar representation.
+func (c *Cluster) flatData() []float32 {
+	dims := len(c.lo)
+	out := make([]float32, geom.FlatLen(len(c.ids), dims))
+	for d := 0; d < dims; d++ {
+		lo, hi := c.lo[d], c.hi[d]
+		for i := range lo {
+			out[i*2*dims+2*d] = lo[i]
+			out[i*2*dims+2*d+1] = hi[i]
+		}
+	}
+	return out
+}
 
 // Candidates returns the number of candidate subclusters tracked.
-func (c *Cluster) Candidates() int { return len(c.cands) }
+func (c *Cluster) Candidates() int { return c.cands.len() }
 
 // newCluster builds a cluster with the given signature and candidate set
 // derived by the clustering function with division factor f.
 func newCluster(s sig.Signature, f int) *Cluster {
-	c := &Cluster{signature: s}
+	c := &Cluster{
+		signature: s,
+		lo:        make([][]float32, s.Dims()),
+		hi:        make([][]float32, s.Dims()),
+	}
 	splits := sig.Enumerate(s, f)
-	c.cands = make([]candidate, len(splits))
+	c.cands = candSet{
+		sp:  splits,
+		dim: make([]int32, len(splits)),
+		aLo: make([]float32, len(splits)),
+		aHi: make([]float32, len(splits)),
+		bLo: make([]float32, len(splits)),
+		bHi: make([]float32, len(splits)),
+		n:   make([]int32, len(splits)),
+		q:   make([]float64, len(splits)),
+	}
 	for i, sp := range splits {
 		aLo, aHi, bLo, bHi := sp.Bounds(s)
-		c.cands[i] = candidate{sp: sp, aLo: aLo, aHi: aHi, bLo: bLo, bHi: bHi}
+		c.cands.dim[i] = int32(sp.Dim)
+		c.cands.aLo[i], c.cands.aHi[i] = aLo, aHi
+		c.cands.bLo[i], c.cands.bHi[i] = bLo, bHi
 	}
 	return c
 }
@@ -97,61 +144,119 @@ func reservedCap(n int) int {
 	return n + n/4
 }
 
+// grow reallocates the member storage with the reservation rule applied.
+func (c *Cluster) grow() {
+	n := len(c.ids)
+	grow := reservedCap(n + 1)
+	ids := make([]uint32, n, grow)
+	copy(ids, c.ids)
+	c.ids = ids
+	// One slab backs all coordinate columns, keeping them contiguous in
+	// dimension order (the scan order of the verification kernels). The
+	// three-index slices cap each column at its reserved slots, so appends
+	// never bleed into the neighbouring column.
+	slab := make([]float32, 2*len(c.lo)*grow)
+	for d := range c.lo {
+		loBase, hiBase := (2*d)*grow, (2*d+1)*grow
+		lo := slab[loBase : loBase+n : loBase+grow]
+		hi := slab[hiBase : hiBase+n : hiBase+grow]
+		copy(lo, c.lo[d])
+		copy(hi, c.hi[d])
+		c.lo[d], c.hi[d] = lo, hi
+	}
+}
+
 // appendObject adds one member and updates the candidate indicators.
 func (c *Cluster) appendObject(id uint32, r geom.Rect) int {
+	pos := c.appendCoords(id, r.Min, r.Max)
+	cs := &c.cands
+	for i, d := range cs.dim {
+		if cs.matchesObjectDim(i, r.Min[d], r.Max[d]) {
+			cs.n[i]++
+		}
+	}
+	return pos
+}
+
+// appendCoords appends the raw member row without touching the candidate
+// indicators; min/max are indexed per dimension.
+func (c *Cluster) appendCoords(id uint32, min, max []float32) int {
 	pos := len(c.ids)
 	if cap(c.ids) == len(c.ids) {
-		grow := reservedCap(len(c.ids) + 1)
-		ids := make([]uint32, len(c.ids), grow)
-		copy(ids, c.ids)
-		c.ids = ids
-		data := make([]float32, len(c.data), grow*2*r.Dims())
-		copy(data, c.data)
-		c.data = data
+		c.grow()
 	}
 	c.ids = append(c.ids, id)
-	c.data = geom.AppendFlat(c.data, r)
-	for i := range c.cands {
-		cd := &c.cands[i]
-		d := cd.sp.Dim
-		if cd.matchesObjectDim(r.Min[d], r.Max[d]) {
-			cd.n++
+	for d := range c.lo {
+		c.lo[d] = append(c.lo[d], min[d])
+		c.hi[d] = append(c.hi[d], max[d])
+	}
+	return pos
+}
+
+// appendFrom appends member i of src (same dimensionality) and updates the
+// candidate indicators, copying straight between coordinate columns without
+// materializing a Rect; reorganizations move objects through this path.
+func (c *Cluster) appendFrom(src *Cluster, i int) int {
+	pos := len(c.ids)
+	if cap(c.ids) == len(c.ids) {
+		c.grow()
+	}
+	c.ids = append(c.ids, src.ids[i])
+	for d := range c.lo {
+		c.lo[d] = append(c.lo[d], src.lo[d][i])
+		c.hi[d] = append(c.hi[d], src.hi[d][i])
+	}
+	cs := &c.cands
+	for k, d := range cs.dim {
+		lo, hi := src.objectDim(i, int(d))
+		if cs.matchesObjectDim(k, lo, hi) {
+			cs.n[k]++
 		}
 	}
 	return pos
 }
 
 // objectDim returns the [lo,hi] interval of member i in dimension d.
-func (c *Cluster) objectDim(i, dims, d int) (lo, hi float32) {
-	base := i * 2 * dims
-	return c.data[base+2*d], c.data[base+2*d+1]
+func (c *Cluster) objectDim(i, d int) (lo, hi float32) {
+	return c.lo[d][i], c.hi[d][i]
 }
 
 // removeObjectAt swap-removes member i and updates candidate indicators.
 // It returns the id that was moved into slot i (or 0 and false when the
 // removed member was the last one).
-func (c *Cluster) removeObjectAt(i, dims int) (movedID uint32, moved bool) {
-	for k := range c.cands {
-		cd := &c.cands[k]
-		lo, hi := c.objectDim(i, dims, cd.sp.Dim)
-		if cd.matchesObjectDim(lo, hi) {
-			cd.n--
+func (c *Cluster) removeObjectAt(i int) (movedID uint32, moved bool) {
+	cs := &c.cands
+	for k, d := range cs.dim {
+		lo, hi := c.objectDim(i, int(d))
+		if cs.matchesObjectDim(k, lo, hi) {
+			cs.n[k]--
 		}
 	}
 	last := len(c.ids) - 1
 	if i != last {
 		c.ids[i] = c.ids[last]
-		copy(c.data[i*2*dims:(i+1)*2*dims], c.data[last*2*dims:(last+1)*2*dims])
+		for d := range c.lo {
+			c.lo[d][i] = c.lo[d][last]
+			c.hi[d][i] = c.hi[d][last]
+		}
 		movedID, moved = c.ids[i], true
 	}
 	c.ids = c.ids[:last]
-	c.data = c.data[:last*2*dims]
+	for d := range c.lo {
+		c.lo[d] = c.lo[d][:last]
+		c.hi[d] = c.hi[d][:last]
+	}
 	return movedID, moved
 }
 
 // rectAt materializes member i as a Rect.
 func (c *Cluster) rectAt(i, dims int) geom.Rect {
-	return geom.FromFlat(c.data, i, dims)
+	r := geom.NewRect(dims)
+	for d := 0; d < dims; d++ {
+		r.Min[d] = c.lo[d][i]
+		r.Max[d] = c.hi[d][i]
+	}
+	return r
 }
 
 // detachChild removes ch from c.children.

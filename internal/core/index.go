@@ -71,7 +71,18 @@ type Index struct {
 	root     *Cluster
 	clusters []*Cluster // all materialized clusters; clusters[0] == root
 
+	// sigBounds mirrors every cluster's signature as one flat float32
+	// array (4·dims per cluster, positionally aligned with clusters), so
+	// the per-query signature pass is a single linear scan (sigscan.go).
+	sigBounds []float32
+
 	loc map[uint32]objLoc
+
+	// scratch holds per-index buffers reused across queries so that the
+	// steady-state query path performs no allocations. The index is
+	// single-threaded (the public package serializes access), so one set
+	// suffices.
+	scratch searchScratch
 
 	// Statistics window: W is the decayed total number of queries; every
 	// cluster's and candidate's q is decayed on the same schedule, so
@@ -103,6 +114,7 @@ func New(cfg Config) (*Index, error) {
 	ix.root = newCluster(sig.Root(cfg.Dims), cfg.DivisionFactor)
 	ix.root.pos = 0
 	ix.clusters = []*Cluster{ix.root}
+	ix.appendSigBounds(ix.root.signature)
 	return ix, nil
 }
 
@@ -185,7 +197,7 @@ func (ix *Index) Delete(id uint32) bool {
 	if !ok {
 		return false
 	}
-	movedID, moved := l.c.removeObjectAt(int(l.pos), ix.cfg.Dims)
+	movedID, moved := l.c.removeObjectAt(int(l.pos))
 	if moved {
 		ix.loc[movedID] = objLoc{c: l.c, pos: l.pos}
 	}

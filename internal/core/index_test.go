@@ -375,9 +375,23 @@ func TestMeterAccounting(t *testing.T) {
 	if m.BytesTransferred != wantBytes {
 		t.Fatalf("BytesTransferred = %d, want %d", m.BytesTransferred, wantBytes)
 	}
-	// All objects match, so every dimension of every object is verified.
-	if m.BytesVerified != 100*2*8 {
-		t.Fatalf("BytesVerified = %d, want %d", m.BytesVerified, 100*2*8)
+	// The full-domain query satisfies the root signature's variation
+	// intervals in every dimension, so the signature-implied column skip
+	// proves every object matches without inspecting any member bytes.
+	if m.BytesVerified != 0 {
+		t.Fatalf("BytesVerified = %d, want 0 (all columns signature-skipped)", m.BytesVerified)
+	}
+	// A partial query cannot be proven by the signature: the first
+	// scanned column inspects all 100 objects (8 bytes per dimension),
+	// later columns only the survivors.
+	ix.ResetMeter()
+	half := geom.Rect{Min: []float32{0, 0}, Max: []float32{0.5, 1}}
+	if _, err := ix.Count(half, geom.Intersects); err != nil {
+		t.Fatal(err)
+	}
+	m = ix.Meter()
+	if m.BytesVerified < 100*8 || m.BytesVerified > 100*2*8 {
+		t.Fatalf("BytesVerified = %d, want within [%d,%d]", m.BytesVerified, 100*8, 100*2*8)
 	}
 	ix.ResetMeter()
 	if ix.Meter() != (cost.Meter{}) {

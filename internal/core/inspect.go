@@ -44,7 +44,7 @@ func (ix *Index) ClusterInfos() []ClusterInfo {
 			AccessProbability: ix.prob(c.q),
 			Depth:             depth(c),
 			ConstrainedDims:   constrained,
-			Candidates:        len(c.cands),
+			Candidates:        c.cands.len(),
 			Children:          len(c.children),
 		}
 	}

@@ -10,7 +10,9 @@ import "fmt"
 //     signatures (backward compatibility, §3.3);
 //  3. every member matches its cluster's signature;
 //  4. the location map is exact (every object in exactly one cluster slot);
-//  5. every candidate's n indicator equals the recomputed count.
+//  5. every candidate's n indicator equals the recomputed count;
+//  6. the coordinate columns are consistent with the member count and the
+//     flat signature mirror tracks every cluster's signature positionally.
 func (ix *Index) CheckInvariants() error {
 	if len(ix.clusters) == 0 || ix.clusters[0] != ix.root {
 		return fmt.Errorf("clusters[0] is not the root")
@@ -56,41 +58,61 @@ func (ix *Index) CheckInvariants() error {
 				return fmt.Errorf("cluster %v has removed child", c.signature)
 			}
 		}
-		if len(c.data) != len(c.ids)*2*dims {
-			return fmt.Errorf("cluster %v: data/ids length mismatch", c.signature)
+		if len(c.lo) != dims || len(c.hi) != dims {
+			return fmt.Errorf("cluster %v: %d/%d coordinate columns, want %d", c.signature, len(c.lo), len(c.hi), dims)
+		}
+		for d := 0; d < dims; d++ {
+			if len(c.lo[d]) != len(c.ids) || len(c.hi[d]) != len(c.ids) {
+				return fmt.Errorf("cluster %v: column %d length mismatch", c.signature, d)
+			}
 		}
 		for i, id := range c.ids {
 			l, ok := ix.loc[id]
 			if !ok || l.c != c || int(l.pos) != i {
 				return fmt.Errorf("object %d: location map out of sync", id)
 			}
-			if !c.signature.MatchesObjectFlat(c.data, i) {
+			if !c.signature.MatchesObject(c.rectAt(i, dims)) {
 				return fmt.Errorf("object %d does not match its cluster signature %v", id, c.signature)
 			}
 		}
-		for k := range c.cands {
-			cd := &c.cands[k]
+		cs := &c.cands
+		for k := 0; k < cs.len(); k++ {
 			n := int32(0)
 			for i := range c.ids {
-				lo, hi := c.objectDim(i, dims, cd.sp.Dim)
-				if cd.matchesObjectDim(lo, hi) {
+				lo, hi := c.objectDim(i, int(cs.dim[k]))
+				if cs.matchesObjectDim(k, lo, hi) {
 					n++
 				}
 			}
-			if n != cd.n {
-				return fmt.Errorf("cluster %v candidate %d: n=%d, recomputed %d", c.signature, k, cd.n, n)
+			if n != cs.n[k] {
+				return fmt.Errorf("cluster %v candidate %d: n=%d, recomputed %d", c.signature, k, cs.n[k], n)
 			}
-			if cd.q < 0 || c.q < 0 {
+			if cs.q[k] < 0 || c.q < 0 {
 				return fmt.Errorf("negative query statistics")
 			}
-			if cd.q > c.q+1e-9 {
+			if cs.q[k] > c.q+1e-9 {
 				return fmt.Errorf("candidate explored more often than its cluster")
+			}
+			if int(cs.dim[k]) != cs.sp[k].Dim {
+				return fmt.Errorf("cluster %v candidate %d: dim column out of sync", c.signature, k)
 			}
 		}
 		total += len(c.ids)
 	}
 	if total != len(ix.loc) {
 		return fmt.Errorf("object count mismatch: clusters hold %d, map holds %d", total, len(ix.loc))
+	}
+	if len(ix.sigBounds) != len(ix.clusters)*ix.sigStride() {
+		return fmt.Errorf("signature mirror holds %d floats, want %d", len(ix.sigBounds), len(ix.clusters)*ix.sigStride())
+	}
+	for pos, c := range ix.clusters {
+		b := ix.sigBounds[pos*ix.sigStride() : (pos+1)*ix.sigStride()]
+		s := c.signature
+		for d := 0; d < dims; d++ {
+			if b[4*d] != s.ALo[d] || b[4*d+1] != s.AHi[d] || b[4*d+2] != s.BLo[d] || b[4*d+3] != s.BHi[d] {
+				return fmt.Errorf("cluster %v: signature mirror out of sync in dimension %d", s, d)
+			}
+		}
 	}
 	return nil
 }

@@ -2,57 +2,159 @@ package core
 
 import (
 	"fmt"
+	mbits "math/bits"
 
 	"accluster/internal/geom"
 )
 
+// searchScratch holds the per-index buffers the query path reuses across
+// selections so that steady-state searches allocate nothing: the matching
+// cluster positions from the signature scan, the verification bitmap (sized
+// to the largest explored cluster), the dimension ordering, and a result
+// buffer for Count.
+type searchScratch struct {
+	matches []int32   // positions of signature-matching clusters
+	bits    []uint64  // candidate bitmap for the block-scan kernels
+	order   []int     // per-query dimension processing order
+	widths  []float32 // sort keys backing order
+	busy    bool      // guards against reentrant queries from emit
+}
+
+// ensureBits returns the bitmap sized for n objects.
+func (sc *searchScratch) ensureBits(n int) []uint64 {
+	w := geom.BitmapWords(n)
+	if cap(sc.bits) < w {
+		sc.bits = make([]uint64, w)
+	}
+	return sc.bits[:w]
+}
+
 // Search executes a spatial selection (Fig. 5): every materialized cluster's
-// signature is checked against the query; matching clusters are explored and
-// their members verified individually. Query statistics are updated for
-// explored clusters and for their virtually explored candidate subclusters.
-// emit is called once per qualifying object; returning false stops early
-// (statistics and the reorganization schedule are still maintained).
+// signature is checked against the query (one linear scan of the flat
+// signature mirror); matching clusters are explored and their members
+// verified by the columnar block-scan kernels, one dimension column at a
+// time with the most selective dimensions first. Query statistics are
+// updated for explored clusters and for their virtually explored candidate
+// subclusters. emit is called once per qualifying object; returning false
+// stops early (statistics and the reorganization schedule are still
+// maintained). emit must not query the same index (the reused per-index
+// scratch makes queries non-reentrant; such a call panics).
 func (ix *Index) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
+	return ix.search(q, rel, emit, nil, nil)
+}
+
+// search runs the selection, delivering qualifying ids through exactly one
+// of three sinks: emit (with early-stop support), out (append without the
+// per-object indirection), or count (survivor totals only — no id
+// extraction at all).
+func (ix *Index) search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool, out *[]uint32, count *int) error {
 	if q.Dims() != ix.cfg.Dims {
 		return fmt.Errorf("core: query has %d dims, index has %d", q.Dims(), ix.cfg.Dims)
 	}
 	if !rel.Valid() {
 		return fmt.Errorf("core: invalid relation %v", rel)
 	}
+	sc := &ix.scratch
+	if sc.busy {
+		panic("core: reentrant query (emit callback must not query the index)")
+	}
+	sc.busy = true
+	defer func() { sc.busy = false }()
 	ix.meter.Queries++
 	ix.meter.SigChecks += int64(len(ix.clusters))
+	sc.matches = ix.matchClusters(q, rel, sc.matches[:0])
+	order := ix.queryDimOrder(q, rel)
 	stopped := false
-	for _, c := range ix.clusters {
-		if !c.signature.MatchesQuery(q, rel) {
-			continue
-		}
+	for _, ci := range sc.matches {
+		c := ix.clusters[ci]
 		// Explore the cluster: one sequential region (one seek on
-		// disk, n·objBytes transferred), then per-object verification.
+		// disk, n·objBytes transferred), then member verification.
 		ix.meter.Explorations++
 		ix.meter.Seeks++
 		ix.meter.BytesTransferred += int64(len(c.ids)) * int64(ix.objBytes)
 		c.q++
-		for i := range c.cands {
-			cd := &c.cands[i]
-			if cd.matchesQueryDim(rel, q.Min[cd.sp.Dim], q.Max[cd.sp.Dim]) {
-				cd.q++
-			}
-		}
+		updateCandidateStats(c, q, rel)
 		if stopped {
 			// The consumer gave up, but statistics for remaining
 			// matching clusters were already counted above; skip
 			// the member verification work only.
 			continue
 		}
-		ix.meter.ObjectsVerified += int64(len(c.ids))
-		for i := range c.ids {
-			ok, checked := geom.FlatMatches(c.data, i, q, rel)
-			ix.meter.BytesVerified += int64(checked) * 8
-			if ok {
+		n := len(c.ids)
+		ix.meter.ObjectsVerified += int64(n)
+		if n == 0 {
+			continue
+		}
+		// Block verification: prune the candidate bitmap one dimension
+		// column at a time. Every object still alive before a column
+		// has that dimension inspected (2 float32 = 8 bytes), so the
+		// verified-bytes accounting aggregates per-column survivor
+		// counts; the scan stops as soon as the bitmap empties.
+		bits := sc.ensureBits(n)
+		geom.InitBitmap(bits, n)
+		alive := n
+		sb := ix.sigBounds[int(ci)*ix.sigStride() : (int(ci)+1)*ix.sigStride()]
+		for _, d := range order {
+			// Signature-implied skip: when the cluster's variation
+			// intervals [aLo,aHi)×[bLo,bHi) guarantee that every
+			// member satisfies this dimension's predicate, the
+			// column scan is a proven no-op. (Members have
+			// lo < aHi — lo ≤ 1 when aHi is the closed domain
+			// maximum — and hi ≥ bLo, which makes each condition
+			// below sufficient for all members.)
+			switch rel {
+			case geom.Intersects:
+				// lo ≤ qhi forced by aHi ≤ qhi; qlo ≤ hi by qlo ≤ bLo.
+				if sb[4*d+1] <= q.Max[d] && q.Min[d] <= sb[4*d+2] {
+					continue
+				}
+			case geom.ContainedBy:
+				// lo ≥ qlo forced by aLo ≥ qlo; hi ≤ qhi by bHi ≤ qhi.
+				if sb[4*d] >= q.Min[d] && sb[4*d+3] <= q.Max[d] {
+					continue
+				}
+			case geom.Encloses:
+				// lo ≤ qlo forced by aHi ≤ qlo; hi ≥ qhi by bLo ≥ qhi.
+				if sb[4*d+1] <= q.Min[d] && sb[4*d+2] >= q.Max[d] {
+					continue
+				}
+			}
+			ix.meter.BytesVerified += int64(alive) * 8
+			alive = geom.FilterDim(rel, c.lo[d], c.hi[d], q.Min[d], q.Max[d], bits)
+			if alive == 0 {
+				break
+			}
+		}
+		if alive == 0 {
+			continue
+		}
+		if count != nil {
+			ix.meter.Results += int64(alive)
+			*count += alive
+			continue
+		}
+		if out != nil {
+			ix.meter.Results += int64(alive)
+			for w, word := range bits {
+				base := w << 6
+				for word != 0 {
+					j := mbits.TrailingZeros64(word)
+					word &= word - 1
+					*out = append(*out, c.ids[base+j])
+				}
+			}
+			continue
+		}
+	emitSurvivors:
+		for w, word := range bits {
+			base := w << 6
+			for word != 0 {
+				j := mbits.TrailingZeros64(word)
+				word &= word - 1
 				ix.meter.Results++
-				if !emit(c.ids[i]) {
+				if !emit(c.ids[base+j]) {
 					stopped = true
-					break
+					break emitSurvivors
 				}
 			}
 		}
@@ -65,16 +167,54 @@ func (ix *Index) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 	return nil
 }
 
-// Count returns the number of objects satisfying the selection.
+// updateCandidateStats bumps the query indicator of every candidate
+// subcluster virtually explored by the query (the relation-specific
+// necessary conditions of sig.QueryDimMatch, specialized per relation so the
+// pass over the candidate array carries no per-candidate dispatch).
+func updateCandidateStats(c *Cluster, q geom.Rect, rel geom.Relation) {
+	cs := &c.cands
+	switch rel {
+	case geom.Intersects:
+		for i, d := range cs.dim {
+			if cs.aLo[i] <= q.Max[d] && q.Min[d] <= cs.bHi[i] {
+				cs.q[i]++
+			}
+		}
+	case geom.ContainedBy:
+		for i, d := range cs.dim {
+			if cs.aHi[i] >= q.Min[d] && cs.bLo[i] <= q.Max[d] {
+				cs.q[i]++
+			}
+		}
+	case geom.Encloses:
+		for i, d := range cs.dim {
+			if cs.aLo[i] <= q.Min[d] && cs.bHi[i] >= q.Max[d] {
+				cs.q[i]++
+			}
+		}
+	}
+}
+
+// Count returns the number of objects satisfying the selection. It sums the
+// per-cluster survivor counts of the block scan directly — no ids are
+// extracted or buffered.
 func (ix *Index) Count(q geom.Rect, rel geom.Relation) (int, error) {
 	n := 0
-	err := ix.Search(q, rel, func(uint32) bool { n++; return true })
+	err := ix.search(q, rel, nil, nil, &n)
 	return n, err
 }
 
 // SearchIDs collects the identifiers of all qualifying objects.
 func (ix *Index) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
-	var out []uint32
-	err := ix.Search(q, rel, func(id uint32) bool { out = append(out, id); return true })
-	return out, err
+	return ix.SearchIDsAppend(nil, q, rel)
+}
+
+// SearchIDsAppend appends the identifiers of all qualifying objects to dst
+// and returns the extended slice. It bypasses the per-object emit
+// indirection, and reusing the returned slice across calls makes
+// steady-state selections allocation-free once its capacity covers the
+// answer sets.
+func (ix *Index) SearchIDsAppend(dst []uint32, q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	err := ix.search(q, rel, nil, &dst, nil)
+	return dst, err
 }

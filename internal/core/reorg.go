@@ -31,8 +31,8 @@ func (ix *Index) Reorganize() {
 	ix.window *= d
 	for _, c := range ix.clusters {
 		c.q *= d
-		for i := range c.cands {
-			c.cands[i].q *= d
+		for i := range c.cands.q {
+			c.cands.q[i] *= d
 		}
 	}
 }
@@ -46,16 +46,16 @@ func (ix *Index) tryClusterSplit(c *Cluster) {
 		pc := ix.prob(c.q)
 		best := -1
 		var bestBenefit float64
-		for i := range c.cands {
-			cd := &c.cands[i]
-			if cd.n <= 0 {
+		cs := &c.cands
+		for i := 0; i < cs.len(); i++ {
+			if cs.n[i] <= 0 {
 				continue
 			}
-			ps := ix.prob(cd.q)
+			ps := ix.prob(cs.q[i])
 			if ps > pc {
 				ps = pc // counters guarantee q_s ≤ q_c; clamp defensively
 			}
-			b := ix.cfg.Params.MaterializationBenefit(pc, ps, int(cd.n), ix.objBytes)
+			b := ix.cfg.Params.MaterializationBenefit(pc, ps, int(cs.n[i]), ix.objBytes)
 			if b > 0 && (best < 0 || b > bestBenefit) {
 				best, bestBenefit = i, b
 			}
@@ -72,23 +72,22 @@ func (ix *Index) tryClusterSplit(c *Cluster) {
 // candidate set is derived by the clustering function. The new cluster
 // inherits the candidate's query statistics.
 func (ix *Index) materialize(c *Cluster, ci int) *Cluster {
-	cd := &c.cands[ci]
-	dims := ix.cfg.Dims
-	child := newCluster(cd.sp.Child(c.signature), ix.cfg.DivisionFactor)
+	cs := &c.cands
+	child := newCluster(cs.sp[ci].Child(c.signature), ix.cfg.DivisionFactor)
 	child.parent = c
-	child.q = cd.q
+	child.q = cs.q[ci]
 
 	// Walk members backwards so the swap-remove only touches already
 	// processed slots.
+	dim := int(cs.dim[ci])
 	for i := len(c.ids) - 1; i >= 0; i-- {
-		lo, hi := c.objectDim(i, dims, cd.sp.Dim)
-		if !cd.matchesObjectDim(lo, hi) {
+		lo, hi := c.objectDim(i, dim)
+		if !cs.matchesObjectDim(ci, lo, hi) {
 			continue
 		}
 		id := c.ids[i]
-		r := c.rectAt(i, dims)
-		movedID, moved := c.removeObjectAt(i, dims)
-		pos := child.appendObject(id, r)
+		pos := child.appendFrom(c, i)
+		movedID, moved := c.removeObjectAt(i)
 		ix.loc[id] = objLoc{c: child, pos: int32(pos)}
 		if moved {
 			ix.loc[movedID] = objLoc{c: c, pos: int32(i)}
@@ -98,6 +97,7 @@ func (ix *Index) materialize(c *Cluster, ci int) *Cluster {
 	c.children = append(c.children, child)
 	child.pos = len(ix.clusters)
 	ix.clusters = append(ix.clusters, child)
+	ix.appendSigBounds(child.signature)
 	ix.splits++
 	return child
 }
@@ -106,10 +106,9 @@ func (ix *Index) materialize(c *Cluster, ci int) *Cluster {
 // c's children and removes c from the database.
 func (ix *Index) mergeCluster(c *Cluster) {
 	a := c.parent
-	dims := ix.cfg.Dims
 	for i := range c.ids {
 		id := c.ids[i]
-		pos := a.appendObject(id, c.rectAt(i, dims))
+		pos := a.appendFrom(c, i)
 		ix.loc[id] = objLoc{c: a, pos: int32(pos)}
 		ix.objectsRelocated++
 	}
@@ -123,8 +122,10 @@ func (ix *Index) mergeCluster(c *Cluster) {
 	ix.clusters[c.pos] = ix.clusters[last]
 	ix.clusters[c.pos].pos = c.pos
 	ix.clusters = ix.clusters[:last]
+	ix.removeSigBoundsAt(c.pos)
 
 	c.removed = true
-	c.ids, c.data, c.cands, c.children = nil, nil, nil, nil
+	c.ids, c.lo, c.hi, c.children = nil, nil, nil, nil
+	c.cands = candSet{}
 	ix.merges++
 }

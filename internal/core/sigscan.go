@@ -1,0 +1,137 @@
+package core
+
+import (
+	"accluster/internal/geom"
+	"accluster/internal/sig"
+)
+
+// The per-query signature pass is the one cost every selection pays for
+// every materialized cluster (the A term of the cost model). Instead of
+// pointer-chasing the *Cluster list and calling the signature's virtual
+// per-dimension checks, the index mirrors all signature bounds into one flat
+// side-array scanned linearly: sigBounds holds, for the cluster at position
+// ci, the 4·dims floats [aLo,aHi,bLo,bHi] per dimension starting at
+// ci·4·dims. The mirror is maintained on materialization, merge and restore,
+// exactly tracking Index.clusters positions.
+
+// sigStride returns the per-cluster float count of the signature mirror.
+func (ix *Index) sigStride() int { return 4 * ix.cfg.Dims }
+
+// appendSigBounds mirrors s for the cluster just appended to ix.clusters.
+func (ix *Index) appendSigBounds(s sig.Signature) {
+	for d := 0; d < s.Dims(); d++ {
+		ix.sigBounds = append(ix.sigBounds, s.ALo[d], s.AHi[d], s.BLo[d], s.BHi[d])
+	}
+}
+
+// removeSigBoundsAt swap-removes the bounds block of the cluster at position
+// pos, matching the swap-removal of ix.clusters entries.
+func (ix *Index) removeSigBoundsAt(pos int) {
+	stride := ix.sigStride()
+	last := len(ix.sigBounds) - stride
+	copy(ix.sigBounds[pos*stride:(pos+1)*stride], ix.sigBounds[last:])
+	ix.sigBounds = ix.sigBounds[:last]
+}
+
+// rebuildSigBounds re-derives the whole mirror from ix.clusters (restore
+// path).
+func (ix *Index) rebuildSigBounds() {
+	ix.sigBounds = ix.sigBounds[:0]
+	for _, c := range ix.clusters {
+		ix.appendSigBounds(c.signature)
+	}
+}
+
+// matchClusters appends the positions of all clusters whose signature
+// matches the query to dst, in cluster order. The per-dimension conditions
+// are the relation-specific necessary conditions of sig.MatchesQuery,
+// specialized per relation so the scan is one pass over contiguous floats.
+func (ix *Index) matchClusters(q geom.Rect, rel geom.Relation, dst []int32) []int32 {
+	dims := ix.cfg.Dims
+	stride := ix.sigStride()
+	sb := ix.sigBounds
+	switch rel {
+	case geom.Intersects:
+		for ci := range ix.clusters {
+			b := sb[ci*stride : ci*stride+stride]
+			ok := true
+			for d := 0; d < dims; d++ {
+				// alo ≤ qhi && qlo ≤ bhi
+				if b[4*d] > q.Max[d] || q.Min[d] > b[4*d+3] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				dst = append(dst, int32(ci))
+			}
+		}
+	case geom.ContainedBy:
+		for ci := range ix.clusters {
+			b := sb[ci*stride : ci*stride+stride]
+			ok := true
+			for d := 0; d < dims; d++ {
+				// ahi ≥ qlo && blo ≤ qhi
+				if b[4*d+1] < q.Min[d] || b[4*d+2] > q.Max[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				dst = append(dst, int32(ci))
+			}
+		}
+	case geom.Encloses:
+		for ci := range ix.clusters {
+			b := sb[ci*stride : ci*stride+stride]
+			ok := true
+			for d := 0; d < dims; d++ {
+				// alo ≤ qlo && bhi ≥ qhi
+				if b[4*d] > q.Min[d] || b[4*d+3] < q.Max[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				dst = append(dst, int32(ci))
+			}
+		}
+	}
+	return dst
+}
+
+// queryDimOrder orders the dimensions most-selective-first for the
+// verification kernels: ascending query width for Intersects and ContainedBy
+// (a narrow query interval disqualifies the most objects), descending for
+// Encloses (a wide demanded interval does). The order is computed once per
+// query into reused scratch and applied to every explored cluster.
+func (ix *Index) queryDimOrder(q geom.Rect, rel geom.Relation) []int {
+	dims := ix.cfg.Dims
+	sc := &ix.scratch
+	if cap(sc.order) < dims {
+		sc.order = make([]int, dims)
+		sc.widths = make([]float32, dims)
+	}
+	order, widths := sc.order[:dims], sc.widths[:dims]
+	desc := rel == geom.Encloses
+	for d := 0; d < dims; d++ {
+		order[d] = d
+		w := q.Max[d] - q.Min[d]
+		if desc {
+			w = -w
+		}
+		widths[d] = w
+	}
+	// Insertion sort, stable on dimension index: dims are small (≤ a few
+	// dozen) and the scratch keeps this allocation-free.
+	for i := 1; i < dims; i++ {
+		d, w := order[i], widths[i]
+		j := i - 1
+		for j >= 0 && widths[j] > w {
+			order[j+1], widths[j+1] = order[j], widths[j]
+			j--
+		}
+		order[j+1], widths[j+1] = d, w
+	}
+	return order
+}

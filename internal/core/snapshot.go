@@ -16,7 +16,11 @@ func geomFromSnapshot(data []float32, k, dims int) geom.Rect {
 // signature, its position in the clustering hierarchy and its members.
 // Performance indicators are deliberately not part of the image — the paper
 // notes that saving them is optional since new statistics can be gathered
-// (§6, Fail Recovery).
+// (§6, Fail Recovery). The member block keeps the interleaved (row-major)
+// flat layout the on-device store format has always used; the in-memory
+// engine transposes between it and its columnar storage at snapshot and
+// restore time, so segments written before the columnar layout change load
+// unchanged.
 type ClusterSnapshot struct {
 	// Signature is the cluster's grouping signature.
 	Signature sig.Signature
@@ -54,7 +58,7 @@ func (ix *Index) Snapshot() []ClusterSnapshot {
 			Signature: c.signature.Clone(),
 			Parent:    parent,
 			IDs:       append([]uint32(nil), c.ids...),
-			Data:      append([]float32(nil), c.data...),
+			Data:      c.flatData(),
 		}
 	}
 	return out
@@ -103,6 +107,7 @@ func Restore(cfg Config, snap []ClusterSnapshot) (*Index, error) {
 		p.children = append(p.children, c)
 	}
 	ix.clusters = clusters
+	ix.rebuildSigBounds()
 	for i, cs := range snap {
 		c := clusters[i]
 		if len(cs.Data) != len(cs.IDs)*2*cfg.Dims {

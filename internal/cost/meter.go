@@ -25,8 +25,14 @@ type Meter struct {
 	// selection criterion.
 	ObjectsVerified int64
 	// BytesVerified counts coordinate bytes actually inspected during
-	// verification (early exit stops at the first failing dimension,
-	// which reproduces the paper's footnote 4 effect on sequential scan).
+	// verification. Scalar engines stop at the first failing dimension
+	// per object (the paper's footnote 4 effect); the columnar adaptive
+	// engine aggregates per-column survivor counts instead, and columns
+	// the cluster signature already proves contribute zero — so
+	// BytesVerified can be well below ObjectsVerified·8·dims (even zero
+	// for a query the signatures fully answer). Cross-engine modeled
+	// comparisons use ModelMS, which charges ObjectsVerified and is
+	// unaffected by either convention.
 	BytesVerified int64
 	// BytesTransferred counts bytes read from disk in the disk scenario
 	// (whole clusters/nodes/files, independent of early exit).

@@ -1,0 +1,179 @@
+package geom
+
+import mbits "math/bits"
+
+// Columnar block-scan kernels. The clustering engine stores each cluster's
+// members as per-dimension coordinate columns (lo[d][i], hi[d][i]); a
+// selection verifies one cluster by walking a candidate bitmap through the
+// columns, pruning one dimension at a time. Each kernel evaluates a single
+// dimension for every candidate still alive in bits and clears the bits of
+// the objects failing the relation's per-dimension predicate.
+//
+// The bitmap packs object i into bits[i/64] bit i%64. Callers must clear the
+// tail bits beyond the object count (InitBitmap does); the kernels only
+// narrow the bitmap, so the tail stays clear.
+//
+// Lanes are processed a 64-bit word at a time. Dense words (at least
+// sparseCutoff survivors) take a branch-free full-word pass where each
+// comparison materializes as a flag bit (SETcc), not a jump; sparse words
+// iterate only their set bits, so lanes killed by earlier dimensions cost
+// nothing — the columnar equivalent of the scalar verifier's per-object
+// early exit. Fully zeroed words are skipped outright, and the returned
+// survivor count lets the caller stop as soon as the bitmap empties.
+
+// BitmapWords returns the number of uint64 words needed for n objects.
+func BitmapWords(n int) int { return (n + 63) >> 6 }
+
+// InitBitmap marks the first n objects alive and clears the tail bits. It
+// requires len(bits) ≥ BitmapWords(n) and leaves words beyond that count
+// untouched.
+func InitBitmap(bits []uint64, n int) {
+	full := n >> 6
+	for w := 0; w < full; w++ {
+		bits[w] = ^uint64(0)
+	}
+	if rem := n & 63; rem != 0 {
+		bits[full] = (uint64(1) << rem) - 1
+	}
+}
+
+// sparseCutoff is the survivor count below which per-set-bit iteration beats
+// the branch-free full-word pass: a full pass costs 64 lane evaluations
+// regardless of how many lanes are still alive, while a set-bit step costs
+// only slightly more than one lane evaluation (find/clear the bit plus two
+// indexed loads), so sparse iteration wins already at moderate density.
+const sparseCutoff = 48
+
+// b2u converts a comparison outcome into a 0/1 lane bit; the compiler turns
+// it into a flag materialization (SETcc), keeping the dense pass branch-free.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FilterIntersects narrows bits to objects whose interval [lo[i],hi[i]]
+// overlaps the query interval [qlo,qhi] and returns the survivor count.
+func FilterIntersects(lo, hi []float32, qlo, qhi float32, bits []uint64) int {
+	survivors := 0
+	n := len(lo)
+	for w := range bits {
+		word := bits[w]
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		m := n - base
+		if m > 64 {
+			m = 64
+		}
+		l, h := lo[base:base+m], hi[base:base+m]
+		var keep uint64
+		if mbits.OnesCount64(word) < sparseCutoff {
+			// The &63 mask proves the index < 64 to the compiler,
+			// eliding bounds checks on full words (the bitmap
+			// invariant guarantees set bits index live objects).
+			for rest := word; rest != 0; rest &= rest - 1 {
+				j := mbits.TrailingZeros64(rest)
+				keep |= (b2u(l[j&63] <= qhi) & b2u(qlo <= h[j&63])) << uint(j)
+			}
+		} else {
+			for j := 0; j < m; j++ {
+				keep |= (b2u(l[j] <= qhi) & b2u(qlo <= h[j])) << uint(j)
+			}
+		}
+		word &= keep
+		bits[w] = word
+		survivors += mbits.OnesCount64(word)
+	}
+	return survivors
+}
+
+// FilterContainedBy narrows bits to objects contained in the query interval
+// (lo[i] ≥ qlo and hi[i] ≤ qhi) and returns the survivor count.
+func FilterContainedBy(lo, hi []float32, qlo, qhi float32, bits []uint64) int {
+	survivors := 0
+	n := len(lo)
+	for w := range bits {
+		word := bits[w]
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		m := n - base
+		if m > 64 {
+			m = 64
+		}
+		l, h := lo[base:base+m], hi[base:base+m]
+		var keep uint64
+		if mbits.OnesCount64(word) < sparseCutoff {
+			// The &63 mask proves the index < 64 to the compiler,
+			// eliding bounds checks on full words (the bitmap
+			// invariant guarantees set bits index live objects).
+			for rest := word; rest != 0; rest &= rest - 1 {
+				j := mbits.TrailingZeros64(rest)
+				keep |= (b2u(l[j&63] >= qlo) & b2u(h[j&63] <= qhi)) << uint(j)
+			}
+		} else {
+			for j := 0; j < m; j++ {
+				keep |= (b2u(l[j] >= qlo) & b2u(h[j] <= qhi)) << uint(j)
+			}
+		}
+		word &= keep
+		bits[w] = word
+		survivors += mbits.OnesCount64(word)
+	}
+	return survivors
+}
+
+// FilterEncloses narrows bits to objects enclosing the query interval
+// (lo[i] ≤ qlo and hi[i] ≥ qhi) and returns the survivor count.
+func FilterEncloses(lo, hi []float32, qlo, qhi float32, bits []uint64) int {
+	survivors := 0
+	n := len(lo)
+	for w := range bits {
+		word := bits[w]
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		m := n - base
+		if m > 64 {
+			m = 64
+		}
+		l, h := lo[base:base+m], hi[base:base+m]
+		var keep uint64
+		if mbits.OnesCount64(word) < sparseCutoff {
+			// The &63 mask proves the index < 64 to the compiler,
+			// eliding bounds checks on full words (the bitmap
+			// invariant guarantees set bits index live objects).
+			for rest := word; rest != 0; rest &= rest - 1 {
+				j := mbits.TrailingZeros64(rest)
+				keep |= (b2u(l[j&63] <= qlo) & b2u(h[j&63] >= qhi)) << uint(j)
+			}
+		} else {
+			for j := 0; j < m; j++ {
+				keep |= (b2u(l[j] <= qlo) & b2u(h[j] >= qhi)) << uint(j)
+			}
+		}
+		word &= keep
+		bits[w] = word
+		survivors += mbits.OnesCount64(word)
+	}
+	return survivors
+}
+
+// FilterDim dispatches to the relation's kernel for one dimension column.
+func FilterDim(rel Relation, lo, hi []float32, qlo, qhi float32, bits []uint64) int {
+	switch rel {
+	case Intersects:
+		return FilterIntersects(lo, hi, qlo, qhi, bits)
+	case ContainedBy:
+		return FilterContainedBy(lo, hi, qlo, qhi, bits)
+	case Encloses:
+		return FilterEncloses(lo, hi, qlo, qhi, bits)
+	default:
+		return 0
+	}
+}

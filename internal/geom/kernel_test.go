@@ -1,0 +1,202 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randColumns builds n random objects as per-dimension columns plus the
+// equivalent interleaved flat buffer, with coordinates snapped to a coarse
+// grid so exact-boundary cases (including 0 and 1) occur often.
+func randColumns(rng *rand.Rand, n, dims int) (lo, hi [][]float32, flat []float32) {
+	lo = make([][]float32, dims)
+	hi = make([][]float32, dims)
+	for d := 0; d < dims; d++ {
+		lo[d] = make([]float32, n)
+		hi[d] = make([]float32, n)
+	}
+	grid := func() float32 { return float32(rng.Intn(9)) / 8 }
+	r := NewRect(dims)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dims; d++ {
+			a, b := grid(), grid()
+			if a > b {
+				a, b = b, a
+			}
+			lo[d][i], hi[d][i] = a, b
+			r.Min[d], r.Max[d] = a, b
+		}
+		flat = AppendFlat(flat, r)
+	}
+	return lo, hi, flat
+}
+
+func randQuery(rng *rand.Rand, dims int) Rect {
+	q := NewRect(dims)
+	for d := 0; d < dims; d++ {
+		a, b := float32(rng.Intn(9))/8, float32(rng.Intn(9))/8
+		if a > b {
+			a, b = b, a
+		}
+		q.Min[d], q.Max[d] = a, b
+	}
+	return q
+}
+
+// TestFilterKernelsMatchScalar is the differential property test: filtering
+// all dimension columns through the block kernels must select exactly the
+// objects the scalar FlatMatches verifier accepts, for every relation,
+// across bitmap tail lengths (n not a multiple of 64) and boundary
+// coordinates.
+func TestFilterKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 3, 63, 64, 65, 127, 128, 200, 1000} {
+		for _, dims := range []int{1, 2, 5, 16} {
+			lo, hi, flat := randColumns(rng, n, dims)
+			bits := make([]uint64, BitmapWords(n))
+			for _, rel := range []Relation{Intersects, ContainedBy, Encloses} {
+				for trial := 0; trial < 20; trial++ {
+					q := randQuery(rng, dims)
+					InitBitmap(bits, n)
+					alive := n
+					for d := 0; d < dims && alive > 0; d++ {
+						alive = FilterDim(rel, lo[d], hi[d], q.Min[d], q.Max[d], bits)
+					}
+					count := 0
+					for i := 0; i < n; i++ {
+						want, _ := FlatMatches(flat, i, q, rel)
+						got := bits[i>>6]&(1<<uint(i&63)) != 0
+						if alive == 0 {
+							got = false
+						}
+						if got != want {
+							t.Fatalf("n=%d dims=%d rel=%v obj=%d: kernel=%v scalar=%v (q=%v)",
+								n, dims, rel, i, got, want, q)
+						}
+						if want {
+							count++
+						}
+					}
+					if alive != count {
+						t.Fatalf("n=%d dims=%d rel=%v: survivor count %d, want %d", n, dims, rel, alive, count)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFilterSurvivorCount pins the per-column return value: it must equal
+// the popcount of the narrowed bitmap after each single column.
+func TestFilterSurvivorCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 150
+	lo, hi, _ := randColumns(rng, n, 1)
+	bits := make([]uint64, BitmapWords(n))
+	for _, rel := range []Relation{Intersects, ContainedBy, Encloses} {
+		q := randQuery(rng, 1)
+		InitBitmap(bits, n)
+		alive := FilterDim(rel, lo[0], hi[0], q.Min[0], q.Max[0], bits)
+		pop := 0
+		for i := 0; i < n; i++ {
+			if bits[i>>6]&(1<<uint(i&63)) != 0 {
+				pop++
+			}
+		}
+		if alive != pop {
+			t.Fatalf("rel=%v: returned %d, bitmap holds %d", rel, alive, pop)
+		}
+	}
+}
+
+// TestFilterTailBitsStayClear verifies the kernels never resurrect tail bits
+// beyond the object count.
+func TestFilterTailBitsStayClear(t *testing.T) {
+	const n = 70 // two words, 58 tail bits in the second
+	lo := make([]float32, n)
+	hi := make([]float32, n)
+	for i := range lo {
+		lo[i], hi[i] = 0, 1 // every object passes any predicate
+	}
+	bits := make([]uint64, BitmapWords(n))
+	for _, rel := range []Relation{Intersects, ContainedBy, Encloses} {
+		InitBitmap(bits, n)
+		alive := FilterDim(rel, lo, hi, 0, 1, bits)
+		if alive != n {
+			t.Fatalf("rel=%v: %d survivors, want %d", rel, alive, n)
+		}
+		if got := bits[1] >> uint(n-64); got != 0 {
+			t.Fatalf("rel=%v: tail bits set: %b", rel, got)
+		}
+	}
+}
+
+// TestInitBitmap checks the alive prefix and clear tail for assorted sizes.
+func TestInitBitmap(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 129} {
+		bits := make([]uint64, BitmapWords(n))
+		for i := range bits {
+			bits[i] = 0xdeadbeefdeadbeef // stale garbage must be overwritten
+		}
+		InitBitmap(bits, n)
+		for i := 0; i < len(bits)*64; i++ {
+			got := bits[i>>6]&(1<<uint(i&63)) != 0
+			if got != (i < n) {
+				t.Fatalf("n=%d bit %d = %v", n, i, got)
+			}
+		}
+	}
+}
+
+// TestFilterDimUnknownRelation mirrors FlatMatches: an undefined relation
+// selects nothing.
+func TestFilterDimUnknownRelation(t *testing.T) {
+	lo, hi := []float32{0}, []float32{1}
+	bits := make([]uint64, 1)
+	InitBitmap(bits, 1)
+	if got := FilterDim(Relation(9), lo, hi, 0, 1, bits); got != 0 {
+		t.Fatalf("unknown relation: %d survivors, want 0", got)
+	}
+}
+
+// FuzzFilterKernels fuzzes the kernels against the scalar verifier: the
+// input bytes seed object coordinates (clamped to [0,1], NaN-free by
+// construction), an object count exercising bitmap tails and a query
+// rectangle; every relation must agree with FlatMatches on every object.
+func FuzzFilterKernels(f *testing.F) {
+	f.Add(uint16(1), byte(0), byte(8), byte(2), byte(6))
+	f.Add(uint16(64), byte(0), byte(0), byte(8), byte(8))
+	f.Add(uint16(65), byte(3), byte(3), byte(3), byte(3))
+	f.Add(uint16(200), byte(8), byte(0), byte(1), byte(7))
+	f.Fuzz(func(t *testing.T, nRaw uint16, q0, q1, q2, q3 byte) {
+		n := int(nRaw)%300 + 1
+		const dims = 2
+		rng := rand.New(rand.NewSource(int64(nRaw)<<32 | int64(q0)<<24 | int64(q1)<<16 | int64(q2)<<8 | int64(q3)))
+		lo, hi, flat := randColumns(rng, n, dims)
+		q := NewRect(dims)
+		bnd := func(b byte) float32 { return float32(b%9) / 8 }
+		q.Min[0], q.Max[0] = bnd(q0), bnd(q1)
+		if q.Min[0] > q.Max[0] {
+			q.Min[0], q.Max[0] = q.Max[0], q.Min[0]
+		}
+		q.Min[1], q.Max[1] = bnd(q2), bnd(q3)
+		if q.Min[1] > q.Max[1] {
+			q.Min[1], q.Max[1] = q.Max[1], q.Min[1]
+		}
+		bits := make([]uint64, BitmapWords(n))
+		for _, rel := range []Relation{Intersects, ContainedBy, Encloses} {
+			InitBitmap(bits, n)
+			alive := n
+			for d := 0; d < dims && alive > 0; d++ {
+				alive = FilterDim(rel, lo[d], hi[d], q.Min[d], q.Max[d], bits)
+			}
+			for i := 0; i < n; i++ {
+				want, _ := FlatMatches(flat, i, q, rel)
+				got := alive > 0 && bits[i>>6]&(1<<uint(i&63)) != 0
+				if got != want {
+					t.Fatalf("n=%d rel=%v obj=%d: kernel=%v scalar=%v", n, rel, i, got, want)
+				}
+			}
+		}
+	})
+}

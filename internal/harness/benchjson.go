@@ -1,0 +1,195 @@
+package harness
+
+// Query micro-benchmark emitting machine-readable JSON (BENCH_queries.json):
+// single-threaded queries/s, ns/op and allocs/op over the paper's standard
+// workloads. Unlike the figure experiments, the measured loop runs on a
+// converged index with reorganization frozen, so the numbers isolate the
+// steady-state query path (signature scan + member verification) that the
+// columnar kernels accelerate; clustering maintenance is exercised during
+// warm-up only.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"accluster/internal/core"
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+	"accluster/internal/workload"
+)
+
+// QueryBenchResult is one measured (workload, op) pair.
+type QueryBenchResult struct {
+	Workload      string  `json:"workload"`
+	Op            string  `json:"op"`
+	Objects       int     `json:"objects"`
+	Dims          int     `json:"dims"`
+	Relation      string  `json:"relation"`
+	Clusters      int     `json:"clusters"`
+	AvgResults    float64 `json:"avg_results"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+}
+
+// QueryBenchReport is the document written to BENCH_queries.json.
+type QueryBenchReport struct {
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Runs       []QueryBenchResult `json:"runs"`
+}
+
+// benchWorkload names one standard benchmark scenario.
+type benchWorkload struct {
+	name        string
+	params      cost.Params
+	rel         geom.Relation
+	selectivity float64 // 0 = point queries
+}
+
+func benchWorkloads() []benchWorkload {
+	return []benchWorkload{
+		{name: "fig7-memory", params: cost.Memory(), rel: geom.Intersects, selectivity: 5e-3},
+		{name: "fig7-disk", params: cost.Disk(), rel: geom.Intersects, selectivity: 5e-3},
+		{name: "point-enclosing", params: cost.Memory(), rel: geom.Encloses},
+	}
+}
+
+// buildConverged loads a fresh index with the workload's objects and runs
+// warm-up queries with a reorganization round after every ReorgEvery of them
+// (the schedule Search would follow), leaving a converged index whose
+// measured loop performs no maintenance.
+func buildConverged(w benchWorkload, o Options) (*core.Index, []geom.Rect, error) {
+	ix, err := core.New(core.Config{
+		Dims:   o.Dims,
+		Params: w.params,
+		// Freeze the automatic schedule; warm-up reorganizes manually.
+		ReorgEvery: 1 << 30,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	objSpec := workload.ObjectSpec{Dims: o.Dims, MaxSize: o.MaxObjSize, Seed: o.Seed}
+	og, err := workload.NewObjectGen(objSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := geom.NewRect(o.Dims)
+	for id := 0; id < o.Objects; id++ {
+		og.Fill(r)
+		if err := ix.Insert(uint32(id), r); err != nil {
+			return nil, nil, err
+		}
+	}
+	size := float32(0)
+	if w.selectivity > 0 {
+		size, _, err = workload.CalibrateQuerySize(objSpec, w.rel, w.selectivity, o.Seed+99)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	qg, err := workload.NewQueryGen(workload.QuerySpec{Dims: o.Dims, Size: size, Seed: o.Seed + 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	reorgEvery := o.ReorgEvery
+	q := geom.NewRect(o.Dims)
+	for i := 1; i <= o.Warmup; i++ {
+		qg.Fill(q)
+		if err := ix.Search(q, w.rel, func(uint32) bool { return true }); err != nil {
+			return nil, nil, err
+		}
+		if i%reorgEvery == 0 {
+			ix.Reorganize()
+		}
+	}
+	queries := make([]geom.Rect, 256)
+	for i := range queries {
+		queries[i] = qg.Rect()
+	}
+	return ix, queries, nil
+}
+
+// RunQueryBench measures every standard workload and returns the report.
+func RunQueryBench(o Options) (*QueryBenchReport, error) {
+	o.setDefaults()
+	rep := &QueryBenchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range benchWorkloads() {
+		o.logf("benchjson: building %s (n=%d dims=%d)", w.name, o.Objects, o.Dims)
+		ix, queries, err := buildConverged(w, o)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %s: %w", w.name, err)
+		}
+		var results int64
+		ix.ResetMeter()
+		for _, q := range queries {
+			if err := ix.Search(q, w.rel, func(uint32) bool { return true }); err != nil {
+				return nil, err
+			}
+		}
+		results = ix.Meter().Results
+		common := QueryBenchResult{
+			Workload:   w.name,
+			Objects:    o.Objects,
+			Dims:       o.Dims,
+			Relation:   w.rel.String(),
+			Clusters:   ix.Clusters(),
+			AvgResults: float64(results) / float64(len(queries)),
+		}
+		ops := []struct {
+			op  string
+			run func(b *testing.B)
+		}{
+			{"SearchIDs", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ix.SearchIDs(queries[i%len(queries)], w.rel); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+			{"SearchIDsAppend", func(b *testing.B) {
+				b.ReportAllocs()
+				var buf []uint32
+				for i := 0; i < b.N; i++ {
+					out, err := ix.SearchIDsAppend(buf[:0], queries[i%len(queries)], w.rel)
+					if err != nil {
+						b.Fatal(err)
+					}
+					buf = out
+				}
+			}},
+		}
+		for _, op := range ops {
+			o.logf("benchjson: measuring %s/%s", w.name, op.op)
+			res := testing.Benchmark(op.run)
+			r := common
+			r.Op = op.op
+			r.NsPerOp = float64(res.NsPerOp())
+			if r.NsPerOp > 0 {
+				r.QueriesPerSec = 1e9 / r.NsPerOp
+			}
+			r.AllocsPerOp = res.AllocsPerOp()
+			r.BytesPerOp = res.AllocedBytesPerOp()
+			rep.Runs = append(rep.Runs, r)
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *QueryBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -84,6 +84,22 @@ type Engine struct {
 	// queries counts logical selections (each fans out to every shard, so
 	// the per-shard meters would overcount by the shard factor).
 	queries atomic.Int64
+	// merge pools the per-shard result buffers of the fan-out so that
+	// steady-state selections reuse the same backing arrays instead of
+	// allocating one answer slice per shard per query.
+	merge sync.Pool
+}
+
+// mergeBuffers is one pooled set of per-shard answer buffers.
+type mergeBuffers struct {
+	perShard [][]uint32
+}
+
+func (e *Engine) getMergeBuffers() *mergeBuffers {
+	if b, ok := e.merge.Get().(*mergeBuffers); ok {
+		return b
+	}
+	return &mergeBuffers{perShard: make([][]uint32, len(e.shards))}
 }
 
 // New builds an empty sharded engine.
@@ -264,19 +280,12 @@ func (e *Engine) InsertBatch(ids []uint32, rects []geom.Rect) error {
 // order. emit returning false stops the emission; shard-side statistics for
 // the query are still recorded, as in the single index.
 func (e *Engine) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
-	results := make([][]uint32, len(e.shards))
-	err := e.forEachShard(func(i int, s *lockedShard) error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		ids, err := s.ix.SearchIDs(q, rel)
-		results[i] = ids
-		return err
-	})
+	bufs, err := e.fanOut(q, rel)
 	if err != nil {
 		return err
 	}
-	e.queries.Add(1)
-	for _, ids := range results {
+	defer e.merge.Put(bufs)
+	for _, ids := range bufs.perShard {
 		for _, id := range ids {
 			if !emit(id) {
 				return nil
@@ -286,18 +295,61 @@ func (e *Engine) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 	return nil
 }
 
-// SearchIDs collects the identifiers of all qualifying objects.
-func (e *Engine) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
-	var out []uint32
-	err := e.Search(q, rel, func(id uint32) bool { out = append(out, id); return true })
-	return out, err
+// fanOut runs the selection on every shard into pooled per-shard buffers.
+// The caller must return bufs to the pool when done with the answers.
+func (e *Engine) fanOut(q geom.Rect, rel geom.Relation) (*mergeBuffers, error) {
+	bufs := e.getMergeBuffers()
+	err := e.forEachShard(func(i int, s *lockedShard) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		ids, err := s.ix.SearchIDsAppend(bufs.perShard[i][:0], q, rel)
+		bufs.perShard[i] = ids
+		return err
+	})
+	if err != nil {
+		e.merge.Put(bufs)
+		return nil, err
+	}
+	e.queries.Add(1)
+	return bufs, nil
 }
 
-// Count returns the number of objects satisfying the selection.
+// SearchIDs collects the identifiers of all qualifying objects.
+func (e *Engine) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	return e.SearchIDsAppend(nil, q, rel)
+}
+
+// SearchIDsAppend appends the identifiers of all qualifying objects to dst
+// and returns the extended slice; with a reused dst of sufficient capacity
+// the merged fan-out performs no steady-state allocations.
+func (e *Engine) SearchIDsAppend(dst []uint32, q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	bufs, err := e.fanOut(q, rel)
+	if err != nil {
+		return dst, err
+	}
+	defer e.merge.Put(bufs)
+	for _, ids := range bufs.perShard {
+		dst = append(dst, ids...)
+	}
+	return dst, nil
+}
+
+// Count returns the number of objects satisfying the selection. Unlike the
+// retrieval paths it never materializes ids: each shard counts locally.
 func (e *Engine) Count(q geom.Rect, rel geom.Relation) (int, error) {
-	n := 0
-	err := e.Search(q, rel, func(uint32) bool { n++; return true })
-	return n, err
+	var total atomic.Int64
+	err := e.forEachShard(func(i int, s *lockedShard) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n, err := s.ix.Count(q, rel)
+		total.Add(int64(n))
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	e.queries.Add(1)
+	return int(total.Load()), nil
 }
 
 // Len returns the number of stored objects across all shards.

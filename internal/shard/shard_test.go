@@ -376,3 +376,87 @@ func equalIDs(a, b []uint32) bool {
 	}
 	return true
 }
+
+// TestSearchIDsAppendPooled checks the pooled fan-out merge: the append
+// variant returns exactly the Search answer in the same order, reuses the
+// caller's buffer, and stays correct when many goroutines cycle buffers
+// through the engine's pool concurrently.
+func TestSearchIDsAppendPooled(t *testing.T) {
+	e, err := New(testConfig(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for id := uint32(0); id < 3000; id++ {
+		if err := e.Insert(id, randRect(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := make([]geom.Rect, 32)
+	for i := range queries {
+		queries[i] = randRect(rng, 4)
+	}
+	// Sequential agreement plus buffer reuse.
+	buf := make([]uint32, 0, 64)
+	for _, q := range queries {
+		want, err := e.SearchIDs(q, geom.Intersects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = buf[:0]
+		buf, err = e.SearchIDsAppend(buf, q, geom.Intersects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != len(want) {
+			t.Fatalf("append returned %d ids, Search %d", len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("merge order differs at %d: %d vs %d", i, buf[i], want[i])
+			}
+		}
+	}
+	// Concurrent pool cycling: every goroutine must see its own complete
+	// answer even though merge buffers are shared through the pool. The
+	// ongoing queries trigger reorganizations, which may legally reorder
+	// answers — compare id sets, not emission order.
+	wants := make([][]uint32, len(queries))
+	for i, q := range queries {
+		wants[i], _ = e.SearchIDs(q, geom.Intersects)
+		sort.Slice(wants[i], func(a, b int) bool { return wants[i][a] < wants[i][b] })
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			var local []uint32
+			for k := 0; k < 40; k++ {
+				i := (g*13 + k) % len(queries)
+				var err error
+				local, err = e.SearchIDsAppend(local[:0], queries[i], geom.Intersects)
+				if err != nil {
+					done <- err
+					return
+				}
+				sort.Slice(local, func(a, b int) bool { return local[a] < local[b] })
+				if len(local) != len(wants[i]) {
+					done <- errors.New("concurrent append lost or duplicated ids")
+					return
+				}
+				for j := range local {
+					if local[j] != wants[i][j] {
+						done <- errors.New("concurrent append corrupted an answer")
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -76,6 +76,14 @@ func (s *Sharded) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 	return s.e.SearchIDs(q, rel)
 }
 
+// SearchIDsAppend appends all qualifying identifiers to dst and returns the
+// extended slice; the fan-out merges the per-shard answers through pooled
+// buffers, so with a reused dst the selection performs no steady-state
+// allocations.
+func (s *Sharded) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
+	return s.e.SearchIDsAppend(dst, q, rel)
+}
+
 // Count returns the number of qualifying objects.
 func (s *Sharded) Count(q Rect, rel Relation) (int, error) { return s.e.Count(q, rel) }
 

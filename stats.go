@@ -33,7 +33,11 @@ type Stats struct {
 	Seeks int64
 	// ObjectsVerified counts objects checked against the selection.
 	ObjectsVerified int64
-	// BytesVerified counts coordinate bytes inspected (early-exit aware).
+	// BytesVerified counts coordinate bytes actually inspected during
+	// verification: early-exit aware on the scalar engines, per-column
+	// survivor bytes on the columnar adaptive engine (columns proven by
+	// the cluster signature cost — and count — zero, so this can be far
+	// below ObjectsVerified·8·Dims).
 	BytesVerified int64
 	// BytesTransferred counts bytes read from disk in the disk scenario.
 	BytesTransferred int64

@@ -75,6 +75,14 @@ func (x *XTree) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 	return x.t.SearchIDs(q, rel)
 }
 
+// SearchIDsAppend appends all qualifying identifiers to dst and returns the
+// extended slice.
+func (x *XTree) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return appendViaSearch(x.t.Search, dst, q, rel)
+}
+
 // Count returns the number of qualifying objects.
 func (x *XTree) Count(q Rect, rel Relation) (int, error) {
 	x.mu.Lock()
