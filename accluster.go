@@ -98,25 +98,116 @@ type Index interface {
 type Adaptive struct {
 	mu sync.Mutex
 	ix *core.Index
+
+	// Background reorganization (WithBackgroundReorg): queries signal
+	// wake, the drainer goroutine takes mu once per bounded step, Close
+	// stops it. All nil/zero when the option is off.
+	wake      chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // NewAdaptive builds an adaptive clustering index for the given
 // dimensionality. By default it uses the in-memory cost scenario, division
-// factor 4, reorganization every 100 queries and statistics decay 0.5; see
-// the Option values to tune.
+// factor 4, reorganization every 100 queries (incremental, budgeted — see
+// WithReorgBudget) and statistics decay 0.5; see the Option values to tune.
+// With WithBackgroundReorg the index owns a drainer goroutine; call Close
+// when done.
 func NewAdaptive(dims int, opts ...Option) (*Adaptive, error) {
-	o := gatherOptions(opts)
-	ix, err := core.New(core.Config{
-		Dims:           dims,
-		Params:         o.scenario,
-		DivisionFactor: o.divisionFactor,
-		ReorgEvery:     o.reorgEvery,
-		Decay:          o.decay,
-	})
+	o, err := gatherOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Adaptive{ix: ix}, nil
+	ix, err := core.New(coreConfig(dims, o))
+	if err != nil {
+		return nil, err
+	}
+	return newAdaptive(ix), nil
+}
+
+// coreConfig maps the gathered options onto a core engine configuration.
+func coreConfig(dims int, o options) core.Config {
+	return core.Config{
+		Dims:                dims,
+		Params:              o.scenario,
+		DivisionFactor:      o.divisionFactor,
+		ReorgEvery:          o.reorgEvery,
+		Decay:               o.decay,
+		ReorgBudgetClusters: o.reorgClusters,
+		ReorgBudgetObjects:  o.reorgObjects,
+		BackgroundReorg:     o.backgroundReorg,
+	}
+}
+
+// newAdaptive wraps a core index, starting the background drainer when the
+// index was configured for it.
+func newAdaptive(ix *core.Index) *Adaptive {
+	a := &Adaptive{ix: ix}
+	if ix.Config().BackgroundReorg {
+		a.wake = make(chan struct{}, 1)
+		a.done = make(chan struct{})
+		a.wg.Add(1)
+		go a.reorgLoop()
+	}
+	return a
+}
+
+// reorgLoop drains pending reorganization work one budgeted step per lock
+// acquisition, so in-flight queries interleave with maintenance instead of
+// stalling behind a full pass.
+func (a *Adaptive) reorgLoop() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-a.wake:
+		}
+		for {
+			a.mu.Lock()
+			more := a.ix.ReorgStep()
+			a.mu.Unlock()
+			if !more {
+				break
+			}
+			select {
+			case <-a.done:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// notifyReorg wakes the background drainer (non-blocking; a pending wake-up
+// already covers the new work).
+func (a *Adaptive) notifyReorg(pending bool) {
+	if pending && a.wake != nil {
+		select {
+		case a.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// reorgPending reads the queue state; the caller holds a.mu.
+func (a *Adaptive) reorgPending() bool {
+	return a.wake != nil && a.ix.ReorgPending()
+}
+
+// Close stops the background reorganization goroutine (no-op without
+// WithBackgroundReorg). The index stays usable afterwards; pending
+// reorganization work is picked up by the normal schedule of a future
+// Reorganize call.
+func (a *Adaptive) Close() error {
+	a.closeOnce.Do(func() {
+		if a.done != nil {
+			close(a.done)
+			a.wg.Wait()
+		}
+	})
+	return nil
 }
 
 // Insert adds an object (placed into the matching cluster with the lowest
@@ -168,18 +259,24 @@ func (a *Adaptive) Get(id uint32) (Rect, bool) {
 }
 
 // Search executes a spatial selection, updating clustering statistics and
-// periodically reorganizing clusters.
+// scheduling incremental reorganization work.
 func (a *Adaptive) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.ix.Search(q, rel, emit)
+	err := a.ix.Search(q, rel, emit)
+	pending := a.reorgPending()
+	a.mu.Unlock()
+	a.notifyReorg(pending)
+	return err
 }
 
 // SearchIDs collects all qualifying identifiers.
 func (a *Adaptive) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.ix.SearchIDs(q, rel)
+	ids, err := a.ix.SearchIDs(q, rel)
+	pending := a.reorgPending()
+	a.mu.Unlock()
+	a.notifyReorg(pending)
+	return ids, err
 }
 
 // SearchIDsAppend appends all qualifying identifiers to dst and returns the
@@ -187,15 +284,21 @@ func (a *Adaptive) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 // allocates nothing.
 func (a *Adaptive) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.ix.SearchIDsAppend(dst, q, rel)
+	ids, err := a.ix.SearchIDsAppend(dst, q, rel)
+	pending := a.reorgPending()
+	a.mu.Unlock()
+	a.notifyReorg(pending)
+	return ids, err
 }
 
 // Count returns the number of qualifying objects.
 func (a *Adaptive) Count(q Rect, rel Relation) (int, error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.ix.Count(q, rel)
+	n, err := a.ix.Count(q, rel)
+	pending := a.reorgPending()
+	a.mu.Unlock()
+	a.notifyReorg(pending)
+	return n, err
 }
 
 // Len returns the number of stored objects.
@@ -371,7 +474,10 @@ type RStar struct {
 
 // NewRStar builds an R*-tree with 16 KB pages by default.
 func NewRStar(dims int, opts ...Option) (*RStar, error) {
-	o := gatherOptions(opts)
+	o, err := gatherOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	t, err := rstar.New(rstar.Config{
 		Dims:         dims,
 		PageSize:     o.pageSize,

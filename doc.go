@@ -29,6 +29,35 @@
 //		[]float32{0.1, 0.2 /* ... */}, []float32{0.3, 0.4 /* ... */}))
 //	ids, _ := ix.SearchIDs(q, accluster.Intersects)
 //
+// # Reorganization
+//
+// The adaptive index pays for cheap queries with periodic reorganization:
+// every WithReorgEvery queries (default 100) a reorganization epoch begins,
+// aging the query statistics by WithDecay and queueing every materialized
+// cluster for a cost-model revisit — merge into the parent when profitable,
+// otherwise materialize profitable candidate subclusters (§3.4). The queue
+// is ordered by each cluster's last observed benefit and drained
+// incrementally: by default each query runs one bounded step
+// (WithReorgBudget, default 32 cluster revisits and 128 object relocations;
+// merges and materializations are chunked, so the relocation bound caps
+// every step outright). The worst query therefore carries a bounded slice
+// of maintenance instead of a stop-the-world full pass — pass Unbudgeted
+// budgets to restore the synchronous behaviour.
+//
+// Statistics aging is equivalent under either schedule: the window decays
+// eagerly once per epoch and per-cluster indicators decay lazily by
+// Decay^(elapsed epochs) when next touched, so every access probability a
+// reorganization decision reads matches what the synchronous full pass
+// would have used; only the position of the merge/split work in the query
+// stream moves.
+//
+// WithBackgroundReorg moves even the bounded steps off the query path:
+// queries only schedule work, and a drainer goroutine per index (per shard
+// for NewSharded) acquires the engine lock once per step. Indexes built
+// with it own a goroutine — call Close when done. Reorganize still forces a
+// full round synchronously, the convergence hook after bulk loading and in
+// calibration.
+//
 // # Concurrency
 //
 // All indexes are safe for concurrent use. NewAdaptive, NewSeqScan and
@@ -59,7 +88,12 @@
 // (most selective dimensions first, early exit when the bitmap empties,
 // columns skipped entirely when the signature already proves them). The
 // on-disk store format keeps the interleaved row-major layout and is
-// transposed at save/load, so segments persist unchanged across versions.
+// transposed at save/load, so segments persist unchanged across versions;
+// since format version 2 each segment also carries the adaptive query
+// statistics (per-cluster and per-candidate indicators plus the decayed
+// window), so OpenAdaptive and OpenSharded resume adaptation warm instead
+// of re-learning the query distribution from scratch. Version-1 segments
+// still load and re-gather statistics.
 //
 // Steady-state searches are allocation-free: the verification bitmap and
 // the matching-cluster list are per-index scratch, and SearchIDsAppend

@@ -1,13 +1,17 @@
 // Cost-model tuning and adaptivity: the same data clustered under the
 // in-memory and the disk scenario (the disk's 15 ms seek makes fine clusters
-// unprofitable, §5), and adaptation to a query-distribution shift (clusters
-// that stop paying for themselves are merged back, §3.4).
+// unprofitable, §5), adaptation to a query-distribution shift (clusters that
+// stop paying for themselves are merged back, §3.4), and the reorganization
+// scheduler knobs — budgeted incremental steps versus the synchronous full
+// pass, and the opt-in background drainer.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
+	"time"
 
 	"accluster"
 )
@@ -102,4 +106,71 @@ func main() {
 	fmt.Printf("phase B (shifted queries): %d clusters, +%d splits, +%d merges\n",
 		ix.Clusters(), ix.Splits()-splitsA, ix.Merges()-mergesA)
 	fmt.Println("merges > 0 shows clusters from phase A being folded back (§3.4 merging operation)")
+
+	// Part 3: the reorganization scheduler. Reorganization normally rides
+	// the query path; the knobs decide how much of it one query may carry.
+	// WithReorgBudget(Unbudgeted, Unbudgeted) restores the synchronous
+	// full pass — every ReorgEvery-th query absorbs the whole merge/split
+	// round — while the default budgets chunk the same work into bounded
+	// steps, flattening the worst query at the same throughput.
+	fmt.Println("\n=== reorganization budgets flatten the latency tail ===")
+	for _, mode := range []struct {
+		name string
+		opts []accluster.Option
+	}{
+		{"synchronous", []accluster.Option{accluster.WithReorgBudget(accluster.Unbudgeted, accluster.Unbudgeted)}},
+		{"budgeted", nil},
+	} {
+		ix, err := accluster.NewAdaptive(dims, append([]accluster.Option{accluster.WithReorgEvery(100)}, mode.opts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := load(ix, n, 5); err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(6))
+		q := accluster.NewRect(dims)
+		lat := make([]time.Duration, 0, 1500)
+		for i := 0; i < 1500; i++ {
+			// The hot corner shifts every reorganization period, so
+			// every round has real merge/split work to do.
+			corner(rng, q, float32((i/100)%4)*0.2)
+			start := time.Now()
+			if _, err := ix.Count(q, accluster.Intersects); err != nil {
+				log.Fatal(err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fmt.Printf("%-11s reorg: median %8v  p99 %8v  worst query %8v  (%d rounds)\n",
+			mode.name, lat[len(lat)/2].Round(time.Microsecond),
+			lat[len(lat)*99/100].Round(time.Microsecond),
+			lat[len(lat)-1].Round(time.Microsecond), ix.ReorgRounds())
+	}
+
+	// Part 4: the background drainer takes even the bounded steps off the
+	// query path — queries only schedule revisits, a per-index (or
+	// per-shard, for NewSharded) goroutine drains them, holding the lock
+	// one bounded step at a time. Indexes with a drainer own a goroutine:
+	// Close releases it.
+	fmt.Println("\n=== background reorganization (WithBackgroundReorg) ===")
+	bg, err := accluster.NewAdaptive(dims, accluster.WithReorgEvery(100), accluster.WithBackgroundReorg())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bg.Close()
+	if err := load(bg, n, 7); err != nil {
+		log.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(8))
+	q = accluster.NewRect(dims)
+	for i := 0; i < 1500; i++ {
+		corner(rng, q, float32((i/100)%4)*0.2)
+		if _, err := bg.Count(q, accluster.Intersects); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let the drainer finish the tail
+	fmt.Printf("background mode: %d clusters, %d splits, %d merges — maintenance ran off the query path\n",
+		bg.Clusters(), bg.Splits(), bg.Merges())
 }

@@ -67,8 +67,41 @@ type Cluster struct {
 	cands candSet
 	q     float64 // decayed count of queries exploring this cluster
 
+	// statsEpoch is the reorganization epoch q and cands.q were last aged
+	// to; the deferred factor Decay^(Index.epoch−statsEpoch) is applied
+	// when the cluster is next touched (syncStats).
+	statsEpoch int64
+	// createdEpoch is the reorganization epoch the cluster materialized
+	// in. During that epoch the cluster is exempt from merge decisions
+	// (the synchronous full pass never revisited same-round children
+	// either): its inherited statistics still mirror the parent's, and
+	// merging it straight back would waste the relocations and loop.
+	createdEpoch int64
+
 	pos     int  // index in Index.clusters (O(1) removal)
 	removed bool // set when merged away
+
+	// Reorganization scheduling: queued marks membership in the revisit
+	// queue; prio is the benefit estimate cached at the previous revisit
+	// that orders the queue (refreshed lazily when the cluster is
+	// processed); activeSplit pins the candidate currently being
+	// materialized in chunks (-1 when none) — other candidates are not
+	// evaluated until it completes, because their membership indicators
+	// still count the members the active split has yet to move out.
+	queued      bool
+	prio        float64
+	activeSplit int
+	// activeChild is the cluster the pinned split is filling (nil when
+	// none); while set, that child is exempt from merge decisions — its
+	// statistics still mirror the parent's until the transfer completes.
+	activeChild *Cluster
+	// splitCursor is the member index the active split's scan resumes
+	// from (it walks downward), so chunked materializations stay O(n)
+	// over the whole split instead of rescanning the membership per
+	// chunk. It is a hint: mutations between chunks can shuffle members
+	// behind it, and the scan wraps around once when the candidate's
+	// indicator says members remain.
+	splitCursor int
 }
 
 // Signature returns the cluster's grouping signature.
@@ -110,9 +143,10 @@ func (c *Cluster) Candidates() int { return c.cands.len() }
 // derived by the clustering function with division factor f.
 func newCluster(s sig.Signature, f int) *Cluster {
 	c := &Cluster{
-		signature: s,
-		lo:        make([][]float32, s.Dims()),
-		hi:        make([][]float32, s.Dims()),
+		signature:   s,
+		lo:          make([][]float32, s.Dims()),
+		hi:          make([][]float32, s.Dims()),
+		activeSplit: -1,
 	}
 	splits := sig.Enumerate(s, f)
 	c.cands = candSet{

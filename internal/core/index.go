@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"accluster/internal/cost"
 	"accluster/internal/geom"
@@ -26,6 +27,22 @@ type Config struct {
 	// 1 never forgets (static query distribution), values close to 0
 	// adapt aggressively.
 	Decay float64
+	// ReorgBudgetClusters caps the cluster revisits performed per
+	// incremental reorganization step (default 32; negative = unlimited,
+	// reproducing the synchronous full pass at every trigger).
+	ReorgBudgetClusters int
+	// ReorgBudgetObjects caps the object relocations performed per
+	// incremental reorganization step (default 128; negative =
+	// unlimited). Merges and materializations are chunked across steps,
+	// so the cap bounds every step — a relocation costs on the order of a
+	// microsecond, making the default step comparable to a moderately
+	// selective query.
+	ReorgBudgetObjects int
+	// BackgroundReorg defers queue draining to an external agent: Search
+	// only opens reorganization epochs and never runs revisits itself;
+	// the owner is expected to call ReorgStep (under its own
+	// synchronization) whenever ReorgPending reports work.
+	BackgroundReorg bool
 }
 
 func (c *Config) setDefaults() error {
@@ -47,13 +64,34 @@ func (c *Config) setDefaults() error {
 	if c.Decay == 0 {
 		c.Decay = 0.5
 	}
-	if c.Decay < 0 || c.Decay > 1 {
+	if math.IsNaN(c.Decay) || c.Decay < 0 || c.Decay > 1 {
 		return fmt.Errorf("core: decay must be in (0,1], got %g", c.Decay)
+	}
+	if c.ReorgBudgetClusters == 0 {
+		c.ReorgBudgetClusters = 32
+	}
+	if c.ReorgBudgetClusters < 0 {
+		c.ReorgBudgetClusters = -1
+	}
+	if c.ReorgBudgetObjects == 0 {
+		c.ReorgBudgetObjects = 128
+	}
+	if c.ReorgBudgetObjects < 0 {
+		c.ReorgBudgetObjects = -1
 	}
 	if c.Params.Name == "" {
 		c.Params = cost.Memory()
 	}
 	return nil
+}
+
+// Normalized returns the configuration with defaults applied, or the
+// validation error a constructor would report. It lets other layers (the
+// persistence format, option surfaces) reason about effective values without
+// duplicating the defaulting rules.
+func (c Config) Normalized() (Config, error) {
+	err := c.setDefaults()
+	return c, err
 }
 
 // objLoc records where an object currently lives.
@@ -85,10 +123,15 @@ type Index struct {
 	scratch searchScratch
 
 	// Statistics window: W is the decayed total number of queries; every
-	// cluster's and candidate's q is decayed on the same schedule, so
-	// access probabilities p = q/W stay consistent (§3.1).
-	window           float64
-	sinceReorg       int
+	// cluster's and candidate's q is decayed on the same schedule — the
+	// window eagerly at each epoch, the clusters lazily via syncStats —
+	// so access probabilities p = q/W stay consistent (§3.1).
+	window     float64
+	sinceReorg int
+	// epoch counts reorganization epochs begun; reorgQ holds the clusters
+	// still awaiting their budgeted revisit (reorg.go).
+	epoch            int64
+	reorgQ           reorgHeap
 	meter            cost.Meter
 	reorgRounds      int64
 	splits, merges   int64
@@ -174,12 +217,17 @@ func (ix *Index) Insert(id uint32, r geom.Rect) error {
 	if _, dup := ix.loc[id]; dup {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
 	}
+	// syncStats (rather than the read-only effectiveQ) persists the
+	// deferred decay, so a stale cluster pays the exponentiation once per
+	// epoch instead of on every insert that considers it.
+	ix.syncStats(ix.root)
 	best := ix.root
 	bestP := ix.prob(ix.root.q)
 	for _, c := range ix.clusters[1:] {
 		if !c.signature.MatchesObject(r) {
 			continue
 		}
+		ix.syncStats(c)
 		if p := ix.prob(c.q); p <= bestP {
 			// ≤ prefers later (deeper, more specific) clusters on
 			// ties, which keeps rarely-explored clusters filled.

@@ -41,7 +41,7 @@ func (ix *Index) ClusterInfos() []ClusterInfo {
 		out[i] = ClusterInfo{
 			Signature:         c.signature.String(),
 			Objects:           len(c.ids),
-			AccessProbability: ix.prob(c.q),
+			AccessProbability: ix.prob(ix.effectiveQ(c)),
 			Depth:             depth(c),
 			ConstrainedDims:   constrained,
 			Candidates:        c.cands.len(),

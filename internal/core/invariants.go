@@ -12,7 +12,9 @@ import "fmt"
 //  4. the location map is exact (every object in exactly one cluster slot);
 //  5. every candidate's n indicator equals the recomputed count;
 //  6. the coordinate columns are consistent with the member count and the
-//     flat signature mirror tracks every cluster's signature positionally.
+//     flat signature mirror tracks every cluster's signature positionally;
+//  7. statistics epochs never lead the index epoch and the reorganization
+//     queue is consistent (no duplicates, queued flags match membership).
 func (ix *Index) CheckInvariants() error {
 	if len(ix.clusters) == 0 || ix.clusters[0] != ix.root {
 		return fmt.Errorf("clusters[0] is not the root")
@@ -97,7 +99,25 @@ func (ix *Index) CheckInvariants() error {
 				return fmt.Errorf("cluster %v candidate %d: dim column out of sync", c.signature, k)
 			}
 		}
+		if c.statsEpoch > ix.epoch {
+			return fmt.Errorf("cluster %v: statistics epoch %d ahead of index epoch %d", c.signature, c.statsEpoch, ix.epoch)
+		}
 		total += len(c.ids)
+	}
+	inQueue := make(map[*Cluster]bool, len(ix.reorgQ))
+	for _, c := range ix.reorgQ {
+		if inQueue[c] {
+			return fmt.Errorf("cluster %v queued twice", c.signature)
+		}
+		inQueue[c] = true
+		if !c.queued {
+			return fmt.Errorf("cluster %v in reorg queue without queued flag", c.signature)
+		}
+	}
+	for _, c := range ix.clusters {
+		if c.queued && !inQueue[c] {
+			return fmt.Errorf("cluster %v flagged queued but missing from reorg queue", c.signature)
+		}
 	}
 	if total != len(ix.loc) {
 		return fmt.Errorf("object count mismatch: clusters hold %d, map holds %d", total, len(ix.loc))

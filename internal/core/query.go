@@ -67,19 +67,25 @@ func (ix *Index) search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 	stopped := false
 	for _, ci := range sc.matches {
 		c := ix.clusters[ci]
+		// Clustering statistics cover every signature-matching cluster,
+		// even after the consumer stopped: the adaptive decisions model
+		// which clusters the query distribution selects, not how much of
+		// the answer a particular caller consumed.
+		ix.syncStats(c)
+		c.q++
+		updateCandidateStats(c, q, rel)
+		if stopped {
+			// The consumer gave up: the remaining matched clusters are
+			// not explored, so no cost-meter charges (Seeks,
+			// Explorations, BytesTransferred, ObjectsVerified) accrue
+			// for them — only the statistics updates above.
+			continue
+		}
 		// Explore the cluster: one sequential region (one seek on
 		// disk, n·objBytes transferred), then member verification.
 		ix.meter.Explorations++
 		ix.meter.Seeks++
 		ix.meter.BytesTransferred += int64(len(c.ids)) * int64(ix.objBytes)
-		c.q++
-		updateCandidateStats(c, q, rel)
-		if stopped {
-			// The consumer gave up, but statistics for remaining
-			// matching clusters were already counted above; skip
-			// the member verification work only.
-			continue
-		}
 		n := len(c.ids)
 		ix.meter.ObjectsVerified += int64(n)
 		if n == 0 {
@@ -162,7 +168,13 @@ func (ix *Index) search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 	ix.window++
 	ix.sinceReorg++
 	if ix.sinceReorg >= ix.cfg.ReorgEvery {
-		ix.Reorganize()
+		ix.beginEpoch()
+	}
+	if !ix.cfg.BackgroundReorg && len(ix.reorgQ) > 0 {
+		// Inline incremental mode: this query pays for one budgeted
+		// slice of the pending reorganization work instead of one
+		// caller in ReorgEvery absorbing the whole pass.
+		ix.ReorgStep()
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"accluster/internal/geom"
 	"accluster/internal/sig"
@@ -13,14 +14,17 @@ func geomFromSnapshot(data []float32, k, dims int) geom.Rect {
 }
 
 // ClusterSnapshot is the persistent image of one materialized cluster: its
-// signature, its position in the clustering hierarchy and its members.
-// Performance indicators are deliberately not part of the image — the paper
-// notes that saving them is optional since new statistics can be gathered
-// (§6, Fail Recovery). The member block keeps the interleaved (row-major)
-// flat layout the on-device store format has always used; the in-memory
-// engine transposes between it and its columnar storage at snapshot and
-// restore time, so segments written before the columnar layout change load
-// unchanged.
+// signature, its position in the clustering hierarchy, its members and its
+// adaptive query statistics. The paper notes that saving the performance
+// indicators is optional since new statistics can be gathered (§6, Fail
+// Recovery) — but a cold restart re-learns the query distribution from
+// scratch and immediately re-churns splits and merges, so Snapshot captures
+// them and Restore applies them when present (Q/CandQ zero/nil restores
+// cold, which is how pre-statistics images load). The member block keeps the
+// interleaved (row-major) flat layout the on-device store format has always
+// used; the in-memory engine transposes between it and its columnar storage
+// at snapshot and restore time, so segments written before the columnar
+// layout change load unchanged.
 type ClusterSnapshot struct {
 	// Signature is the cluster's grouping signature.
 	Signature sig.Signature
@@ -31,6 +35,14 @@ type ClusterSnapshot struct {
 	IDs []uint32
 	// Data is the flat coordinate block matching IDs.
 	Data []float32
+	// Q is the cluster's decayed query indicator, aged to the snapshot
+	// epoch.
+	Q float64
+	// CandQ holds the decayed query indicators of the candidate
+	// subclusters in clustering-function enumeration order (nil when the
+	// image carries no statistics). Its length must match the candidate
+	// set the division factor derives for Signature.
+	CandQ []float64
 }
 
 // Snapshot captures the index's clusters for persistence, in breadth-first
@@ -38,6 +50,9 @@ type ClusterSnapshot struct {
 // reorder the internal cluster list, so positional order is not
 // topological). The returned slices share no storage with the index.
 func (ix *Index) Snapshot() []ClusterSnapshot {
+	// Age every cluster to the current epoch so the captured indicators
+	// are directly comparable with the captured window.
+	ix.syncAllStats()
 	order := make([]*Cluster, 0, len(ix.clusters))
 	pos := make(map[*Cluster]int, len(ix.clusters))
 	queue := []*Cluster{ix.root}
@@ -59,14 +74,34 @@ func (ix *Index) Snapshot() []ClusterSnapshot {
 			Parent:    parent,
 			IDs:       append([]uint32(nil), c.ids...),
 			Data:      c.flatData(),
+			Q:         c.q,
+			CandQ:     append([]float64(nil), c.cands.q...),
 		}
 	}
 	return out
 }
 
-// Restore rebuilds an index from a snapshot. Candidate indicators are
-// recomputed from the member objects; query statistics start fresh. The
-// snapshot must contain the root cluster first (as produced by Snapshot).
+// StatsWindow returns the decayed total query count W the per-cluster
+// indicators are measured against, aged to the current epoch. Persist it
+// next to the cluster statistics: probabilities only mean q/W.
+func (ix *Index) StatsWindow() float64 { return ix.window }
+
+// SetStatsWindow restores a persisted statistics window on a freshly
+// restored index (before any queries run).
+func (ix *Index) SetStatsWindow(w float64) error {
+	if math.IsNaN(w) || w < 0 {
+		return fmt.Errorf("core: invalid statistics window %g", w)
+	}
+	ix.window = w
+	return nil
+}
+
+// Restore rebuilds an index from a snapshot. Structural candidate indicators
+// (membership counts) are recomputed from the member objects; the query
+// statistics carried by the snapshot (Q, CandQ) are applied when present so
+// adaptation resumes warm — restore the matching window with SetStatsWindow.
+// The snapshot must contain the root cluster first (as produced by
+// Snapshot).
 func Restore(cfg Config, snap []ClusterSnapshot) (*Index, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
@@ -124,6 +159,54 @@ func Restore(cfg Config, snap []ClusterSnapshot) (*Index, error) {
 			pos := c.appendObject(id, r)
 			ix.loc[id] = objLoc{c: c, pos: int32(pos)}
 		}
+		if err := applyStats(c, cs, i); err != nil {
+			return nil, err
+		}
+	}
+	// The reorganization queue is rebuilt deterministically rather than
+	// persisted: on a warm restore (statistics present) every cluster is
+	// queued for one revisit, a superset of whatever revisits were pending
+	// at snapshot time. Converged clusters no-op (no positive-benefit
+	// merge or materialization), so the burst drains in a few budgeted
+	// steps. A cold restore (no statistics, e.g. a version-1 image) keeps
+	// the queue empty: with every probability at zero the merging benefit
+	// degenerates to +A for all clusters, and revisiting would fold the
+	// loaded clustering into the root before fresh statistics accrue.
+	warm := false
+	for _, cs := range snap {
+		if cs.CandQ != nil || cs.Q > 0 {
+			warm = true
+			break
+		}
+	}
+	if warm {
+		for _, c := range clusters {
+			ix.enqueueReorg(c)
+		}
 	}
 	return ix, nil
+}
+
+// applyStats installs a snapshot's query indicators on the rebuilt cluster,
+// validating the ranges the invariants rely on (non-negative, candidates not
+// exceeding their owner, candidate count matching the clustering function).
+func applyStats(c *Cluster, cs ClusterSnapshot, i int) error {
+	if math.IsNaN(cs.Q) || cs.Q < 0 {
+		return fmt.Errorf("core: snapshot cluster %d has invalid query indicator %g", i, cs.Q)
+	}
+	c.q = cs.Q
+	if cs.CandQ == nil {
+		return nil
+	}
+	if len(cs.CandQ) != c.cands.len() {
+		return fmt.Errorf("core: snapshot cluster %d carries %d candidate indicators, clustering function derives %d",
+			i, len(cs.CandQ), c.cands.len())
+	}
+	for k, q := range cs.CandQ {
+		if math.IsNaN(q) || q < 0 || q > cs.Q+1e-9 {
+			return fmt.Errorf("core: snapshot cluster %d candidate %d has invalid indicator %g (cluster %g)", i, k, q, cs.Q)
+		}
+		c.cands.q[k] = q
+	}
+	return nil
 }

@@ -227,6 +227,8 @@ func Run(id string, o Options) (*Experiment, error) {
 		return RunDiskExec(o)
 	case "sharded":
 		return RunSharded(o)
+	case "latency":
+		return RunLatency(o)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", id, Experiments())
 	}
@@ -234,5 +236,5 @@ func Run(id string, o Options) (*Experiment, error) {
 
 // Experiments lists the available experiment identifiers.
 func Experiments() []string {
-	return []string{"fig7", "fig8", "point", "ablation-grouping", "ablation-f", "convergence", "relations", "updates", "baselines", "disk-exec", "sharded"}
+	return []string{"fig7", "fig8", "point", "ablation-grouping", "ablation-f", "convergence", "relations", "updates", "baselines", "disk-exec", "sharded", "latency"}
 }

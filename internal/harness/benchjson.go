@@ -35,6 +35,11 @@ type QueryBenchResult struct {
 	QueriesPerSec float64 `json:"queries_per_sec"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
+	// Latency distribution of individually timed queries (reorg-churn
+	// workloads only; zero for the converged steady-state workloads).
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
+	MaxNs float64 `json:"max_ns,omitempty"`
 }
 
 // QueryBenchReport is the document written to BENCH_queries.json.
@@ -184,7 +189,53 @@ func RunQueryBench(o Options) (*QueryBenchReport, error) {
 			rep.Runs = append(rep.Runs, r)
 		}
 	}
+	for _, mode := range []struct {
+		name      string
+		unbounded bool
+	}{{"reorg-churn-sync", true}, {"reorg-churn-budgeted", false}} {
+		o.logf("benchjson: measuring %s (n=%d dims=%d)", mode.name, o.Objects, o.Dims)
+		r, err := runChurnLatency(o, mode.unbounded)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %s: %w", mode.name, err)
+		}
+		r.Workload = mode.name
+		rep.Runs = append(rep.Runs, r)
+	}
 	return rep, nil
+}
+
+// runChurnLatency times every query of a reorg-heavy stream (the shared
+// runChurnStream regime) and reports the latency distribution — the quantity
+// the incremental budgeted scheduler exists to improve over the synchronous
+// full pass. Unlike the steady-state workloads, the scenario's schedule is
+// fixed (reorganization every 50 queries, hot region shifting every period)
+// so the recorded numbers stay comparable across runs regardless of the
+// -reorg flag.
+func runChurnLatency(o Options, unbounded bool) (QueryBenchResult, error) {
+	const (
+		churnReorgEvery = 50
+		queries         = 2000
+	)
+	ix, lat, elapsed, err := runChurnStream(o, churnReorgEvery, queries, unbounded)
+	if err != nil {
+		return QueryBenchResult{}, err
+	}
+	res := QueryBenchResult{
+		Op:         "SearchTimed",
+		Objects:    o.Objects,
+		Dims:       o.Dims,
+		Relation:   geom.Intersects.String(),
+		Clusters:   ix.Clusters(),
+		AvgResults: float64(ix.Meter().Results) / queries,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / queries,
+		P50Ns:      float64(lat[queries/2].Nanoseconds()),
+		P99Ns:      float64(lat[queries*99/100].Nanoseconds()),
+		MaxNs:      float64(lat[queries-1].Nanoseconds()),
+	}
+	if res.NsPerOp > 0 {
+		res.QueriesPerSec = 1e9 / res.NsPerOp
+	}
+	return res, nil
 }
 
 // WriteJSON renders the report as indented JSON.

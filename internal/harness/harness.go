@@ -104,19 +104,22 @@ type Options struct {
 }
 
 func (o *Options) setDefaults() {
-	if o.Objects == 0 {
+	// Non-positive values (reachable through command-line flags) clamp to
+	// the defaults: a negative ReorgEvery would otherwise disable the
+	// reorganization schedule the experiments are about.
+	if o.Objects <= 0 {
 		o.Objects = 100000
 	}
-	if o.Dims == 0 {
+	if o.Dims <= 0 {
 		o.Dims = 16
 	}
-	if o.Queries == 0 {
+	if o.Queries <= 0 {
 		o.Queries = 200
 	}
-	if o.ReorgEvery == 0 {
+	if o.ReorgEvery <= 0 {
 		o.ReorgEvery = 100
 	}
-	if o.Warmup == 0 {
+	if o.Warmup <= 0 {
 		o.Warmup = 10 * o.ReorgEvery
 	}
 	if o.Seed == 0 {
@@ -228,6 +231,10 @@ type MethodResult struct {
 	// AvgResults is the average answer-set size (observed selectivity ×
 	// objects).
 	AvgResults float64
+	// P50US, P90US, P99US and MaxUS describe the per-query wall-clock
+	// latency distribution (µs). Only experiments that time queries
+	// individually (the latency experiment) fill them; zero elsewhere.
+	P50US, P90US, P99US, MaxUS float64
 }
 
 // measure runs the query set against e and summarizes the counters. The

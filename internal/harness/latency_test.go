@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunLatencyShape(t *testing.T) {
+	o := tinyOptions()
+	o.Objects = 8000
+	exp, err := RunLatency(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ID != "latency" || len(exp.Points) != 1 {
+		t.Fatalf("experiment shape: %+v", exp)
+	}
+	p := exp.Points[0]
+	for _, m := range []string{MethodACSync, MethodACInc} {
+		r, ok := p.Results[m]
+		if !ok {
+			t.Fatalf("missing method %s", m)
+		}
+		if r.P50US <= 0 || r.P90US < r.P50US || r.P99US < r.P90US || r.MaxUS < r.P99US {
+			t.Errorf("%s: latency distribution not monotone: %+v", m, r)
+		}
+		if r.Partitions < 2 {
+			t.Errorf("%s: workload did not cluster (%d partitions)", m, r.Partitions)
+		}
+	}
+	// The budgeted scheduler must not lose throughput to the maintenance
+	// interleaving (the acceptance bar is 5%; the tiny workload is noisy,
+	// so assert a looser sanity factor here — the real measurement is the
+	// acbench latency experiment at full scale).
+	sync, inc := p.Results[MethodACSync], p.Results[MethodACInc]
+	if inc.MeasuredUS > sync.MeasuredUS*2 {
+		t.Errorf("budgeted throughput collapsed: %.0f µs/query vs sync %.0f", inc.MeasuredUS, sync.MeasuredUS)
+	}
+
+	var buf bytes.Buffer
+	if err := exp.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"latency", "per-query wall-clock latency", "p99", "AC-inc max"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := exp.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "p99_us") {
+		t.Error("CSV missing latency columns")
+	}
+}

@@ -69,10 +69,22 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
-// lockedShard pairs one partition's index with its mutex.
+// lockedShard pairs one partition's index with its mutex and, under
+// background reorganization, the wake channel of its drainer goroutine.
 type lockedShard struct {
-	mu sync.Mutex
-	ix *core.Index
+	mu   sync.Mutex
+	ix   *core.Index
+	wake chan struct{} // nil unless Core.BackgroundReorg
+}
+
+// notifyReorg wakes the shard's drainer (non-blocking; a pending wake-up
+// already covers the new work). The caller must have observed pending work
+// under the shard lock.
+func (s *lockedShard) notifyReorg() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
 }
 
 // Engine is the sharded adaptive clustering engine. All methods are safe for
@@ -88,6 +100,11 @@ type Engine struct {
 	// steady-state selections reuse the same backing arrays instead of
 	// allocating one answer slice per shard per query.
 	merge sync.Pool
+	// Background reorganization lifecycle (Core.BackgroundReorg): one
+	// drainer goroutine per shard, stopped by Close.
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // mergeBuffers is one pooled set of per-shard answer buffers.
@@ -146,7 +163,55 @@ func newEngine(cfg Config, shards []*lockedShard) *Engine {
 	for k := 1; k < len(shards); k <<= 1 {
 		shift--
 	}
-	return &Engine{cfg: cfg, shift: shift, shards: shards}
+	e := &Engine{cfg: cfg, shift: shift, shards: shards}
+	if cfg.Core.BackgroundReorg {
+		e.done = make(chan struct{})
+		for _, s := range shards {
+			s.wake = make(chan struct{}, 1)
+			e.wg.Add(1)
+			go e.reorgLoop(s)
+		}
+	}
+	return e
+}
+
+// reorgLoop drains one shard's pending reorganization work, taking the shard
+// lock once per bounded step so concurrent queries and point operations on
+// the shard interleave with maintenance.
+func (e *Engine) reorgLoop(s *lockedShard) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-s.wake:
+		}
+		for {
+			s.mu.Lock()
+			more := s.ix.ReorgStep()
+			s.mu.Unlock()
+			if !more {
+				break
+			}
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// Close stops the background reorganization goroutines (no-op unless
+// Core.BackgroundReorg). The engine stays usable afterwards.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		if e.done != nil {
+			close(e.done)
+			e.wg.Wait()
+		}
+	})
+	return nil
 }
 
 // Config returns the effective configuration (defaults applied).
@@ -301,9 +366,13 @@ func (e *Engine) fanOut(q geom.Rect, rel geom.Relation) (*mergeBuffers, error) {
 	bufs := e.getMergeBuffers()
 	err := e.forEachShard(func(i int, s *lockedShard) error {
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		ids, err := s.ix.SearchIDsAppend(bufs.perShard[i][:0], q, rel)
 		bufs.perShard[i] = ids
+		pending := s.wake != nil && s.ix.ReorgPending()
+		s.mu.Unlock()
+		if pending {
+			s.notifyReorg()
+		}
 		return err
 	})
 	if err != nil {
@@ -340,9 +409,13 @@ func (e *Engine) Count(q geom.Rect, rel geom.Relation) (int, error) {
 	var total atomic.Int64
 	err := e.forEachShard(func(i int, s *lockedShard) error {
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		n, err := s.ix.Count(q, rel)
 		total.Add(int64(n))
+		pending := s.wake != nil && s.ix.ReorgPending()
+		s.mu.Unlock()
+		if pending {
+			s.notifyReorg()
+		}
 		return err
 	})
 	if err != nil {

@@ -3,19 +3,31 @@
 // 20–30% reserved slots at its end (so at least 70% storage utilization and
 // no cluster move on most insertions), cluster signatures are stored with
 // the members, and a directory block at the front of the device records the
-// position of each cluster for fail recovery. Performance indicators are not
-// persisted — new statistics are gathered after recovery, as the paper
-// permits.
+// position of each cluster for fail recovery. Since format version 2 the
+// adaptive performance indicators are persisted as well, so recovery resumes
+// adaptation warm.
 //
 // The on-device format (little endian):
 //
 //	header  : magic "ACDB", version, dims, cluster count,
-//	          directory length, directory CRC32, header CRC32
+//	          directory length, directory CRC32,
+//	          [v2+] stats length, stats CRC32, division factor,
+//	          header CRC32
 //	directory: per cluster — parent index, member count, capacity
 //	          (count + reserve), region offset, region CRC32, signature
 //	          (4·dims float32)
+//	stats   : [v2+] statistics window float64, then per cluster — query
+//	          indicator float64, candidate count uint32, candidate query
+//	          indicators [count]float64
 //	regions : per cluster — ids [capacity]uint32, coords
 //	          [capacity·2·dims]float32 (only count slots are meaningful)
+//
+// Version 2 adds the adaptive query statistics (departing from the paper's
+// "optional to save" stance: a cold restart re-learns the query distribution
+// and re-churns the clustering). The statistics block records the division
+// factor that enumerated the candidate sets; a load under a different factor
+// skips the block and restores cold, and version-1 segments (no block at
+// all) keep loading unchanged.
 //
 // Save writes a full checkpoint; Load validates every checksum and rebuilds
 // the index via core.Restore.
@@ -33,9 +45,25 @@ import (
 
 const (
 	magic      = 0x41434442 // "ACDB"
-	version    = 1
-	headerSize = 28
+	version    = 1          // pre-statistics format (no stats block)
+	version2   = 2          // adds the adaptive-statistics block
+	headerSize = 28         // version-1 header bytes
+	headerV2   = 40         // version-2 header bytes
 )
+
+// header is the decoded, version-independent device header.
+type header struct {
+	version   int
+	dims      int
+	nClusters int
+	dirLen    int
+	dirCRC    uint32
+	// Version-2 fields (zero for version 1).
+	statsLen       int
+	statsCRC       uint32
+	divisionFactor int
+	size           int // header bytes on device
+}
 
 // ErrCorrupt wraps all integrity failures detected by Load.
 type CorruptError struct{ Reason string }
@@ -67,18 +95,76 @@ func regionSize(capacity, dims int) int {
 	return capacity*4 + capacity*2*dims*4
 }
 
-// Save checkpoints the index onto the device, replacing any previous
-// content.
+// statsBlockSize returns the byte size of the version-2 statistics block.
+func statsBlockSize(snap []core.ClusterSnapshot) int {
+	n := 8 // window
+	for _, cs := range snap {
+		n += 8 + 4 + 8*len(cs.CandQ)
+	}
+	return n
+}
+
+// encodeStats renders the version-2 statistics block.
+func encodeStats(snap []core.ClusterSnapshot, window float64) []byte {
+	buf := make([]byte, statsBlockSize(snap))
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(window))
+	off := 8
+	for _, cs := range snap {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(cs.Q))
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(cs.CandQ)))
+		off += 12
+		for _, q := range cs.CandQ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(q))
+			off += 8
+		}
+	}
+	return buf
+}
+
+// decodeStats parses a statistics block into the snapshot's Q/CandQ fields
+// and returns the window.
+func decodeStats(buf []byte, snap []core.ClusterSnapshot) (float64, error) {
+	if len(buf) < 8 {
+		return 0, corrupt("statistics block truncated")
+	}
+	window := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	off := 8
+	for i := range snap {
+		if off+12 > len(buf) {
+			return 0, corrupt("statistics block truncated at cluster %d", i)
+		}
+		snap[i].Q = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		ncand := int(binary.LittleEndian.Uint32(buf[off+8:]))
+		off += 12
+		if ncand < 0 || off+8*ncand > len(buf) {
+			return 0, corrupt("statistics block truncated at cluster %d candidates", i)
+		}
+		qs := make([]float64, ncand)
+		for k := range qs {
+			qs[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		snap[i].CandQ = qs
+	}
+	if off != len(buf) {
+		return 0, corrupt("statistics block has %d trailing bytes", len(buf)-off)
+	}
+	return window, nil
+}
+
+// Save checkpoints the index onto the device in the version-2 format,
+// replacing any previous content.
 func Save(ix *core.Index, dev Device) error {
 	snap := ix.Snapshot()
 	dims := ix.Dims()
 	es := entrySize(dims)
 	dirLen := len(snap) * es
+	stats := encodeStats(snap, ix.StatsWindow())
 
-	// Lay out the regions after header + directory.
+	// Lay out the regions after header + directory + statistics.
 	offsets := make([]int64, len(snap))
 	caps := make([]int, len(snap))
-	next := int64(headerSize + dirLen)
+	next := int64(headerV2 + dirLen + len(stats))
 	for i, cs := range snap {
 		offsets[i] = next
 		caps[i] = reserveSlots(len(cs.IDs))
@@ -112,18 +198,24 @@ func Save(ix *core.Index, dev Device) error {
 			binary.LittleEndian.PutUint32(e[sigBase+d*16+12:], math.Float32bits(cs.Signature.BHi[d]))
 		}
 	}
-	if _, err := dev.WriteAt(dir, headerSize); err != nil {
+	if _, err := dev.WriteAt(dir, headerV2); err != nil {
 		return fmt.Errorf("store: write directory: %w", err)
 	}
+	if _, err := dev.WriteAt(stats, int64(headerV2+dirLen)); err != nil {
+		return fmt.Errorf("store: write statistics: %w", err)
+	}
 
-	head := make([]byte, headerSize)
+	head := make([]byte, headerV2)
 	binary.LittleEndian.PutUint32(head[0:], magic)
-	binary.LittleEndian.PutUint32(head[4:], version)
+	binary.LittleEndian.PutUint32(head[4:], version2)
 	binary.LittleEndian.PutUint32(head[8:], uint32(dims))
 	binary.LittleEndian.PutUint32(head[12:], uint32(len(snap)))
 	binary.LittleEndian.PutUint32(head[16:], uint32(dirLen))
 	binary.LittleEndian.PutUint32(head[20:], crc32.ChecksumIEEE(dir))
-	binary.LittleEndian.PutUint32(head[24:], crc32.ChecksumIEEE(head[:24]))
+	binary.LittleEndian.PutUint32(head[24:], uint32(len(stats)))
+	binary.LittleEndian.PutUint32(head[28:], crc32.ChecksumIEEE(stats))
+	binary.LittleEndian.PutUint32(head[32:], uint32(ix.Config().DivisionFactor))
+	binary.LittleEndian.PutUint32(head[36:], crc32.ChecksumIEEE(head[:36]))
 	if _, err := dev.WriteAt(head, 0); err != nil {
 		return fmt.Errorf("store: write header: %w", err)
 	}
@@ -152,42 +244,78 @@ type DirEntry struct {
 // RegionBytes returns the byte size of the entry's on-device region.
 func (e DirEntry) RegionBytes(dims int) int { return regionSize(e.Capacity, dims) }
 
+// readHeader decodes and validates the device header of either format
+// version.
+func readHeader(dev Device) (header, error) {
+	// The version field decides the header size; peek the fixed prefix
+	// first.
+	pre := make([]byte, 8)
+	if _, err := dev.ReadAt(pre, 0); err != nil {
+		return header{}, corrupt("short header: %v", err)
+	}
+	if binary.LittleEndian.Uint32(pre[0:]) != magic {
+		return header{}, corrupt("bad magic")
+	}
+	h := header{version: int(binary.LittleEndian.Uint32(pre[4:]))}
+	switch h.version {
+	case version:
+		h.size = headerSize
+	case version2:
+		h.size = headerV2
+	default:
+		return header{}, corrupt("unsupported version %d", h.version)
+	}
+	head := make([]byte, h.size)
+	if _, err := dev.ReadAt(head, 0); err != nil {
+		return header{}, corrupt("short header: %v", err)
+	}
+	if crc32.ChecksumIEEE(head[:h.size-4]) != binary.LittleEndian.Uint32(head[h.size-4:]) {
+		return header{}, corrupt("header checksum mismatch")
+	}
+	h.dims = int(binary.LittleEndian.Uint32(head[8:]))
+	h.nClusters = int(binary.LittleEndian.Uint32(head[12:]))
+	h.dirLen = int(binary.LittleEndian.Uint32(head[16:]))
+	h.dirCRC = binary.LittleEndian.Uint32(head[20:])
+	if h.version >= version2 {
+		h.statsLen = int(binary.LittleEndian.Uint32(head[24:]))
+		h.statsCRC = binary.LittleEndian.Uint32(head[28:])
+		h.divisionFactor = int(binary.LittleEndian.Uint32(head[32:]))
+	}
+	if h.dims < 1 || h.nClusters < 1 {
+		return header{}, corrupt("implausible geometry: dims=%d clusters=%d", h.dims, h.nClusters)
+	}
+	if h.dirLen != h.nClusters*entrySize(h.dims) {
+		return header{}, corrupt("directory length %d does not match %d clusters", h.dirLen, h.nClusters)
+	}
+	return h, nil
+}
+
 // ReadDirectory validates the header and directory checksums and returns the
 // cluster directory and dimensionality. It reads only the header and
 // directory blocks, not the cluster regions — this is the in-memory state a
 // disk-based deployment keeps (§5.ii: "signatures ... managed in memory,
 // while the cluster members are stored on external support").
 func ReadDirectory(dev Device) ([]DirEntry, int, error) {
-	head := make([]byte, headerSize)
-	if _, err := dev.ReadAt(head, 0); err != nil {
-		return nil, 0, corrupt("short header: %v", err)
+	h, err := readHeader(dev)
+	if err != nil {
+		return nil, 0, err
 	}
-	if crc32.ChecksumIEEE(head[:24]) != binary.LittleEndian.Uint32(head[24:]) {
-		return nil, 0, corrupt("header checksum mismatch")
+	entries, err := readDirEntries(dev, h)
+	return entries, h.dims, err
+}
+
+// readDirEntries reads and validates the directory described by an already
+// decoded header.
+func readDirEntries(dev Device, h header) ([]DirEntry, error) {
+	dims, nClusters := h.dims, h.nClusters
+	dir := make([]byte, h.dirLen)
+	if _, err := dev.ReadAt(dir, int64(h.size)); err != nil {
+		return nil, corrupt("short directory: %v", err)
 	}
-	if binary.LittleEndian.Uint32(head[0:]) != magic {
-		return nil, 0, corrupt("bad magic")
-	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != version {
-		return nil, 0, corrupt("unsupported version %d", v)
-	}
-	dims := int(binary.LittleEndian.Uint32(head[8:]))
-	nClusters := int(binary.LittleEndian.Uint32(head[12:]))
-	dirLen := int(binary.LittleEndian.Uint32(head[16:]))
-	if dims < 1 || nClusters < 1 {
-		return nil, 0, corrupt("implausible geometry: dims=%d clusters=%d", dims, nClusters)
+	if crc32.ChecksumIEEE(dir) != h.dirCRC {
+		return nil, corrupt("directory checksum mismatch")
 	}
 	es := entrySize(dims)
-	if dirLen != nClusters*es {
-		return nil, 0, corrupt("directory length %d does not match %d clusters", dirLen, nClusters)
-	}
-	dir := make([]byte, dirLen)
-	if _, err := dev.ReadAt(dir, headerSize); err != nil {
-		return nil, 0, corrupt("short directory: %v", err)
-	}
-	if crc32.ChecksumIEEE(dir) != binary.LittleEndian.Uint32(head[20:]) {
-		return nil, 0, corrupt("directory checksum mismatch")
-	}
 	entries := make([]DirEntry, nClusters)
 	for i := 0; i < nClusters; i++ {
 		e := dir[i*es:]
@@ -199,7 +327,7 @@ func ReadDirectory(dev Device) ([]DirEntry, int, error) {
 			CRC:      binary.LittleEndian.Uint32(e[20:]),
 		}
 		if entry.Count > entry.Capacity || entry.Capacity > 1<<30 {
-			return nil, 0, corrupt("cluster %d: count %d exceeds capacity %d", i, entry.Count, entry.Capacity)
+			return nil, corrupt("cluster %d: count %d exceeds capacity %d", i, entry.Count, entry.Capacity)
 		}
 		s := sig.Root(dims)
 		sigBase := 24
@@ -212,7 +340,7 @@ func ReadDirectory(dev Device) ([]DirEntry, int, error) {
 		entry.Signature = s
 		entries[i] = entry
 	}
-	return entries, dims, nil
+	return entries, nil
 }
 
 // ReadRegion reads and verifies one cluster region, returning the member ids
@@ -239,12 +367,21 @@ func ReadRegion(dev Device, e DirEntry, dims int) ([]uint32, []float32, error) {
 
 // Load validates the device content and rebuilds the index. cfg supplies the
 // runtime parameters (scenario, division factor, …); its Dims must match the
-// stored dimensionality or be zero to adopt it.
+// stored dimensionality or be zero to adopt it. Version-2 segments restore
+// the adaptive query statistics when the stored division factor matches the
+// effective configuration (the candidate enumeration they index into is a
+// function of that factor); otherwise — and for version-1 segments — the
+// index restores cold and re-gathers statistics, as the paper permits.
 func Load(dev Device, cfg core.Config) (*core.Index, error) {
-	entries, dims, err := ReadDirectory(dev)
+	h, err := readHeader(dev)
 	if err != nil {
 		return nil, err
 	}
+	entries, err := readDirEntries(dev, h)
+	if err != nil {
+		return nil, err
+	}
+	dims := h.dims
 	if cfg.Dims == 0 {
 		cfg.Dims = dims
 	}
@@ -259,8 +396,30 @@ func Load(dev Device, cfg core.Config) (*core.Index, error) {
 		}
 		snap[i] = core.ClusterSnapshot{Signature: e.Signature, Parent: e.Parent, IDs: ids, Data: data}
 	}
+	window := 0.0
+	if h.version >= version2 {
+		stats := make([]byte, h.statsLen)
+		if _, err := dev.ReadAt(stats, int64(h.size+h.dirLen)); err != nil {
+			return nil, corrupt("short statistics block: %v", err)
+		}
+		if crc32.ChecksumIEEE(stats) != h.statsCRC {
+			return nil, corrupt("statistics checksum mismatch")
+		}
+		eff, err := cfg.Normalized()
+		if err != nil {
+			return nil, err
+		}
+		if h.divisionFactor == eff.DivisionFactor {
+			if window, err = decodeStats(stats, snap); err != nil {
+				return nil, err
+			}
+		}
+	}
 	ix, err := core.Restore(cfg, snap)
 	if err != nil {
+		return nil, corrupt("restore: %v", err)
+	}
+	if err := ix.SetStatsWindow(window); err != nil {
 		return nil, corrupt("restore: %v", err)
 	}
 	return ix, nil

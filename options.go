@@ -1,6 +1,11 @@
 package accluster
 
-import "accluster/internal/cost"
+import (
+	"fmt"
+	"math"
+
+	"accluster/internal/cost"
+)
 
 // Scenario holds the database and system parameters of a storage scenario
 // for the cost model: signature check time (A), exploration setup and disk
@@ -20,27 +25,43 @@ func DiskScenario() Scenario { return cost.Disk() }
 // options collects the tunables of all index constructors; each constructor
 // reads the fields relevant to it.
 type options struct {
-	scenario       cost.Params
-	divisionFactor int
-	reorgEvery     int
-	decay          float64
-	pageSize       int
-	minFill        float64
-	reinsertFrac   float64
-	maxOverlap     float64
-	shards         int
-	fanout         int
+	scenario        cost.Params
+	divisionFactor  int
+	reorgEvery      int
+	decay           float64
+	reorgClusters   int
+	reorgObjects    int
+	backgroundReorg bool
+	pageSize        int
+	minFill         float64
+	reinsertFrac    float64
+	maxOverlap      float64
+	shards          int
+	fanout          int
+
+	// err records the first invalid option value. Validation happens at
+	// the option layer, not only in the engine config: engine defaulting
+	// maps the zero value to "use the default", so an explicitly tuned
+	// zero (WithDecay(0), WithReorgEvery(0)) would otherwise be silently
+	// replaced instead of rejected — the smuggling path this closes.
+	err error
+}
+
+func (o *options) fail(format string, args ...any) {
+	if o.err == nil {
+		o.err = fmt.Errorf("accluster: "+format, args...)
+	}
 }
 
 // Option customizes an index constructor.
 type Option func(*options)
 
-func gatherOptions(opts []Option) options {
+func gatherOptions(opts []Option) (options, error) {
 	var o options
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return o
+	return o, o.err
 }
 
 // WithScenario selects the storage scenario whose cost parameters drive the
@@ -51,21 +72,69 @@ func WithScenario(s Scenario) Option {
 
 // WithDivisionFactor sets the clustering function's division factor f
 // (default 4): each dimension's variation intervals are cut into f
-// subintervals when candidate subclusters are generated.
+// subintervals when candidate subclusters are generated. f must be ≥ 2.
 func WithDivisionFactor(f int) Option {
-	return func(o *options) { o.divisionFactor = f }
+	return func(o *options) {
+		if f < 2 {
+			o.fail("division factor must be ≥ 2, got %d", f)
+			return
+		}
+		o.divisionFactor = f
+	}
 }
 
 // WithReorgEvery sets the number of queries between reorganization rounds
-// (default 100).
+// (default 100). n must be ≥ 1: a non-positive period would disable the
+// statistics decay schedule the cost model depends on.
 func WithReorgEvery(n int) Option {
-	return func(o *options) { o.reorgEvery = n }
+	return func(o *options) {
+		if n < 1 {
+			o.fail("reorganization period must be ≥ 1, got %d", n)
+			return
+		}
+		o.reorgEvery = n
+	}
 }
 
 // WithDecay sets the exponential forgetting factor applied to query
 // statistics at every reorganization round (default 0.5; 1 never forgets).
+// d must lie in (0,1]: zero or negative decay would erase the statistics
+// window every round and NaN would poison every access probability.
 func WithDecay(d float64) Option {
-	return func(o *options) { o.decay = d }
+	return func(o *options) {
+		if math.IsNaN(d) || d <= 0 || d > 1 {
+			o.fail("decay must be in (0,1], got %g", d)
+			return
+		}
+		o.decay = d
+	}
+}
+
+// WithReorgBudget bounds one incremental reorganization step: at most
+// clusters revisits and objects relocations per step (defaults 32 and 128;
+// pass Unbudgeted for no bound, which reproduces the synchronous
+// stop-the-world pass at every trigger). Merges and materializations are
+// chunked across steps, so the object bound caps every step's relocation
+// work outright.
+func WithReorgBudget(clusters, objects int) Option {
+	return func(o *options) {
+		if clusters == 0 || objects == 0 {
+			o.fail("reorg budget components must be positive or Unbudgeted, got %d/%d", clusters, objects)
+			return
+		}
+		o.reorgClusters, o.reorgObjects = clusters, objects
+	}
+}
+
+// Unbudgeted disables one bound of WithReorgBudget.
+const Unbudgeted = -1
+
+// WithBackgroundReorg moves reorganization work off the query path entirely:
+// queries only schedule revisits, and a background goroutine (one per shard
+// for NewSharded) drains them, taking the engine lock once per bounded step.
+// Indexes built with this option own a goroutine — call Close when done.
+func WithBackgroundReorg() Option {
+	return func(o *options) { o.backgroundReorg = true }
 }
 
 // WithPageSize sets the R*-tree node page size in bytes (default 16384).
@@ -90,7 +159,13 @@ func WithReinsertFrac(frac float64) Option {
 // count is fixed for the life of the index and recorded by SaveDir — a
 // loaded database keeps its save-time shard count.
 func WithShards(n int) Option {
-	return func(o *options) { o.shards = n }
+	return func(o *options) {
+		if n < 0 {
+			o.fail("shard count must be ≥ 0, got %d", n)
+			return
+		}
+		o.shards = n
+	}
 }
 
 // WithFanout bounds the worker pool used to fan a query out across shards

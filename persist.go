@@ -1,7 +1,6 @@
 package accluster
 
 import (
-	"accluster/internal/core"
 	"accluster/internal/shard"
 	"accluster/internal/store"
 )
@@ -9,7 +8,10 @@ import (
 // SaveFile checkpoints the adaptive index into a database file using the
 // paper's disk layout (§6): clusters stored sequentially with reserved
 // slots (≥70% utilization) and a checksummed directory for fail recovery.
-// Query statistics are not persisted; they are re-gathered after recovery.
+// The adaptive query statistics (per-cluster and per-candidate indicators
+// plus the decayed window) are persisted in a format-versioned block, so a
+// recovered index resumes adaptation warm; files written by older versions
+// (no block) still load and re-gather statistics.
 func (a *Adaptive) SaveFile(path string) error {
 	dev, err := store.OpenFileDevice(path)
 	if err != nil {
@@ -31,24 +33,23 @@ func OpenAdaptive(path string, opts ...Option) (*Adaptive, error) {
 		return nil, err
 	}
 	defer dev.Close()
-	o := gatherOptions(opts)
-	ix, err := store.Load(dev, core.Config{
-		Params:         o.scenario,
-		DivisionFactor: o.divisionFactor,
-		ReorgEvery:     o.reorgEvery,
-		Decay:          o.decay,
-	})
+	o, err := gatherOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Adaptive{ix: ix}, nil
+	ix, err := store.Load(dev, coreConfig(0, o))
+	if err != nil {
+		return nil, err
+	}
+	return newAdaptive(ix), nil
 }
 
 // SaveDir checkpoints the sharded index into a directory: one database
 // segment per shard in the paper's disk layout plus a checksummed manifest
 // recording the shard count. Shards are written in parallel, each under its
 // own lock — quiesce writers if a point-in-time snapshot of the whole engine
-// is required. Query statistics are not persisted.
+// is required. Each segment carries its shard's adaptive query statistics,
+// so OpenSharded resumes adaptation warm.
 func (s *Sharded) SaveDir(dir string) error { return s.e.SaveDir(dir) }
 
 // OpenSharded recovers a sharded index from a directory written by SaveDir,
@@ -56,15 +57,13 @@ func (s *Sharded) SaveDir(dir string) error { return s.e.SaveDir(dir) }
 // shard count and dimensionality come from the manifest (WithShards is
 // ignored — the save-time partitioning is part of the data).
 func OpenSharded(dir string, opts ...Option) (*Sharded, error) {
-	o := gatherOptions(opts)
+	o, err := gatherOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	e, err := shard.LoadDir(dir, shard.Config{
 		Workers: o.fanout,
-		Core: core.Config{
-			Params:         o.scenario,
-			DivisionFactor: o.divisionFactor,
-			ReorgEvery:     o.reorgEvery,
-			Decay:          o.decay,
-		},
+		Core:    coreConfig(0, o),
 	})
 	if err != nil {
 		return nil, err

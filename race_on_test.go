@@ -1,0 +1,7 @@
+//go:build race
+
+package accluster
+
+// raceEnabled reports whether the race detector instruments this build; the
+// wall-clock latency assertions are meaningless under its overhead.
+const raceEnabled = true

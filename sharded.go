@@ -22,25 +22,28 @@ type Sharded struct {
 // NewSharded builds a sharded adaptive index for the given dimensionality.
 // The shard count defaults to the next power of two ≥ GOMAXPROCS; see
 // WithShards and WithFanout to tune, plus the Adaptive options (scenario,
-// division factor, …), which apply to every shard.
+// division factor, reorganization budget, …), which apply to every shard.
+// With WithBackgroundReorg every shard owns a drainer goroutine that takes
+// the shard lock only per bounded reorganization step; call Close when done.
 func NewSharded(dims int, opts ...Option) (*Sharded, error) {
-	o := gatherOptions(opts)
+	o, err := gatherOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	e, err := shard.New(shard.Config{
 		Shards:  o.shards,
 		Workers: o.fanout,
-		Core: core.Config{
-			Dims:           dims,
-			Params:         o.scenario,
-			DivisionFactor: o.divisionFactor,
-			ReorgEvery:     o.reorgEvery,
-			Decay:          o.decay,
-		},
+		Core:    coreConfig(dims, o),
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Sharded{e: e}, nil
 }
+
+// Close stops the per-shard background reorganization goroutines (no-op
+// without WithBackgroundReorg). The index stays usable afterwards.
+func (s *Sharded) Close() error { return s.e.Close() }
 
 // Insert adds an object to its owning shard (placed into the matching
 // cluster with the lowest access probability there).

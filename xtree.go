@@ -19,7 +19,10 @@ type XTree struct {
 // NewXTree builds an X-tree with 16 KB base pages by default. WithPageSize,
 // WithMinFill and WithMaxOverlap tune it.
 func NewXTree(dims int, opts ...Option) (*XTree, error) {
-	o := gatherOptions(opts)
+	o, err := gatherOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	t, err := xtree.New(xtree.Config{
 		Dims:       dims,
 		PageSize:   o.pageSize,
