@@ -94,9 +94,16 @@ type Index interface {
 	ResetStats()
 }
 
-// Adaptive is the paper's adaptive cost-based clustering index.
+// Adaptive is the paper's adaptive cost-based clustering index. Searches
+// take the lock shared, so any number of concurrent selections execute in
+// parallel; mutations (Insert, Update, Delete, Reorganize) take it
+// exclusive. Each query's statistics updates are recorded during the shared
+// phase and published opportunistically afterwards (core.TryDrainStats):
+// readers never wait on statistics publication or reorganization
+// maintenance — both run under brief exclusive acquisitions between
+// queries.
 type Adaptive struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	ix *core.Index
 
 	// Background reorganization (WithBackgroundReorg): queries signal
@@ -191,9 +198,16 @@ func (a *Adaptive) notifyReorg(pending bool) {
 	}
 }
 
-// reorgPending reads the queue state; the caller holds a.mu.
-func (a *Adaptive) reorgPending() bool {
-	return a.wake != nil && a.ix.ReorgPending()
+// publishStats runs a query's publication phase: apply the queued
+// statistics deltas under a brief exclusive acquisition when the lock is
+// free (blocking only once the backlog hits core.StatsBacklogMax), and wake
+// the background drainer when maintenance — reorganization work or an
+// unapplied backlog — is pending. Readers therefore never wait on
+// publication; a delta a query leaves behind is applied by the next
+// exclusive holder, whoever that is.
+func (a *Adaptive) publishStats() {
+	pending := a.ix.TryDrainStats(&a.mu)
+	a.notifyReorg(pending || a.ix.StatsBacklog() > 0)
 }
 
 // Close stops the background reorganization goroutine (no-op without
@@ -251,60 +265,56 @@ func (a *Adaptive) Delete(id uint32) bool {
 	return a.ix.Delete(id)
 }
 
-// Get returns the rectangle stored under id.
+// Get returns the rectangle stored under id. Concurrent Gets (and searches)
+// run in parallel (shared lock).
 func (a *Adaptive) Get(id uint32) (Rect, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.ix.Get(id)
 }
 
-// Search executes a spatial selection, updating clustering statistics and
-// scheduling incremental reorganization work.
+// Search executes a spatial selection. Concurrent searches run in parallel
+// (shared lock); the query's statistics updates are recorded during the
+// search and published afterwards. emit must not call back into the same
+// index.
 func (a *Adaptive) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
-	a.mu.Lock()
-	err := a.ix.Search(q, rel, emit)
-	pending := a.reorgPending()
-	a.mu.Unlock()
-	a.notifyReorg(pending)
+	a.mu.RLock()
+	err := a.ix.SearchRead(q, rel, emit)
+	a.mu.RUnlock()
+	a.publishStats()
 	return err
 }
 
 // SearchIDs collects all qualifying identifiers.
 func (a *Adaptive) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
-	a.mu.Lock()
-	ids, err := a.ix.SearchIDs(q, rel)
-	pending := a.reorgPending()
-	a.mu.Unlock()
-	a.notifyReorg(pending)
-	return ids, err
+	return a.SearchIDsAppend(nil, q, rel)
 }
 
 // SearchIDsAppend appends all qualifying identifiers to dst and returns the
 // extended slice; with a reused dst of sufficient capacity the selection
-// allocates nothing.
+// allocates nothing. Concurrent searches run in parallel (shared lock).
 func (a *Adaptive) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
-	a.mu.Lock()
-	ids, err := a.ix.SearchIDsAppend(dst, q, rel)
-	pending := a.reorgPending()
-	a.mu.Unlock()
-	a.notifyReorg(pending)
+	a.mu.RLock()
+	ids, err := a.ix.SearchIDsAppendRead(dst, q, rel)
+	a.mu.RUnlock()
+	a.publishStats()
 	return ids, err
 }
 
-// Count returns the number of qualifying objects.
+// Count returns the number of qualifying objects. Concurrent counts run in
+// parallel (shared lock).
 func (a *Adaptive) Count(q Rect, rel Relation) (int, error) {
-	a.mu.Lock()
-	n, err := a.ix.Count(q, rel)
-	pending := a.reorgPending()
-	a.mu.Unlock()
-	a.notifyReorg(pending)
+	a.mu.RLock()
+	n, err := a.ix.CountRead(q, rel)
+	a.mu.RUnlock()
+	a.publishStats()
 	return n, err
 }
 
 // Len returns the number of stored objects.
 func (a *Adaptive) Len() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.ix.Len()
 }
 
@@ -313,8 +323,8 @@ func (a *Adaptive) Dims() int { return a.ix.Dims() }
 
 // Clusters returns the number of materialized clusters.
 func (a *Adaptive) Clusters() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.ix.Clusters()
 }
 
@@ -328,36 +338,36 @@ func (a *Adaptive) Reorganize() {
 
 // ReorgRounds returns the number of reorganization rounds executed.
 func (a *Adaptive) ReorgRounds() int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.ix.ReorgRounds()
 }
 
 // Splits returns the number of cluster materializations performed.
 func (a *Adaptive) Splits() int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.ix.Splits()
 }
 
 // Merges returns the number of cluster merge operations performed.
 func (a *Adaptive) Merges() int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.ix.Merges()
 }
 
-// Stats returns a snapshot of the operation counters.
+// Stats returns a snapshot of the operation counters. The counters are
+// merged race-free per query, so the snapshot is consistent even while
+// searches are in flight.
 func (a *Adaptive) Stats() Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return statsFrom(a.ix.Meter(), a.ix.Len(), a.ix.Clusters(), a.ix.Dims())
 }
 
 // ResetStats zeroes the operation counters (clustering statistics are kept).
 func (a *Adaptive) ResetStats() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.ix.ResetMeter()
 }
 

@@ -38,6 +38,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		maxSize = flag.Float64("maxsize", 1, "maximum object interval size per dimension")
 		shards  = flag.Int("shards", 0, "max shard count for the sharded experiment: sweep doubles 1,2,4,...,N (0 = default sweep 1,2,4,8)")
+		par     = flag.Int("parallel", 8, "max client-goroutine count of the -benchjson concurrency sweep (doubles 1,2,4,...,N; <= 0 skips the sweep)")
 		csvPath = flag.String("csv", "", "also write results as CSV to this file")
 		charts  = flag.Bool("chart", false, "also draw ASCII charts (the paper's figure shapes)")
 		verbose = flag.Bool("v", false, "log progress to stderr")
@@ -56,6 +57,10 @@ func main() {
 		ReorgEvery: *reorg,
 		Seed:       *seed,
 		MaxObjSize: float32(*maxSize),
+		Parallel:   *par,
+	}
+	if *par <= 0 {
+		o.Parallel = -1 // skip the concurrency sweep
 	}
 	if *shards > 0 {
 		for k := 1; ; k <<= 1 {

@@ -60,23 +60,41 @@
 //
 // # Concurrency
 //
-// All indexes are safe for concurrent use. NewAdaptive, NewSeqScan and
-// NewRStar serialize operations on a single internal mutex — queries update
-// clustering statistics, so even searches are writes here — which caps
-// throughput at one core.
+// All indexes are safe for concurrent use, and on the adaptive engines
+// searches take a shared lock: any number of concurrent Search, SearchIDs,
+// SearchIDsAppend, Count and Get calls execute in parallel — on NewAdaptive
+// within the one index, on NewSharded within every shard as well as across
+// shards — while Insert, Update, Delete and reorganization steps take the
+// lock exclusive. Read-only query throughput therefore scales with client
+// goroutines × cores, not with the shard count alone.
 //
-// NewSharded is the multi-core engine: it hash-partitions objects by id
-// across independent adaptive indexes (one mutex each), routes Insert,
-// Update, Delete and Get to the owning shard, and fans every Search out to
-// all shards in parallel on a bounded worker pool. It returns exactly the
-// same result sets as NewAdaptive over the same data.
+// The paper couples every query with statistics bookkeeping; the query path
+// splits that off: each search records its statistics updates privately and
+// publishes them after its shared phase, under a brief exclusive
+// acquisition taken only when the lock is free (blocking once a small
+// backlog watermark is reached). Reorganization maintenance likewise runs
+// between queries — piggybacked on those publication slots, or on the
+// WithBackgroundReorg drainer goroutine — so readers never wait on
+// maintenance. Published increments are exactly the serial ones, so after
+// the backlog drains (any mutation, Reorganize, or an idle-lock moment),
+// concurrent and serial execution of the same query set leave identical
+// clustering statistics up to the commutative reordering of additions. emit
+// callbacks must not call back into the same index.
 //
-// Pick NewAdaptive for single-threaded workloads, when reproducing the
-// paper's experiments (one clustering over the whole database), or when
-// modeled cost accounting per clustering decision matters; pick NewSharded
-// when concurrent operations should scale with the available cores —
-// especially high query rates, where shards answer simultaneously instead
-// of queueing on one mutex.
+// NewSharded remains the multi-core engine of choice for mixed workloads:
+// it hash-partitions objects by id across independent adaptive indexes (one
+// reader/writer lock each), routes Insert, Update, Delete and Get to the
+// owning shard — mutations on different shards run in parallel — and fans
+// every Search out to all shards on a bounded worker pool. It returns
+// exactly the same result sets as NewAdaptive over the same data.
+//
+// NewSeqScan, NewRStar and NewXTree serialize on a single mutex (their
+// searches mutate traversal state), capping each at one core.
+//
+// Pick NewAdaptive for read-heavy workloads, when reproducing the paper's
+// experiments (one clustering over the whole database), or when modeled
+// cost accounting per clustering decision matters; pick NewSharded when
+// mutations must also scale or query fan-out should use every core.
 //
 // # Storage layout and allocation behaviour
 //
@@ -95,10 +113,11 @@
 // of re-learning the query distribution from scratch. Version-1 segments
 // still load and re-gather statistics.
 //
-// Steady-state searches are allocation-free: the verification bitmap and
-// the matching-cluster list are per-index scratch, and SearchIDsAppend
-// reuses the caller's result buffer (the sharded engine merges its fan-out
-// through pooled per-shard buffers). Use SearchIDsAppend with a retained
-// buffer in hot loops; SearchIDs is the convenience form that allocates a
-// fresh result slice per call.
+// Steady-state searches are allocation-free: the verification bitmap, the
+// matching-cluster list and the statistics delta live in pooled per-query
+// scratch (each in-flight concurrent query owns its own set), and
+// SearchIDsAppend reuses the caller's result buffer (the sharded engine
+// merges its fan-out through pooled per-shard buffers). Use SearchIDsAppend
+// with a retained buffer in hot loops; SearchIDs is the convenience form
+// that allocates a fresh result slice per call.
 package accluster

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"accluster/internal/cost"
 	"accluster/internal/geom"
@@ -100,8 +102,12 @@ type objLoc struct {
 	pos int32
 }
 
-// Index is the adaptive cost-based clustering index. It is not safe for
-// concurrent use; the public accluster package serializes access.
+// Index is the adaptive cost-based clustering index. It distinguishes two
+// access classes: the *Read query methods (SearchRead, SearchIDsAppendRead,
+// CountRead) may run concurrently with each other — they only read
+// structural state and defer their statistics publication (publish.go) —
+// while every other method requires exclusive access. The public accluster
+// package enforces the contract with a reader/writer lock per index.
 type Index struct {
 	cfg      Config
 	objBytes int
@@ -116,11 +122,22 @@ type Index struct {
 
 	loc map[uint32]objLoc
 
-	// scratch holds per-index buffers reused across queries so that the
-	// steady-state query path performs no allocations. The index is
-	// single-threaded (the public package serializes access), so one set
-	// suffices.
-	scratch searchScratch
+	// scratch pools per-query buffers (*searchScratch) so that
+	// steady-state queries perform no allocations while each in-flight
+	// query still owns a private set; readers counts in-flight read
+	// phases (the reentrancy guard of exclusivePrep).
+	scratch sync.Pool
+	readers atomic.Int32
+
+	// Statistics-publication mailbox: completed read phases enqueue their
+	// scratch (carrying the statistics delta) under pendMu; the next
+	// exclusive holder applies the batch (publish.go). pendN mirrors
+	// len(pending) for lock-free backlog checks; pendSpare recycles the
+	// drained slice.
+	pendMu    sync.Mutex
+	pending   []*searchScratch
+	pendSpare []*searchScratch
+	pendN     atomic.Int32
 
 	// Statistics window: W is the decayed total number of queries; every
 	// cluster's and candidate's q is decayed on the same schedule — the
@@ -132,7 +149,7 @@ type Index struct {
 	// still awaiting their budgeted revisit (reorg.go).
 	epoch            int64
 	reorgQ           reorgHeap
-	meter            cost.Meter
+	meter            cost.SyncMeter
 	reorgRounds      int64
 	splits, merges   int64
 	objectsRelocated int64
@@ -173,10 +190,13 @@ func (ix *Index) Len() int { return len(ix.loc) }
 // Clusters returns the number of materialized clusters.
 func (ix *Index) Clusters() int { return len(ix.clusters) }
 
-// Meter returns the accumulated operation counters.
-func (ix *Index) Meter() cost.Meter { return ix.meter }
+// Meter returns a consistent snapshot of the accumulated operation
+// counters. It is safe to call from any goroutine: each query merges its
+// counter delta at the end of its read phase.
+func (ix *Index) Meter() cost.Meter { return ix.meter.Snapshot() }
 
 // ResetMeter zeroes the operation counters (statistics windows are kept).
+// Safe to call from any goroutine.
 func (ix *Index) ResetMeter() { ix.meter.Reset() }
 
 // ReorgRounds returns the number of reorganization rounds executed.
@@ -214,6 +234,7 @@ func (ix *Index) Insert(id uint32, r geom.Rect) error {
 	if !r.Valid() {
 		return fmt.Errorf("core: invalid rectangle %v", r)
 	}
+	ix.exclusivePrep()
 	if _, dup := ix.loc[id]; dup {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
 	}
@@ -241,6 +262,7 @@ func (ix *Index) Insert(id uint32, r geom.Rect) error {
 
 // Delete removes the object with the given id, reporting whether it existed.
 func (ix *Index) Delete(id uint32) bool {
+	ix.exclusivePrep()
 	l, ok := ix.loc[id]
 	if !ok {
 		return false

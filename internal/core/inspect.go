@@ -21,8 +21,10 @@ type ClusterInfo struct {
 }
 
 // ClusterInfos reports every materialized cluster (root first). It is a
-// diagnostic snapshot; building it is O(clusters · dims).
+// diagnostic snapshot; building it is O(clusters · dims). It applies
+// deferred statistics publications first, so it requires exclusive access.
 func (ix *Index) ClusterInfos() []ClusterInfo {
+	ix.exclusivePrep()
 	depth := func(c *Cluster) int {
 		d := 0
 		for p := c.parent; p != nil; p = p.parent {

@@ -16,6 +16,7 @@ import "fmt"
 //  7. statistics epochs never lead the index epoch and the reorganization
 //     queue is consistent (no duplicates, queued flags match membership).
 func (ix *Index) CheckInvariants() error {
+	ix.exclusivePrep()
 	if len(ix.clusters) == 0 || ix.clusters[0] != ix.root {
 		return fmt.Errorf("clusters[0] is not the root")
 	}

@@ -1,0 +1,208 @@
+package core
+
+// Deferred statistics publication: the machinery that lets spatial
+// selections run under a shared (read) lock.
+//
+// The paper couples every query with bookkeeping — the explored clusters'
+// query indicators Q, the candidate subclusters' indicators q, the decayed
+// statistics window and the reorganization schedule all advance per query
+// (§3.1) — which naively makes every search a write. To let concurrent
+// searches of one index proceed in parallel, the query path is split in two:
+//
+//   - The *read phase* (searchRead) touches only state that mutations keep
+//     frozen while readers are in flight: the cluster list, the signature
+//     mirror, the member columns and the candidate bounds. Everything the
+//     query would have written — cost-meter counts and the statistics
+//     increments — is recorded into the query's own pooled scratch instead.
+//   - The *publication phase* applies those recorded increments. Meter
+//     deltas merge immediately into a SyncMeter (its own short mutex, safe
+//     under the shared lock). Statistics deltas are enqueued into a small
+//     mailbox and applied by the next caller that holds the index
+//     exclusively: every mutating operation drains the mailbox on entry,
+//     and lock-owning wrappers (accluster.Adaptive, internal/shard) call
+//     TryDrainStats after each query — opportunistically with TryLock, so
+//     readers never wait for publication, with a blocking drain only once
+//     the backlog reaches StatsBacklogMax.
+//
+// Applied increments are exactly the ones the serial path would have made
+// (+1 per explored cluster and matched candidate, one window tick per
+// query), so after all deltas drain, concurrent and serial execution of the
+// same query set leave identical statistics up to the commutative reordering
+// of the additions.
+
+import (
+	"sync"
+)
+
+// StatsBacklogMax bounds the statistics-publication mailbox: once this many
+// query deltas are queued, the next publisher drains with a blocking lock
+// acquisition instead of an opportunistic TryLock, capping both the memory
+// pinned by queued scratches and the staleness of the adaptive statistics.
+const StatsBacklogMax = 128
+
+// statDelta records the statistics publication one query owes: the
+// signature-matching clusters (one Q increment each) and, per cluster, the
+// candidate subclusters the query virtually explored (one q increment each),
+// as a flat index list sliced by candOff.
+type statDelta struct {
+	clusters []*Cluster
+	candOff  []int32 // len(clusters)+1 offsets into cands
+	cands    []int32 // flat matched-candidate indices
+}
+
+func (d *statDelta) reset() {
+	for i := range d.clusters {
+		d.clusters[i] = nil // do not pin merged-away clusters in the pool
+	}
+	d.clusters = d.clusters[:0]
+	d.candOff = d.candOff[:0]
+	d.cands = d.cands[:0]
+}
+
+// getScratch takes a query scratch from the pool (its buffers are reset).
+func (ix *Index) getScratch() *searchScratch {
+	if sc, ok := ix.scratch.Get().(*searchScratch); ok {
+		return sc
+	}
+	return &searchScratch{}
+}
+
+// putScratch clears the per-query state and returns sc to the pool.
+func (ix *Index) putScratch(sc *searchScratch) {
+	sc.meter.Reset()
+	sc.stats.reset()
+	ix.scratch.Put(sc)
+}
+
+// enqueueStats queues a completed query's statistics delta for the next
+// exclusive holder; safe under the shared lock.
+func (ix *Index) enqueueStats(sc *searchScratch) {
+	ix.pendMu.Lock()
+	ix.pending = append(ix.pending, sc)
+	ix.pendN.Store(int32(len(ix.pending)))
+	ix.pendMu.Unlock()
+}
+
+// StatsBacklog reports the number of queued statistics publications. It is
+// safe to call from any goroutine.
+func (ix *Index) StatsBacklog() int { return int(ix.pendN.Load()) }
+
+// exclusivePrep is the entry guard of every operation requiring exclusive
+// access: it rejects calls from inside an in-flight query on the same
+// goroutine (the one way the exclusivity contract can be broken without a
+// data race — an emit callback calling back into the index) and applies all
+// queued statistics publications so the operation observes current
+// statistics.
+func (ix *Index) exclusivePrep() {
+	if ix.readers.Load() != 0 {
+		panic("core: exclusive operation during an in-flight query (emit must not call back into the index)")
+	}
+	ix.applyPending()
+}
+
+// applyPending applies every queued statistics delta in enqueue order and
+// returns the number applied. Caller must hold the index exclusively.
+func (ix *Index) applyPending() int {
+	if ix.pendN.Load() == 0 {
+		return 0
+	}
+	ix.pendMu.Lock()
+	batch := ix.pending
+	ix.pending = ix.pendSpare
+	ix.pendSpare = nil
+	ix.pendN.Store(0)
+	ix.pendMu.Unlock()
+	for i, sc := range batch {
+		ix.applyScratch(sc)
+		ix.putScratch(sc)
+		batch[i] = nil
+	}
+	n := len(batch)
+	ix.pendMu.Lock()
+	if ix.pendSpare == nil {
+		ix.pendSpare = batch[:0]
+	}
+	ix.pendMu.Unlock()
+	return n
+}
+
+// applyScratch performs one query's deferred statistics publication: the
+// exact increments the serial path makes inline — Q of every
+// signature-matching cluster, q of every matched candidate, one statistics
+// window tick, and the epoch trigger. Clusters merged away since the query
+// ran are skipped; their statistics died with them, as they would have had
+// the merge preceded the query.
+func (ix *Index) applyScratch(sc *searchScratch) {
+	d := &sc.stats
+	for j, c := range d.clusters {
+		if c.removed {
+			continue
+		}
+		ix.syncStats(c)
+		c.q++
+		cq := c.cands.q
+		for _, k := range d.cands[d.candOff[j]:d.candOff[j+1]] {
+			cq[k]++
+		}
+	}
+	ix.window++
+	ix.sinceReorg++
+	if ix.sinceReorg >= ix.cfg.ReorgEvery {
+		ix.beginEpoch()
+	}
+}
+
+// maxDrainReorgSteps caps the budgeted reorganization steps one DrainStats
+// call runs when a batch of queued publications is applied at once: the
+// serial cadence owes one step per query, but paying a whole
+// StatsBacklogMax batch's worth of steps inside a single exclusive section
+// would reintroduce exactly the latency cliff the budgeted scheduler
+// removed. The remainder stays queued for later drains (or Reorganize).
+const maxDrainReorgSteps = 8
+
+// DrainStats applies all queued statistics publications and, unless the
+// index defers maintenance to a background drainer
+// (Config.BackgroundReorg), runs one budgeted reorganization step per
+// applied query — the serial maintenance cadence — capped at
+// maxDrainReorgSteps per call so the exclusive section stays bounded even
+// when a full mailbox drains at once. It reports whether reorganization
+// work remains queued. The caller must hold the index exclusively.
+func (ix *Index) DrainStats() bool {
+	if ix.readers.Load() != 0 {
+		panic("core: exclusive operation during an in-flight query (emit must not call back into the index)")
+	}
+	applied := ix.applyPending()
+	if !ix.cfg.BackgroundReorg {
+		if applied > maxDrainReorgSteps {
+			applied = maxDrainReorgSteps
+		}
+		for i := 0; i < applied && len(ix.reorgQ) > 0; i++ {
+			ix.drain(ix.cfg.ReorgBudgetClusters, ix.cfg.ReorgBudgetObjects)
+		}
+	}
+	return len(ix.reorgQ) > 0
+}
+
+// TryDrainStats publishes queued statistics under mu, the reader/writer lock
+// through which the caller serializes exclusive access to this index. It
+// must be called WITHOUT mu held. Publication is opportunistic: while the
+// backlog is below StatsBacklogMax a failed TryLock just leaves the deltas
+// for the next exclusive holder, so concurrent readers never wait on
+// publication; at the watermark it blocks to bound the backlog. Reports
+// whether reorganization work is pending (the background-drainer wake
+// signal); false when nothing was drained.
+func (ix *Index) TryDrainStats(mu *sync.RWMutex) bool {
+	if ix.pendN.Load() == 0 {
+		return false
+	}
+	if ix.StatsBacklog() < StatsBacklogMax {
+		if !mu.TryLock() {
+			return false
+		}
+	} else {
+		mu.Lock()
+	}
+	pending := ix.DrainStats()
+	mu.Unlock()
+	return pending
+}

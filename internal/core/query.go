@@ -4,20 +4,33 @@ import (
 	"fmt"
 	mbits "math/bits"
 
+	"accluster/internal/cost"
 	"accluster/internal/geom"
 )
 
-// searchScratch holds the per-index buffers the query path reuses across
-// selections so that steady-state searches allocate nothing: the matching
-// cluster positions from the signature scan, the verification bitmap (sized
-// to the largest explored cluster), the dimension ordering, and a result
-// buffer for Count.
+// searchScratch holds the per-query buffers of one in-flight selection, so
+// that steady-state searches allocate nothing: the matching cluster
+// positions from the signature scan, the verification bitmap (sized to the
+// largest explored cluster), the dimension ordering and its sort keys, plus
+// everything the query will publish after its read phase — the cost-meter
+// delta and the statistics delta. Scratches live in a pool (Index.scratch):
+// each concurrent query owns its own for the duration of the read phase;
+// the scratch travels with the statistics delta through the publication
+// mailbox and returns to the pool once the delta is applied.
 type searchScratch struct {
 	matches []int32   // positions of signature-matching clusters
 	bits    []uint64  // candidate bitmap for the block-scan kernels
 	order   []int     // per-query dimension processing order
 	widths  []float32 // sort keys backing order
-	busy    bool      // guards against reentrant queries from emit
+
+	meter cost.Meter // this query's operation counts
+	stats statDelta  // this query's deferred statistics publication
+
+	// direct marks the exclusive-access (serial) mode: the query applies
+	// its statistics increments inline instead of recording them — the
+	// caller owns the index, so the record-then-replay pass of the
+	// concurrent path would be pure overhead.
+	direct bool
 }
 
 // ensureBits returns the bitmap sized for n objects.
@@ -37,57 +50,142 @@ func (sc *searchScratch) ensureBits(n int) []uint64 {
 // updated for explored clusters and for their virtually explored candidate
 // subclusters. emit is called once per qualifying object; returning false
 // stops early (statistics and the reorganization schedule are still
-// maintained). emit must not query the same index (the reused per-index
-// scratch makes queries non-reentrant; such a call panics).
+// maintained). emit must not call back into the same index (the in-flight
+// query defers its statistics publication; a reentrant exclusive operation
+// panics).
+//
+// Search publishes statistics and runs scheduled maintenance inline, so it
+// requires exclusive access. Concurrent callers holding a shared lock use
+// SearchRead/SearchIDsAppendRead/CountRead, which defer publication.
 func (ix *Index) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
-	return ix.search(q, rel, emit, nil, nil)
+	return ix.searchSerial(q, rel, emit, nil, nil)
 }
 
-// search runs the selection, delivering qualifying ids through exactly one
-// of three sinks: emit (with early-stop support), out (append without the
-// per-object indirection), or count (survivor totals only — no id
-// extraction at all).
-func (ix *Index) search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool, out *[]uint32, count *int) error {
+// searchSerial is the exclusive-access path: statistics apply inline during
+// the scan (no record-and-replay) and the query pays its budgeted slice of
+// pending reorganization work, exactly the paper's coupled schedule. Any
+// deltas queued by earlier concurrent-mode queries are applied first, so
+// the two modes interleave coherently.
+func (ix *Index) searchSerial(q geom.Rect, rel geom.Relation, emit func(id uint32) bool, out *[]uint32, count *int) error {
+	ix.exclusivePrep()
+	sc := ix.getScratch()
+	sc.direct = true
+	err := ix.searchRead(sc, q, rel, emit, out, count)
+	sc.direct = false
+	if err != nil {
+		ix.putScratch(sc)
+		return err
+	}
+	ix.meter.Merge(sc.meter)
+	ix.putScratch(sc)
+	ix.window++
+	ix.sinceReorg++
+	if ix.sinceReorg >= ix.cfg.ReorgEvery {
+		ix.beginEpoch()
+	}
+	if !ix.cfg.BackgroundReorg && len(ix.reorgQ) > 0 {
+		// Inline incremental mode: this query pays for one budgeted
+		// slice of the pending reorganization work instead of one
+		// caller in ReorgEvery absorbing the whole pass.
+		ix.drain(ix.cfg.ReorgBudgetClusters, ix.cfg.ReorgBudgetObjects)
+	}
+	return nil
+}
+
+// SearchRead is Search for concurrent callers: it is safe to run
+// simultaneously with other *Read queries on the same index (the caller
+// typically holds a shared lock excluding mutations). The query's
+// statistics updates are recorded and queued rather than applied; they take
+// effect when an exclusive holder drains them (every mutating operation
+// does, as does TryDrainStats).
+func (ix *Index) SearchRead(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
+	return ix.searchShared(q, rel, emit, nil, nil)
+}
+
+// SearchIDsAppendRead is SearchIDsAppend for concurrent callers; see
+// SearchRead for the publication contract.
+func (ix *Index) SearchIDsAppendRead(dst []uint32, q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	err := ix.searchShared(q, rel, nil, &dst, nil)
+	return dst, err
+}
+
+// CountRead is Count for concurrent callers; see SearchRead for the
+// publication contract.
+func (ix *Index) CountRead(q geom.Rect, rel geom.Relation) (int, error) {
+	n := 0
+	err := ix.searchShared(q, rel, nil, nil, &n)
+	return n, err
+}
+
+// searchShared runs the read phase and defers the statistics publication to
+// the mailbox.
+func (ix *Index) searchShared(q geom.Rect, rel geom.Relation, emit func(id uint32) bool, out *[]uint32, count *int) error {
+	sc := ix.getScratch()
+	if err := ix.searchRead(sc, q, rel, emit, out, count); err != nil {
+		ix.putScratch(sc)
+		return err
+	}
+	ix.meter.Merge(sc.meter)
+	ix.enqueueStats(sc)
+	return nil
+}
+
+// searchRead is the read phase of a selection: it delivers qualifying ids
+// through exactly one of three sinks — emit (with early-stop support), out
+// (append without the per-object indirection), or count (survivor totals
+// only) — and records, rather than applies, every side effect: operation
+// counts into sc.meter, statistics increments into sc.stats. It touches no
+// index state that mutations change, so any number of read phases may run
+// concurrently; mutations require exclusivity.
+func (ix *Index) searchRead(sc *searchScratch, q geom.Rect, rel geom.Relation, emit func(id uint32) bool, out *[]uint32, count *int) error {
 	if q.Dims() != ix.cfg.Dims {
 		return fmt.Errorf("core: query has %d dims, index has %d", q.Dims(), ix.cfg.Dims)
 	}
 	if !rel.Valid() {
 		return fmt.Errorf("core: invalid relation %v", rel)
 	}
-	sc := &ix.scratch
-	if sc.busy {
-		panic("core: reentrant query (emit callback must not query the index)")
-	}
-	sc.busy = true
-	defer func() { sc.busy = false }()
-	ix.meter.Queries++
-	ix.meter.SigChecks += int64(len(ix.clusters))
+	ix.readers.Add(1)
+	defer ix.readers.Add(-1)
+	sc.meter.Queries++
+	sc.meter.SigChecks += int64(len(ix.clusters))
 	sc.matches = ix.matchClusters(q, rel, sc.matches[:0])
-	order := ix.queryDimOrder(q, rel)
+	order := queryDimOrder(sc, q, rel)
+	d := &sc.stats
+	if !sc.direct {
+		d.candOff = append(d.candOff, 0)
+	}
 	stopped := false
 	for _, ci := range sc.matches {
 		c := ix.clusters[ci]
 		// Clustering statistics cover every signature-matching cluster,
 		// even after the consumer stopped: the adaptive decisions model
 		// which clusters the query distribution selects, not how much of
-		// the answer a particular caller consumed.
-		ix.syncStats(c)
-		c.q++
-		updateCandidateStats(c, q, rel)
+		// the answer a particular caller consumed. In exclusive (direct)
+		// mode they apply inline; in concurrent mode they are recorded
+		// here and applied at publication.
+		if sc.direct {
+			ix.syncStats(c)
+			c.q++
+			updateCandidateStats(c, q, rel)
+		} else {
+			d.clusters = append(d.clusters, c)
+			recordCandidateStats(c, q, rel, d)
+			d.candOff = append(d.candOff, int32(len(d.cands)))
+		}
 		if stopped {
 			// The consumer gave up: the remaining matched clusters are
 			// not explored, so no cost-meter charges (Seeks,
 			// Explorations, BytesTransferred, ObjectsVerified) accrue
-			// for them — only the statistics updates above.
+			// for them — only the statistics records above.
 			continue
 		}
 		// Explore the cluster: one sequential region (one seek on
 		// disk, n·objBytes transferred), then member verification.
-		ix.meter.Explorations++
-		ix.meter.Seeks++
-		ix.meter.BytesTransferred += int64(len(c.ids)) * int64(ix.objBytes)
+		sc.meter.Explorations++
+		sc.meter.Seeks++
+		sc.meter.BytesTransferred += int64(len(c.ids)) * int64(ix.objBytes)
 		n := len(c.ids)
-		ix.meter.ObjectsVerified += int64(n)
+		sc.meter.ObjectsVerified += int64(n)
 		if n == 0 {
 			continue
 		}
@@ -100,7 +198,7 @@ func (ix *Index) search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 		geom.InitBitmap(bits, n)
 		alive := n
 		sb := ix.sigBounds[int(ci)*ix.sigStride() : (int(ci)+1)*ix.sigStride()]
-		for _, d := range order {
+		for _, dd := range order {
 			// Signature-implied skip: when the cluster's variation
 			// intervals [aLo,aHi)×[bLo,bHi) guarantee that every
 			// member satisfies this dimension's predicate, the
@@ -111,22 +209,22 @@ func (ix *Index) search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 			switch rel {
 			case geom.Intersects:
 				// lo ≤ qhi forced by aHi ≤ qhi; qlo ≤ hi by qlo ≤ bLo.
-				if sb[4*d+1] <= q.Max[d] && q.Min[d] <= sb[4*d+2] {
+				if sb[4*dd+1] <= q.Max[dd] && q.Min[dd] <= sb[4*dd+2] {
 					continue
 				}
 			case geom.ContainedBy:
 				// lo ≥ qlo forced by aLo ≥ qlo; hi ≤ qhi by bHi ≤ qhi.
-				if sb[4*d] >= q.Min[d] && sb[4*d+3] <= q.Max[d] {
+				if sb[4*dd] >= q.Min[dd] && sb[4*dd+3] <= q.Max[dd] {
 					continue
 				}
 			case geom.Encloses:
 				// lo ≤ qlo forced by aHi ≤ qlo; hi ≥ qhi by bLo ≥ qhi.
-				if sb[4*d+1] <= q.Min[d] && sb[4*d+2] >= q.Max[d] {
+				if sb[4*dd+1] <= q.Min[dd] && sb[4*dd+2] >= q.Max[dd] {
 					continue
 				}
 			}
-			ix.meter.BytesVerified += int64(alive) * 8
-			alive = geom.FilterDim(rel, c.lo[d], c.hi[d], q.Min[d], q.Max[d], bits)
+			sc.meter.BytesVerified += int64(alive) * 8
+			alive = geom.FilterDim(rel, c.lo[dd], c.hi[dd], q.Min[dd], q.Max[dd], bits)
 			if alive == 0 {
 				break
 			}
@@ -135,12 +233,12 @@ func (ix *Index) search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 			continue
 		}
 		if count != nil {
-			ix.meter.Results += int64(alive)
+			sc.meter.Results += int64(alive)
 			*count += alive
 			continue
 		}
 		if out != nil {
-			ix.meter.Results += int64(alive)
+			sc.meter.Results += int64(alive)
 			for w, word := range bits {
 				base := w << 6
 				for word != 0 {
@@ -157,7 +255,7 @@ func (ix *Index) search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 			for word != 0 {
 				j := mbits.TrailingZeros64(word)
 				word &= word - 1
-				ix.meter.Results++
+				sc.meter.Results++
 				if !emit(c.ids[base+j]) {
 					stopped = true
 					break emitSurvivors
@@ -165,24 +263,13 @@ func (ix *Index) search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 			}
 		}
 	}
-	ix.window++
-	ix.sinceReorg++
-	if ix.sinceReorg >= ix.cfg.ReorgEvery {
-		ix.beginEpoch()
-	}
-	if !ix.cfg.BackgroundReorg && len(ix.reorgQ) > 0 {
-		// Inline incremental mode: this query pays for one budgeted
-		// slice of the pending reorganization work instead of one
-		// caller in ReorgEvery absorbing the whole pass.
-		ix.ReorgStep()
-	}
 	return nil
 }
 
 // updateCandidateStats bumps the query indicator of every candidate
-// subcluster virtually explored by the query (the relation-specific
-// necessary conditions of sig.QueryDimMatch, specialized per relation so the
-// pass over the candidate array carries no per-candidate dispatch).
+// subcluster virtually explored by the query — the exclusive-mode twin of
+// recordCandidateStats below, with the same relation-specialized match
+// conditions (pinned equal by TestConcurrentStatsMatchSerial).
 func updateCandidateStats(c *Cluster, q geom.Rect, rel geom.Relation) {
 	cs := &c.cands
 	switch rel {
@@ -207,12 +294,41 @@ func updateCandidateStats(c *Cluster, q geom.Rect, rel geom.Relation) {
 	}
 }
 
+// recordCandidateStats records the candidate subclusters virtually explored
+// by the query (the relation-specific necessary conditions of
+// sig.QueryDimMatch, specialized per relation so the pass over the candidate
+// array carries no per-candidate dispatch) into the statistics delta; the
+// matching indicators are incremented when the delta is published.
+func recordCandidateStats(c *Cluster, q geom.Rect, rel geom.Relation, d *statDelta) {
+	cs := &c.cands
+	switch rel {
+	case geom.Intersects:
+		for i, dd := range cs.dim {
+			if cs.aLo[i] <= q.Max[dd] && q.Min[dd] <= cs.bHi[i] {
+				d.cands = append(d.cands, int32(i))
+			}
+		}
+	case geom.ContainedBy:
+		for i, dd := range cs.dim {
+			if cs.aHi[i] >= q.Min[dd] && cs.bLo[i] <= q.Max[dd] {
+				d.cands = append(d.cands, int32(i))
+			}
+		}
+	case geom.Encloses:
+		for i, dd := range cs.dim {
+			if cs.aLo[i] <= q.Min[dd] && cs.bHi[i] >= q.Max[dd] {
+				d.cands = append(d.cands, int32(i))
+			}
+		}
+	}
+}
+
 // Count returns the number of objects satisfying the selection. It sums the
 // per-cluster survivor counts of the block scan directly — no ids are
 // extracted or buffered.
 func (ix *Index) Count(q geom.Rect, rel geom.Relation) (int, error) {
 	n := 0
-	err := ix.search(q, rel, nil, nil, &n)
+	err := ix.searchSerial(q, rel, nil, nil, &n)
 	return n, err
 }
 
@@ -227,6 +343,6 @@ func (ix *Index) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
 // steady-state selections allocation-free once its capacity covers the
 // answer sets.
 func (ix *Index) SearchIDsAppend(dst []uint32, q geom.Rect, rel geom.Relation) ([]uint32, error) {
-	err := ix.search(q, rel, nil, &dst, nil)
+	err := ix.searchSerial(q, rel, nil, &dst, nil)
 	return dst, err
 }

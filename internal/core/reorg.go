@@ -34,6 +34,7 @@ package core
 // exported so callers can force convergence — after bulk loading plus query
 // warm-up, or before comparing clusterings in tests and calibration.
 func (ix *Index) Reorganize() {
+	ix.exclusivePrep()
 	ix.beginEpoch()
 	ix.drain(-1, -1)
 }
@@ -77,6 +78,7 @@ func (ix *Index) ReorgPending() bool { return len(ix.reorgQ) > 0 }
 // relocations) and reports whether work remains. It is the unit an external
 // drainer runs per lock acquisition when Config.BackgroundReorg is set.
 func (ix *Index) ReorgStep() bool {
+	ix.exclusivePrep()
 	return ix.drain(ix.cfg.ReorgBudgetClusters, ix.cfg.ReorgBudgetObjects)
 }
 

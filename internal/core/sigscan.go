@@ -104,10 +104,9 @@ func (ix *Index) matchClusters(q geom.Rect, rel geom.Relation, dst []int32) []in
 // verification kernels: ascending query width for Intersects and ContainedBy
 // (a narrow query interval disqualifies the most objects), descending for
 // Encloses (a wide demanded interval does). The order is computed once per
-// query into reused scratch and applied to every explored cluster.
-func (ix *Index) queryDimOrder(q geom.Rect, rel geom.Relation) []int {
-	dims := ix.cfg.Dims
-	sc := &ix.scratch
+// query into the query's scratch and applied to every explored cluster.
+func queryDimOrder(sc *searchScratch, q geom.Rect, rel geom.Relation) []int {
+	dims := q.Dims()
 	if cap(sc.order) < dims {
 		sc.order = make([]int, dims)
 		sc.widths = make([]float32, dims)

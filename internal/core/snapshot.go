@@ -50,8 +50,10 @@ type ClusterSnapshot struct {
 // reorder the internal cluster list, so positional order is not
 // topological). The returned slices share no storage with the index.
 func (ix *Index) Snapshot() []ClusterSnapshot {
-	// Age every cluster to the current epoch so the captured indicators
-	// are directly comparable with the captured window.
+	// Apply deferred statistics publications, then age every cluster to
+	// the current epoch so the captured indicators are directly
+	// comparable with the captured window.
+	ix.exclusivePrep()
 	ix.syncAllStats()
 	order := make([]*Cluster, 0, len(ix.clusters))
 	pos := make(map[*Cluster]int, len(ix.clusters))
@@ -84,7 +86,10 @@ func (ix *Index) Snapshot() []ClusterSnapshot {
 // StatsWindow returns the decayed total query count W the per-cluster
 // indicators are measured against, aged to the current epoch. Persist it
 // next to the cluster statistics: probabilities only mean q/W.
-func (ix *Index) StatsWindow() float64 { return ix.window }
+func (ix *Index) StatsWindow() float64 {
+	ix.exclusivePrep()
+	return ix.window
+}
 
 // SetStatsWindow restores a persisted statistics window on a freshly
 // restored index (before any queries run).

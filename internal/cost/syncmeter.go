@@ -1,0 +1,39 @@
+package cost
+
+import "sync"
+
+// SyncMeter is a Meter safe for concurrent accumulation. Query paths that
+// run under a shared (read) lock cannot increment a plain Meter's fields —
+// concurrent searches would tear each other's counters — so they accumulate
+// a private per-query Meter delta and Merge it once at the end of the query.
+// Merge and Snapshot serialize on one short mutex, held only for the eight
+// integer additions (or copies), so a merge costs nanoseconds against a
+// microsecond-scale query; Snapshot returns all counters from one critical
+// section, never a torn mix of two in-flight merges.
+type SyncMeter struct {
+	mu sync.Mutex
+	m  Meter
+}
+
+// Merge atomically accumulates a per-query delta into the meter.
+func (s *SyncMeter) Merge(d Meter) {
+	s.mu.Lock()
+	s.m.Add(d)
+	s.mu.Unlock()
+}
+
+// Snapshot returns a consistent copy of the accumulated counters: every
+// previously completed Merge is fully included and no Merge is included
+// partially.
+func (s *SyncMeter) Snapshot() Meter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}
+
+// Reset zeroes all counters.
+func (s *SyncMeter) Reset() {
+	s.mu.Lock()
+	s.m.Reset()
+	s.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSyncMeterConcurrentMerge pins the no-torn-reads contract: under -race
+// this fails on any unsynchronized field access, and the final snapshot must
+// contain every merged delta exactly once.
+func TestSyncMeterConcurrentMerge(t *testing.T) {
+	var m SyncMeter
+	const (
+		workers = 8
+		merges  = 2000
+	)
+	delta := Meter{
+		Queries:          1,
+		SigChecks:        3,
+		Explorations:     2,
+		Seeks:            2,
+		ObjectsVerified:  7,
+		BytesVerified:    56,
+		BytesTransferred: 128,
+		Results:          5,
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < merges; i++ {
+				m.Merge(delta)
+				// Concurrent snapshots must always observe whole deltas:
+				// every counter a multiple of its per-delta contribution.
+				if i%64 == 0 {
+					s := m.Snapshot()
+					if s.SigChecks != 3*s.Queries || s.Results != 5*s.Queries {
+						t.Errorf("torn snapshot: %+v", s)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := Meter{}
+	for i := 0; i < workers*merges; i++ {
+		want.Add(delta)
+	}
+	if got := m.Snapshot(); got != want {
+		t.Fatalf("lost updates: got %+v want %+v", got, want)
+	}
+	m.Reset()
+	if got := m.Snapshot(); got != (Meter{}) {
+		t.Fatalf("reset left %+v", got)
+	}
+}

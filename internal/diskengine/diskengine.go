@@ -21,13 +21,16 @@ import (
 )
 
 // Engine answers spatial selections from a checkpointed cluster database.
-// It is not safe for concurrent use.
+// It is safe for concurrent use: the directory and signatures are immutable
+// after Open, every Search reads regions into per-call buffers, operation
+// counters merge race-free per query, and the device serializes its own
+// head (vdisk.Disk models one arm; a real *os.File's ReadAt is reentrant).
 type Engine struct {
 	dev      store.Device
 	dims     int
 	objBytes int
 	dir      []store.DirEntry
-	meter    cost.Meter
+	meter    cost.SyncMeter
 }
 
 // Open reads and validates the directory of a database written by
@@ -61,8 +64,9 @@ func (e *Engine) Len() int {
 	return n
 }
 
-// Meter returns the accumulated operation counters.
-func (e *Engine) Meter() cost.Meter { return e.meter }
+// Meter returns a consistent snapshot of the accumulated operation
+// counters; each query merges its counter delta race-free on completion.
+func (e *Engine) Meter() cost.Meter { return e.meter.Snapshot() }
 
 // ResetMeter zeroes the operation counters.
 func (e *Engine) ResetMeter() { e.meter.Reset() }
@@ -70,6 +74,8 @@ func (e *Engine) ResetMeter() { e.meter.Reset() }
 // Search checks every cluster signature in memory and reads the regions of
 // matching clusters from the device (one sequential region read each),
 // verifying members individually. emit returning false stops the search.
+// Concurrent Searches are safe: each call verifies from its own region
+// buffers and accumulates its counters privately, merging once on return.
 func (e *Engine) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
 	if q.Dims() != e.dims {
 		return fmt.Errorf("diskengine: query has %d dims, database has %d", q.Dims(), e.dims)
@@ -77,25 +83,27 @@ func (e *Engine) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 	if !rel.Valid() {
 		return fmt.Errorf("diskengine: invalid relation %v", rel)
 	}
-	e.meter.Queries++
-	e.meter.SigChecks += int64(len(e.dir))
+	var m cost.Meter
+	defer func() { e.meter.Merge(m) }()
+	m.Queries++
+	m.SigChecks += int64(len(e.dir))
 	for _, entry := range e.dir {
 		if !entry.Signature.MatchesQuery(q, rel) {
 			continue
 		}
-		e.meter.Explorations++
-		e.meter.Seeks++
+		m.Explorations++
+		m.Seeks++
 		ids, data, err := store.ReadRegion(e.dev, entry, e.dims)
 		if err != nil {
 			return err
 		}
-		e.meter.BytesTransferred += int64(entry.RegionBytes(e.dims))
-		e.meter.ObjectsVerified += int64(len(ids))
+		m.BytesTransferred += int64(entry.RegionBytes(e.dims))
+		m.ObjectsVerified += int64(len(ids))
 		for i := range ids {
 			ok, checked := geom.FlatMatches(data, i, q, rel)
-			e.meter.BytesVerified += int64(checked) * 8
+			m.BytesVerified += int64(checked) * 8
 			if ok {
-				e.meter.Results++
+				m.Results++
 				if !emit(ids[i]) {
 					return nil
 				}

@@ -3,6 +3,7 @@ package diskengine
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"accluster/internal/core"
@@ -224,5 +225,59 @@ func TestCorruptRegionSurfacesDuringSearch(t *testing.T) {
 	full := geom.Rect{Min: []float32{0, 0, 0, 0}, Max: []float32{1, 1, 1, 1}}
 	if err := e.Search(full, geom.Intersects, func(uint32) bool { return true }); err == nil {
 		t.Error("corrupt region must surface as an error on exploration")
+	}
+}
+
+// TestConcurrentSearch pins the concurrent-read contract: many goroutines
+// querying one Engine must return the serial answer sets and lose no meter
+// counts (run under -race in CI).
+func TestConcurrentSearch(t *testing.T) {
+	ix, disk := buildCheckpoint(t, 4, 3000)
+	e, err := Open(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	queries := make([]geom.Rect, 32)
+	want := make([][]uint32, len(queries))
+	for i := range queries {
+		queries[i] = randomRect(rng, 4, 0.3)
+		ids, err := ix.SearchIDs(queries[i], geom.Intersects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		want[i] = ids
+	}
+	e.ResetMeter()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range queries {
+				got, err := e.SearchIDs(queries[i], geom.Intersects)
+				if err != nil {
+					t.Errorf("worker %d query %d: %v", w, i, err)
+					return
+				}
+				sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+				if len(got) != len(want[i]) {
+					t.Errorf("worker %d query %d: %d results, want %d", w, i, len(got), len(want[i]))
+					return
+				}
+				for k := range got {
+					if got[k] != want[i][k] {
+						t.Errorf("worker %d query %d: answer mismatch", w, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q := e.Meter().Queries; q != int64(workers*len(queries)) {
+		t.Fatalf("meter lost queries: %d, want %d", q, workers*len(queries))
 	}
 }

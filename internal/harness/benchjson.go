@@ -42,12 +42,31 @@ type QueryBenchResult struct {
 	MaxNs float64 `json:"max_ns,omitempty"`
 }
 
+// ConcurrencyResult is one point of the client-goroutine sweep: read-only
+// throughput of a converged engine at a given concurrency level.
+type ConcurrencyResult struct {
+	// Engine is "adaptive" (one partition behind one reader/writer lock —
+	// the NewAdaptive locking discipline) or "sharded" (the default
+	// partition count).
+	Engine        string  `json:"engine"`
+	Shards        int     `json:"shards"`
+	Goroutines    int     `json:"goroutines"`
+	Queries       int64   `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// Speedup is QueriesPerSec over the engine's 1-goroutine figure.
+	Speedup float64 `json:"speedup"`
+}
+
 // QueryBenchReport is the document written to BENCH_queries.json.
 type QueryBenchReport struct {
 	Generated  string             `json:"generated"`
 	GoVersion  string             `json:"go_version"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Runs       []QueryBenchResult `json:"runs"`
+	// Concurrency is the read-only client-goroutine sweep (shared-lock
+	// query path): queries/s at 1,2,4,…  goroutines per engine. Speedup
+	// beyond 1.0 requires a multi-core runner.
+	Concurrency []ConcurrencyResult `json:"concurrency,omitempty"`
 }
 
 // benchWorkload names one standard benchmark scenario.
@@ -66,57 +85,92 @@ func benchWorkloads() []benchWorkload {
 	}
 }
 
-// buildConverged loads a fresh index with the workload's objects and runs
-// warm-up queries with a reorganization round after every ReorgEvery of them
-// (the schedule Search would follow), leaving a converged index whose
-// measured loop performs no maintenance.
-func buildConverged(w benchWorkload, o Options) (*core.Index, []geom.Rect, error) {
-	ix, err := core.New(core.Config{
-		Dims:   o.Dims,
-		Params: w.params,
-		// Freeze the automatic schedule; warm-up reorganizes manually.
+// benchConfig is the frozen-schedule core configuration of the converged
+// builders: warm-up reorganizes manually, the measured loop never does.
+func benchConfig(w benchWorkload, o Options) core.Config {
+	return core.Config{
+		Dims:       o.Dims,
+		Params:     w.params,
 		ReorgEvery: 1 << 30,
-	})
-	if err != nil {
-		return nil, nil, err
 	}
+}
+
+// convergeEngine drives the shared load-and-warm-up pipeline of the
+// benchjson builders over any engine: generate and insert the workload's
+// objects, run o.Warmup queries with a reorganization round after every
+// o.ReorgEvery of them (the schedule Search would follow with the automatic
+// trigger frozen), and capture the measurement queries. Keeping one
+// pipeline guarantees the query benches and the concurrency sweep measure
+// identically-converged databases.
+func convergeEngine(w benchWorkload, o Options,
+	insertBatch func(ids []uint32, rects []geom.Rect) error,
+	search func(q geom.Rect) error,
+	reorganize func(),
+) ([]geom.Rect, error) {
 	objSpec := workload.ObjectSpec{Dims: o.Dims, MaxSize: o.MaxObjSize, Seed: o.Seed}
 	og, err := workload.NewObjectGen(objSpec)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	r := geom.NewRect(o.Dims)
-	for id := 0; id < o.Objects; id++ {
-		og.Fill(r)
-		if err := ix.Insert(uint32(id), r); err != nil {
-			return nil, nil, err
-		}
+	ids := make([]uint32, o.Objects)
+	rects := make([]geom.Rect, o.Objects)
+	for id := range ids {
+		ids[id] = uint32(id)
+		rects[id] = og.Rect()
+	}
+	if err := insertBatch(ids, rects); err != nil {
+		return nil, err
 	}
 	size := float32(0)
 	if w.selectivity > 0 {
 		size, _, err = workload.CalibrateQuerySize(objSpec, w.rel, w.selectivity, o.Seed+99)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	qg, err := workload.NewQueryGen(workload.QuerySpec{Dims: o.Dims, Size: size, Seed: o.Seed + 1})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	reorgEvery := o.ReorgEvery
 	q := geom.NewRect(o.Dims)
 	for i := 1; i <= o.Warmup; i++ {
 		qg.Fill(q)
-		if err := ix.Search(q, w.rel, func(uint32) bool { return true }); err != nil {
-			return nil, nil, err
+		if err := search(q); err != nil {
+			return nil, err
 		}
-		if i%reorgEvery == 0 {
-			ix.Reorganize()
+		if i%o.ReorgEvery == 0 {
+			reorganize()
 		}
 	}
 	queries := make([]geom.Rect, 256)
 	for i := range queries {
 		queries[i] = qg.Rect()
+	}
+	return queries, nil
+}
+
+// buildConverged loads a fresh index with the workload's objects and runs
+// the shared warm-up pipeline, leaving a converged index whose measured
+// loop performs no maintenance.
+func buildConverged(w benchWorkload, o Options) (*core.Index, []geom.Rect, error) {
+	ix, err := core.New(benchConfig(w, o))
+	if err != nil {
+		return nil, nil, err
+	}
+	queries, err := convergeEngine(w, o,
+		func(ids []uint32, rects []geom.Rect) error {
+			for k := range ids {
+				if err := ix.Insert(ids[k], rects[k]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(q geom.Rect) error { return ix.Search(q, w.rel, func(uint32) bool { return true }) },
+		ix.Reorganize,
+	)
+	if err != nil {
+		return nil, nil, err
 	}
 	return ix, queries, nil
 }
@@ -200,6 +254,13 @@ func RunQueryBench(o Options) (*QueryBenchReport, error) {
 		}
 		r.Workload = mode.name
 		rep.Runs = append(rep.Runs, r)
+	}
+	if o.Parallel > 0 {
+		conc, err := runConcurrencySweep(o)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %w", err)
+		}
+		rep.Concurrency = conc
 	}
 	return rep, nil
 }

@@ -1,0 +1,129 @@
+package harness
+
+// Concurrency sweep of the benchjson report: read-only throughput of the
+// shared-lock query path at increasing client-goroutine counts. The measured
+// engines are converged and frozen (reorganization schedule disabled during
+// measurement), so every goroutine runs pure searches: the sweep isolates
+// how far concurrent readers of the same database scale before lock
+// contention, statistics publication or the memory system caps them. The
+// single-partition engine exercises concurrent readers within one index
+// (the NewAdaptive discipline); the default-partition engine layers the
+// fan-out parallelism of the sharded engine on top.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accluster/internal/geom"
+	"accluster/internal/shard"
+)
+
+// buildConvergedEngine loads and warm-converges a sharded engine for the
+// concurrency sweep through the same pipeline as the query benches
+// (shards=1 reproduces the single-index locking discipline; shards=0 picks
+// the engine's GOMAXPROCS-based default).
+func buildConvergedEngine(shards int, w benchWorkload, o Options) (*shard.Engine, []geom.Rect, error) {
+	e, err := shard.New(shard.Config{Shards: shards, Core: benchConfig(w, o)})
+	if err != nil {
+		return nil, nil, err
+	}
+	queries, err := convergeEngine(w, o, e.InsertBatch,
+		func(q geom.Rect) error { return e.Search(q, w.rel, func(uint32) bool { return true }) },
+		e.Reorganize,
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, queries, nil
+}
+
+// measureReadThroughput runs the query mix on g client goroutines for
+// roughly d and returns the completed query count and throughput.
+func measureReadThroughput(e *shard.Engine, queries []geom.Rect, rel geom.Relation, g int, d time.Duration) (int64, float64, error) {
+	var (
+		stop    atomic.Bool
+		total   atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstE  error
+	)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []uint32
+			n := int64(0)
+			for i := w; !stop.Load(); i++ {
+				out, err := e.SearchIDsAppend(buf[:0], queries[i%len(queries)], rel)
+				if err != nil {
+					errOnce.Do(func() { firstE = err })
+					break
+				}
+				buf = out
+				n++
+			}
+			total.Add(n)
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if firstE != nil {
+		return 0, 0, firstE
+	}
+	return total.Load(), float64(total.Load()) / elapsed, nil
+}
+
+// runConcurrencySweep measures the fig7-style read-only workload at
+// 1,2,4,…,Parallel client goroutines on the single-partition and (on
+// multi-core machines) default-partition engines.
+func runConcurrencySweep(o Options) ([]ConcurrencyResult, error) {
+	w := benchWorkloads()[0] // fig7-memory: intersection at 0.5% selectivity
+	const perPoint = 400 * time.Millisecond
+	engines := []struct {
+		name   string
+		shards int // shard.Config value: 0 = the engine's default
+	}{{"adaptive", 1}}
+	if runtime.GOMAXPROCS(0) > 1 {
+		engines = append(engines, struct {
+			name   string
+			shards int
+		}{"sharded", 0})
+	}
+	var out []ConcurrencyResult
+	for _, eng := range engines {
+		o.logf("benchjson: concurrency sweep %s (n=%d dims=%d)", eng.name, o.Objects, o.Dims)
+		e, queries, err := buildConvergedEngine(eng.shards, w, o)
+		if err != nil {
+			return nil, fmt.Errorf("concurrency %s: %w", eng.name, err)
+		}
+		base := 0.0
+		for g := 1; g <= o.Parallel; g <<= 1 {
+			n, qps, err := measureReadThroughput(e, queries, w.rel, g, perPoint)
+			if err != nil {
+				return nil, fmt.Errorf("concurrency %s g=%d: %w", eng.name, g, err)
+			}
+			if g == 1 {
+				base = qps
+			}
+			r := ConcurrencyResult{
+				Engine:        eng.name,
+				Shards:        e.Shards(),
+				Goroutines:    g,
+				Queries:       n,
+				QueriesPerSec: qps,
+			}
+			if base > 0 {
+				r.Speedup = qps / base
+			}
+			o.logf("benchjson: %s goroutines=%d %.0f queries/s (%.2fx)", eng.name, g, qps, r.Speedup)
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

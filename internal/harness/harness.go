@@ -99,6 +99,10 @@ type Options struct {
 	// experiment (default 1,2,4,8; values are rounded up to powers of
 	// two).
 	ShardSweep []int
+	// Parallel is the maximum client-goroutine count of the benchjson
+	// concurrency sweep (default 8; the sweep doubles 1,2,4,…,Parallel;
+	// negative skips the sweep).
+	Parallel int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -137,6 +141,11 @@ func (o *Options) setDefaults() {
 	if o.MaxObjSize == 0 {
 		o.MaxObjSize = 1
 	}
+	if o.Parallel == 0 {
+		o.Parallel = 8
+	}
+	// Negative Parallel passes through: it disables the benchjson
+	// concurrency sweep entirely.
 	if len(o.ShardSweep) == 0 {
 		o.ShardSweep = []int{1, 2, 4, 8}
 	}

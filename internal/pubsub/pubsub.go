@@ -80,9 +80,13 @@ type engine interface {
 	Clusters() int
 }
 
-// lockedIndex serializes a single adaptive index behind one mutex.
+// lockedIndex guards a single adaptive index with a reader/writer lock:
+// event matching holds it shared, so concurrent Publish/Match calls execute
+// in parallel even on the single-index broker; subscribe/unsubscribe hold
+// it exclusive. Statistics publish after the shared phase via
+// core.TryDrainStats — matching never waits on index maintenance.
 type lockedIndex struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	ix *core.Index
 }
 
@@ -99,20 +103,22 @@ func (l *lockedIndex) Delete(id uint32) bool {
 }
 
 func (l *lockedIndex) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.ix.SearchIDs(q, rel)
+	l.mu.RLock()
+	ids, err := l.ix.SearchIDsAppendRead(nil, q, rel)
+	l.mu.RUnlock()
+	l.ix.TryDrainStats(&l.mu)
+	return ids, err
 }
 
 func (l *lockedIndex) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.ix.Len()
 }
 
 func (l *lockedIndex) Clusters() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.ix.Clusters()
 }
 

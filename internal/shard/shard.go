@@ -6,6 +6,13 @@
 // owning shard, while spatial selections fan out to every shard on a bounded
 // worker pool and merge the per-shard answers.
 //
+// Each shard is guarded by a reader/writer lock: selections hold it shared,
+// so concurrent queries execute in parallel *within* a shard as well as
+// across shards — throughput scales with clients × cores, not with the
+// shard count alone. Mutations and reorganization steps hold the lock
+// exclusive; query statistics publish after the shared phase through
+// core.TryDrainStats, so readers never wait on maintenance.
+//
 // Every shard is a complete adaptive index: it keeps its own clustering,
 // query statistics and reorganization schedule. Because a selection visits
 // all shards, each shard observes the full query stream and converges on the
@@ -69,21 +76,36 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
-// lockedShard pairs one partition's index with its mutex and, under
-// background reorganization, the wake channel of its drainer goroutine.
+// lockedShard pairs one partition's index with its reader/writer lock and,
+// under background reorganization, the wake channel of its drainer
+// goroutine. Selections hold the lock shared — concurrent queries verify
+// the same shard in parallel — while point operations and reorganization
+// steps hold it exclusive; each query's statistics publication happens
+// after the shared phase via core.TryDrainStats.
 type lockedShard struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	ix   *core.Index
 	wake chan struct{} // nil unless Core.BackgroundReorg
 }
 
 // notifyReorg wakes the shard's drainer (non-blocking; a pending wake-up
-// already covers the new work). The caller must have observed pending work
-// under the shard lock.
+// already covers the new work).
 func (s *lockedShard) notifyReorg() {
 	select {
 	case s.wake <- struct{}{}:
 	default:
+	}
+}
+
+// publishStats runs one query's publication phase on this shard: apply the
+// queued statistics deltas under a brief exclusive acquisition when the
+// lock is free (core.TryDrainStats blocks only at the backlog watermark)
+// and wake the background drainer when maintenance is pending. Queries on
+// other readers' critical paths never wait for this.
+func (s *lockedShard) publishStats() {
+	pending := s.ix.TryDrainStats(&s.mu)
+	if s.wake != nil && (pending || s.ix.StatsBacklog() > 0) {
+		s.notifyReorg()
 	}
 }
 
@@ -300,11 +322,12 @@ func (e *Engine) Delete(id uint32) bool {
 	return s.ix.Delete(id)
 }
 
-// Get returns the rectangle stored under id.
+// Get returns the rectangle stored under id. Concurrent Gets and searches
+// on the same shard run in parallel (shared lock).
 func (e *Engine) Get(id uint32) (geom.Rect, bool) {
 	s := e.shards[e.route(id)]
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.ix.Get(id)
 }
 
@@ -365,14 +388,11 @@ func (e *Engine) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 func (e *Engine) fanOut(q geom.Rect, rel geom.Relation) (*mergeBuffers, error) {
 	bufs := e.getMergeBuffers()
 	err := e.forEachShard(func(i int, s *lockedShard) error {
-		s.mu.Lock()
-		ids, err := s.ix.SearchIDsAppend(bufs.perShard[i][:0], q, rel)
+		s.mu.RLock()
+		ids, err := s.ix.SearchIDsAppendRead(bufs.perShard[i][:0], q, rel)
 		bufs.perShard[i] = ids
-		pending := s.wake != nil && s.ix.ReorgPending()
-		s.mu.Unlock()
-		if pending {
-			s.notifyReorg()
-		}
+		s.mu.RUnlock()
+		s.publishStats()
 		return err
 	})
 	if err != nil {
@@ -408,14 +428,11 @@ func (e *Engine) SearchIDsAppend(dst []uint32, q geom.Rect, rel geom.Relation) (
 func (e *Engine) Count(q geom.Rect, rel geom.Relation) (int, error) {
 	var total atomic.Int64
 	err := e.forEachShard(func(i int, s *lockedShard) error {
-		s.mu.Lock()
-		n, err := s.ix.Count(q, rel)
+		s.mu.RLock()
+		n, err := s.ix.CountRead(q, rel)
 		total.Add(int64(n))
-		pending := s.wake != nil && s.ix.ReorgPending()
-		s.mu.Unlock()
-		if pending {
-			s.notifyReorg()
-		}
+		s.mu.RUnlock()
+		s.publishStats()
 		return err
 	})
 	if err != nil {
@@ -429,9 +446,9 @@ func (e *Engine) Count(q geom.Rect, rel geom.Relation) (int, error) {
 func (e *Engine) Len() int {
 	n := 0
 	for _, s := range e.shards {
-		s.mu.Lock()
+		s.mu.RLock()
 		n += s.ix.Len()
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -440,9 +457,9 @@ func (e *Engine) Len() int {
 func (e *Engine) Clusters() int {
 	n := 0
 	for _, s := range e.shards {
-		s.mu.Lock()
+		s.mu.RLock()
 		n += s.ix.Clusters()
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -456,9 +473,9 @@ func (e *Engine) Clusters() int {
 func (e *Engine) Meter() cost.Meter {
 	var m cost.Meter
 	for _, s := range e.shards {
-		s.mu.Lock()
+		// Per-shard meters are internally synchronized (each query merges
+		// its counter delta race-free), so no shard lock is needed.
 		m.Add(s.ix.Meter())
-		s.mu.Unlock()
 	}
 	m.Queries = e.queries.Load()
 	return m
@@ -467,9 +484,7 @@ func (e *Engine) Meter() cost.Meter {
 // ResetMeter zeroes the operation counters (clustering statistics are kept).
 func (e *Engine) ResetMeter() {
 	for _, s := range e.shards {
-		s.mu.Lock()
 		s.ix.ResetMeter()
-		s.mu.Unlock()
 	}
 	e.queries.Store(0)
 }
@@ -489,9 +504,9 @@ func (e *Engine) Reorganize() {
 func (e *Engine) ReorgRounds() int64 {
 	var n int64
 	for _, s := range e.shards {
-		s.mu.Lock()
+		s.mu.RLock()
 		n += s.ix.ReorgRounds()
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -500,9 +515,9 @@ func (e *Engine) ReorgRounds() int64 {
 func (e *Engine) Splits() int64 {
 	var n int64
 	for _, s := range e.shards {
-		s.mu.Lock()
+		s.mu.RLock()
 		n += s.ix.Splits()
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -511,9 +526,9 @@ func (e *Engine) Splits() int64 {
 func (e *Engine) Merges() int64 {
 	var n int64
 	for _, s := range e.shards {
-		s.mu.Lock()
+		s.mu.RLock()
 		n += s.ix.Merges()
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -532,9 +547,9 @@ type ShardInfo struct {
 func (e *Engine) ShardInfos() []ShardInfo {
 	out := make([]ShardInfo, len(e.shards))
 	for i, s := range e.shards {
-		s.mu.Lock()
+		s.mu.RLock()
 		out[i] = ShardInfo{Objects: s.ix.Len(), Clusters: s.ix.Clusters(), Meter: s.ix.Meter()}
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"testing"
 
 	"accluster/internal/core"
@@ -458,5 +459,69 @@ func TestSearchIDsAppendPooled(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestConcurrentFanoutStats pins per-shard statistics accounting under the
+// shared-lock query path: every logical selection visits every shard, so
+// after all deferred publications drain, each shard's statistics window
+// must count every query exactly once — none lost to concurrency, none
+// double-applied — and the engine meter must agree.
+func TestConcurrentFanoutStats(t *testing.T) {
+	const (
+		dims    = 4
+		queries = 160
+		workers = 8
+	)
+	cfg := testConfig(dims, 4)
+	cfg.Core.ReorgEvery = 1 << 30 // keep every query inside one epoch
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(81))
+	for id := uint32(0); id < 2000; id++ {
+		if err := e.Insert(id, randRect(rng, dims)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.ResetMeter()
+	qs := make([]geom.Rect, queries)
+	for i := range qs {
+		qs[i] = randRect(rng, dims)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(qs); i += workers {
+				if _, err := e.Count(qs[i], geom.Intersects); err != nil {
+					t.Errorf("query %d: %v", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Force the remaining deferred publications through the exclusive path.
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.ix.DrainStats()
+		s.mu.Unlock()
+	}
+	for i, s := range e.shards {
+		if w := s.ix.StatsWindow(); w != queries {
+			t.Errorf("shard %d: statistics window %g, want %d", i, w, queries)
+		}
+		if q := s.ix.Meter().Queries; q != queries {
+			t.Errorf("shard %d: meter queries %d, want %d", i, q, queries)
+		}
+	}
+	if m := e.Meter(); m.Queries != queries {
+		t.Errorf("engine meter queries %d, want %d", m.Queries, queries)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -131,8 +131,10 @@ const Unbudgeted = -1
 
 // WithBackgroundReorg moves reorganization work off the query path entirely:
 // queries only schedule revisits, and a background goroutine (one per shard
-// for NewSharded) drains them, taking the engine lock once per bounded step.
-// Indexes built with this option own a goroutine — call Close when done.
+// for NewSharded) drains them, taking the engine lock exclusively once per
+// bounded step — concurrent searches interleave between steps. The drainer
+// also applies any backlog of deferred statistics publications. Indexes
+// built with this option own a goroutine — call Close when done.
 func WithBackgroundReorg() Option {
 	return func(o *options) { o.backgroundReorg = true }
 }
