@@ -646,6 +646,8 @@ func statsFrom(m cost.Meter, objects, partitions, dims int) Stats {
 		ObjectsVerified:    m.ObjectsVerified,
 		BytesVerified:      m.BytesVerified,
 		BytesTransferred:   m.BytesTransferred,
+		CacheHits:          m.CacheHits,
+		CacheMisses:        m.CacheMisses,
 		Results:            m.Results,
 	}
 }

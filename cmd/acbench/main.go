@@ -9,6 +9,7 @@
 //	acbench -exp fig7 -n 200000 -queries 200
 //	acbench -exp all -n 50000 -csv results.csv
 //	acbench -benchjson bench.json -cpuprofile cpu.out
+//	acbench -diskjson BENCH_disk.json -disk-cache 67108864
 //
 // The tables print the modeled per-query execution time under both storage
 // scenarios (paper cost constants: 15 ms disk access, 20 MB/s transfer,
@@ -19,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -43,7 +45,9 @@ func main() {
 		charts  = flag.Bool("chart", false, "also draw ASCII charts (the paper's figure shapes)")
 		verbose = flag.Bool("v", false, "log progress to stderr")
 
+		diskCache  = flag.Int64("disk-cache", 0, "decoded-region cache budget in bytes for the disk benchmark's largest sweep point (<= 0 = default 64 MiB)")
 		benchJSON  = flag.String("benchjson", "", "run the steady-state query micro-benchmark and write JSON results to this file (skips -exp)")
+		diskJSON   = flag.String("diskjson", "", "run the disk-scenario benchmark (seed-scalar vs columnar, cold/warm x cache sizes) and write JSON results to this file (skips -exp)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -58,6 +62,7 @@ func main() {
 		Seed:       *seed,
 		MaxObjSize: float32(*maxSize),
 		Parallel:   *par,
+		DiskCache:  *diskCache,
 	}
 	if *par <= 0 {
 		o.Parallel = -1 // skip the concurrency sweep
@@ -104,7 +109,7 @@ func main() {
 				}
 			}()
 		}
-		return run(o, *exps, *benchJSON, *csvPath, *charts)
+		return run(o, *exps, *benchJSON, *diskJSON, *csvPath, *charts)
 	}()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acbench: %v\n", err)
@@ -112,21 +117,42 @@ func main() {
 	}
 }
 
-func run(o harness.Options, exps, benchJSON, csvPath string, charts bool) error {
+// writeJSONReport writes a benchmark report to path.
+func writeJSONReport(path string, render func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(o harness.Options, exps, benchJSON, diskJSON, csvPath string, charts bool) error {
+	// The benchmark modes replace the -exp experiments; both may be asked
+	// for in one invocation.
 	if benchJSON != "" {
 		rep, err := harness.RunQueryBench(o)
 		if err != nil {
 			return fmt.Errorf("benchjson: %w", err)
 		}
-		f, err := os.Create(benchJSON)
-		if err != nil {
-			return err
-		}
-		if err := rep.WriteJSON(f); err != nil {
-			f.Close()
+		if err := writeJSONReport(benchJSON, rep.WriteJSON); err != nil {
 			return fmt.Errorf("benchjson: %w", err)
 		}
-		return f.Close()
+	}
+	if diskJSON != "" {
+		rep, err := harness.RunDiskBench(o)
+		if err != nil {
+			return fmt.Errorf("diskjson: %w", err)
+		}
+		if err := writeJSONReport(diskJSON, rep.WriteJSON); err != nil {
+			return fmt.Errorf("diskjson: %w", err)
+		}
+	}
+	if benchJSON != "" || diskJSON != "" {
+		return nil
 	}
 
 	ids := strings.Split(exps, ",")

@@ -1,0 +1,136 @@
+package accluster
+
+import (
+	"accluster/internal/diskengine"
+	"accluster/internal/store"
+)
+
+// Disk is a read-only query engine over a checkpoint written by SaveFile,
+// executing the paper's disk storage scenario (§5.ii): the directory and
+// cluster signatures stay in memory, member regions are read from the file
+// on demand. Unlike OpenAdaptive — which loads the whole database back into
+// an in-memory index — OpenDisk touches only the header and directory, so
+// it serves selections over databases far larger than RAM.
+//
+// The query path keeps a fixed-budget cache of decoded cluster regions
+// (WithDiskCache): explorations whose region is resident verify in memory
+// and charge no Seeks and no BytesTransferred (CacheHits/CacheMisses in
+// Stats record the split), while missed regions are fetched with
+// seek-coalescing readahead (WithReadahead) — adjacent and near-adjacent
+// regions merge into single sequential reads. The cache is invalidated by
+// reopening: a Disk opened after a new SaveFile starts a fresh cache
+// generation and never sees stale regions.
+//
+// Disk is safe for concurrent use. It reflects the checkpoint at open time;
+// mutations to the live index become visible by checkpointing again and
+// reopening.
+type Disk struct {
+	eng *diskengine.Engine
+	dev *store.FileDevice
+}
+
+// OpenDisk opens a database file written by SaveFile for direct
+// disk-scenario querying. WithDiskCache and WithReadahead tune the query
+// path; the other options are ignored.
+func OpenDisk(path string, opts ...Option) (*Disk, error) {
+	o, err := gatherOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := store.OpenFileDevice(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := diskengine.Config{}
+	if o.diskCacheSet {
+		cfg.CacheBytes = o.diskCache
+		if o.diskCache == 0 {
+			cfg.CacheBytes = -1 // explicit “no cache”
+		}
+	}
+	if o.readaheadSet {
+		cfg.ReadaheadGap = o.readaheadGap
+		if o.readaheadGap == 0 {
+			cfg.ReadaheadGap = -1 // explicit “no coalescing”
+		}
+	}
+	eng, err := diskengine.OpenConfig(dev, cfg)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return &Disk{eng: eng, dev: dev}, nil
+}
+
+// Close releases the underlying file. The cache is dropped with the engine.
+func (d *Disk) Close() error { return d.dev.Close() }
+
+// Search calls emit for every object satisfying the relation with q; emit
+// returning false stops the search (regions not yet read stay unread). The
+// emission order across clusters is unspecified.
+func (d *Disk) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
+	return d.eng.Search(q, rel, emit)
+}
+
+// SearchIDs collects all qualifying identifiers.
+func (d *Disk) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
+	return d.eng.SearchIDs(q, rel)
+}
+
+// SearchIDsAppend appends all qualifying identifiers to dst and returns the
+// extended slice; with a reused dst, selections whose regions are all
+// cached allocate nothing.
+func (d *Disk) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
+	return d.eng.SearchIDsAppend(dst, q, rel)
+}
+
+// Count returns the number of qualifying objects.
+func (d *Disk) Count(q Rect, rel Relation) (int, error) {
+	return d.eng.Count(q, rel)
+}
+
+// Len returns the number of stored objects.
+func (d *Disk) Len() int { return d.eng.Len() }
+
+// Dims returns the data space dimensionality.
+func (d *Disk) Dims() int { return d.eng.Dims() }
+
+// Clusters returns the number of clusters in the checkpoint directory.
+func (d *Disk) Clusters() int { return d.eng.Clusters() }
+
+// Stats returns a snapshot of the operation counters, including the
+// CacheHits/CacheMisses split of explorations.
+func (d *Disk) Stats() Stats {
+	return statsFrom(d.eng.Meter(), d.eng.Len(), d.eng.Clusters(), d.eng.Dims())
+}
+
+// ResetStats zeroes the operation counters (cached regions are kept).
+func (d *Disk) ResetStats() { d.eng.ResetMeter() }
+
+// DiskCacheStats describes the decoded-region cache of a Disk engine.
+type DiskCacheStats struct {
+	// Hits and Misses count cache lookups by explorations.
+	Hits, Misses int64
+	// Evictions counts regions evicted to respect the memory budget, and
+	// Rejected counts regions that could not be admitted at all.
+	Evictions, Rejected int64
+	// Entries is the number of resident decoded regions.
+	Entries int
+	// UsedBytes and BudgetBytes describe the memory budget.
+	UsedBytes, BudgetBytes int64
+}
+
+// CacheStats returns a snapshot of the decoded-region cache counters (all
+// zero when the cache is disabled).
+func (d *Disk) CacheStats() DiskCacheStats {
+	s := d.eng.CacheStats()
+	return DiskCacheStats{
+		Hits:        s.Hits,
+		Misses:      s.Misses,
+		Evictions:   s.Evictions,
+		Rejected:    s.Rejected,
+		Entries:     s.Entries,
+		UsedBytes:   s.UsedBytes,
+		BudgetBytes: s.BudgetBytes,
+	}
+}

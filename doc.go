@@ -120,4 +120,20 @@
 // merges its fan-out through pooled per-shard buffers). Use SearchIDsAppend
 // with a retained buffer in hot loops; SearchIDs is the convenience form
 // that allocates a fresh result slice per call.
+//
+// # Disk scenario
+//
+// OpenDisk queries a SaveFile checkpoint directly in the paper's disk
+// storage scenario (§5.ii): only the directory and signatures are loaded —
+// member regions stay on the device — so databases far larger than RAM
+// remain queryable. Explored regions pass through a fixed-budget cache of
+// decoded columns (WithDiskCache, default 64 MiB, CLOCK eviction, pinned
+// while concurrent searches verify against them): a cache hit verifies in
+// memory and charges no Seeks and no BytesTransferred (Stats.CacheHits and
+// Stats.CacheMisses record the split; ObjectsVerified accrues either way),
+// while missed regions are fetched with seek-coalescing readahead
+// (WithReadahead, default 256 KiB) — regions adjacent or near-adjacent on
+// the device merge into single sequential reads, one Seek each. The cache
+// is invalidated by reopening: a Disk opened after a new SaveFile starts a
+// fresh cache generation. Fully cached selections allocate nothing.
 package accluster

@@ -6,6 +6,7 @@ import (
 
 	"accluster/internal/cost"
 	"accluster/internal/geom"
+	"accluster/internal/sig"
 )
 
 // searchScratch holds the per-query buffers of one in-flight selection, so
@@ -199,29 +200,12 @@ func (ix *Index) searchRead(sc *searchScratch, q geom.Rect, rel geom.Relation, e
 		alive := n
 		sb := ix.sigBounds[int(ci)*ix.sigStride() : (int(ci)+1)*ix.sigStride()]
 		for _, dd := range order {
-			// Signature-implied skip: when the cluster's variation
-			// intervals [aLo,aHi)×[bLo,bHi) guarantee that every
-			// member satisfies this dimension's predicate, the
-			// column scan is a proven no-op. (Members have
-			// lo < aHi — lo ≤ 1 when aHi is the closed domain
-			// maximum — and hi ≥ bLo, which makes each condition
-			// below sufficient for all members.)
-			switch rel {
-			case geom.Intersects:
-				// lo ≤ qhi forced by aHi ≤ qhi; qlo ≤ hi by qlo ≤ bLo.
-				if sb[4*dd+1] <= q.Max[dd] && q.Min[dd] <= sb[4*dd+2] {
-					continue
-				}
-			case geom.ContainedBy:
-				// lo ≥ qlo forced by aLo ≥ qlo; hi ≤ qhi by bHi ≤ qhi.
-				if sb[4*dd] >= q.Min[dd] && sb[4*dd+3] <= q.Max[dd] {
-					continue
-				}
-			case geom.Encloses:
-				// lo ≤ qlo forced by aHi ≤ qlo; hi ≥ qhi by bLo ≥ qhi.
-				if sb[4*dd+1] <= q.Min[dd] && sb[4*dd+2] >= q.Max[dd] {
-					continue
-				}
+			// Signature-implied skip: the cluster's variation intervals
+			// prove every member passes this dimension, so the column
+			// scan is a no-op (sig.BoundsImplyDim, shared with the disk
+			// engine).
+			if sig.BoundsImplyDim(rel, sb, dd, q.Min[dd], q.Max[dd]) {
+				continue
 			}
 			sc.meter.BytesVerified += int64(alive) * 8
 			alive = geom.FilterDim(rel, c.lo[dd], c.hi[dd], q.Min[dd], q.Max[dd], bits)
@@ -239,14 +223,7 @@ func (ix *Index) searchRead(sc *searchScratch, q geom.Rect, rel geom.Relation, e
 		}
 		if out != nil {
 			sc.meter.Results += int64(alive)
-			for w, word := range bits {
-				base := w << 6
-				for word != 0 {
-					j := mbits.TrailingZeros64(word)
-					word &= word - 1
-					*out = append(*out, c.ids[base+j])
-				}
-			}
+			*out = geom.AppendSurvivors(*out, c.ids, bits)
 			continue
 		}
 	emitSurvivors:

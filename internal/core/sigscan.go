@@ -19,9 +19,7 @@ func (ix *Index) sigStride() int { return 4 * ix.cfg.Dims }
 
 // appendSigBounds mirrors s for the cluster just appended to ix.clusters.
 func (ix *Index) appendSigBounds(s sig.Signature) {
-	for d := 0; d < s.Dims(); d++ {
-		ix.sigBounds = append(ix.sigBounds, s.ALo[d], s.AHi[d], s.BLo[d], s.BHi[d])
-	}
+	ix.sigBounds = sig.AppendBounds(ix.sigBounds, s)
 }
 
 // removeSigBoundsAt swap-removes the bounds block of the cluster at position
@@ -43,94 +41,20 @@ func (ix *Index) rebuildSigBounds() {
 }
 
 // matchClusters appends the positions of all clusters whose signature
-// matches the query to dst, in cluster order. The per-dimension conditions
-// are the relation-specific necessary conditions of sig.MatchesQuery,
-// specialized per relation so the scan is one pass over contiguous floats.
+// matches the query to dst, in cluster order (sig.MatchBounds over the flat
+// mirror).
 func (ix *Index) matchClusters(q geom.Rect, rel geom.Relation, dst []int32) []int32 {
-	dims := ix.cfg.Dims
-	stride := ix.sigStride()
-	sb := ix.sigBounds
-	switch rel {
-	case geom.Intersects:
-		for ci := range ix.clusters {
-			b := sb[ci*stride : ci*stride+stride]
-			ok := true
-			for d := 0; d < dims; d++ {
-				// alo ≤ qhi && qlo ≤ bhi
-				if b[4*d] > q.Max[d] || q.Min[d] > b[4*d+3] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				dst = append(dst, int32(ci))
-			}
-		}
-	case geom.ContainedBy:
-		for ci := range ix.clusters {
-			b := sb[ci*stride : ci*stride+stride]
-			ok := true
-			for d := 0; d < dims; d++ {
-				// ahi ≥ qlo && blo ≤ qhi
-				if b[4*d+1] < q.Min[d] || b[4*d+2] > q.Max[d] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				dst = append(dst, int32(ci))
-			}
-		}
-	case geom.Encloses:
-		for ci := range ix.clusters {
-			b := sb[ci*stride : ci*stride+stride]
-			ok := true
-			for d := 0; d < dims; d++ {
-				// alo ≤ qlo && bhi ≥ qhi
-				if b[4*d] > q.Min[d] || b[4*d+3] < q.Max[d] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				dst = append(dst, int32(ci))
-			}
-		}
-	}
-	return dst
+	return sig.MatchBounds(ix.sigBounds, len(ix.clusters), ix.cfg.Dims, q, rel, dst)
 }
 
 // queryDimOrder orders the dimensions most-selective-first for the
-// verification kernels: ascending query width for Intersects and ContainedBy
-// (a narrow query interval disqualifies the most objects), descending for
-// Encloses (a wide demanded interval does). The order is computed once per
-// query into the query's scratch and applied to every explored cluster.
+// verification kernels (geom.QueryDimOrder), computed once per query into
+// the query's scratch and applied to every explored cluster.
 func queryDimOrder(sc *searchScratch, q geom.Rect, rel geom.Relation) []int {
 	dims := q.Dims()
 	if cap(sc.order) < dims {
 		sc.order = make([]int, dims)
 		sc.widths = make([]float32, dims)
 	}
-	order, widths := sc.order[:dims], sc.widths[:dims]
-	desc := rel == geom.Encloses
-	for d := 0; d < dims; d++ {
-		order[d] = d
-		w := q.Max[d] - q.Min[d]
-		if desc {
-			w = -w
-		}
-		widths[d] = w
-	}
-	// Insertion sort, stable on dimension index: dims are small (≤ a few
-	// dozen) and the scratch keeps this allocation-free.
-	for i := 1; i < dims; i++ {
-		d, w := order[i], widths[i]
-		j := i - 1
-		for j >= 0 && widths[j] > w {
-			order[j+1], widths[j+1] = order[j], widths[j]
-			j--
-		}
-		order[j+1], widths[j+1] = d, w
-	}
-	return order
+	return geom.QueryDimOrder(sc.order[:dims], sc.widths[:dims], q, rel)
 }

@@ -37,6 +37,16 @@ type Meter struct {
 	// BytesTransferred counts bytes read from disk in the disk scenario
 	// (whole clusters/nodes/files, independent of early exit).
 	BytesTransferred int64
+	// CacheHits counts explorations served from a decoded-region cache
+	// (internal/blockcache): the cluster was verified without touching the
+	// device, so the exploration charged no Seeks and no BytesTransferred
+	// (ObjectsVerified still accrues — the members are checked either way).
+	// Zero on engines without a region cache.
+	CacheHits int64
+	// CacheMisses counts explorations that had to read their region from
+	// the device because the cache did not hold it. Zero on engines
+	// without a region cache.
+	CacheMisses int64
 	// Results counts objects returned in answer sets.
 	Results int64
 }
@@ -50,6 +60,8 @@ func (m *Meter) Add(o Meter) {
 	m.ObjectsVerified += o.ObjectsVerified
 	m.BytesVerified += o.BytesVerified
 	m.BytesTransferred += o.BytesTransferred
+	m.CacheHits += o.CacheHits
+	m.CacheMisses += o.CacheMisses
 	m.Results += o.Results
 }
 
@@ -63,6 +75,8 @@ func (m Meter) Sub(o Meter) Meter {
 		ObjectsVerified:  m.ObjectsVerified - o.ObjectsVerified,
 		BytesVerified:    m.BytesVerified - o.BytesVerified,
 		BytesTransferred: m.BytesTransferred - o.BytesTransferred,
+		CacheHits:        m.CacheHits - o.CacheHits,
+		CacheMisses:      m.CacheMisses - o.CacheMisses,
 		Results:          m.Results - o.Results,
 	}
 }
@@ -113,6 +127,6 @@ func (m Meter) ModelMSPerQuery(p Params, objBytes int) float64 {
 
 // String summarizes the meter.
 func (m Meter) String() string {
-	return fmt.Sprintf("queries=%d sigChecks=%d explorations=%d seeks=%d objsVerified=%d bytesVerified=%d bytesTransferred=%d results=%d",
-		m.Queries, m.SigChecks, m.Explorations, m.Seeks, m.ObjectsVerified, m.BytesVerified, m.BytesTransferred, m.Results)
+	return fmt.Sprintf("queries=%d sigChecks=%d explorations=%d seeks=%d objsVerified=%d bytesVerified=%d bytesTransferred=%d cacheHits=%d cacheMisses=%d results=%d",
+		m.Queries, m.SigChecks, m.Explorations, m.Seeks, m.ObjectsVerified, m.BytesVerified, m.BytesTransferred, m.CacheHits, m.CacheMisses, m.Results)
 }

@@ -3,50 +3,169 @@
 // (§5.ii): cluster signatures and the directory live in memory, member
 // objects are read from the device per explored cluster, sequentially within
 // a cluster. Pointed at a vdisk.Disk it yields simulated disk-scenario
-// execution times from the real access pattern (one seek per explored
-// cluster, sequential transfer of its region), complementing the pure
+// execution times from the real access pattern, complementing the pure
 // counter-based model in internal/cost.
 //
 // The engine is a read-only executor over a checkpoint written by
 // store.Save; reorganization happens in the in-memory index (internal/core)
-// and becomes visible on the next checkpoint.
+// and becomes visible on the next checkpoint (reopening the checkpoint
+// starts a fresh cache generation, so nothing stale survives).
+//
+// The query path mirrors the in-memory core engine's columnar design:
+//
+//   - The signature pass scans a flat contiguous mirror of all directory
+//     signatures (sig.MatchBounds) instead of calling the per-entry virtual
+//     matcher — the A term is one linear pass over packed floats.
+//   - Explored regions come from a fixed-budget cache of decoded
+//     structure-of-arrays columns (internal/blockcache), keyed by
+//     (checkpoint generation, cluster) and shared by concurrent searches
+//     through per-entry pinning. A cache hit verifies without touching the
+//     device: it charges no Seeks and no BytesTransferred, only CacheHits
+//     and the CPU-side counters (ObjectsVerified, BytesVerified).
+//   - Cache misses are read with seek-coalescing readahead: the missed
+//     regions are sorted by device offset and adjacent/near-adjacent ones
+//     merge into single sequential reads (store.PlanReadRuns), so a
+//     multi-cluster query pays one seek per run instead of one per cluster.
+//     Each coalesced run charges one Seek and its full byte length
+//     (gaps included) as BytesTransferred, plus one CacheMiss per region.
+//   - Verification runs through the columnar batch kernels
+//     (geom.FilterIntersects/FilterContainedBy/FilterEncloses) over a pooled
+//     candidate bitmap, most selective dimensions first, with
+//     signature-implied column skips — identical accounting to the core
+//     engine (BytesVerified aggregates per-column survivor bytes).
+//
+// Steady-state queries whose regions are all cached allocate nothing: the
+// match list, bitmap, dimension order and read plan live in pooled per-query
+// scratch, and SearchIDsAppend reuses the caller's result buffer.
 package diskengine
 
 import (
 	"fmt"
+	mbits "math/bits"
+	"sync"
 
+	"accluster/internal/blockcache"
 	"accluster/internal/cost"
 	"accluster/internal/geom"
+	"accluster/internal/sig"
 	"accluster/internal/store"
 )
 
+// Default knobs of the disk query path.
+const (
+	// DefaultCacheBytes is the decoded-region cache budget used when the
+	// configuration leaves it zero: 64 MiB, a small fraction of the
+	// paper-scale databases yet enough to hold every hot cluster of a
+	// skewed query distribution.
+	DefaultCacheBytes = 64 << 20
+	// DefaultReadaheadGap is the largest byte gap bridged by one coalesced
+	// read when the configuration leaves it zero: 256 KiB, safely below
+	// the seek-time byte equivalent of the paper's disk model (15 ms at
+	// 20 MB/s ≈ 300 KB), so bridging a gap is never slower than seeking
+	// over it.
+	DefaultReadaheadGap = 256 << 10
+)
+
+// Config tunes the disk query path. The zero value selects the defaults.
+type Config struct {
+	// CacheBytes is the decoded-region cache budget in bytes: 0 selects
+	// DefaultCacheBytes, negative disables the cache entirely (every
+	// exploration reads the device, as the seed engine did).
+	CacheBytes int64
+	// ReadaheadGap is the maximum byte gap between two regions that one
+	// coalesced sequential read bridges: 0 selects DefaultReadaheadGap,
+	// negative disables coalescing (one read per missed region).
+	ReadaheadGap int64
+	// Cache, when non-nil, is a shared decoded-region cache used instead
+	// of a private one (CacheBytes is then ignored). Engines sharing a
+	// cache are isolated by checkpoint generation.
+	Cache *blockcache.Cache
+}
+
 // Engine answers spatial selections from a checkpointed cluster database.
-// It is safe for concurrent use: the directory and signatures are immutable
-// after Open, every Search reads regions into per-call buffers, operation
+// It is safe for concurrent use: the directory, signature mirror and cache
+// handle are immutable after Open, every Search works from pooled per-call
+// scratch, cached regions are shared read-only under pins, operation
 // counters merge race-free per query, and the device serializes its own
 // head (vdisk.Disk models one arm; a real *os.File's ReadAt is reentrant).
 type Engine struct {
-	dev      store.Device
-	dims     int
-	objBytes int
-	dir      []store.DirEntry
-	meter    cost.SyncMeter
+	dev       store.Device
+	dims      int
+	objBytes  int
+	dir       []store.DirEntry
+	sigBounds []float32 // flat signature mirror, 4·dims floats per cluster
+	cache     *blockcache.Cache
+	gen       uint64
+	maxGap    int64
+	meter     cost.SyncMeter
+	scratch   sync.Pool // *searchScratch
+}
+
+// searchScratch holds the per-query buffers of one in-flight selection so
+// the fully cached (hit) path allocates nothing.
+type searchScratch struct {
+	matched []int32         // signature-matching cluster positions
+	miss    []int32         // matched positions absent from the cache
+	runs    []store.ReadRun // coalesced read plan over miss
+	buf     []byte          // device image of the run being processed
+	bits    []uint64        // candidate bitmap for the filter kernels
+	order   []int           // per-query dimension processing order
+	widths  []float32       // sort keys backing order
+	// local is the decode target reused across misses when the engine has
+	// no cache (with a cache, each miss decodes into a fresh Region that
+	// the cache may retain).
+	local *blockcache.Region
+	meter cost.Meter
+}
+
+// ensureBits returns the bitmap sized for n objects.
+func (sc *searchScratch) ensureBits(n int) []uint64 {
+	w := geom.BitmapWords(n)
+	if cap(sc.bits) < w {
+		sc.bits = make([]uint64, w)
+	}
+	return sc.bits[:w]
 }
 
 // Open reads and validates the directory of a database written by
-// store.Save. Only the header and directory are read; cluster regions stay
-// on the device until explored.
+// store.Save and prepares the default query path (DefaultCacheBytes,
+// DefaultReadaheadGap). Only the header and directory are read; cluster
+// regions stay on the device until explored.
 func Open(dev store.Device) (*Engine, error) {
+	return OpenConfig(dev, Config{})
+}
+
+// OpenConfig is Open with explicit cache and readahead configuration.
+func OpenConfig(dev store.Device, cfg Config) (*Engine, error) {
 	dir, dims, err := store.ReadDirectory(dev)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		dev:      dev,
 		dims:     dims,
 		objBytes: geom.ObjectBytes(dims),
 		dir:      dir,
-	}, nil
+		gen:      blockcache.NextGen(),
+	}
+	e.sigBounds = make([]float32, 0, len(dir)*4*dims)
+	for _, d := range dir {
+		e.sigBounds = sig.AppendBounds(e.sigBounds, d.Signature)
+	}
+	switch {
+	case cfg.Cache != nil:
+		e.cache = cfg.Cache
+	case cfg.CacheBytes == 0:
+		e.cache = blockcache.New(DefaultCacheBytes)
+	case cfg.CacheBytes > 0:
+		e.cache = blockcache.New(cfg.CacheBytes)
+	}
+	e.maxGap = cfg.ReadaheadGap
+	if e.maxGap == 0 {
+		e.maxGap = DefaultReadaheadGap
+	}
+	e.scratch.New = func() any { return &searchScratch{} }
+	return e, nil
 }
 
 // Dims returns the data space dimensionality.
@@ -71,58 +190,201 @@ func (e *Engine) Meter() cost.Meter { return e.meter.Snapshot() }
 // ResetMeter zeroes the operation counters.
 func (e *Engine) ResetMeter() { e.meter.Reset() }
 
-// Search checks every cluster signature in memory and reads the regions of
-// matching clusters from the device (one sequential region read each),
-// verifying members individually. emit returning false stops the search.
-// Concurrent Searches are safe: each call verifies from its own region
-// buffers and accumulates its counters privately, merging once on return.
+// CacheStats returns a snapshot of the decoded-region cache counters (the
+// zero Stats when the cache is disabled). With a shared cache the numbers
+// cover every engine using it.
+func (e *Engine) CacheStats() blockcache.Stats {
+	if e.cache == nil {
+		return blockcache.Stats{}
+	}
+	return e.cache.Stats()
+}
+
+// Search checks every cluster signature in memory and verifies the members
+// of matching clusters — from the decoded-region cache when resident,
+// otherwise reading the missed regions with coalesced sequential reads.
+// Cached clusters are verified first (no I/O), then the misses in device
+// offset order; the emission order across clusters is therefore
+// unspecified. emit returning false stops the search: remaining regions are
+// neither read nor charged. Concurrent Searches are safe and share cached
+// regions without copying.
 func (e *Engine) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
+	return e.search(q, rel, emit, nil, nil)
+}
+
+// Count returns the number of objects satisfying the selection. It sums the
+// per-region survivor counts of the block scan directly — no ids are
+// extracted, no closure is allocated.
+func (e *Engine) Count(q geom.Rect, rel geom.Relation) (int, error) {
+	n := 0
+	err := e.search(q, rel, nil, nil, &n)
+	return n, err
+}
+
+// SearchIDs collects the identifiers of all qualifying objects.
+func (e *Engine) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	return e.SearchIDsAppend(nil, q, rel)
+}
+
+// SearchIDsAppend appends the identifiers of all qualifying objects to dst
+// and returns the extended slice. With a reused dst of sufficient capacity a
+// fully cached selection allocates nothing.
+func (e *Engine) SearchIDsAppend(dst []uint32, q geom.Rect, rel geom.Relation) ([]uint32, error) {
+	err := e.search(q, rel, nil, &dst, nil)
+	return dst, err
+}
+
+// search is the shared query path; qualifying ids go to exactly one of emit
+// (early-stop support), out (append) or count.
+func (e *Engine) search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool, out *[]uint32, count *int) error {
 	if q.Dims() != e.dims {
 		return fmt.Errorf("diskengine: query has %d dims, database has %d", q.Dims(), e.dims)
 	}
 	if !rel.Valid() {
 		return fmt.Errorf("diskengine: invalid relation %v", rel)
 	}
-	var m cost.Meter
-	defer func() { e.meter.Merge(m) }()
-	m.Queries++
-	m.SigChecks += int64(len(e.dir))
-	for _, entry := range e.dir {
-		if !entry.Signature.MatchesQuery(q, rel) {
-			continue
-		}
-		m.Explorations++
-		m.Seeks++
-		ids, data, err := store.ReadRegion(e.dev, entry, e.dims)
-		if err != nil {
-			return err
-		}
-		m.BytesTransferred += int64(entry.RegionBytes(e.dims))
-		m.ObjectsVerified += int64(len(ids))
-		for i := range ids {
-			ok, checked := geom.FlatMatches(data, i, q, rel)
-			m.BytesVerified += int64(checked) * 8
-			if ok {
-				m.Results++
-				if !emit(ids[i]) {
-					return nil
+	sc := e.scratch.Get().(*searchScratch)
+	sc.meter = cost.Meter{}
+	sc.meter.Queries++
+	sc.meter.SigChecks += int64(len(e.dir))
+	sc.matched = sig.MatchBounds(e.sigBounds, len(e.dir), e.dims, q, rel, sc.matched[:0])
+	if cap(sc.order) < e.dims {
+		sc.order = make([]int, e.dims)
+		sc.widths = make([]float32, e.dims)
+	}
+	order := geom.QueryDimOrder(sc.order[:e.dims], sc.widths[:e.dims], q, rel)
+
+	// Hit pass: verify every cached region first — free of I/O, so an
+	// early stop may finish the query without touching the device. Misses
+	// are deferred to the coalesced read pass.
+	sc.miss = sc.miss[:0]
+	stopped := false
+	for _, ci := range sc.matched {
+		if e.cache != nil {
+			if r, ok := e.cache.Get(blockcache.Key{Gen: e.gen, Cluster: ci}); ok {
+				sc.meter.CacheHits++
+				sc.meter.Explorations++
+				sc.meter.ObjectsVerified += int64(r.Len())
+				keep := e.verifyRegion(sc, r, int(ci), q, rel, order, emit, out, count)
+				e.cache.Unpin(r)
+				if !keep {
+					stopped = true
+					break
 				}
+				continue
+			}
+		}
+		sc.miss = append(sc.miss, ci)
+	}
+	var err error
+	if !stopped && len(sc.miss) > 0 {
+		err = e.readAndVerify(sc, q, rel, order, emit, out, count)
+	}
+	e.meter.Merge(sc.meter)
+	e.scratch.Put(sc)
+	return err
+}
+
+// readAndVerify runs the miss pass: plan coalesced reads over the missed
+// regions (sorted by device offset), then read run by run, decoding and
+// verifying each region as it arrives — an early stop leaves later runs
+// unread and uncharged. Decoded regions are offered to the cache.
+func (e *Engine) readAndVerify(sc *searchScratch, q geom.Rect, rel geom.Relation, order []int, emit func(id uint32) bool, out *[]uint32, count *int) error {
+	sc.runs = store.PlanReadRuns(e.dir, sc.miss, e.dims, e.maxGap, sc.runs[:0])
+	for _, run := range sc.runs {
+		if int64(cap(sc.buf)) < run.Bytes {
+			sc.buf = make([]byte, run.Bytes)
+		}
+		buf := sc.buf[:run.Bytes]
+		if _, err := e.dev.ReadAt(buf, run.Offset); err != nil {
+			return fmt.Errorf("diskengine: read run at %d: %w", run.Offset, err)
+		}
+		sc.meter.Seeks++
+		sc.meter.BytesTransferred += run.Bytes
+		for k := 0; k < run.N; k++ {
+			ci := sc.miss[run.First+k]
+			ent := e.dir[ci]
+			img := buf[ent.Offset-run.Offset : ent.Offset-run.Offset+int64(ent.RegionBytes(e.dims))]
+			var r *blockcache.Region
+			if e.cache != nil {
+				r = new(blockcache.Region)
+			} else {
+				if sc.local == nil {
+					sc.local = new(blockcache.Region)
+				}
+				r = sc.local
+			}
+			r.Reset(ent.Count, e.dims)
+			if err := store.DecodeRegionColumns(img, ent, e.dims, r.IDs, r.Lo, r.Hi); err != nil {
+				return err
+			}
+			if e.cache != nil {
+				sc.meter.CacheMisses++
+				r = e.cache.Put(blockcache.Key{Gen: e.gen, Cluster: ci}, r)
+			}
+			sc.meter.Explorations++
+			sc.meter.ObjectsVerified += int64(ent.Count)
+			keep := e.verifyRegion(sc, r, int(ci), q, rel, order, emit, out, count)
+			if e.cache != nil {
+				e.cache.Unpin(r)
+			}
+			if !keep {
+				return nil
 			}
 		}
 	}
 	return nil
 }
 
-// Count returns the number of objects satisfying the selection.
-func (e *Engine) Count(q geom.Rect, rel geom.Relation) (int, error) {
-	n := 0
-	err := e.Search(q, rel, func(uint32) bool { n++; return true })
-	return n, err
-}
-
-// SearchIDs collects the identifiers of all qualifying objects.
-func (e *Engine) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
-	var out []uint32
-	err := e.Search(q, rel, func(id uint32) bool { out = append(out, id); return true })
-	return out, err
+// verifyRegion narrows the region's members through the columnar filter
+// kernels and delivers the survivors; it reports whether the search should
+// continue (false only when emit stopped it).
+func (e *Engine) verifyRegion(sc *searchScratch, r *blockcache.Region, ci int, q geom.Rect, rel geom.Relation, order []int, emit func(id uint32) bool, out *[]uint32, count *int) bool {
+	n := r.Len()
+	if n == 0 {
+		return true
+	}
+	bits := sc.ensureBits(n)
+	geom.InitBitmap(bits, n)
+	alive := n
+	stride := 4 * e.dims
+	sb := e.sigBounds[ci*stride : (ci+1)*stride]
+	for _, dd := range order {
+		// Signature-implied skip: the cluster's variation intervals prove
+		// every member passes this dimension, so the column scan is a
+		// no-op (sig.BoundsImplyDim, shared with the in-memory engine).
+		if sig.BoundsImplyDim(rel, sb, dd, q.Min[dd], q.Max[dd]) {
+			continue
+		}
+		sc.meter.BytesVerified += int64(alive) * 8
+		alive = geom.FilterDim(rel, r.Lo[dd], r.Hi[dd], q.Min[dd], q.Max[dd], bits)
+		if alive == 0 {
+			break
+		}
+	}
+	if alive == 0 {
+		return true
+	}
+	if count != nil {
+		sc.meter.Results += int64(alive)
+		*count += alive
+		return true
+	}
+	if out != nil {
+		sc.meter.Results += int64(alive)
+		*out = geom.AppendSurvivors(*out, r.IDs, bits)
+		return true
+	}
+	for w, word := range bits {
+		base := w << 6
+		for word != 0 {
+			j := mbits.TrailingZeros64(word)
+			word &= word - 1
+			sc.meter.Results++
+			if !emit(r.IDs[base+j]) {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -24,10 +24,13 @@ func randomRect(rng *rand.Rand, dims int, maxSize float32) geom.Rect {
 }
 
 // buildCheckpoint creates a clustered index, checkpoints it onto a virtual
-// disk and returns both.
+// disk and returns both. The clustering runs under the memory cost model:
+// at these test scales the disk model's 15 ms seek keeps everything in one
+// cluster, which would leave the multi-cluster query path untested — the
+// engine executes whatever clustering the checkpoint carries.
 func buildCheckpoint(t *testing.T, dims, n int) (*core.Index, *vdisk.Disk) {
 	t.Helper()
-	ix, err := core.New(core.Config{Dims: dims, Params: cost.Disk(), ReorgEvery: 40})
+	ix, err := core.New(core.Config{Dims: dims, Params: cost.Memory(), ReorgEvery: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,40 +74,68 @@ func TestOpenRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestAnswersMatchInMemoryIndex pins the disk engine's answers ID-for-ID
+// against the in-memory core index on the same checkpoint, across all
+// relations and across cache configurations: disabled (every query reads
+// the device), default (repeat queries hit), and a tiny budget that churns
+// the eviction path mid-stream. Each query runs twice so the cached
+// re-execution is differentially checked too.
 func TestAnswersMatchInMemoryIndex(t *testing.T) {
 	ix, disk := buildCheckpoint(t, 5, 4000)
-	e, err := Open(disk)
-	if err != nil {
-		t.Fatal(err)
+	configs := map[string]Config{
+		"nocache":     {CacheBytes: -1},
+		"default":     {},
+		"tiny-evict":  {CacheBytes: 64 << 10},
+		"noreadahead": {ReadaheadGap: -1},
 	}
-	rng := rand.New(rand.NewSource(21))
-	for qi := 0; qi < 60; qi++ {
-		q := randomRect(rng, 5, 0.4)
-		rel := geom.Relation(qi % 3)
-		want, err := ix.SearchIDs(q, rel)
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := e.SearchIDs(q, rel)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
-		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
-		if len(got) != len(want) {
-			t.Fatalf("query %d rel %v: %d results, want %d", qi, rel, len(got), len(want))
-		}
-		for i := range got {
-			if got[i] != want[i] {
-				t.Fatalf("query %d rel %v: mismatch", qi, rel)
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			e, err := OpenConfig(disk, cfg)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			rng := rand.New(rand.NewSource(21))
+			for qi := 0; qi < 60; qi++ {
+				q := randomRect(rng, 5, 0.4)
+				rel := geom.Relation(qi % 3)
+				want, err := ix.SearchIDs(q, rel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				for pass := 0; pass < 2; pass++ {
+					got, err := e.SearchIDs(q, rel)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+					if len(got) != len(want) {
+						t.Fatalf("query %d rel %v pass %d: %d results, want %d", qi, rel, pass, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("query %d rel %v pass %d: mismatch", qi, rel, pass)
+						}
+					}
+					n, err := e.Count(q, rel)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if n != len(want) {
+						t.Fatalf("query %d rel %v pass %d: count %d, want %d", qi, rel, pass, n, len(want))
+					}
+				}
+			}
+		})
 	}
 }
 
 func TestVirtualTimeMatchesAccessPattern(t *testing.T) {
 	_, disk := buildCheckpoint(t, 4, 3000)
-	e, err := Open(disk)
+	// Cache disabled so every query really drives the device; coalescing
+	// stays on — the point is that the meter and the virtual clock agree
+	// on the coalesced access pattern.
+	e, err := OpenConfig(disk, Config{CacheBytes: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,10 +150,17 @@ func TestVirtualTimeMatchesAccessPattern(t *testing.T) {
 	}
 	m := e.Meter()
 	st := disk.Stats()
-	// Every exploration is one region read; region reads at random
-	// offsets each cost one seek on the virtual disk.
-	if st.Reads != m.Explorations {
-		t.Fatalf("disk reads %d != explorations %d", st.Reads, m.Explorations)
+	// Every coalesced run is one device read, charged as one Seek by the
+	// meter; the run count is at most the exploration count (coalescing
+	// only merges).
+	if st.Reads != m.Seeks {
+		t.Fatalf("disk reads %d != meter seeks %d", st.Reads, m.Seeks)
+	}
+	if m.Seeks > m.Explorations {
+		t.Fatalf("more seeks than explorations: %+v", m)
+	}
+	if st.Bytes != m.BytesTransferred {
+		t.Fatalf("disk bytes %d != meter bytes transferred %d", st.Bytes, m.BytesTransferred)
 	}
 	if st.Seeks > st.Reads {
 		t.Fatalf("more seeks than reads: %+v", st)
@@ -225,6 +263,207 @@ func TestCorruptRegionSurfacesDuringSearch(t *testing.T) {
 	full := geom.Rect{Min: []float32{0, 0, 0, 0}, Max: []float32{1, 1, 1, 1}}
 	if err := e.Search(full, geom.Intersects, func(uint32) bool { return true }); err == nil {
 		t.Error("corrupt region must surface as an error on exploration")
+	}
+}
+
+// TestMeterCacheAccounting pins the accounting rules of the cached query
+// path: a cache hit charges no Seeks and no BytesTransferred but still
+// counts Explorations and ObjectsVerified, and the hit/miss counters track
+// residency.
+func TestMeterCacheAccounting(t *testing.T) {
+	_, disk := buildCheckpoint(t, 4, 3000)
+	e, err := Open(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randomRect(rand.New(rand.NewSource(61)), 4, 0.3)
+
+	e.ResetMeter()
+	if _, err := e.Count(q, geom.Intersects); err != nil {
+		t.Fatal(err)
+	}
+	cold := e.Meter()
+	if cold.Explorations == 0 {
+		t.Fatal("query explored nothing; widen it")
+	}
+	if cold.CacheMisses != cold.Explorations || cold.CacheHits != 0 {
+		t.Fatalf("cold query: hits=%d misses=%d explorations=%d", cold.CacheHits, cold.CacheMisses, cold.Explorations)
+	}
+	if cold.Seeks == 0 || cold.BytesTransferred == 0 {
+		t.Fatalf("cold query transferred nothing: %+v", cold)
+	}
+
+	disk.ResetClock()
+	e.ResetMeter()
+	if _, err := e.Count(q, geom.Intersects); err != nil {
+		t.Fatal(err)
+	}
+	warm := e.Meter()
+	if warm.CacheHits != cold.Explorations || warm.CacheMisses != 0 {
+		t.Fatalf("warm query: hits=%d misses=%d, want %d hits", warm.CacheHits, warm.CacheMisses, cold.Explorations)
+	}
+	if warm.Seeks != 0 || warm.BytesTransferred != 0 {
+		t.Fatalf("cache hits must charge no I/O: %+v", warm)
+	}
+	if warm.Explorations != cold.Explorations || warm.ObjectsVerified != cold.ObjectsVerified {
+		t.Fatalf("hits must still count explorations and verified objects: warm %+v cold %+v", warm, cold)
+	}
+	if warm.Results != cold.Results {
+		t.Fatalf("warm results %d != cold results %d", warm.Results, cold.Results)
+	}
+	if st := disk.Stats(); st.Reads != 0 {
+		t.Fatalf("warm query touched the device: %+v", st)
+	}
+	if cs := e.CacheStats(); cs.Hits == 0 || cs.Entries == 0 {
+		t.Fatalf("cache stats empty after warm query: %+v", cs)
+	}
+}
+
+// TestCoalescedReadsCutSeeks pins the readahead claim: a cold multi-cluster
+// query with coalescing issues strictly fewer device reads (= seeks in the
+// meter) than one without, and both return identical answers.
+func TestCoalescedReadsCutSeeks(t *testing.T) {
+	_, disk := buildCheckpoint(t, 4, 6000)
+	q := geom.Rect{Min: []float32{0, 0, 0, 0}, Max: []float32{1, 1, 1, 1}}
+
+	run := func(gap int64) (cost.Meter, []uint32) {
+		e, err := OpenConfig(disk, Config{CacheBytes: -1, ReadaheadGap: gap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := e.SearchIDs(q, geom.Intersects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return e.Meter(), ids
+	}
+	plain, plainIDs := run(-1)
+	coal, coalIDs := run(DefaultReadaheadGap)
+	if plain.Explorations < 4 {
+		t.Fatalf("need a multi-cluster checkpoint, explored %d", plain.Explorations)
+	}
+	if plain.Seeks != plain.Explorations {
+		t.Fatalf("uncoalesced engine must seek per exploration: %+v", plain)
+	}
+	if coal.Seeks >= plain.Seeks {
+		t.Fatalf("coalescing did not cut seeks: %d vs %d", coal.Seeks, plain.Seeks)
+	}
+	if len(plainIDs) != len(coalIDs) {
+		t.Fatalf("answer sets differ: %d vs %d", len(plainIDs), len(coalIDs))
+	}
+	for i := range plainIDs {
+		if plainIDs[i] != coalIDs[i] {
+			t.Fatal("answer mismatch between coalesced and individual reads")
+		}
+	}
+	// Coalesced runs may transfer gap bytes, but never more than the gap
+	// bound per merged region.
+	if coal.BytesTransferred < plain.BytesTransferred {
+		t.Fatalf("coalesced read transferred fewer bytes than the regions: %d < %d", coal.BytesTransferred, plain.BytesTransferred)
+	}
+}
+
+// TestZeroAllocWarmPath pins the steady-state allocation contract: once the
+// working set is cached, SearchIDsAppend with a reused buffer and Count
+// allocate nothing.
+func TestZeroAllocWarmPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	_, disk := buildCheckpoint(t, 4, 3000)
+	e, err := Open(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	queries := make([]geom.Rect, 8)
+	for i := range queries {
+		queries[i] = randomRect(rng, 4, 0.3)
+	}
+	var buf []uint32
+	for _, q := range queries { // warm the cache and the scratch pool
+		if buf, err = e.SearchIDsAppend(buf[:0], q, geom.Intersects); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		q := queries[qi%len(queries)]
+		qi++
+		out, err := e.SearchIDsAppend(buf[:0], q, geom.Intersects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+		if _, err := e.Count(q, geom.Intersects); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm hit path allocates %.1f times per query pair, want 0", allocs)
+	}
+}
+
+// TestConcurrentSearchEvictionStress races concurrent searches against a
+// cache whose budget holds only a fraction of the working set, so pins,
+// insertions and CLOCK evictions interleave constantly (run under -race in
+// CI). Every answer must still match the serial reference.
+func TestConcurrentSearchEvictionStress(t *testing.T) {
+	ix, disk := buildCheckpoint(t, 4, 3000)
+	e, err := OpenConfig(disk, Config{CacheBytes: 48 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(81))
+	queries := make([]geom.Rect, 16)
+	want := make([][]uint32, len(queries))
+	for i := range queries {
+		queries[i] = randomRect(rng, 4, 0.3)
+		ids, err := ix.SearchIDs(queries[i], geom.Intersects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		want[i] = ids
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []uint32
+			for round := 0; round < 6; round++ {
+				for i := range queries {
+					got, err := e.SearchIDsAppend(buf[:0], queries[i], geom.Intersects)
+					if err != nil {
+						t.Errorf("worker %d query %d: %v", w, i, err)
+						return
+					}
+					buf = got
+					sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+					if len(got) != len(want[i]) {
+						t.Errorf("worker %d query %d: %d results, want %d", w, i, len(got), len(want[i]))
+						return
+					}
+					for k := range got {
+						if got[k] != want[i][k] {
+							t.Errorf("worker %d query %d: answer mismatch", w, i)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cs := e.CacheStats()
+	if cs.Evictions == 0 {
+		t.Fatalf("stress never evicted — budget too large for the working set: %+v", cs)
+	}
+	if cs.UsedBytes > cs.BudgetBytes {
+		t.Fatalf("cache exceeded its budget at rest: %+v", cs)
 	}
 }
 

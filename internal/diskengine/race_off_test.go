@@ -1,0 +1,8 @@
+//go:build !race
+
+package diskengine
+
+// raceEnabled reports whether the race detector instruments this build; its
+// instrumentation allocates, so the allocation-count assertions only hold
+// without it.
+const raceEnabled = false

@@ -164,6 +164,53 @@ func FilterEncloses(lo, hi []float32, qlo, qhi float32, bits []uint64) int {
 	return survivors
 }
 
+// QueryDimOrder fills order with the query's dimensions most-selective-first
+// for the verification kernels: ascending query width for Intersects and
+// ContainedBy (a narrow query interval disqualifies the most objects),
+// descending for Encloses (a wide demanded interval does). order and widths
+// are caller-provided scratch of length q.Dims() — widths backs the sort
+// keys — so a pooled caller computes the order allocation-free once per
+// query and applies it to every explored cluster or cached region.
+func QueryDimOrder(order []int, widths []float32, q Rect, rel Relation) []int {
+	dims := q.Dims()
+	desc := rel == Encloses
+	for d := 0; d < dims; d++ {
+		order[d] = d
+		w := q.Max[d] - q.Min[d]
+		if desc {
+			w = -w
+		}
+		widths[d] = w
+	}
+	// Insertion sort, stable on dimension index: dims are small (≤ a few
+	// dozen) and the caller's scratch keeps this allocation-free.
+	for i := 1; i < dims; i++ {
+		d, w := order[i], widths[i]
+		j := i - 1
+		for j >= 0 && widths[j] > w {
+			order[j+1], widths[j+1] = order[j], widths[j]
+			j--
+		}
+		order[j+1], widths[j+1] = d, w
+	}
+	return order
+}
+
+// AppendSurvivors appends ids[i] for every bit i set in bits to dst and
+// returns the extended slice — the shared bitmap-to-answer step after the
+// filter kernels have narrowed a cluster's candidates.
+func AppendSurvivors(dst []uint32, ids []uint32, bits []uint64) []uint32 {
+	for w, word := range bits {
+		base := w << 6
+		for word != 0 {
+			j := mbits.TrailingZeros64(word)
+			word &= word - 1
+			dst = append(dst, ids[base+j])
+		}
+	}
+	return dst
+}
+
 // FilterDim dispatches to the relation's kernel for one dimension column.
 func FilterDim(rel Relation, lo, hi []float32, qlo, qhi float32, bits []uint64) int {
 	switch rel {

@@ -1,0 +1,298 @@
+package harness
+
+// Disk-scenario query micro-benchmark emitting machine-readable JSON
+// (BENCH_disk.json): a converged clustering is checkpointed into the
+// paper's on-device layout on a virtual disk, and a repeated-query workload
+// then runs against the device through two executors — the seed-era scalar
+// engine (one allocation and one region read per explored cluster, virtual
+// signature matcher, per-object verification) and the columnar engine
+// (signature mirror, decoded-region cache, seek-coalescing readahead,
+// batch-kernel verification) across a cache-budget sweep. Each
+// configuration measures a cold phase (fresh cache, every region read from
+// the device) and, for cached configurations, a warm phase (the working set
+// resident). Wall-clock numbers are CPU throughput — the virtual disk
+// advances a simulated clock, reported separately as vdisk_seeks and
+// vdisk_elapsed_ms, which is where the seek-coalescing gain shows.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"accluster/internal/cost"
+	"accluster/internal/diskengine"
+	"accluster/internal/geom"
+	"accluster/internal/store"
+	"accluster/internal/vdisk"
+)
+
+// DiskBenchRun is one measured (engine, cache size, phase) configuration.
+type DiskBenchRun struct {
+	// Engine is "seed-scalar" (the pre-overhaul executor, kept as the
+	// before-reference) or "columnar" (the block-cache engine).
+	Engine string `json:"engine"`
+	// CacheBytes is the decoded-region cache budget; -1 when disabled.
+	CacheBytes int64 `json:"cache_bytes"`
+	// Phase is "cold" (fresh cache, every region read) or "warm" (the
+	// query set's working set is resident).
+	Phase string `json:"phase"`
+	// NsPerOp and QueriesPerSec are medians of three wall-clock runs.
+	NsPerOp       float64 `json:"ns_per_op"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// AllocsPerOp and BytesPerOp are reported for warm phases (measured
+	// through testing.Benchmark); -1 on cold phases.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// VdiskSeeks and VdiskElapsedMS describe the simulated device's
+	// access pattern over one deterministic pass of the query set.
+	VdiskSeeks     int64   `json:"vdisk_seeks"`
+	VdiskElapsedMS float64 `json:"vdisk_elapsed_ms"`
+	// CacheHits and CacheMisses are the meter's split over that pass.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// AvgResults is the average answer-set size.
+	AvgResults float64 `json:"avg_results"`
+}
+
+// DiskBenchReport is the document written to BENCH_disk.json.
+type DiskBenchReport struct {
+	Generated  string         `json:"generated"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Objects    int            `json:"objects"`
+	Dims       int            `json:"dims"`
+	Clusters   int            `json:"clusters"`
+	Queries    int            `json:"queries"`
+	Runs       []DiskBenchRun `json:"runs"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *DiskBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// seedScalarSearch replicates the pre-overhaul disk executor: virtual
+// signature matcher per directory entry, one allocating region read per
+// explored cluster, scalar per-object verification. It exists as the
+// benchmark's before-reference so BENCH_disk.json carries the comparison on
+// whatever machine re-runs it.
+func seedScalarSearch(dev store.Device, dir []store.DirEntry, dims int, q geom.Rect, rel geom.Relation) (results int64, err error) {
+	for _, entry := range dir {
+		if !entry.Signature.MatchesQuery(q, rel) {
+			continue
+		}
+		ids, data, err := store.ReadRegion(dev, entry, dims)
+		if err != nil {
+			return results, err
+		}
+		for i := range ids {
+			if ok, _ := geom.FlatMatches(data, i, q, rel); ok {
+				results++
+			}
+		}
+	}
+	return results, nil
+}
+
+// medianOf3 runs f three times and returns the median of its results,
+// stopping at the first error.
+func medianOf3(f func() (float64, error)) (float64, error) {
+	vals := make([]float64, 3)
+	for i := range vals {
+		v, err := f()
+		if err != nil {
+			return 0, err
+		}
+		vals[i] = v
+	}
+	sort.Float64s(vals)
+	return vals[1], nil
+}
+
+// RunDiskBench builds the disk-scenario checkpoint and measures the
+// repeated-query workload across engines, cache sizes and phases.
+func RunDiskBench(o Options) (*DiskBenchReport, error) {
+	o.setDefaults()
+	// Cluster under the memory cost model: at benchmark scales the disk
+	// model's 15 ms seek term keeps everything in one cluster, which
+	// would leave the multi-cluster read path unmeasured. Both executors
+	// run the same checkpoint, so the comparison is unaffected.
+	ix, queries, err := buildConverged(benchWorkload{
+		name:        "disk",
+		params:      cost.Memory(),
+		rel:         geom.Intersects,
+		selectivity: 5e-3,
+	}, o)
+	if err != nil {
+		return nil, fmt.Errorf("diskbench: %w", err)
+	}
+	// Repeated-query workload: a bounded set replayed over and over — the
+	// regime a warm cache exists for.
+	if len(queries) > 32 {
+		queries = queries[:32]
+	}
+	disk := vdisk.New(cost.DiskAccessMS, cost.TransferMSPerByte)
+	if err := store.Save(ix, disk); err != nil {
+		return nil, fmt.Errorf("diskbench: %w", err)
+	}
+	dir, dims, err := store.ReadDirectory(disk)
+	if err != nil {
+		return nil, fmt.Errorf("diskbench: %w", err)
+	}
+	rep := &DiskBenchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Objects:    o.Objects,
+		Dims:       o.Dims,
+		Clusters:   len(dir),
+		Queries:    len(queries),
+	}
+	nq := float64(len(queries))
+
+	// Before-reference: the seed scalar executor (stateless, cold only).
+	o.logf("diskbench: measuring seed-scalar (%d clusters)", len(dir))
+	var seedResults int64
+	seedNs, err := medianOf3(func() (float64, error) {
+		start := time.Now()
+		seedResults = 0
+		for _, q := range queries {
+			n, err := seedScalarSearch(disk, dir, dims, q, geom.Intersects)
+			if err != nil {
+				return 0, err
+			}
+			seedResults += n
+		}
+		return float64(time.Since(start).Nanoseconds()) / nq, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("diskbench: %w", err)
+	}
+	disk.ResetClock()
+	for _, q := range queries {
+		if _, err := seedScalarSearch(disk, dir, dims, q, geom.Intersects); err != nil {
+			return nil, err
+		}
+	}
+	seedStats := disk.Stats()
+	rep.Runs = append(rep.Runs, DiskBenchRun{
+		Engine:         "seed-scalar",
+		CacheBytes:     -1,
+		Phase:          "cold",
+		NsPerOp:        seedNs,
+		QueriesPerSec:  1e9 / seedNs,
+		AllocsPerOp:    -1,
+		BytesPerOp:     -1,
+		VdiskSeeks:     seedStats.Seeks,
+		VdiskElapsedMS: seedStats.ElapsedMS,
+		AvgResults:     float64(seedResults) / nq,
+	})
+
+	for _, cacheBytes := range []int64{-1, o.DiskCache / 16, o.DiskCache} {
+		if cacheBytes == 0 {
+			continue
+		}
+		cfg := diskengine.Config{CacheBytes: cacheBytes}
+		o.logf("diskbench: measuring columnar cache=%d", cacheBytes)
+
+		// Cold: a fresh engine per pass, so every region comes off the
+		// device (and the coalescer plans every read).
+		var buf []uint32
+		coldNs, err := medianOf3(func() (float64, error) {
+			eng, err := diskengine.OpenConfig(disk, cfg)
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			for _, q := range queries {
+				if buf, err = eng.SearchIDsAppend(buf[:0], q, geom.Intersects); err != nil {
+					return 0, err
+				}
+			}
+			return float64(time.Since(start).Nanoseconds()) / nq, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("diskbench: %w", err)
+		}
+		eng, err := diskengine.OpenConfig(disk, cfg)
+		if err != nil {
+			return nil, err
+		}
+		disk.ResetClock()
+		for _, q := range queries {
+			if buf, err = eng.SearchIDsAppend(buf[:0], q, geom.Intersects); err != nil {
+				return nil, err
+			}
+		}
+		coldStats := disk.Stats()
+		coldMeter := eng.Meter()
+		rep.Runs = append(rep.Runs, DiskBenchRun{
+			Engine:         "columnar",
+			CacheBytes:     cacheBytes,
+			Phase:          "cold",
+			NsPerOp:        coldNs,
+			QueriesPerSec:  1e9 / coldNs,
+			AllocsPerOp:    -1,
+			BytesPerOp:     -1,
+			VdiskSeeks:     coldStats.Seeks,
+			VdiskElapsedMS: coldStats.ElapsedMS,
+			CacheHits:      coldMeter.CacheHits,
+			CacheMisses:    coldMeter.CacheMisses,
+			AvgResults:     float64(coldMeter.Results) / nq,
+		})
+
+		if cacheBytes < 0 {
+			continue // no warm phase without a cache
+		}
+		// Warm: the engine above already replayed the set once; measure
+		// steady-state repetition (testing.Benchmark for allocs/op).
+		eng.ResetMeter()
+		disk.ResetClock()
+		for _, q := range queries {
+			if buf, err = eng.SearchIDsAppend(buf[:0], q, geom.Intersects); err != nil {
+				return nil, err
+			}
+		}
+		warmStats := disk.Stats()
+		warmMeter := eng.Meter()
+		var allocs, bytesPer int64
+		warmNs, err := medianOf3(func() (float64, error) {
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := eng.SearchIDsAppend(buf[:0], queries[i%len(queries)], geom.Intersects)
+					if err != nil {
+						b.Fatal(err)
+					}
+					buf = out
+				}
+			})
+			allocs, bytesPer = res.AllocsPerOp(), res.AllocedBytesPerOp()
+			return float64(res.NsPerOp()), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("diskbench: %w", err)
+		}
+		rep.Runs = append(rep.Runs, DiskBenchRun{
+			Engine:         "columnar",
+			CacheBytes:     cacheBytes,
+			Phase:          "warm",
+			NsPerOp:        warmNs,
+			QueriesPerSec:  1e9 / warmNs,
+			AllocsPerOp:    allocs,
+			BytesPerOp:     bytesPer,
+			VdiskSeeks:     warmStats.Seeks,
+			VdiskElapsedMS: warmStats.ElapsedMS,
+			CacheHits:      warmMeter.CacheHits,
+			CacheMisses:    warmMeter.CacheMisses,
+			AvgResults:     float64(warmMeter.Results) / nq,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunDiskBenchShape smoke-tests the disk benchmark at a tiny scale: the
+// report must carry the seed-scalar reference plus cold and warm columnar
+// runs per cache size, the warm default-cache run must hit for every
+// exploration without touching the device, and the cold coalesced runs must
+// seek no more than the seed executor.
+func TestRunDiskBenchShape(t *testing.T) {
+	o := tinyOptions()
+	o.Objects = 4000
+	o.Warmup = 300
+	o.DiskCache = 8 << 20
+	rep, err := RunDiskBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clusters < 2 {
+		t.Fatalf("checkpoint must be multi-cluster, got %d", rep.Clusters)
+	}
+	var seed, coldNoCache, warmDefault *DiskBenchRun
+	for i := range rep.Runs {
+		r := &rep.Runs[i]
+		switch {
+		case r.Engine == "seed-scalar":
+			seed = r
+		case r.Engine == "columnar" && r.CacheBytes == -1 && r.Phase == "cold":
+			coldNoCache = r
+		case r.Engine == "columnar" && r.CacheBytes == o.DiskCache && r.Phase == "warm":
+			warmDefault = r
+		}
+	}
+	if seed == nil || coldNoCache == nil || warmDefault == nil {
+		t.Fatalf("missing runs: %+v", rep.Runs)
+	}
+	if seed.NsPerOp <= 0 || coldNoCache.NsPerOp <= 0 || warmDefault.NsPerOp <= 0 {
+		t.Fatal("unmeasured runs")
+	}
+	// Identical answers across executors.
+	if seed.AvgResults != coldNoCache.AvgResults || seed.AvgResults != warmDefault.AvgResults {
+		t.Fatalf("avg results differ: seed %g cold %g warm %g", seed.AvgResults, coldNoCache.AvgResults, warmDefault.AvgResults)
+	}
+	// Seek coalescing: the cold columnar engine never seeks more than the
+	// per-cluster seed executor.
+	if coldNoCache.VdiskSeeks > seed.VdiskSeeks {
+		t.Fatalf("coalesced cold run seeks more than seed: %d > %d", coldNoCache.VdiskSeeks, seed.VdiskSeeks)
+	}
+	// Warm default cache: everything hits, nothing reaches the device.
+	if warmDefault.CacheMisses != 0 || warmDefault.CacheHits == 0 {
+		t.Fatalf("warm run missed: %+v", warmDefault)
+	}
+	if warmDefault.VdiskSeeks != 0 || warmDefault.VdiskElapsedMS != 0 {
+		t.Fatalf("warm run touched the device: %+v", warmDefault)
+	}
+	if !raceEnabled && warmDefault.AllocsPerOp != 0 {
+		t.Fatalf("warm hit path allocates %d/op, want 0", warmDefault.AllocsPerOp)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"seed-scalar", "columnar", "vdisk_seeks", "cache_hits"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}

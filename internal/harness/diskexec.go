@@ -63,7 +63,13 @@ func RunDiskExec(o Options) (*Experiment, error) {
 			if err := store.Save(ixToSave, disk); err != nil {
 				return MethodResult{}, 0, err
 			}
-			eng, err := diskengine.Open(disk)
+			// The decoded-region cache is disabled here: this experiment
+			// cross-checks the executed I/O time against the counter
+			// model, so every exploration must really touch the device.
+			// Seek-coalescing readahead stays on — it changes the access
+			// pattern and the counters consistently. The cache-size
+			// story is the disk benchmark's (RunDiskBench).
+			eng, err := diskengine.OpenConfig(disk, diskengine.Config{CacheBytes: -1})
 			if err != nil {
 				return MethodResult{}, 0, err
 			}

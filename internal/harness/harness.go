@@ -16,6 +16,7 @@ import (
 
 	"accluster/internal/core"
 	"accluster/internal/cost"
+	"accluster/internal/diskengine"
 	"accluster/internal/geom"
 	"accluster/internal/mbbclust"
 	"accluster/internal/rstar"
@@ -103,6 +104,12 @@ type Options struct {
 	// concurrency sweep (default 8; the sweep doubles 1,2,4,…,Parallel;
 	// negative skips the sweep).
 	Parallel int
+	// DiskCache is the decoded-region cache budget (bytes) of the disk
+	// benchmark's largest sweep point (default 64 MiB; non-positive
+	// values clamp to the default — the sweep always includes a
+	// cache-disabled point, so disabling the cache outright is not a
+	// flag concern).
+	DiskCache int64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -148,6 +155,9 @@ func (o *Options) setDefaults() {
 	// concurrency sweep entirely.
 	if len(o.ShardSweep) == 0 {
 		o.ShardSweep = []int{1, 2, 4, 8}
+	}
+	if o.DiskCache <= 0 {
+		o.DiskCache = diskengine.DefaultCacheBytes
 	}
 }
 

@@ -38,6 +38,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"slices"
+	"sync"
 
 	"accluster/internal/core"
 	"accluster/internal/sig"
@@ -343,26 +345,81 @@ func readDirEntries(dev Device, h header) ([]DirEntry, error) {
 	return entries, nil
 }
 
+// regionBufs pools the raw device images ReadRegionInto stages regions
+// through, so repeated region reads allocate nothing once the pool holds a
+// large-enough buffer.
+var regionBufs = sync.Pool{New: func() any { return new([]byte) }}
+
 // ReadRegion reads and verifies one cluster region, returning the member ids
-// and flat coordinates.
+// and flat coordinates in fresh slices. It is a thin wrapper over
+// ReadRegionInto for callers without buffers to reuse.
 func ReadRegion(dev Device, e DirEntry, dims int) ([]uint32, []float32, error) {
-	region := make([]byte, regionSize(e.Capacity, dims))
+	return ReadRegionInto(dev, e, dims, nil, nil)
+}
+
+// ReadRegionInto reads and verifies one cluster region, appending the member
+// ids and flat (row-major) coordinates to the caller's buffers and returning
+// the extended slices. Reusing the returned slices across calls makes
+// repeated region reads allocation-free at steady state; the raw device
+// image is staged through an internal pool.
+func ReadRegionInto(dev Device, e DirEntry, dims int, ids []uint32, data []float32) ([]uint32, []float32, error) {
+	bufp := regionBufs.Get().(*[]byte)
+	defer regionBufs.Put(bufp)
+	size := regionSize(e.Capacity, dims)
+	if cap(*bufp) < size {
+		*bufp = make([]byte, size)
+	}
+	region := (*bufp)[:size]
 	if _, err := dev.ReadAt(region, e.Offset); err != nil {
-		return nil, nil, corrupt("short region at %d: %v", e.Offset, err)
+		return ids, data, corrupt("short region at %d: %v", e.Offset, err)
 	}
 	if crc32.ChecksumIEEE(region) != e.CRC {
-		return nil, nil, corrupt("region checksum mismatch at %d", e.Offset)
+		return ids, data, corrupt("region checksum mismatch at %d", e.Offset)
 	}
-	ids := make([]uint32, e.Count)
-	for k := range ids {
+	// Presize once: nil-buffer callers (ReadRegion, Load) get the single
+	// exact-size allocation per slice they always had, not append growth.
+	ids = slices.Grow(ids, e.Count)
+	data = slices.Grow(data, e.Count*2*dims)
+	for k := 0; k < e.Count; k++ {
+		ids = append(ids, binary.LittleEndian.Uint32(region[k*4:]))
+	}
+	coordBase := e.Capacity * 4
+	for k := 0; k < e.Count*2*dims; k++ {
+		data = append(data, math.Float32frombits(binary.LittleEndian.Uint32(region[coordBase+k*4:])))
+	}
+	return ids, data, nil
+}
+
+// DecodeRegionColumns validates a region image (the exact on-device bytes of
+// e's region, e.g. one slice of a coalesced read) and decodes the live
+// members into caller-provided structure-of-arrays columns: ids[k] with
+// lo[d][k], hi[d][k]. ids must have length e.Count and lo/hi must hold dims
+// columns of that length — the layout internal/blockcache.Region.Reset
+// prepares. The transpose from the device's row-major record layout happens
+// here, once per device read, so every verification over the decoded region
+// runs on contiguous columns.
+func DecodeRegionColumns(region []byte, e DirEntry, dims int, ids []uint32, lo, hi [][]float32) error {
+	if len(region) != regionSize(e.Capacity, dims) {
+		return corrupt("region image at %d has %d bytes, want %d", e.Offset, len(region), regionSize(e.Capacity, dims))
+	}
+	if crc32.ChecksumIEEE(region) != e.CRC {
+		return corrupt("region checksum mismatch at %d", e.Offset)
+	}
+	for k := 0; k < e.Count; k++ {
 		ids[k] = binary.LittleEndian.Uint32(region[k*4:])
 	}
 	coordBase := e.Capacity * 4
-	data := make([]float32, e.Count*2*dims)
-	for k := range data {
-		data[k] = math.Float32frombits(binary.LittleEndian.Uint32(region[coordBase+k*4:]))
+	stride := 2 * dims * 4
+	for d := 0; d < dims; d++ {
+		loCol, hiCol := lo[d][:e.Count], hi[d][:e.Count]
+		base := coordBase + 2*d*4
+		for k := 0; k < e.Count; k++ {
+			off := base + k*stride
+			loCol[k] = math.Float32frombits(binary.LittleEndian.Uint32(region[off:]))
+			hiCol[k] = math.Float32frombits(binary.LittleEndian.Uint32(region[off+4:]))
+		}
 	}
-	return ids, data, nil
+	return nil
 }
 
 // Load validates the device content and rebuilds the index. cfg supplies the

@@ -38,6 +38,10 @@ type options struct {
 	maxOverlap      float64
 	shards          int
 	fanout          int
+	diskCache       int64
+	diskCacheSet    bool
+	readaheadGap    int64
+	readaheadSet    bool
 
 	// err records the first invalid option value. Validation happens at
 	// the option layer, not only in the engine config: engine defaulting
@@ -174,6 +178,36 @@ func WithShards(n int) Option {
 // (default min(shards, GOMAXPROCS)).
 func WithFanout(workers int) Option {
 	return func(o *options) { o.fanout = workers }
+}
+
+// WithDiskCache sets the decoded-region cache budget (bytes) of a disk
+// query engine opened with OpenDisk (default 64 MiB). The cache holds
+// decoded cluster regions in memory so repeat explorations skip the device
+// entirely; 0 disables it (every exploration reads its region), negative is
+// rejected. Other constructors ignore the option.
+func WithDiskCache(bytes int64) Option {
+	return func(o *options) {
+		if bytes < 0 {
+			o.fail("disk cache budget must be ≥ 0 bytes, got %d", bytes)
+			return
+		}
+		o.diskCache, o.diskCacheSet = bytes, true
+	}
+}
+
+// WithReadahead sets the seek-coalescing readahead gap (bytes) of a disk
+// query engine opened with OpenDisk (default 256 KiB): regions explored by
+// one query whose device gap is at most this many bytes are read in a
+// single sequential transfer instead of paying one seek each. 0 disables
+// coalescing, negative is rejected. Other constructors ignore the option.
+func WithReadahead(gapBytes int64) Option {
+	return func(o *options) {
+		if gapBytes < 0 {
+			o.fail("readahead gap must be ≥ 0 bytes, got %d", gapBytes)
+			return
+		}
+		o.readaheadGap, o.readaheadSet = gapBytes, true
+	}
 }
 
 // WithMaxOverlap sets the X-tree's split-overlap threshold (default 0.2):

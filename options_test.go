@@ -64,6 +64,12 @@ func TestOptionValidation(t *testing.T) {
 		{"budget zero clusters", WithReorgBudget(0, 100), false},
 		{"budget zero objects", WithReorgBudget(100, 0), false},
 		{"shards negative", WithShards(-1), false},
+		{"disk cache valid", WithDiskCache(1 << 20), true},
+		{"disk cache zero", WithDiskCache(0), true},
+		{"disk cache negative", WithDiskCache(-1), false},
+		{"readahead valid", WithReadahead(64 << 10), true},
+		{"readahead zero", WithReadahead(0), true},
+		{"readahead negative", WithReadahead(-4096), false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

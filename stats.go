@@ -41,6 +41,14 @@ type Stats struct {
 	BytesVerified int64
 	// BytesTransferred counts bytes read from disk in the disk scenario.
 	BytesTransferred int64
+	// CacheHits counts explorations served from the decoded-region cache
+	// of a Disk engine: verified in memory, no Seeks and no
+	// BytesTransferred charged (ObjectsVerified still counts). Zero on
+	// engines without a region cache.
+	CacheHits int64
+	// CacheMisses counts explorations that read their region from the
+	// device. Zero on engines without a region cache.
+	CacheMisses int64
 	// Results counts emitted answers.
 	Results int64
 }
@@ -55,6 +63,8 @@ func (s Stats) meter() cost.Meter {
 		ObjectsVerified:  s.ObjectsVerified,
 		BytesVerified:    s.BytesVerified,
 		BytesTransferred: s.BytesTransferred,
+		CacheHits:        s.CacheHits,
+		CacheMisses:      s.CacheMisses,
 		Results:          s.Results,
 	}
 }
