@@ -3,12 +3,14 @@ package accluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"accluster/internal/core"
 	"accluster/internal/cost"
 	"accluster/internal/geom"
 	"accluster/internal/rstar"
 	"accluster/internal/seqscan"
+	"accluster/internal/telemetry"
 )
 
 // Rect is a multidimensional extended object: a closed interval
@@ -113,6 +115,13 @@ type Adaptive struct {
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// Flight recorder (WithTelemetry / WithTelemetryAddr): qhist records
+	// per-query latency — one atomic add per query, nil when telemetry is
+	// off; tel is closed by Close only when this engine owns it.
+	tel    *Telemetry
+	ownTel bool
+	qhist  *telemetry.Histogram
 }
 
 // NewAdaptive builds an adaptive clustering index for the given
@@ -130,7 +139,12 @@ func NewAdaptive(dims int, opts ...Option) (*Adaptive, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newAdaptive(ix), nil
+	a := newAdaptive(ix)
+	if err := a.initTelemetry(o); err != nil {
+		a.Close()
+		return nil, err
+	}
+	return a, nil
 }
 
 // coreConfig maps the gathered options onto a core engine configuration.
@@ -220,6 +234,9 @@ func (a *Adaptive) Close() error {
 			close(a.done)
 			a.wg.Wait()
 		}
+		if a.ownTel && a.tel != nil {
+			_ = a.tel.Close()
+		}
 	})
 	return nil
 }
@@ -278,10 +295,19 @@ func (a *Adaptive) Get(id uint32) (Rect, bool) {
 // search and published afterwards. emit must not call back into the same
 // index.
 func (a *Adaptive) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
+	// Latency capture is branch-guarded rather than deferred so the warm
+	// path stays allocation-free with telemetry on.
+	var t0 time.Time
+	if a.qhist != nil {
+		t0 = time.Now()
+	}
 	a.mu.RLock()
 	err := a.ix.SearchRead(q, rel, emit)
 	a.mu.RUnlock()
 	a.publishStats()
+	if a.qhist != nil {
+		a.qhist.Record(int64(time.Since(t0)))
+	}
 	return err
 }
 
@@ -294,20 +320,34 @@ func (a *Adaptive) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 // extended slice; with a reused dst of sufficient capacity the selection
 // allocates nothing. Concurrent searches run in parallel (shared lock).
 func (a *Adaptive) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
+	var t0 time.Time
+	if a.qhist != nil {
+		t0 = time.Now()
+	}
 	a.mu.RLock()
 	ids, err := a.ix.SearchIDsAppendRead(dst, q, rel)
 	a.mu.RUnlock()
 	a.publishStats()
+	if a.qhist != nil {
+		a.qhist.Record(int64(time.Since(t0)))
+	}
 	return ids, err
 }
 
 // Count returns the number of qualifying objects. Concurrent counts run in
 // parallel (shared lock).
 func (a *Adaptive) Count(q Rect, rel Relation) (int, error) {
+	var t0 time.Time
+	if a.qhist != nil {
+		t0 = time.Now()
+	}
 	a.mu.RLock()
 	n, err := a.ix.CountRead(q, rel)
 	a.mu.RUnlock()
 	a.publishStats()
+	if a.qhist != nil {
+		a.qhist.Record(int64(time.Since(t0)))
+	}
 	return n, err
 }
 

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"accluster/internal/harness"
+	"accluster/internal/telemetry"
 )
 
 func main() {
@@ -50,8 +51,23 @@ func main() {
 		diskJSON   = flag.String("diskjson", "", "run the disk-scenario benchmark (seed-scalar vs columnar, cold/warm x cache sizes) and write JSON results to this file (skips -exp)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telAddr    = flag.String("telemetry", "", "serve the flight-recorder introspection endpoint (runtime gauges, pprof, ring dump) on this address while the experiments run")
 	)
 	flag.Parse()
+
+	if *telAddr != "" {
+		rec := telemetry.New(telemetry.Config{})
+		rec.Register(telemetry.RuntimeSource())
+		rec.Start()
+		defer rec.Close()
+		srv, err := telemetry.Serve(rec, *telAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acbench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "acbench: telemetry on http://%s/telemetry\n", srv.Addr())
+	}
 
 	o := harness.Options{
 		Objects:    *objects,

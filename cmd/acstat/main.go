@@ -1,0 +1,274 @@
+// Command acstat decodes a flight-recorder dump written by the telemetry
+// ring (Telemetry.WriteDump, the /telemetry/dump endpoint, or sdid's dump
+// command) and renders the per-second gauge series plus the query-latency
+// percentile tables.
+//
+// Usage:
+//
+//	acstat dump.bin                     summary + final gauges + percentiles
+//	acstat -series dump.bin             per-sample series table (all columns)
+//	acstat -cols adaptive.queries,runtime.heap_alloc -series -chart dump.bin
+//	acstat -csv out.csv dump.bin        wide CSV, one row per sample
+//
+// Charts reuse the benchmark harness renderer, so the figures look like
+// acbench's; counters are plotted as raw values (use the series table for
+// per-interval deltas).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"accluster/internal/harness"
+	"accluster/internal/telemetry"
+)
+
+func main() {
+	var (
+		cols   = flag.String("cols", "", "comma-separated column subset (default: all)")
+		series = flag.Bool("series", false, "print the full per-sample series table")
+		chart  = flag.Bool("chart", false, "draw ASCII charts of the selected columns")
+		logY   = flag.Bool("log", false, "log-scale chart y axis")
+		csvOut = flag.String("csv", "", "write the series as CSV to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: acstat [flags] <dump-file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *cols, *series, *chart, *logY, *csvOut); err != nil {
+		fmt.Fprintf(os.Stderr, "acstat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, colSpec string, series, chart, logY bool, csvOut string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := telemetry.ReadDump(f)
+	if err != nil {
+		return err
+	}
+
+	nrows := 0
+	for _, s := range d.Segments {
+		nrows += len(s.Rows)
+	}
+	fmt.Printf("%s: %d samples in %d segment(s), interval %dms, %d histogram(s)\n",
+		path, nrows, len(d.Segments), d.IntervalMS, len(d.Hists))
+	if nrows == 0 {
+		return nil
+	}
+
+	var want map[string]bool
+	if colSpec != "" {
+		want = make(map[string]bool)
+		for _, c := range strings.Split(colSpec, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				want[c] = true
+			}
+		}
+	}
+
+	for si, seg := range d.Segments {
+		sel := selectCols(seg, want)
+		if len(sel) == 0 {
+			continue
+		}
+		if len(d.Segments) > 1 {
+			fmt.Printf("\n== segment %d: %d samples ==\n", si+1, len(seg.Rows))
+		}
+		if err := renderFinal(os.Stdout, seg, sel); err != nil {
+			return err
+		}
+		if series {
+			if err := renderSeriesTable(os.Stdout, seg, sel); err != nil {
+				return err
+			}
+		}
+		if chart {
+			if err := renderCharts(os.Stdout, seg, sel, logY); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := renderHists(os.Stdout, d.Hists); err != nil {
+		return err
+	}
+
+	if csvOut != "" {
+		cf, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		for _, seg := range d.Segments {
+			if err := writeCSV(cf, seg); err != nil {
+				cf.Close()
+				return err
+			}
+		}
+		return cf.Close()
+	}
+	return nil
+}
+
+// selectCols returns the indexes of the requested columns of a segment
+// (skipping the leading timestamp, which every rendering handles itself).
+func selectCols(seg telemetry.Segment, want map[string]bool) []int {
+	var sel []int
+	for i, c := range seg.Cols {
+		if c == "ts_ms" {
+			continue
+		}
+		if want == nil || want[c] {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// tsIndex returns the timestamp column index (-1 when absent).
+func tsIndex(seg telemetry.Segment) int {
+	for i, c := range seg.Cols {
+		if c == "ts_ms" {
+			return i
+		}
+	}
+	return -1
+}
+
+// relSeconds formats a row's capture time relative to the segment start.
+func relSeconds(seg telemetry.Segment, ts int, row []int64) string {
+	if ts < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fs", float64(row[ts]-seg.Rows[0][ts])/1000)
+}
+
+// renderFinal prints each selected gauge's final value plus its min and max
+// over the segment — the at-a-glance view.
+func renderFinal(w io.Writer, seg telemetry.Segment, sel []int) error {
+	fmt.Fprintln(w, "\n-- gauges (final sample) --")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "gauge\tlast\tmin\tmax")
+	last := seg.Rows[len(seg.Rows)-1]
+	for _, ci := range sel {
+		lo, hi := last[ci], last[ci]
+		for _, row := range seg.Rows {
+			if row[ci] < lo {
+				lo = row[ci]
+			}
+			if row[ci] > hi {
+				hi = row[ci]
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", seg.Cols[ci], last[ci], lo, hi)
+	}
+	return tw.Flush()
+}
+
+// renderSeriesTable prints one row per sample with the time offset first.
+func renderSeriesTable(w io.Writer, seg telemetry.Segment, sel []int) error {
+	fmt.Fprintln(w, "\n-- per-sample series --")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{"t"}
+	for _, ci := range sel {
+		header = append(header, seg.Cols[ci])
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	ts := tsIndex(seg)
+	for _, row := range seg.Rows {
+		cells := []string{relSeconds(seg, ts, row)}
+		for _, ci := range sel {
+			cells = append(cells, fmt.Sprintf("%d", row[ci]))
+		}
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
+	}
+	return tw.Flush()
+}
+
+// chartGlyph cycles through distinguishable plot glyphs.
+func chartGlyph(i int) byte {
+	const glyphs = "123456789abcdefghijklmnopqrstuvwxyz"
+	return glyphs[i%len(glyphs)]
+}
+
+// renderCharts draws the selected columns with the harness chart renderer,
+// downsampling to a terminal-friendly number of x positions.
+func renderCharts(w io.Writer, seg telemetry.Segment, sel []int, logY bool) error {
+	const maxPoints = 12
+	n := len(seg.Rows)
+	step := 1
+	if n > maxPoints {
+		step = (n + maxPoints - 1) / maxPoints
+	}
+	ts := tsIndex(seg)
+	var labels []string
+	var picks []int
+	for i := 0; i < n; i += step {
+		picks = append(picks, i)
+		labels = append(labels, relSeconds(seg, ts, seg.Rows[i]))
+	}
+	var ss []harness.Series
+	for k, ci := range sel {
+		s := harness.Series{Name: seg.Cols[ci], Glyph: chartGlyph(k)}
+		for _, i := range picks {
+			s.Values = append(s.Values, float64(seg.Rows[i][ci]))
+		}
+		ss = append(ss, s)
+	}
+	fmt.Fprintln(w)
+	return harness.RenderSeries(w, "flight-recorder gauges", labels, ss, logY)
+}
+
+// renderHists prints the percentile table of every recorded histogram.
+func renderHists(w io.Writer, hists []telemetry.HistSnapshot) error {
+	if len(hists) == 0 {
+		return nil
+	}
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	fmt.Fprintln(w, "\n-- latency histograms (µs) --")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "histogram\tcount\tmean\tp50\tp90\tp99\tp99.9\tmax")
+	us := func(ns float64) string { return fmt.Sprintf("%.1f", ns/1e3) }
+	for _, h := range hists {
+		if h.Count() == 0 {
+			fmt.Fprintf(tw, "%s\t0\t-\t-\t-\t-\t-\t-\n", h.Name)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			h.Name, h.Count(), us(h.Mean()),
+			us(float64(h.Quantile(0.50))), us(float64(h.Quantile(0.90))),
+			us(float64(h.Quantile(0.99))), us(float64(h.Quantile(0.999))),
+			us(float64(h.Max())))
+	}
+	return tw.Flush()
+}
+
+// writeCSV emits a segment as wide CSV: the schema as header, one row per
+// sample.
+func writeCSV(w io.Writer, seg telemetry.Segment) error {
+	if _, err := fmt.Fprintln(w, strings.Join(seg.Cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range seg.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = fmt.Sprintf("%d", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -12,6 +12,12 @@
 // The attribute schema is configured with repeated -attr flags:
 //
 //	sdid -attr dist:0:100 -attr price:0:5000 -attr rooms:1:10 -attr baths:1:5
+//
+// With -queue N, subscriptions registered by sub get an N-deep asynchronous
+// delivery queue each (matched events print as they drain); stats then also
+// reports the delivered/dropped counters and the peak queue depth. With
+// -telemetry addr, a flight recorder samples the broker and Go runtime once
+// per second and serves /telemetry, /telemetry/dump and /debug/pprof on addr.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"strings"
 
 	"accluster/internal/pubsub"
+	"accluster/internal/telemetry"
 )
 
 func parseRange(s string) (pubsub.Range, error) {
@@ -76,6 +83,8 @@ func main() {
 		return nil
 	})
 	reorg := flag.Int("reorg", 100, "events between cluster reorganizations")
+	queue := flag.Int("queue", 0, "per-subscriber async delivery queue depth (0 = synchronous matching only)")
+	telAddr := flag.String("telemetry", "", "serve the flight-recorder introspection endpoint on this address (e.g. 127.0.0.1:8125)")
 	flag.Parse()
 
 	if len(schema) == 0 {
@@ -87,10 +96,26 @@ func main() {
 		}
 		fmt.Println("sdid: using default apartment schema (dist, price, rooms, baths)")
 	}
-	broker, err := pubsub.NewBroker(schema, pubsub.Options{ReorgEvery: *reorg})
+	broker, err := pubsub.NewBroker(schema, pubsub.Options{ReorgEvery: *reorg, QueueDepth: *queue})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sdid: %v\n", err)
 		os.Exit(1)
+	}
+	defer broker.Close()
+
+	if *telAddr != "" {
+		rec := telemetry.New(telemetry.Config{})
+		rec.Register(telemetry.RuntimeSource())
+		rec.Register(broker.TelemetrySource())
+		rec.Start()
+		defer rec.Close()
+		srv, err := telemetry.Serve(rec, *telAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdid: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("sdid: telemetry on http://%s/telemetry\n", srv.Addr())
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -108,7 +133,17 @@ func main() {
 				fmt.Println("error:", err)
 				continue
 			}
-			id, err := broker.Subscribe(pubsub.Subscription(ranges))
+			var id uint32
+			if *queue > 0 {
+				// Async delivery: matched events print as each
+				// subscriber's deliverer drains its queue.
+				id, err = broker.SubscribeFunc(pubsub.Subscription(ranges),
+					func(sub uint32, ev pubsub.Event) {
+						fmt.Printf("deliver #%d: %v\n", sub, ev)
+					})
+			} else {
+				id, err = broker.Subscribe(pubsub.Subscription(ranges))
+			}
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -135,6 +170,15 @@ func main() {
 				fmt.Println("error:", err)
 				continue
 			}
+			if *queue > 0 {
+				n, err := broker.Publish(pubsub.Event(ranges))
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Printf("matched %d subscription(s), queued for delivery\n", n)
+				continue
+			}
 			ids, err := broker.Match(pubsub.Event(ranges))
 			if err != nil {
 				fmt.Println("error:", err)
@@ -145,6 +189,13 @@ func main() {
 			st := broker.Stats()
 			fmt.Printf("subscriptions=%d events=%d matches=%d clusters=%d\n",
 				st.Subscriptions, st.Events, st.Matches, st.Clusters)
+			if *queue > 0 {
+				fmt.Printf("delivered=%d dropped=%d queued=%d max_queue_depth=%d\n",
+					st.Delivered, st.Dropped, st.Queued, st.MaxQueueDepth)
+				for _, ss := range broker.SubscriberStats() {
+					fmt.Printf("  #%d delivered=%d dropped=%d\n", ss.ID, ss.Delivered, ss.Dropped)
+				}
+			}
 		default:
 			fmt.Println("commands: sub, unsub, pub, stats, quit")
 		}

@@ -1,8 +1,11 @@
 package accluster
 
 import (
+	"time"
+
 	"accluster/internal/diskengine"
 	"accluster/internal/store"
+	"accluster/internal/telemetry"
 )
 
 // Disk is a read-only query engine over a checkpoint written by SaveFile,
@@ -27,6 +30,11 @@ import (
 type Disk struct {
 	eng *diskengine.Engine
 	dev *store.FileDevice
+
+	// Flight recorder (WithTelemetry / WithTelemetryAddr); see Adaptive.
+	tel    *Telemetry
+	ownTel bool
+	qhist  *telemetry.Histogram
 }
 
 // OpenDisk opens a database file written by SaveFile for direct
@@ -59,34 +67,80 @@ func OpenDisk(path string, opts ...Option) (*Disk, error) {
 		dev.Close()
 		return nil, err
 	}
-	return &Disk{eng: eng, dev: dev}, nil
+	d := &Disk{eng: eng, dev: dev}
+	if err := d.initTelemetry(o); err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return d, nil
 }
 
-// Close releases the underlying file. The cache is dropped with the engine.
-func (d *Disk) Close() error { return d.dev.Close() }
+// Close releases the underlying file and, when the engine owns its flight
+// recorder (WithTelemetryAddr), stops the telemetry sampler and endpoint.
+// The cache is dropped with the engine.
+func (d *Disk) Close() error {
+	err := d.dev.Close()
+	if d.ownTel && d.tel != nil {
+		_ = d.tel.Close()
+		d.ownTel = false
+	}
+	return err
+}
 
 // Search calls emit for every object satisfying the relation with q; emit
 // returning false stops the search (regions not yet read stay unread). The
 // emission order across clusters is unspecified.
 func (d *Disk) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
-	return d.eng.Search(q, rel, emit)
+	var t0 time.Time
+	if d.qhist != nil {
+		t0 = time.Now()
+	}
+	err := d.eng.Search(q, rel, emit)
+	if d.qhist != nil {
+		d.qhist.Record(int64(time.Since(t0)))
+	}
+	return err
 }
 
 // SearchIDs collects all qualifying identifiers.
 func (d *Disk) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
-	return d.eng.SearchIDs(q, rel)
+	var t0 time.Time
+	if d.qhist != nil {
+		t0 = time.Now()
+	}
+	ids, err := d.eng.SearchIDs(q, rel)
+	if d.qhist != nil {
+		d.qhist.Record(int64(time.Since(t0)))
+	}
+	return ids, err
 }
 
 // SearchIDsAppend appends all qualifying identifiers to dst and returns the
 // extended slice; with a reused dst, selections whose regions are all
 // cached allocate nothing.
 func (d *Disk) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
-	return d.eng.SearchIDsAppend(dst, q, rel)
+	var t0 time.Time
+	if d.qhist != nil {
+		t0 = time.Now()
+	}
+	ids, err := d.eng.SearchIDsAppend(dst, q, rel)
+	if d.qhist != nil {
+		d.qhist.Record(int64(time.Since(t0)))
+	}
+	return ids, err
 }
 
 // Count returns the number of qualifying objects.
 func (d *Disk) Count(q Rect, rel Relation) (int, error) {
-	return d.eng.Count(q, rel)
+	var t0 time.Time
+	if d.qhist != nil {
+		t0 = time.Now()
+	}
+	n, err := d.eng.Count(q, rel)
+	if d.qhist != nil {
+		d.qhist.Record(int64(time.Since(t0)))
+	}
+	return n, err
 }
 
 // Len returns the number of stored objects.
@@ -116,6 +170,11 @@ type DiskCacheStats struct {
 	Evictions, Rejected int64
 	// Entries is the number of resident decoded regions.
 	Entries int
+	// Pinned is the number of resident regions currently pinned by
+	// in-flight queries (never evictable); PinnedBytes is their budget
+	// charge.
+	Pinned      int
+	PinnedBytes int64
 	// UsedBytes and BudgetBytes describe the memory budget.
 	UsedBytes, BudgetBytes int64
 }
@@ -130,6 +189,8 @@ func (d *Disk) CacheStats() DiskCacheStats {
 		Evictions:   s.Evictions,
 		Rejected:    s.Rejected,
 		Entries:     s.Entries,
+		Pinned:      s.Pinned,
+		PinnedBytes: s.PinnedBytes,
 		UsedBytes:   s.UsedBytes,
 		BudgetBytes: s.BudgetBytes,
 	}

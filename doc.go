@@ -136,4 +136,21 @@
 // the device merge into single sequential reads, one Seek each. The cache
 // is invalidated by reopening: a Disk opened after a new SaveFile starts a
 // fresh cache generation. Fully cached selections allocate nothing.
+//
+// # Observability
+//
+// Every engine accepts a flight recorder: WithTelemetry attaches a shared
+// Telemetry whose sampler captures engine gauges (object/cluster counts,
+// the operation meter, reorg backlog and epoch, per-shard counts, region
+// cache residency, Go runtime stats) once per interval into a fixed-budget
+// in-memory ring, and records every query's latency into a log-bucketed
+// histogram — one atomic increment plus one atomic add, preserving the
+// allocation-free warm search path. WithTelemetryAddr instead gives the
+// engine its own recorder plus a live introspection endpoint serving
+// /telemetry (JSON), /telemetry/dump (the delta-encoded, CRC-checksummed
+// binary ring dump — decode with cmd/acstat), expvar and net/http/pprof;
+// the endpoint stops with Close. Recorder memory is bounded by
+// construction (WithTelemetryRing): the ring evicts whole chunks
+// oldest-first and each chunk carries its own schema, so old dumps stay
+// decodable.
 package accluster

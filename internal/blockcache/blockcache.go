@@ -114,6 +114,12 @@ type Stats struct {
 	Rejected int64
 	// Entries is the current number of resident regions.
 	Entries int
+	// Pinned is the number of resident regions currently pinned by
+	// in-flight queries; PinnedBytes is their budget charge. Pinned
+	// entries are never evicted, so PinnedBytes bounds how much of
+	// UsedBytes a sweep could not reclaim right now.
+	Pinned      int
+	PinnedBytes int64
 	// UsedBytes and BudgetBytes describe the memory budget.
 	UsedBytes, BudgetBytes int64
 }
@@ -237,11 +243,13 @@ func (c *Cache) Unpin(r *Region) {
 	c.mu.Unlock()
 }
 
-// Stats returns a consistent snapshot of the cache counters.
+// Stats returns a consistent snapshot of the cache counters. The pinned
+// figures are computed by walking the ring under the mutex — bounded by the
+// entry count and intended for periodic sampling, not hot paths.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Hits:        c.hits,
 		Misses:      c.misses,
 		Evictions:   c.evictions,
@@ -250,6 +258,13 @@ func (c *Cache) Stats() Stats {
 		UsedBytes:   c.used,
 		BudgetBytes: c.budget,
 	}
+	for _, e := range c.ring {
+		if e.pins > 0 {
+			s.Pinned++
+			s.PinnedBytes += e.bytes
+		}
+	}
+	return s
 }
 
 // Contains reports whether k is resident (without pinning or touching the

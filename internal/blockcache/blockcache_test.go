@@ -252,3 +252,45 @@ func TestConcurrentCacheStress(t *testing.T) {
 		t.Fatalf("stress exercised nothing: %+v", st)
 	}
 }
+
+func TestStatsPinnedAndEvictionAccounting(t *testing.T) {
+	r0 := mkRegion(16, 2, 0)
+	per := r0.Bytes()
+	c := New(4 * per) // room for exactly four regions
+	regions := make([]*Region, 4)
+	for i := range regions {
+		regions[i] = c.Put(Key{Gen: 1, Cluster: int32(i)}, mkRegion(16, 2, 0))
+	}
+	// All four resident and pinned (Put returns pinned).
+	s := c.Stats()
+	if s.Entries != 4 || s.Pinned != 4 || s.PinnedBytes != 4*per {
+		t.Fatalf("after 4 pinned puts: %+v (per=%d)", s, per)
+	}
+	if s.UsedBytes != 4*per || s.BudgetBytes != 4*per {
+		t.Fatalf("byte accounting: %+v", s)
+	}
+	// Release two pins: pinned figures must drop, residency must not.
+	c.Unpin(regions[0])
+	c.Unpin(regions[1])
+	s = c.Stats()
+	if s.Entries != 4 || s.Pinned != 2 || s.PinnedBytes != 2*per {
+		t.Fatalf("after 2 unpins: %+v", s)
+	}
+	// Admitting a fifth region forces evictions of unpinned entries only.
+	c.Put(Key{Gen: 1, Cluster: 100}, mkRegion(16, 2, 0))
+	s = c.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", s)
+	}
+	if s.Entries+int(s.Evictions) != 5 {
+		t.Fatalf("entries (%d) + evictions (%d) must account for all 5 puts", s.Entries, s.Evictions)
+	}
+	for i := 2; i < 4; i++ { // the still-pinned regions must have survived
+		if !c.Contains(Key{Gen: 1, Cluster: int32(i)}) {
+			t.Fatalf("pinned region %d was evicted", i)
+		}
+	}
+	if s.UsedBytes != int64(s.Entries)*per {
+		t.Fatalf("used bytes %d do not match %d resident entries", s.UsedBytes, s.Entries)
+	}
+}

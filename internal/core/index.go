@@ -212,6 +212,16 @@ func (ix *Index) Merges() int64 { return ix.merges }
 // reorganizations.
 func (ix *Index) ObjectsRelocated() int64 { return ix.objectsRelocated }
 
+// Epoch returns the reorganization epoch: the number of reorganization
+// rounds that have begun (a round in progress counts). Like the other plain
+// counters it must be read under at least the shared lock of a wrapper.
+func (ix *Index) Epoch() int64 { return ix.epoch }
+
+// ReorgBacklog returns the number of clusters queued for revisiting by the
+// incremental reorganizer. Must be read under at least the shared lock of a
+// wrapper.
+func (ix *Index) ReorgBacklog() int { return len(ix.reorgQ) }
+
 // prob converts a decayed match count into an access probability.
 func (ix *Index) prob(q float64) float64 {
 	if ix.window <= 0 {

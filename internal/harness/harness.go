@@ -254,6 +254,9 @@ type MethodResult struct {
 	// latency distribution (µs). Only experiments that time queries
 	// individually (the latency experiment) fill them; zero elsewhere.
 	P50US, P90US, P99US, MaxUS float64
+	// CacheHits and CacheMisses are the region-cache split of explorations
+	// over the run; zero on engines without a region cache.
+	CacheHits, CacheMisses int64
 }
 
 // measure runs the query set against e and summarizes the counters. The
@@ -278,6 +281,8 @@ func measure(e Engine, queries []geom.Rect, rel geom.Relation) (MethodResult, er
 		ModeledDiskMS: m.ModelMSPerQuery(cost.Disk(), objBytes),
 		MeasuredUS:    float64(elapsed.Microseconds()) / nq,
 		AvgResults:    float64(m.Results) / nq,
+		CacheHits:     m.CacheHits,
+		CacheMisses:   m.CacheMisses,
 	}
 	if e.Partitions() > 0 {
 		res.ExploredPct = 100 * float64(m.Explorations) / nq / float64(e.Partitions())

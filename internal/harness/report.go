@@ -107,11 +107,15 @@ func (e *Experiment) Render(w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "\n-- %s: data access --\n", scenario)
+		cached := e.hasCache(methods)
 		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		header = []string{e.XLabel}
 		for _, m := range methods {
 			n := displayName(m)
 			header = append(header, n+" parts", n+" expl%", n+" objs%")
+			if cached {
+				header = append(header, n+" hit%")
+			}
 		}
 		fmt.Fprintln(tw, strings.Join(header, "\t"))
 		for _, p := range e.Points {
@@ -120,12 +124,18 @@ func (e *Experiment) Render(w io.Writer) error {
 				r, ok := p.Results[m]
 				if !ok {
 					row = append(row, "-", "-", "-")
+					if cached {
+						row = append(row, "-")
+					}
 					continue
 				}
 				row = append(row,
 					fmt.Sprintf("%d", r.Partitions),
 					fmt.Sprintf("%.1f", r.ExploredPct),
 					fmt.Sprintf("%.1f", r.VerifiedPct))
+				if cached {
+					row = append(row, cacheHitPct(r))
+				}
 			}
 			fmt.Fprintln(tw, strings.Join(row, "\t"))
 		}
@@ -181,10 +191,34 @@ func (e *Experiment) hasLatency() bool {
 	return false
 }
 
+// hasCache reports whether any of the given methods saw region-cache
+// activity at any point; only then does the data-access table carry the
+// hit-rate column.
+func (e *Experiment) hasCache(methods []string) bool {
+	for _, p := range e.Points {
+		for _, m := range methods {
+			if r, ok := p.Results[m]; ok && r.CacheHits+r.CacheMisses > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cacheHitPct formats a result's region-cache hit rate, "-" without cache
+// activity.
+func cacheHitPct(r MethodResult) string {
+	total := r.CacheHits + r.CacheMisses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(r.CacheHits)/float64(total))
+}
+
 // CSV writes the experiment as comma-separated values, one line per
 // (point, method).
 func (e *Experiment) CSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "experiment,x,method,partitions,explored_pct,verified_pct,modeled_mem_ms,modeled_disk_ms,measured_us,avg_results,p50_us,p90_us,p99_us,max_us"); err != nil {
+	if _, err := fmt.Fprintln(w, "experiment,x,method,partitions,explored_pct,verified_pct,modeled_mem_ms,modeled_disk_ms,measured_us,avg_results,p50_us,p90_us,p99_us,max_us,cache_hits,cache_misses"); err != nil {
 		return err
 	}
 	for _, p := range e.Points {
@@ -193,10 +227,10 @@ func (e *Experiment) CSV(w io.Writer) error {
 			if !ok {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%.4f,%.4f,%.6f,%.6f,%.1f,%.2f,%.1f,%.1f,%.1f,%.1f\n",
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%.4f,%.4f,%.6f,%.6f,%.1f,%.2f,%.1f,%.1f,%.1f,%.1f,%d,%d\n",
 				e.ID, p.Label, m, r.Partitions, r.ExploredPct, r.VerifiedPct,
 				r.ModeledMemMS, r.ModeledDiskMS, r.MeasuredUS, r.AvgResults,
-				r.P50US, r.P90US, r.P99US, r.MaxUS); err != nil {
+				r.P50US, r.P90US, r.P99US, r.MaxUS, r.CacheHits, r.CacheMisses); err != nil {
 				return err
 			}
 		}

@@ -11,12 +11,15 @@ package pubsub
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"accluster/internal/core"
 	"accluster/internal/cost"
 	"accluster/internal/geom"
 	"accluster/internal/shard"
+	"accluster/internal/telemetry"
 )
 
 // Attribute defines one dimension of the subscription schema with its value
@@ -122,17 +125,44 @@ func (l *lockedIndex) Clusters() int {
 	return l.ix.Clusters()
 }
 
+// subscriber is the delivery state of one handler-bearing subscription.
+// delivered/dropped are atomics so the asynchronous deliverer and the stats
+// surface never contend with the broker lock.
+type subscriber struct {
+	id        uint32
+	h         Handler
+	q         chan Event    // nil in synchronous mode
+	done      chan struct{} // closed when the deliverer drained out
+	closed    bool          // guarded by Broker.mu; q has been closed
+	delivered atomic.Int64
+	dropped   atomic.Int64
+}
+
+// run is the per-subscriber deliverer goroutine: it drains the queue in
+// order, invoking the handler outside every broker lock, and keeps draining
+// whatever was enqueued before close.
+func (s *subscriber) run() {
+	defer close(s.done)
+	for ev := range s.q {
+		s.h(s.id, ev)
+		s.delivered.Add(1)
+	}
+}
+
 // Broker is the notification engine. It is safe for concurrent use.
 type Broker struct {
 	schema Schema
 	dims   map[string]int
 	ix     engine
+	depth  int // per-subscriber queue capacity (0 = synchronous)
 
 	mu       sync.Mutex
 	nextID   uint32
-	handlers map[uint32]Handler
+	subs     map[uint32]*subscriber
 	events   int64
 	matches  int64
+	closed   bool
+	maxDepth atomic.Int64 // high-water mark of any subscriber queue
 }
 
 // Options tune the underlying adaptive index.
@@ -146,12 +176,23 @@ type Options struct {
 	// a single mutex-serialized index — events on a busy broker then
 	// match concurrently across cores. 0 or 1 keeps the single index.
 	Shards int
+	// QueueDepth, when > 0, makes notification delivery asynchronous:
+	// every handler-bearing subscription gets a bounded queue of this
+	// capacity drained by its own goroutine, so one slow handler delays
+	// only its own subscriber instead of the publisher. A full queue
+	// drops the event for that subscriber (counted per subscriber);
+	// call Close to stop the deliverers. 0 keeps the synchronous
+	// invoke-from-Publish behavior.
+	QueueDepth int
 }
 
 // NewBroker builds a broker over the given schema.
 func NewBroker(schema Schema, opts Options) (*Broker, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.QueueDepth < 0 {
+		return nil, fmt.Errorf("pubsub: queue depth must be ≥ 0, got %d", opts.QueueDepth)
 	}
 	cfg := core.Config{
 		Dims:       len(schema),
@@ -177,10 +218,11 @@ func NewBroker(schema Schema, opts Options) (*Broker, error) {
 		dims[a.Name] = i
 	}
 	return &Broker{
-		schema:   schema,
-		dims:     dims,
-		ix:       ix,
-		handlers: make(map[uint32]Handler),
+		schema: schema,
+		dims:   dims,
+		ix:     ix,
+		depth:  opts.QueueDepth,
+		subs:   make(map[uint32]*subscriber),
 	}, nil
 }
 
@@ -227,7 +269,8 @@ func (b *Broker) Subscribe(sub Subscription) (uint32, error) {
 }
 
 // SubscribeFunc registers a subscription with a notification handler invoked
-// by Publish for every matching event.
+// for every matching event — directly from Publish in synchronous mode, or
+// by the subscriber's deliverer goroutine with Options.QueueDepth > 0.
 func (b *Broker) SubscribeFunc(sub Subscription, h Handler) (uint32, error) {
 	r, err := b.rectOf(sub)
 	if err != nil {
@@ -240,24 +283,67 @@ func (b *Broker) SubscribeFunc(sub Subscription, h Handler) (uint32, error) {
 	id := b.nextID
 	b.nextID++
 	if h != nil {
-		b.handlers[id] = h
+		s := &subscriber{id: id, h: h}
+		if b.depth > 0 && !b.closed {
+			s.q = make(chan Event, b.depth)
+			s.done = make(chan struct{})
+			go s.run()
+		}
+		b.subs[id] = s
 	}
 	b.mu.Unlock()
 	if err := b.ix.Insert(id, r); err != nil {
 		b.mu.Lock()
-		delete(b.handlers, id)
+		if s := b.subs[id]; s != nil {
+			b.stopLocked(s)
+			delete(b.subs, id)
+		}
 		b.mu.Unlock()
 		return 0, err
 	}
 	return id, nil
 }
 
-// Unsubscribe removes a subscription, reporting whether it existed.
+// stopLocked closes a subscriber's queue (the deliverer drains what is
+// already enqueued, then exits). Caller holds b.mu.
+func (b *Broker) stopLocked(s *subscriber) {
+	if s.q != nil && !s.closed {
+		s.closed = true
+		close(s.q)
+	}
+}
+
+// Unsubscribe removes a subscription, reporting whether it existed. Events
+// already queued for the subscriber are still delivered.
 func (b *Broker) Unsubscribe(id uint32) bool {
 	b.mu.Lock()
-	delete(b.handlers, id)
+	if s := b.subs[id]; s != nil {
+		b.stopLocked(s)
+		delete(b.subs, id)
+	}
 	b.mu.Unlock()
 	return b.ix.Delete(id)
+}
+
+// Close stops all deliverer goroutines, waiting until every queued event has
+// been handled. The broker stays usable for Match afterwards; Publish still
+// matches but no longer invokes handlers of queued subscribers. No-op in
+// synchronous mode (and idempotent in both).
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	var waits []chan struct{}
+	for _, s := range b.subs {
+		b.stopLocked(s)
+		if s.done != nil {
+			waits = append(waits, s.done)
+		}
+	}
+	b.mu.Unlock()
+	for _, d := range waits {
+		<-d
+	}
+	return nil
 }
 
 // Match returns the subscriptions matching the event: subscriptions whose
@@ -279,25 +365,45 @@ func (b *Broker) Match(ev Event) ([]uint32, error) {
 	return ids, nil
 }
 
-// Publish matches the event and invokes the handlers of all matching
-// subscriptions (outside the broker lock).
+// Publish matches the event and notifies the handlers of all matching
+// subscriptions: synchronously (outside the broker lock) by default, or by
+// bounded per-subscriber queues with Options.QueueDepth > 0 — a full queue
+// drops the event for that subscriber and counts the drop, so one slow
+// consumer can never stall the publisher or its peers.
 func (b *Broker) Publish(ev Event) (int, error) {
 	ids, err := b.Match(ev)
 	if err != nil {
 		return 0, err
 	}
 	b.mu.Lock()
-	hs := make([]Handler, 0, len(ids))
-	matched := ids[:0]
+	var direct []*subscriber
 	for _, id := range ids {
-		if h, ok := b.handlers[id]; ok {
-			hs = append(hs, h)
-			matched = append(matched, id)
+		s := b.subs[id]
+		if s == nil {
+			continue
+		}
+		if s.q == nil {
+			direct = append(direct, s)
+			continue
+		}
+		if s.closed {
+			continue
+		}
+		// Non-blocking enqueue under b.mu: the lock orders us against
+		// stopLocked, so a send on a closed queue is impossible.
+		select {
+		case s.q <- ev:
+			if d := int64(len(s.q)); d > b.maxDepth.Load() {
+				b.maxDepth.Store(d)
+			}
+		default:
+			s.dropped.Add(1)
 		}
 	}
 	b.mu.Unlock()
-	for i, h := range hs {
-		h(matched[i], ev)
+	for _, s := range direct {
+		s.h(s.id, ev)
+		s.delivered.Add(1)
 	}
 	return len(ids), nil
 }
@@ -331,6 +437,16 @@ type Stats struct {
 	Subscriptions int
 	Events        int64
 	Matches       int64
+	// Delivered and Dropped total the per-subscriber delivery counters
+	// (handler invocations and queue-full drops). In synchronous mode
+	// Dropped is always 0.
+	Delivered int64
+	Dropped   int64
+	// Queued is the number of events currently waiting in subscriber
+	// queues; MaxQueueDepth is the high-water mark any single queue
+	// reached. Both are 0 in synchronous mode.
+	Queued        int64
+	MaxQueueDepth int64
 	Clusters      int
 }
 
@@ -339,11 +455,63 @@ func (b *Broker) Stats() Stats {
 	subs, clusters := b.ix.Len(), b.ix.Clusters()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Subscriptions: subs,
 		Events:        b.events,
 		Matches:       b.matches,
+		MaxQueueDepth: b.maxDepth.Load(),
 		Clusters:      clusters,
+	}
+	for _, sub := range b.subs {
+		s.Delivered += sub.delivered.Load()
+		s.Dropped += sub.dropped.Load()
+		if sub.q != nil {
+			s.Queued += int64(len(sub.q))
+		}
+	}
+	return s
+}
+
+// SubscriberStats describes the delivery state of one handler-bearing
+// subscription.
+type SubscriberStats struct {
+	// ID is the subscription identifier.
+	ID uint32
+	// Delivered counts handler invocations; Dropped counts events lost
+	// to a full queue.
+	Delivered, Dropped int64
+	// QueueLen is the current queue occupancy (0 in synchronous mode).
+	QueueLen int
+}
+
+// SubscriberStats returns per-subscriber delivery counters in id order
+// (subscriptions without handlers have no delivery state and are omitted).
+func (b *Broker) SubscriberStats() []SubscriberStats {
+	b.mu.Lock()
+	out := make([]SubscriberStats, 0, len(b.subs))
+	for _, s := range b.subs {
+		st := SubscriberStats{ID: s.id, Delivered: s.delivered.Load(), Dropped: s.dropped.Load()}
+		if s.q != nil {
+			st.QueueLen = len(s.q)
+		}
+		out = append(out, st)
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TelemetrySource exposes broker activity as a flight-recorder gauge source.
+func (b *Broker) TelemetrySource() telemetry.Source {
+	return telemetry.Source{
+		Name: "pubsub",
+		Cols: []string{"subscriptions", "events", "matches", "delivered",
+			"dropped", "queued", "max_queue_depth", "clusters"},
+		Read: func(dst []int64) []int64 {
+			s := b.Stats()
+			return append(dst, int64(s.Subscriptions), s.Events, s.Matches,
+				s.Delivered, s.Dropped, s.Queued, s.MaxQueueDepth, int64(s.Clusters))
+		},
 	}
 }
 

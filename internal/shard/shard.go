@@ -533,12 +533,20 @@ func (e *Engine) Merges() int64 {
 	return n
 }
 
-// ShardInfo summarizes one partition for balance monitoring.
+// ShardInfo summarizes one partition for balance monitoring and telemetry.
 type ShardInfo struct {
 	// Objects is the number of objects the shard stores.
 	Objects int
 	// Clusters is the shard's materialized cluster count.
 	Clusters int
+	// ReorgBacklog is the number of clusters queued for revisiting by the
+	// shard's incremental reorganizer.
+	ReorgBacklog int
+	// StatsBacklog is the number of deferred statistics publications
+	// waiting to be applied.
+	StatsBacklog int
+	// Epoch is the shard's reorganization epoch.
+	Epoch int64
 	// Meter is the shard-local operation counters.
 	Meter cost.Meter
 }
@@ -548,7 +556,14 @@ func (e *Engine) ShardInfos() []ShardInfo {
 	out := make([]ShardInfo, len(e.shards))
 	for i, s := range e.shards {
 		s.mu.RLock()
-		out[i] = ShardInfo{Objects: s.ix.Len(), Clusters: s.ix.Clusters(), Meter: s.ix.Meter()}
+		out[i] = ShardInfo{
+			Objects:      s.ix.Len(),
+			Clusters:     s.ix.Clusters(),
+			ReorgBacklog: s.ix.ReorgBacklog(),
+			StatsBacklog: s.ix.StatsBacklog(),
+			Epoch:        s.ix.Epoch(),
+			Meter:        s.ix.Meter(),
+		}
 		s.mu.RUnlock()
 	}
 	return out

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Segment is a maximal run of decoded samples sharing one column schema.
+// Adjacent chunks with identical schemas are merged, so a dump from a
+// recorder whose sources never changed decodes to a single segment.
+type Segment struct {
+	// Cols is the row schema; Cols[0] is always "ts_ms".
+	Cols []string
+	// Rows holds one decoded gauge row per sample, oldest first.
+	Rows [][]int64
+}
+
+// Dump is the decoded form of a flight-recorder dump.
+type Dump struct {
+	// IntervalMS is the recorder's sampling period in milliseconds.
+	IntervalMS uint64
+	// Segments holds the time series, oldest first.
+	Segments []Segment
+	// Hists holds the histogram snapshots, in dump order.
+	Hists []HistSnapshot
+}
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("telemetry: corrupt dump: "+format, args...)
+}
+
+// ReadDump parses a binary dump produced by Recorder.DumpTo, verifying every
+// CRC.
+func ReadDump(r io.Reader) (*Dump, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 16 {
+		return nil, corrupt("truncated header (%d bytes)", len(raw))
+	}
+	if m := binary.LittleEndian.Uint32(raw[0:]); m != dumpMagic {
+		return nil, corrupt("bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:]); v != dumpVersion {
+		return nil, fmt.Errorf("telemetry: unsupported dump version %d", v)
+	}
+	d := &Dump{IntervalMS: binary.LittleEndian.Uint64(raw[8:])}
+	b := raw[16:]
+	for {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, corrupt("bad chunk length")
+		}
+		b = b[sz:]
+		if n == 0 {
+			break
+		}
+		if uint64(len(b)) < n {
+			return nil, corrupt("chunk overruns dump (%d > %d)", n, len(b))
+		}
+		cols, rows, err := decodeChunk(b[:n])
+		if err != nil {
+			return nil, err
+		}
+		b = b[n:]
+		if k := len(d.Segments); k > 0 && equalCols(d.Segments[k-1].Cols, cols) {
+			d.Segments[k-1].Rows = append(d.Segments[k-1].Rows, rows...)
+		} else {
+			d.Segments = append(d.Segments, Segment{Cols: cols, Rows: rows})
+		}
+	}
+	hists, err := decodeHists(b)
+	if err != nil {
+		return nil, err
+	}
+	d.Hists = hists
+	return d, nil
+}
+
+// decodeChunk parses one sealed chunk (see sealChunk for the layout).
+func decodeChunk(b []byte) (cols []string, rows [][]int64, err error) {
+	if len(b) < 4 {
+		return nil, nil, corrupt("short chunk (%d bytes)", len(b))
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, nil, corrupt("chunk checksum mismatch (%#x != %#x)", got, sum)
+	}
+	ncols, sz := binary.Uvarint(body)
+	if sz <= 0 || ncols == 0 || ncols > 1<<16 {
+		return nil, nil, corrupt("bad column count")
+	}
+	body = body[sz:]
+	cols = make([]string, ncols)
+	for i := range cols {
+		n, sz := binary.Uvarint(body)
+		if sz <= 0 || uint64(len(body)-sz) < n {
+			return nil, nil, corrupt("bad column name")
+		}
+		cols[i] = string(body[sz : sz+int(n)])
+		body = body[sz+int(n):]
+	}
+	nrows, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, nil, corrupt("bad row count")
+	}
+	body = body[sz:]
+	rows = make([][]int64, nrows)
+	prev := make([]int64, ncols)
+	for i := range rows {
+		row := make([]int64, ncols)
+		for j := range row {
+			v, sz := binary.Varint(body)
+			if sz <= 0 {
+				return nil, nil, corrupt("truncated row %d", i)
+			}
+			body = body[sz:]
+			if i == 0 {
+				row[j] = v // first row is absolute
+			} else {
+				row[j] = prev[j] + v
+			}
+		}
+		copy(prev, row)
+		rows[i] = row
+	}
+	if len(body) != 0 {
+		return nil, nil, corrupt("%d trailing chunk bytes", len(body))
+	}
+	return cols, rows, nil
+}
+
+// decodeHists parses the trailing histogram section.
+func decodeHists(b []byte) ([]HistSnapshot, error) {
+	if len(b) < 4 {
+		return nil, corrupt("short histogram section (%d bytes)", len(b))
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, corrupt("histogram checksum mismatch (%#x != %#x)", got, sum)
+	}
+	nh, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, corrupt("bad histogram count")
+	}
+	body = body[sz:]
+	out := make([]HistSnapshot, 0, nh)
+	for i := uint64(0); i < nh; i++ {
+		var h HistSnapshot
+		n, sz := binary.Uvarint(body)
+		if sz <= 0 || uint64(len(body)-sz) < n {
+			return nil, corrupt("bad histogram name")
+		}
+		h.Name = string(body[sz : sz+int(n)])
+		body = body[sz+int(n):]
+		v, vsz := binary.Varint(body)
+		if vsz <= 0 {
+			return nil, corrupt("bad histogram sum")
+		}
+		h.Sum = v
+		body = body[vsz:]
+		nz, sz2 := binary.Uvarint(body)
+		if sz2 <= 0 {
+			return nil, corrupt("bad histogram bucket count")
+		}
+		body = body[sz2:]
+		for j := uint64(0); j < nz; j++ {
+			idx, s1 := binary.Uvarint(body)
+			if s1 <= 0 {
+				return nil, corrupt("bad bucket index")
+			}
+			body = body[s1:]
+			cnt, s2 := binary.Uvarint(body)
+			if s2 <= 0 {
+				return nil, corrupt("bad bucket value")
+			}
+			body = body[s2:]
+			if idx >= HistBuckets {
+				return nil, corrupt("bucket index %d out of range", idx)
+			}
+			h.Counts[idx] = cnt
+		}
+		out = append(out, h)
+	}
+	if len(body) != 0 {
+		return nil, corrupt("%d trailing bytes", len(body))
+	}
+	return out, nil
+}
+
+func equalCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Column returns the per-sample series of the named column in the segment,
+// or an error if the column is absent.
+func (s *Segment) Column(name string) ([]int64, error) {
+	for i, c := range s.Cols {
+		if c == name {
+			out := make([]int64, len(s.Rows))
+			for j, row := range s.Rows {
+				out[j] = row[i]
+			}
+			return out, nil
+		}
+	}
+	return nil, errors.New("telemetry: no column " + name)
+}

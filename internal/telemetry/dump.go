@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+// Dump file format (all integers little-endian or varint as noted),
+// mirroring the internal/store conventions (magic + version header, CRC32
+// checksums over every self-contained section):
+//
+//	uint32  magic "ACTM" (0x4D544341)
+//	uint32  version (1)
+//	uint64  sampling interval, milliseconds
+//	chunks: (uvarint chunkLen, chunkLen bytes)*  — see sealChunk
+//	uvarint 0  (chunk terminator)
+//	histogram section:
+//	  uvarint nhists
+//	  per histogram:
+//	    uvarint len(name), name bytes
+//	    varint  sum
+//	    uvarint count of non-zero buckets
+//	    per non-zero bucket: uvarint index, uvarint count
+//	  uint32 CRC32-IEEE of the section (from nhists up to here)
+//
+// Every chunk embeds its own schema, so a dump remains decodable even after
+// the ring evicted arbitrary whole chunks or a source registration changed
+// the schema mid-flight.
+const (
+	dumpMagic   = 0x4D544341 // "ACTM" little-endian
+	dumpVersion = 1
+)
+
+// DumpTo writes the complete ring (sealed chunks plus the in-progress chunk)
+// and all histogram counters to w in the binary dump format. The recorder
+// keeps running; the dump is a consistent copy, not a drain.
+func (r *Recorder) DumpTo(w io.Writer) error {
+	r.mu.Lock()
+	chunks := make([][]byte, 0, len(r.sealed)+1)
+	chunks = append(chunks, r.sealed...)
+	if r.cur.n > 0 {
+		// Seal a copy under the lock: the live buffer keeps growing after
+		// we release it.
+		chunks = append(chunks, sealChunk(&r.cur))
+	}
+	intervalMS := uint64(r.cfg.Interval.Milliseconds())
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], dumpMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], dumpVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], intervalMS)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var scratch []byte
+	for _, c := range chunks {
+		scratch = binary.AppendUvarint(scratch[:0], uint64(len(c)))
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+		if _, err := bw.Write(c); err != nil {
+			return err
+		}
+	}
+	scratch = binary.AppendUvarint(scratch[:0], 0)
+	if _, err := bw.Write(scratch); err != nil {
+		return err
+	}
+
+	hists := r.Histograms()
+	sec := binary.AppendUvarint(nil, uint64(len(hists)))
+	for i := range hists {
+		h := &hists[i]
+		sec = binary.AppendUvarint(sec, uint64(len(h.Name)))
+		sec = append(sec, h.Name...)
+		sec = binary.AppendVarint(sec, h.Sum)
+		nz := 0
+		for _, c := range h.Counts {
+			if c != 0 {
+				nz++
+			}
+		}
+		sec = binary.AppendUvarint(sec, uint64(nz))
+		for i, c := range h.Counts {
+			if c != 0 {
+				sec = binary.AppendUvarint(sec, uint64(i))
+				sec = binary.AppendUvarint(sec, c)
+			}
+		}
+	}
+	sec = binary.LittleEndian.AppendUint32(sec, crc32.ChecksumIEEE(sec))
+	if _, err := bw.Write(sec); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,193 @@
+// Package telemetry is the engine's flight recorder: an always-on,
+// fixed-overhead observability substrate for production deployments. It has
+// three pieces, mirroring the shape of MongoDB's FTDC ("full-time diagnostic
+// data capture"):
+//
+//   - Per-query latency histograms (Histogram): log-bucketed HDR-style
+//     counters recorded lock-free on the query hot paths — one atomic add
+//     per observation, no allocation, bounded relative error (~6% from 8
+//     sub-buckets per power of two).
+//   - A metrics ring (Recorder): a sampler goroutine captures, once per
+//     second, a gauge row from every registered Source into a preallocated
+//     in-memory ring of bounded bytes. Rows are delta-encoded into chunks
+//     (schema header + zigzag varints + CRC32, following the store-format
+//     conventions), so hours of per-second history fit in about a megabyte
+//     and the memory bound holds no matter how long the process runs: when
+//     the budget fills, the oldest chunks fall off whole.
+//   - A live introspection surface (Handler/Serve): current gauges and
+//     histogram percentiles as JSON and expvar, net/http/pprof under the
+//     same mux, and a ring-dump trigger for post-hoc analysis with
+//     cmd/acstat.
+//
+// The recorder answers "what was the cache hit ratio / reorg backlog / p99
+// when latency spiked thirty seconds ago" on a running process — the
+// question pull-based Stats snapshots cannot, because by the time someone
+// asks, the state that mattered is gone.
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: 8 sub-buckets per power of two (HDR style).
+// Values 0..15 are exact; above that each power of two splits into 8
+// log-linear buckets, so any recorded value lands in a bucket whose bounds
+// are within 1/8 (12.5%) of each other — percentile error is bounded by
+// half of that. 512 buckets cover the full non-negative int64 range.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// HistBuckets is the fixed bucket count of every Histogram.
+	HistBuckets = (63-histSubBits+1)*histSub + histSub
+)
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 2*histSub {
+		return int(u) // exact buckets 0..15
+	}
+	exp := bits.Len64(u) - 1 // ≥ histSubBits+1
+	sub := (u >> (uint(exp) - histSubBits)) & (histSub - 1)
+	return (exp-histSubBits)*histSub + histSub + int(sub)
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func bucketLow(i int) int64 {
+	if i < 2*histSub {
+		return int64(i)
+	}
+	exp := i/histSub + histSubBits - 1
+	sub := i % histSub
+	return int64(1)<<uint(exp) | int64(sub)<<uint(exp-histSubBits)
+}
+
+// bucketHigh returns the largest value mapping to bucket i.
+func bucketHigh(i int) int64 {
+	if i >= HistBuckets-1 {
+		return int64(^uint64(0) >> 1)
+	}
+	return bucketLow(i+1) - 1
+}
+
+// Histogram is a log-bucketed latency histogram safe for concurrent
+// recording from any number of goroutines. Record is one atomic increment
+// plus one atomic add — no locks, no allocation — so it belongs on query
+// hot paths. The zero value is NOT usable; create histograms through
+// Recorder.Histogram (which also includes them in ring dumps) or NewHistogram.
+type Histogram struct {
+	name   string
+	counts [HistBuckets]atomic.Uint64
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a standalone named histogram.
+func NewHistogram(name string) *Histogram { return &Histogram{name: name} }
+
+// Name returns the histogram's registration name.
+func (h *Histogram) Name() string { return h.name }
+
+// Record adds one observation (negative values clamp to zero).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// RecordSince records the nanoseconds elapsed since t0.
+func (h *Histogram) RecordSince(t0 time.Time) {
+	h.Record(int64(time.Since(t0)))
+}
+
+// Snapshot returns a consistent-enough copy of the counters: every bucket
+// value is atomically loaded, so each is exact as of some instant during the
+// call; observations racing with the snapshot may or may not be included.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Name: h.name, Sum: h.sum.Load()}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
+// HistSnapshot is an immutable copy of a histogram's counters.
+type HistSnapshot struct {
+	// Name is the histogram's registration name.
+	Name string
+	// Counts holds the per-bucket observation counts.
+	Counts [HistBuckets]uint64
+	// Sum is the total of all recorded values (for the mean).
+	Sum int64
+}
+
+// Count returns the number of observations.
+func (s HistSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile observation (q in
+// [0,1]): the upper bound of the bucket holding that observation, which is
+// within the bucket's 12.5% relative width of the true value. Returns 0 when
+// the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen > rank {
+			return bucketHigh(i)
+		}
+	}
+	return bucketHigh(HistBuckets - 1)
+}
+
+// Max returns an upper bound of the largest observation (0 when empty).
+func (s HistSnapshot) Max() int64 {
+	for i := HistBuckets - 1; i >= 0; i-- {
+		if s.Counts[i] != 0 {
+			return bucketHigh(i)
+		}
+	}
+	return 0
+}

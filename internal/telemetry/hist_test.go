@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketBounds(t *testing.T) {
+	vals := []int64{0, 1, 7, 8, 15, 16, 17, 100, 1000, 4095, 4096, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range vals {
+		i := bucketOf(v)
+		if i < 0 || i >= HistBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, i)
+		}
+		if lo, hi := bucketLow(i), bucketHigh(i); v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket %d bounds [%d,%d]", v, i, lo, hi)
+		}
+	}
+	// Bucket bounds must tile the non-negative range without gaps.
+	for i := 1; i < HistBuckets; i++ {
+		if bucketLow(i) != bucketHigh(i-1)+1 {
+			t.Fatalf("gap between buckets %d and %d: high=%d low=%d",
+				i-1, i, bucketHigh(i-1), bucketLow(i))
+		}
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	for v := int64(16); v < 1<<30; v = v*17/16 + 1 {
+		i := bucketOf(v)
+		lo, hi := bucketLow(i), bucketHigh(i)
+		if width := float64(hi-lo+1) / float64(lo); width > 0.126 {
+			t.Fatalf("bucket %d [%d,%d] relative width %.3f > 12.5%%", i, lo, hi, width)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("q")
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if got := s.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	if mean := s.Mean(); math.Abs(mean-500.5) > 1e-9 {
+		t.Fatalf("mean = %g, want 500.5", mean)
+	}
+	checks := []struct {
+		q    float64
+		want int64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}, {1.0, 1000}}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if got < c.want || float64(got) > float64(c.want)*1.13 {
+			t.Errorf("q%.2f = %d, want within 13%% above %d", c.q, got, c.want)
+		}
+	}
+	if max := s.Max(); max < 1000 || max > 1024 {
+		t.Fatalf("max = %d, want within [1000,1024]", max)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram("e")
+	s := h.Snapshot()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatal("empty histogram must read as zeros")
+	}
+	h.Record(-42) // clamps to 0
+	s = h.Snapshot()
+	if s.Count() != 1 || s.Counts[0] != 1 || s.Sum != 0 {
+		t.Fatalf("negative record not clamped: %+v", s)
+	}
+}
+
+// TestHistogramConcurrent is the -race stress for concurrent recording: many
+// writers against a snapshotting reader, with an exact total afterwards.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("c")
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				_ = s.Quantile(0.99)
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(seed int64) {
+			defer ww.Done()
+			v := seed
+			for i := 0; i < perWriter; i++ {
+				v = v*6364136223846793005 + 1442695040888963407
+				h.Record(v >> 33 & 0xfffff)
+			}
+		}(int64(w + 1))
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Snapshot().Count(); got != writers*perWriter {
+		t.Fatalf("lost updates: count = %d, want %d", got, writers*perWriter)
+	}
+}

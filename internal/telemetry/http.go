@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Routes served by Handler/Serve:
+//
+//	/telemetry       current gauges + histogram percentiles, JSON
+//	/telemetry/dump  the binary ring dump (decode with cmd/acstat)
+//	/debug/vars      expvar (process globals + the recorder's gauges)
+//	/debug/pprof/    the standard net/http/pprof profiles
+//
+// The gauge set is additionally published through the package-level expvar
+// variable "accluster", so an existing expvar scraper picks it up without
+// knowing the /telemetry route.
+
+// histJSON is the JSON shape of one histogram in the /telemetry response.
+type histJSON struct {
+	Name   string  `json:"name"`
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  int64   `json:"p50_ns"`
+	P90NS  int64   `json:"p90_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	MaxNS  int64   `json:"max_ns"`
+}
+
+// telemetryJSON is the /telemetry response body.
+type telemetryJSON struct {
+	IntervalMS int64            `json:"interval_ms"`
+	Samples    int64            `json:"samples"`
+	RingBytes  int              `json:"ring_bytes"`
+	Gauges     map[string]int64 `json:"gauges"`
+	Hists      []histJSON       `json:"hists"`
+}
+
+func (r *Recorder) telemetryBody() telemetryJSON {
+	cols, row := r.Gauges()
+	g := make(map[string]int64, len(row))
+	for i := range row {
+		g[cols[i]] = row[i]
+	}
+	body := telemetryJSON{
+		IntervalMS: r.cfg.Interval.Milliseconds(),
+		Samples:    r.Samples(),
+		RingBytes:  r.RingBytes(),
+		Gauges:     g,
+		Hists:      []histJSON{},
+	}
+	for _, h := range r.Histograms() {
+		body.Hists = append(body.Hists, histJSON{
+			Name:   h.Name,
+			Count:  h.Count(),
+			MeanNS: h.Mean(),
+			P50NS:  h.Quantile(0.50),
+			P90NS:  h.Quantile(0.90),
+			P99NS:  h.Quantile(0.99),
+			MaxNS:  h.Max(),
+		})
+	}
+	return body
+}
+
+// expvar publication: a single package-level "accluster" variable lists the
+// gauge maps of every live recorder (expvar.Publish panics on duplicates, so
+// per-recorder variables would break multi-engine processes and tests).
+var (
+	expMu      sync.Mutex
+	expRecs    []*Recorder
+	expPublish sync.Once
+)
+
+func expvarAttach(r *Recorder) {
+	expMu.Lock()
+	defer expMu.Unlock()
+	for _, x := range expRecs {
+		if x == r {
+			return
+		}
+	}
+	expRecs = append(expRecs, r)
+	expPublish.Do(func() {
+		expvar.Publish("accluster", expvar.Func(func() any {
+			expMu.Lock()
+			recs := make([]*Recorder, len(expRecs))
+			copy(recs, expRecs)
+			expMu.Unlock()
+			out := make([]telemetryJSON, len(recs))
+			for i, rec := range recs {
+				out[i] = rec.telemetryBody()
+			}
+			return out
+		}))
+	})
+}
+
+func expvarDetach(r *Recorder) {
+	expMu.Lock()
+	defer expMu.Unlock()
+	for i, x := range expRecs {
+		if x == r {
+			expRecs = append(expRecs[:i], expRecs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Handler returns the introspection mux for the recorder and registers the
+// recorder's gauges with expvar.
+func Handler(r *Recorder) http.Handler {
+	expvarAttach(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.telemetryBody())
+	})
+	mux.HandleFunc("/telemetry/dump", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="accluster.actm"`)
+		_ = r.DumpTo(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live introspection endpoint bound to one recorder.
+type Server struct {
+	rec *Recorder
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (":0" picks a free port;
+// see Addr). The recorder is registered with expvar until the server — or
+// the recorder it serves — is closed.
+func Serve(r *Recorder, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{rec: r, ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down and detaches the recorder from expvar.
+func (s *Server) Close() error {
+	expvarDetach(s.rec)
+	return s.srv.Close()
+}

@@ -1,0 +1,314 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Source is one subsystem's gauge contribution to the flight recorder: a
+// fixed column schema plus a read callback. Read appends exactly one value
+// per column to dst and returns the extended slice; it is called from the
+// sampler goroutine once per interval, so it must be safe to call
+// concurrently with the subsystem's normal operation (read atomics, take a
+// shared lock, or snapshot a SyncMeter — never block for long). Short reads
+// are zero-padded and long reads truncated, so a misbehaving source cannot
+// corrupt the row schema.
+type Source struct {
+	// Name prefixes every column ("name.col"); duplicates are uniquified
+	// at registration.
+	Name string
+	// Cols names the gauges this source contributes, in Read order.
+	Cols []string
+	// Read appends len(Cols) current gauge values to dst.
+	Read func(dst []int64) []int64
+}
+
+// Config tunes a Recorder. The zero value is usable: 1 MiB ring, 1 s
+// sampling interval, 64 samples per chunk.
+type Config struct {
+	// RingBytes bounds the encoded ring size; when the budget fills, the
+	// oldest sealed chunks are evicted whole. Default 1 MiB.
+	RingBytes int
+	// Interval is the sampling period of the background sampler started
+	// by Start. Default 1 s.
+	Interval time.Duration
+	// MaxChunkSamples caps rows per chunk; a sealed chunk is immutable
+	// and carries its own schema header and CRC, so eviction and partial
+	// dumps stay self-describing. Default 64.
+	MaxChunkSamples int
+}
+
+const (
+	defaultRingBytes       = 1 << 20
+	defaultInterval        = time.Second
+	defaultMaxChunkSamples = 64
+)
+
+// Recorder is the flight recorder: it samples all registered sources into a
+// bounded in-memory ring of delta-encoded chunks and owns the process's
+// latency histograms. All methods are safe for concurrent use.
+type Recorder struct {
+	cfg Config
+	now func() time.Time // test seam; time.Now otherwise
+
+	mu      sync.Mutex
+	sources []Source
+	cols    []string // full row schema: "ts_ms" + per-source columns
+	sealed  [][]byte // encoded immutable chunks, oldest first
+	sealedB int      // total bytes across sealed
+	cur     chunkEnc // chunk being appended to
+	lastRow []int64  // most recent sample, for live gauges
+	samples int64    // rows captured since creation (survives eviction)
+
+	histMu sync.Mutex
+	hists  []*Histogram
+	histIx map[string]*Histogram
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// chunkEnc accumulates one chunk's delta-encoded rows.
+type chunkEnc struct {
+	cols []string // schema captured when the chunk opened
+	n    int      // rows encoded
+	prev []int64  // previous row, for deltas
+	buf  []byte   // encoded row bytes (no header yet)
+}
+
+// New builds a Recorder. Register sources, then Start the sampler (or drive
+// Sample manually, e.g. from tests).
+func New(cfg Config) *Recorder {
+	if cfg.RingBytes <= 0 {
+		cfg.RingBytes = defaultRingBytes
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = defaultInterval
+	}
+	if cfg.MaxChunkSamples <= 0 {
+		cfg.MaxChunkSamples = defaultMaxChunkSamples
+	}
+	r := &Recorder{
+		cfg:    cfg,
+		now:    time.Now,
+		cols:   []string{"ts_ms"},
+		histIx: make(map[string]*Histogram),
+	}
+	return r
+}
+
+// Interval returns the configured sampling period.
+func (r *Recorder) Interval() time.Duration { return r.cfg.Interval }
+
+// Register adds a gauge source. Registering while the recorder is running is
+// allowed: the current chunk is sealed so every chunk's embedded schema stays
+// exact. A duplicate source name gets a "#n" suffix; the uniquified name is
+// returned.
+func (r *Recorder) Register(src Source) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := src.Name
+	for n := 2; r.hasSourceLocked(name); n++ {
+		name = fmt.Sprintf("%s#%d", src.Name, n)
+	}
+	src.Name = name
+	r.sealLocked()
+	r.sources = append(r.sources, src)
+	cols := make([]string, 0, len(r.cols)+len(src.Cols))
+	cols = append(cols, r.cols...)
+	for _, c := range src.Cols {
+		cols = append(cols, name+"."+c)
+	}
+	r.cols = cols
+	r.lastRow = nil
+	return name
+}
+
+func (r *Recorder) hasSourceLocked(name string) bool {
+	for _, s := range r.sources {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Histogram returns the latency histogram registered under name, creating it
+// on first use. Histograms are included in ring dumps and in the live
+// introspection surface.
+func (r *Recorder) Histogram(name string) *Histogram {
+	r.histMu.Lock()
+	defer r.histMu.Unlock()
+	if h, ok := r.histIx[name]; ok {
+		return h
+	}
+	h := NewHistogram(name)
+	r.histIx[name] = h
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Histograms snapshots every registered histogram, in name order.
+func (r *Recorder) Histograms() []HistSnapshot {
+	r.histMu.Lock()
+	hs := make([]*Histogram, len(r.hists))
+	copy(hs, r.hists)
+	r.histMu.Unlock()
+	out := make([]HistSnapshot, len(hs))
+	for i, h := range hs {
+		out[i] = h.Snapshot()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Sample captures one row from all registered sources into the ring. The
+// background sampler calls this once per interval; tests may call it
+// directly.
+func (r *Recorder) Sample() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	row := r.lastRow[:0]
+	row = append(row, r.now().UnixMilli())
+	for _, src := range r.sources {
+		want := len(row) + len(src.Cols)
+		row = src.Read(row)
+		for len(row) < want { // short read: zero-pad
+			row = append(row, 0)
+		}
+		row = row[:want] // long read: truncate
+	}
+	r.lastRow = row
+	r.appendLocked(row)
+	r.samples++
+}
+
+// appendLocked delta-encodes one row into the current chunk, sealing and
+// evicting as budgets dictate.
+func (r *Recorder) appendLocked(row []int64) {
+	c := &r.cur
+	if c.n == 0 {
+		c.cols = r.cols
+		// First row of a chunk is absolute.
+		for _, v := range row {
+			c.buf = binary.AppendVarint(c.buf, v)
+		}
+	} else {
+		for i, v := range row {
+			c.buf = binary.AppendVarint(c.buf, v-c.prev[i])
+		}
+	}
+	c.prev = append(c.prev[:0], row...)
+	c.n++
+	if c.n >= r.cfg.MaxChunkSamples {
+		r.sealLocked()
+	}
+	for r.sealedB+len(r.cur.buf) > r.cfg.RingBytes && len(r.sealed) > 0 {
+		r.sealedB -= len(r.sealed[0])
+		r.sealed[0] = nil
+		r.sealed = r.sealed[1:]
+	}
+}
+
+// sealLocked freezes the current chunk (schema header + row count + rows +
+// CRC32) and opens a fresh one. No-op when the chunk is empty.
+func (r *Recorder) sealLocked() {
+	if r.cur.n == 0 {
+		return
+	}
+	b := sealChunk(&r.cur)
+	r.sealed = append(r.sealed, b)
+	r.sealedB += len(b)
+	r.cur.n = 0
+	r.cur.buf = nil // sealed data may alias; start fresh
+	r.cur.cols = nil
+}
+
+// sealChunk assembles the immutable encoding of a chunk:
+//
+//	uvarint ncols, (uvarint len + bytes)*  column names
+//	uvarint nrows
+//	rows: varint per column, first row absolute, later rows deltas
+//	uint32 CRC32-IEEE of everything above (little-endian)
+func sealChunk(c *chunkEnc) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(c.cols)))
+	for _, col := range c.cols {
+		b = binary.AppendUvarint(b, uint64(len(col)))
+		b = append(b, col...)
+	}
+	b = binary.AppendUvarint(b, uint64(c.n))
+	b = append(b, c.buf...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// Gauges returns the latest sampled row as (schema, values); values is nil
+// when no sample has been captured since the last schema change.
+func (r *Recorder) Gauges() (cols []string, row []int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cols = append(cols, r.cols...)
+	if r.lastRow != nil {
+		row = append(row, r.lastRow...)
+	}
+	return cols, row
+}
+
+// Samples returns the number of rows captured since creation (including rows
+// whose chunks have since been evicted).
+func (r *Recorder) Samples() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.samples
+}
+
+// RingBytes returns the current encoded ring size in bytes.
+func (r *Recorder) RingBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sealedB + len(r.cur.buf)
+}
+
+// Start launches the background sampler goroutine; Close stops it. Start is
+// idempotent while running.
+func (r *Recorder) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.loop(r.stop, r.done)
+}
+
+func (r *Recorder) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			r.Sample()
+		}
+	}
+}
+
+// Close stops the background sampler (if running). The recorder stays
+// readable — and manually sampleable — afterwards.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fixedClock yields deterministic, strictly advancing sample timestamps.
+func fixedClock() func() time.Time {
+	t0 := time.UnixMilli(1_700_000_000_000)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func counterSource(name string, c *atomic.Int64) Source {
+	return Source{
+		Name: name,
+		Cols: []string{"n", "twice"},
+		Read: func(dst []int64) []int64 {
+			v := c.Load()
+			return append(dst, v, 2*v)
+		},
+	}
+}
+
+func TestRecorderDumpRoundTrip(t *testing.T) {
+	r := New(Config{MaxChunkSamples: 4})
+	r.now = fixedClock()
+	var c atomic.Int64
+	r.Register(counterSource("eng", &c))
+	h := r.Histogram("search_ns")
+	want := make([][]int64, 0, 10)
+	for i := 0; i < 10; i++ {
+		c.Store(int64(i * i))
+		r.Sample()
+		h.Record(int64(100 + i))
+		want = append(want, []int64{0, int64(i * i), int64(2 * i * i)})
+	}
+
+	var buf bytes.Buffer
+	if err := r.DumpTo(&buf); err != nil {
+		t.Fatalf("DumpTo: %v", err)
+	}
+	// A second dump with no intervening samples must be byte-exact.
+	var buf2 bytes.Buffer
+	if err := r.DumpTo(&buf2); err != nil {
+		t.Fatalf("DumpTo #2: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("repeated dumps of unchanged state differ")
+	}
+
+	d, err := ReadDump(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if d.IntervalMS != 1000 {
+		t.Fatalf("IntervalMS = %d, want 1000", d.IntervalMS)
+	}
+	if len(d.Segments) != 1 {
+		t.Fatalf("got %d segments, want 1 (same-schema chunks must merge)", len(d.Segments))
+	}
+	seg := d.Segments[0]
+	wantCols := []string{"ts_ms", "eng.n", "eng.twice"}
+	if !equalCols(seg.Cols, wantCols) {
+		t.Fatalf("cols = %v, want %v", seg.Cols, wantCols)
+	}
+	if len(seg.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(seg.Rows), len(want))
+	}
+	for i, row := range seg.Rows {
+		wantTS := int64(1_700_000_000_000) + int64(i+1)*1000
+		if row[0] != wantTS {
+			t.Fatalf("row %d ts = %d, want %d", i, row[0], wantTS)
+		}
+		if row[1] != want[i][1] || row[2] != want[i][2] {
+			t.Fatalf("row %d = %v, want gauge values %v", i, row[1:], want[i][1:])
+		}
+	}
+	if len(d.Hists) != 1 || d.Hists[0].Name != "search_ns" {
+		t.Fatalf("hists = %+v, want one search_ns", d.Hists)
+	}
+	if got, want := d.Hists[0], h.Snapshot(); got != want {
+		t.Fatal("decoded histogram differs from live snapshot")
+	}
+}
+
+func TestRecorderRingWraparound(t *testing.T) {
+	// A tiny ring with tiny chunks: old chunks must be evicted whole, the
+	// byte budget must hold, and the survivors must decode to an exact
+	// suffix of what was sampled.
+	r := New(Config{RingBytes: 512, MaxChunkSamples: 4})
+	r.now = fixedClock()
+	var c atomic.Int64
+	r.Register(counterSource("eng", &c))
+	const total = 500
+	for i := 0; i < total; i++ {
+		c.Store(int64(i))
+		r.Sample()
+	}
+	if rb := r.RingBytes(); rb > 512 {
+		t.Fatalf("ring grew to %d bytes, budget 512", rb)
+	}
+	if r.Samples() != total {
+		t.Fatalf("Samples() = %d, want %d", r.Samples(), total)
+	}
+	var buf bytes.Buffer
+	if err := r.DumpTo(&buf); err != nil {
+		t.Fatalf("DumpTo: %v", err)
+	}
+	d, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if len(d.Segments) != 1 {
+		t.Fatalf("got %d segments, want 1", len(d.Segments))
+	}
+	rows := d.Segments[0].Rows
+	if len(rows) == 0 || len(rows) >= total {
+		t.Fatalf("wraparound kept %d rows of %d, want a proper non-empty suffix", len(rows), total)
+	}
+	first := rows[0][1]
+	for i, row := range rows {
+		if row[1] != first+int64(i) {
+			t.Fatalf("row %d gauge = %d, want contiguous suffix starting at %d", i, row[1], first)
+		}
+	}
+	if last := rows[len(rows)-1][1]; last != total-1 {
+		t.Fatalf("last surviving sample = %d, want %d", last, total-1)
+	}
+}
+
+func TestRecorderSchemaChange(t *testing.T) {
+	r := New(Config{})
+	r.now = fixedClock()
+	var a, b atomic.Int64
+	r.Register(counterSource("a", &a))
+	r.Sample()
+	r.Sample()
+	r.Register(counterSource("b", &b)) // seals the open chunk
+	r.Sample()
+	var buf bytes.Buffer
+	if err := r.DumpTo(&buf); err != nil {
+		t.Fatalf("DumpTo: %v", err)
+	}
+	d, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if len(d.Segments) != 2 {
+		t.Fatalf("got %d segments, want 2 after schema change", len(d.Segments))
+	}
+	if n := len(d.Segments[0].Cols); n != 3 {
+		t.Fatalf("segment 0 has %d cols, want 3", n)
+	}
+	if n := len(d.Segments[1].Cols); n != 5 {
+		t.Fatalf("segment 1 has %d cols, want 5", n)
+	}
+}
+
+func TestRecorderSourceMisbehavior(t *testing.T) {
+	r := New(Config{})
+	r.now = fixedClock()
+	r.Register(Source{
+		Name: "short",
+		Cols: []string{"x", "y"},
+		Read: func(dst []int64) []int64 { return append(dst, 7) }, // one of two
+	})
+	r.Register(Source{
+		Name: "long",
+		Cols: []string{"z"},
+		Read: func(dst []int64) []int64 { return append(dst, 1, 2, 3) }, // three of one
+	})
+	r.Sample()
+	cols, row := r.Gauges()
+	if len(cols) != 4 || len(row) != 4 {
+		t.Fatalf("cols=%v row=%v, want 4 columns", cols, row)
+	}
+	if row[1] != 7 || row[2] != 0 || row[3] != 1 {
+		t.Fatalf("row = %v, want short read padded and long read truncated", row)
+	}
+}
+
+func TestRecorderDuplicateSourceNames(t *testing.T) {
+	r := New(Config{})
+	var c atomic.Int64
+	if got := r.Register(counterSource("eng", &c)); got != "eng" {
+		t.Fatalf("first registration renamed to %q", got)
+	}
+	if got := r.Register(counterSource("eng", &c)); got != "eng#2" {
+		t.Fatalf("duplicate registration = %q, want eng#2", got)
+	}
+}
+
+func TestReadDumpCorruption(t *testing.T) {
+	r := New(Config{})
+	r.now = fixedClock()
+	var c atomic.Int64
+	r.Register(counterSource("eng", &c))
+	for i := 0; i < 5; i++ {
+		r.Sample()
+	}
+	var buf bytes.Buffer
+	if err := r.DumpTo(&buf); err != nil {
+		t.Fatalf("DumpTo: %v", err)
+	}
+	good := buf.Bytes()
+	if _, err := ReadDump(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine dump rejected: %v", err)
+	}
+	// Flip one byte in the chunk body: the CRC must catch it.
+	bad := append([]byte(nil), good...)
+	bad[20] ^= 0xff
+	if _, err := ReadDump(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted dump accepted")
+	}
+	// Truncation anywhere must error, never panic.
+	for n := 0; n < len(good); n += 7 {
+		if _, err := ReadDump(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncated dump (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestRecorderStartClose(t *testing.T) {
+	r := New(Config{Interval: time.Millisecond})
+	var c atomic.Int64
+	r.Register(counterSource("eng", &c))
+	r.Start()
+	r.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Samples() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler captured no rows")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	n := r.Samples()
+	time.Sleep(5 * time.Millisecond)
+	if r.Samples() != n {
+		t.Fatal("sampler still running after Close")
+	}
+	if err := r.Close(); err != nil { // double close
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestServeEndpoint(t *testing.T) {
+	r := New(Config{Interval: time.Hour})
+	var c atomic.Int64
+	c.Store(42)
+	r.Register(counterSource("eng", &c))
+	r.Histogram("search_ns").Record(1234)
+	r.Sample()
+
+	srv, err := Serve(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/telemetry")
+	if err != nil {
+		t.Fatalf("GET /telemetry: %v", err)
+	}
+	var body telemetryJSON
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode /telemetry: %v", err)
+	}
+	resp.Body.Close()
+	if body.Gauges["eng.n"] != 42 {
+		t.Fatalf("gauges = %v, want eng.n=42", body.Gauges)
+	}
+	if len(body.Hists) != 1 || body.Hists[0].Count != 1 {
+		t.Fatalf("hists = %+v, want one search_ns observation", body.Hists)
+	}
+
+	resp, err = http.Get(base + "/telemetry/dump")
+	if err != nil {
+		t.Fatalf("GET /telemetry/dump: %v", err)
+	}
+	d, err := ReadDump(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode dump from endpoint: %v", err)
+	}
+	if len(d.Segments) != 1 || len(d.Segments[0].Rows) != 1 {
+		t.Fatalf("dump = %+v, want the one sampled row", d.Segments)
+	}
+
+	resp, err = http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	vars, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(vars, []byte(`"accluster"`)) {
+		t.Fatal("/debug/vars does not expose the accluster variable")
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline: %v (status %v)", err, resp)
+	}
+	resp.Body.Close()
+}
+
+// TestRecorderConcurrentStress runs the sampler flat out against sources
+// backed by mutating atomics plus concurrent histogram writers and dump
+// readers — the -race exercise for the whole recorder surface.
+func TestRecorderConcurrentStress(t *testing.T) {
+	r := New(Config{Interval: 100 * time.Microsecond, RingBytes: 4096, MaxChunkSamples: 8})
+	var counters [4]atomic.Int64
+	for i := range counters {
+		r.Register(counterSource(fmt.Sprintf("s%d", i), &counters[i]))
+	}
+	h := r.Histogram("stress_ns")
+	r.Start()
+	defer r.Close()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				counters[w].Add(1)
+				h.Record(int64(i & 0xffff))
+				if i%64 == 0 {
+					var buf bytes.Buffer
+					if err := r.DumpTo(&buf); err != nil {
+						t.Errorf("DumpTo under load: %v", err)
+						return
+					}
+					if _, err := ReadDump(&buf); err != nil {
+						t.Errorf("ReadDump under load: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}

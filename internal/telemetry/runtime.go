@@ -1,0 +1,25 @@
+package telemetry
+
+import "runtime"
+
+// RuntimeSource returns the Go runtime gauge source: goroutine count, heap
+// bytes and objects, cumulative GC cycles and total GC pause nanoseconds.
+// runtime.ReadMemStats briefly stops the world, which is why it belongs in a
+// 1 Hz sampler rather than on any hot path.
+func RuntimeSource() Source {
+	return Source{
+		Name: "runtime",
+		Cols: []string{"goroutines", "heap_alloc", "heap_objects", "gc_cycles", "gc_pause_total_ns"},
+		Read: func(dst []int64) []int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return append(dst,
+				int64(runtime.NumGoroutine()),
+				int64(ms.HeapAlloc),
+				int64(ms.HeapObjects),
+				int64(ms.NumGC),
+				int64(ms.PauseTotalNs),
+			)
+		},
+	}
+}

@@ -3,6 +3,7 @@ package accluster
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"accluster/internal/cost"
 )
@@ -43,6 +44,11 @@ type options struct {
 	readaheadGap    int64
 	readaheadSet    bool
 
+	telemetry         *Telemetry
+	telemetryAddr     string
+	telemetryRing     int
+	telemetryInterval time.Duration
+
 	// err records the first invalid option value. Validation happens at
 	// the option layer, not only in the engine config: engine defaulting
 	// maps the zero value to "use the default", so an explicitly tuned
@@ -64,6 +70,9 @@ func gatherOptions(opts []Option) (options, error) {
 	var o options
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.telemetry != nil && o.telemetryAddr != "" {
+		o.fail("WithTelemetry and WithTelemetryAddr are mutually exclusive")
 	}
 	return o, o.err
 }
@@ -207,6 +216,64 @@ func WithReadahead(gapBytes int64) Option {
 			return
 		}
 		o.readaheadGap, o.readaheadSet = gapBytes, true
+	}
+}
+
+// WithTelemetry attaches the engine to a shared flight recorder built with
+// NewTelemetry: the engine registers its gauge source (sampled once per
+// recorder interval) and records per-query latency into a histogram there.
+// Several engines may share one recorder — each gets its own source and
+// histogram. The recorder's lifetime belongs to its creator; closing the
+// engine does not close a shared recorder. SeqScan/RStar (baselines) ignore
+// the option.
+func WithTelemetry(t *Telemetry) Option {
+	return func(o *options) {
+		if t == nil {
+			o.fail("telemetry recorder must not be nil")
+			return
+		}
+		o.telemetry = t
+	}
+}
+
+// WithTelemetryAddr gives the engine a private flight recorder serving the
+// live introspection endpoint on addr (":0" picks a free port): /telemetry
+// JSON gauges and percentiles, /telemetry/dump binary ring dump, /debug/vars
+// expvar and /debug/pprof. The engine owns the recorder — Close stops the
+// sampler and the endpoint. Mutually exclusive with WithTelemetry.
+func WithTelemetryAddr(addr string) Option {
+	return func(o *options) {
+		if addr == "" {
+			o.fail("telemetry address must not be empty")
+			return
+		}
+		o.telemetryAddr = addr
+	}
+}
+
+// WithTelemetryRing bounds the flight recorder's in-memory ring (default
+// 1 MiB of delta-encoded samples); the oldest samples are evicted when the
+// budget fills, so memory use is fixed for the life of the process. Honored
+// by NewTelemetry and WithTelemetryAddr.
+func WithTelemetryRing(bytes int) Option {
+	return func(o *options) {
+		if bytes <= 0 {
+			o.fail("telemetry ring must be > 0 bytes, got %d", bytes)
+			return
+		}
+		o.telemetryRing = bytes
+	}
+}
+
+// WithTelemetryInterval sets the flight recorder's sampling period (default
+// 1 s). Honored by NewTelemetry and WithTelemetryAddr.
+func WithTelemetryInterval(d time.Duration) Option {
+	return func(o *options) {
+		if d <= 0 {
+			o.fail("telemetry interval must be positive, got %v", d)
+			return
+		}
+		o.telemetryInterval = d
 	}
 }
 

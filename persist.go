@@ -41,7 +41,12 @@ func OpenAdaptive(path string, opts ...Option) (*Adaptive, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newAdaptive(ix), nil
+	a := newAdaptive(ix)
+	if err := a.initTelemetry(o); err != nil {
+		a.Close()
+		return nil, err
+	}
+	return a, nil
 }
 
 // SaveDir checkpoints the sharded index into a directory: one database
@@ -68,5 +73,10 @@ func OpenSharded(dir string, opts ...Option) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{e: e}, nil
+	s := &Sharded{e: e}
+	if err := s.initTelemetry(o); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
 }

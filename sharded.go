@@ -1,8 +1,11 @@
 package accluster
 
 import (
+	"time"
+
 	"accluster/internal/core"
 	"accluster/internal/shard"
+	"accluster/internal/telemetry"
 )
 
 // ErrNotFound is returned by Update when the object id is not present.
@@ -17,6 +20,11 @@ var ErrNotFound = core.ErrNotFound
 // different cores.
 type Sharded struct {
 	e *shard.Engine
+
+	// Flight recorder (WithTelemetry / WithTelemetryAddr); see Adaptive.
+	tel    *Telemetry
+	ownTel bool
+	qhist  *telemetry.Histogram
 }
 
 // NewSharded builds a sharded adaptive index for the given dimensionality.
@@ -38,12 +46,26 @@ func NewSharded(dims int, opts ...Option) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{e: e}, nil
+	s := &Sharded{e: e}
+	if err := s.initTelemetry(o); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // Close stops the per-shard background reorganization goroutines (no-op
-// without WithBackgroundReorg). The index stays usable afterwards.
-func (s *Sharded) Close() error { return s.e.Close() }
+// without WithBackgroundReorg) and, when the engine owns its flight recorder
+// (WithTelemetryAddr), the telemetry sampler and endpoint. The index stays
+// usable afterwards.
+func (s *Sharded) Close() error {
+	err := s.e.Close()
+	if s.ownTel && s.tel != nil {
+		_ = s.tel.Close()
+		s.ownTel = false
+	}
+	return err
+}
 
 // Insert adds an object to its owning shard (placed into the matching
 // cluster with the lowest access probability there).
@@ -71,12 +93,28 @@ func (s *Sharded) Get(id uint32) (Rect, bool) { return s.e.Get(id) }
 // parallel; results are emitted in shard order once all shards answered.
 // emit returning false stops the emission early.
 func (s *Sharded) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
-	return s.e.Search(q, rel, emit)
+	var t0 time.Time
+	if s.qhist != nil {
+		t0 = time.Now()
+	}
+	err := s.e.Search(q, rel, emit)
+	if s.qhist != nil {
+		s.qhist.Record(int64(time.Since(t0)))
+	}
+	return err
 }
 
 // SearchIDs collects all qualifying identifiers.
 func (s *Sharded) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
-	return s.e.SearchIDs(q, rel)
+	var t0 time.Time
+	if s.qhist != nil {
+		t0 = time.Now()
+	}
+	ids, err := s.e.SearchIDs(q, rel)
+	if s.qhist != nil {
+		s.qhist.Record(int64(time.Since(t0)))
+	}
+	return ids, err
 }
 
 // SearchIDsAppend appends all qualifying identifiers to dst and returns the
@@ -84,11 +122,29 @@ func (s *Sharded) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 // buffers, so with a reused dst the selection performs no steady-state
 // allocations.
 func (s *Sharded) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
-	return s.e.SearchIDsAppend(dst, q, rel)
+	var t0 time.Time
+	if s.qhist != nil {
+		t0 = time.Now()
+	}
+	ids, err := s.e.SearchIDsAppend(dst, q, rel)
+	if s.qhist != nil {
+		s.qhist.Record(int64(time.Since(t0)))
+	}
+	return ids, err
 }
 
 // Count returns the number of qualifying objects.
-func (s *Sharded) Count(q Rect, rel Relation) (int, error) { return s.e.Count(q, rel) }
+func (s *Sharded) Count(q Rect, rel Relation) (int, error) {
+	var t0 time.Time
+	if s.qhist != nil {
+		t0 = time.Now()
+	}
+	n, err := s.e.Count(q, rel)
+	if s.qhist != nil {
+		s.qhist.Record(int64(time.Since(t0)))
+	}
+	return n, err
+}
 
 // Len returns the number of stored objects across all shards.
 func (s *Sharded) Len() int { return s.e.Len() }

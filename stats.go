@@ -98,8 +98,13 @@ func (s Stats) VerifiedFraction() float64 {
 	return float64(s.ObjectsVerified) / float64(s.Queries) / float64(s.Objects)
 }
 
-// String summarizes the snapshot.
+// String summarizes the snapshot. Engines with a region cache (Disk) append
+// the cache hit/miss split of explorations.
 func (s Stats) String() string {
-	return fmt.Sprintf("objects=%d partitions=%d queries=%d explored=%.1f%% verified=%.1f%%",
+	base := fmt.Sprintf("objects=%d partitions=%d queries=%d explored=%.1f%% verified=%.1f%%",
 		s.Objects, s.Partitions, s.Queries, 100*s.ExploredFraction(), 100*s.VerifiedFraction())
+	if s.CacheHits+s.CacheMisses > 0 {
+		base += fmt.Sprintf(" cache=%d/%d hits", s.CacheHits, s.CacheMisses+s.CacheHits)
+	}
+	return base
 }
