@@ -1,0 +1,143 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"accluster/internal/core"
+	"accluster/internal/geom"
+	"accluster/internal/shard"
+)
+
+func buildCheckpoint(t *testing.T, dir string, n int) *shard.Engine {
+	t.Helper()
+	e, err := shard.New(shard.Config{Shards: 4, Workers: 1, Core: core.Config{Dims: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < n; i++ {
+		r := geom.NewRect(2)
+		for d := 0; d < 2; d++ {
+			size := rng.Float32() * 0.2
+			lo := rng.Float32() * (1 - size)
+			r.Min[d], r.Max[d] = lo, lo+size
+		}
+		if err := e.Insert(uint32(i), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func corruptSegment(t *testing.T, dir string, shardIdx int) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == "MANIFEST" {
+			continue
+		}
+		if len(name) >= 10 && name[:10] == "shard-000"+string(rune('0'+shardIdx)) {
+			path := filepath.Join(dir, name)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[96] ^= 0xFF
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatalf("no segment for shard %d in %s", shardIdx, dir)
+}
+
+// TestVerifyAndRepairCycle drives the CLI's core paths against a real
+// on-disk checkpoint: healthy verify, damage detection, repair from a peer,
+// post-repair health.
+func TestVerifyAndRepairCycle(t *testing.T) {
+	root := t.TempDir()
+	primary := filepath.Join(root, "primary")
+	peer := filepath.Join(root, "peer")
+	e := buildCheckpoint(t, primary, 400)
+	if err := e.SaveDir(peer); err != nil {
+		t.Fatal(err)
+	}
+
+	ok, err := run(primary, false, "", true)
+	if err != nil || !ok {
+		t.Fatalf("healthy checkpoint: ok=%v err=%v", ok, err)
+	}
+
+	corruptSegment(t, primary, 2)
+	ok, err = run(primary, false, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("verify missed the damaged segment")
+	}
+
+	// Repair without a peer fails (nothing to restore from).
+	if _, err := run(primary, true, "", true); err == nil {
+		t.Fatal("repair without peer succeeded despite damaged segment")
+	}
+
+	// Repair from the peer heals the checkpoint.
+	ok, err = run(primary, true, peer, true)
+	if err != nil || !ok {
+		t.Fatalf("repair from peer: ok=%v err=%v", ok, err)
+	}
+	back, err := shard.LoadDir(primary, shard.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 400 {
+		t.Fatalf("repaired checkpoint has %d objects, want 400", back.Len())
+	}
+}
+
+// TestVerifySingleFile covers the non-directory branch.
+func TestVerifySingleFile(t *testing.T) {
+	dir := t.TempDir()
+	buildCheckpoint(t, filepath.Join(dir, "ckpt"), 200)
+	entries, err := os.ReadDir(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, e := range entries {
+		if e.Name() != "MANIFEST" {
+			seg = filepath.Join(dir, "ckpt", e.Name())
+			break
+		}
+	}
+	ok, err := run(seg, false, "", true)
+	if err != nil || !ok {
+		t.Fatalf("healthy segment file: ok=%v err=%v", ok, err)
+	}
+	raw, _ := os.ReadFile(seg)
+	raw[64] ^= 0xFF
+	os.WriteFile(seg, raw, 0o644)
+	ok, err = run(seg, false, "", true)
+	if err != nil || ok {
+		t.Fatalf("damaged segment file: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSelftest runs the built-in smoke test end to end.
+func TestSelftest(t *testing.T) {
+	if err := runSelftest(); err != nil {
+		t.Fatal(err)
+	}
+}

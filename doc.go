@@ -137,6 +137,25 @@
 // is invalidated by reopening: a Disk opened after a new SaveFile starts a
 // fresh cache generation. Fully cached selections allocate nothing.
 //
+// # Durability and recovery
+//
+// Checkpoints are atomic and generational. SaveFile writes the new image to
+// a temporary file, syncs it and the directory, then renames it over the
+// old checkpoint; SaveDir writes a complete new generation of per-shard
+// segments and commits it by atomically flipping the checksummed manifest,
+// garbage-collecting the previous generation only after the flip. A crash,
+// I/O error or full disk at any point therefore leaves either the previous
+// checkpoint or the new one loadable — never a torn mix, never total loss
+// (the property is proven by power-fail loop tests that crash a save at
+// every injectable I/O operation; see internal/faultio). Every load
+// validates every checksum; integrity failures wrap ErrCorrupt and carry a
+// *CorruptError detail. OpenSharded with WithSalvage degrades instead of
+// failing when segments are damaged: corrupt shards are quarantined and the
+// healthy partitions served, with the damage reported by Quarantined and
+// Stats.QuarantinedPartitions and repaired online via RestoreQuarantined —
+// or offline with cmd/acfsck, which verifies checkpoints and restores
+// damaged segments from a peer copy.
+//
 // # Observability
 //
 // Every engine accepts a flight recorder: WithTelemetry attaches a shared

@@ -1,0 +1,63 @@
+package diskengine
+
+import (
+	"errors"
+	"testing"
+
+	"accluster/internal/geom"
+	"accluster/internal/store"
+)
+
+// TestOpenCorruptHeaderClassified pins the error taxonomy on the direct
+// disk query path: damage in the header or directory — the only parts Open
+// touches — must fail with an error wrapping store.ErrCorrupt, so callers
+// can distinguish bit-rot from transient I/O trouble.
+func TestOpenCorruptHeaderClassified(t *testing.T) {
+	_, dev := buildCheckpoint(t, 3, 400)
+	// Sweep the header and the start of the directory; the clean open is
+	// validated by every other test in the package.
+	for off := int64(0); off < 96; off += 7 {
+		if err := dev.Corrupt(off); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(dev)
+		if uerr := dev.Corrupt(off); uerr != nil {
+			t.Fatal(uerr)
+		}
+		if err == nil {
+			t.Fatalf("open with flipped byte %d succeeded", off)
+		}
+		if !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("flip at %d: error not classified as ErrCorrupt: %v", off, err)
+		}
+	}
+	// And the image is pristine again after undoing the flips.
+	if _, err := Open(dev); err != nil {
+		t.Fatalf("restored image fails to open: %v", err)
+	}
+}
+
+// TestQueryRegionRotClassified pins read-path verification on the uncached
+// engine: a region rotted after open is caught by the per-region checksum
+// when a query explores it, and the error is classified as ErrCorrupt.
+func TestQueryRegionRotClassified(t *testing.T) {
+	_, dev := buildCheckpoint(t, 2, 600)
+	eng, err := OpenConfig(dev, Config{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := dev.Size()
+	// Rot a byte late in the file — inside some cluster region.
+	if err := dev.Corrupt(size - 64); err != nil {
+		t.Fatal(err)
+	}
+	// A full-space query explores every cluster and must hit the rot.
+	full := geom.Rect{Min: []float32{0, 0}, Max: []float32{1, 1}}
+	err = eng.Search(full, geom.Intersects, func(uint32) bool { return true })
+	if err == nil {
+		t.Fatal("query over rotted region succeeded")
+	}
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("rot error not classified: %v", err)
+	}
+}

@@ -256,8 +256,7 @@ func TestCorruptRegionSurfacesDuringSearch(t *testing.T) {
 	// Flip a byte in the middle of the device (inside some region, past
 	// the directory).
 	size, _ := disk.Size()
-	// vdisk has no Corrupt helper; overwrite one byte.
-	if _, err := disk.WriteAt([]byte{0xFF}, size-3); err != nil {
+	if err := disk.Corrupt(size - 3); err != nil {
 		t.Fatal(err)
 	}
 	full := geom.Rect{Min: []float32{0, 0, 0, 0}, Max: []float32{1, 1, 1, 1}}

@@ -1,0 +1,158 @@
+package faultio
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"accluster/internal/core"
+	"accluster/internal/geom"
+	"accluster/internal/store"
+	"accluster/internal/vdisk"
+)
+
+func buildIndex(t *testing.T, dims, n int, seed int64) *core.Index {
+	t.Helper()
+	ix, err := core.New(core.Config{Dims: dims, ReorgEvery: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for id := 0; id < n; id++ {
+		r := geom.NewRect(dims)
+		for d := 0; d < dims; d++ {
+			size := rng.Float32() * 0.3
+			lo := rng.Float32() * (1 - size)
+			r.Min[d], r.Max[d] = lo, lo+size
+		}
+		if err := ix.Insert(uint32(id), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+// TestSaveFilePowerFailLoop is the single-file crash harness: checkpoint vOld,
+// then attempt to overwrite with vNew while crashing at every injectable I/O
+// operation in turn. After each crash the surviving filesystem state must
+// load as exactly vOld or exactly vNew — never a torn mix, never nothing.
+func TestSaveFilePowerFailLoop(t *testing.T) {
+	old := buildIndex(t, 3, 300, 11)
+	new_ := buildIndex(t, 3, 520, 23)
+
+	// Baseline filesystem: vOld durably saved.
+	base := NewMemFS()
+	if err := store.SaveFileFS(base, old, "db.acdb"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Count the ops of a full fault-free save of vNew.
+	probe := NewSchedule(1)
+	if err := store.SaveFileFS(WrapFS(base.Clone(), probe), new_, "db.acdb"); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+	if total < 5 {
+		t.Fatalf("implausibly few ops in a save: %d", total)
+	}
+
+	oldLen, newLen := old.Len(), new_.Len()
+	for k := int64(1); k <= total; k++ {
+		s := NewSchedule(k)
+		s.SetFault(k, Crash)
+		fsys := base.Clone()
+		err := store.SaveFileFS(WrapFS(fsys, s), new_, "db.acdb")
+		if err == nil {
+			t.Fatalf("crash at op %d/%d: save reported success", k, total)
+		}
+		crashed := fsys.Crash()
+		back, err := store.LoadFileFS(crashed, "db.acdb", core.Config{})
+		if err != nil {
+			t.Fatalf("crash at op %d/%d: no loadable checkpoint: %v", k, total, err)
+		}
+		if got := back.Len(); got != oldLen && got != newLen {
+			t.Fatalf("crash at op %d/%d: loaded %d objects, want %d (old) or %d (new)",
+				k, total, got, oldLen, newLen)
+		}
+		if err := back.CheckInvariants(); err != nil {
+			t.Fatalf("crash at op %d/%d: surviving checkpoint invalid: %v", k, total, err)
+		}
+	}
+}
+
+// TestSaveFileTransientErrorKeepsOld pins error-path atomicity without a
+// crash: an injected EIO mid-save must leave the previous checkpoint intact
+// and loadable through the live (not crashed) filesystem.
+func TestSaveFileTransientErrorKeepsOld(t *testing.T) {
+	old := buildIndex(t, 2, 200, 5)
+	new_ := buildIndex(t, 2, 380, 9)
+	base := NewMemFS()
+	if err := store.SaveFileFS(base, old, "db.acdb"); err != nil {
+		t.Fatal(err)
+	}
+	probe := NewSchedule(1)
+	if err := store.SaveFileFS(WrapFS(base.Clone(), probe), new_, "db.acdb"); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+	for k := int64(1); k <= total; k++ {
+		for _, kind := range []Kind{Err, ShortWrite} {
+			s := NewSchedule(100 + k)
+			s.SetFault(k, kind)
+			fsys := base.Clone()
+			err := store.SaveFileFS(WrapFS(fsys, s), new_, "db.acdb")
+			if err == nil {
+				// The fault hit an operation whose failure the save path
+				// tolerates; there are none today, so flag it.
+				t.Fatalf("fault %v at op %d/%d: save reported success", kind, k, total)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("fault %v at op %d: error chain lost the injection: %v", kind, k, err)
+			}
+			back, lerr := store.LoadFileFS(fsys, "db.acdb", core.Config{})
+			if lerr != nil {
+				t.Fatalf("fault %v at op %d/%d: previous checkpoint unreadable: %v", kind, k, total, lerr)
+			}
+			// A fault before the rename leaves the old checkpoint; a fault
+			// on the final directory sync leaves the new one already in
+			// place (only its durability is in doubt). Torn mixes never.
+			if back.Len() != old.Len() && back.Len() != new_.Len() {
+				t.Fatalf("fault %v at op %d: loaded %d objects, want %d or %d",
+					kind, k, back.Len(), old.Len(), new_.Len())
+			}
+			// A failed save must not leave temp files behind.
+			names, _ := fsys.ReadDir(".")
+			for _, n := range names {
+				if n != "db.acdb" {
+					t.Fatalf("fault %v at op %d left residue %q", kind, k, n)
+				}
+			}
+		}
+	}
+}
+
+// TestDeviceFaultsOverVdiskAndMem pins composability: the fault wrapper
+// behaves identically over any store.Device, and a save hit by an injected
+// device error reports it rather than corrupting silently.
+func TestDeviceFaultsOverVdiskAndMem(t *testing.T) {
+	ix := buildIndex(t, 2, 150, 3)
+	inners := map[string]store.Device{
+		"mem":   store.NewMemDevice(),
+		"vdisk": vdisk.New(0, 0),
+	}
+	for name, inner := range inners {
+		s := NewSchedule(42)
+		s.SetFault(4, Err)
+		dev := WrapDevice(inner, s)
+		if err := store.Save(ix, dev); !errors.Is(err, ErrInjected) {
+			t.Fatalf("%s: save err = %v, want ErrInjected", name, err)
+		}
+		// Retry without faults on the same device succeeds and verifies.
+		if err := store.Save(ix, WrapDevice(inner, NewSchedule(1))); err != nil {
+			t.Fatalf("%s: clean retry failed: %v", name, err)
+		}
+		if err := store.Verify(inner); err != nil {
+			t.Fatalf("%s: retried save does not verify: %v", name, err)
+		}
+	}
+}

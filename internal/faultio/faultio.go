@@ -1,0 +1,295 @@
+// Package faultio injects deterministic I/O faults underneath the store's
+// Device and FS abstractions, so the crash-safety of every checkpoint path
+// can be proven rather than assumed. A Schedule counts the I/O operations
+// flowing through wrapped devices and filesystems and fires one configured
+// fault at the Nth operation:
+//
+//   - Err: the operation fails with ErrInjected and is not applied (a
+//     transient EIO / full disk).
+//   - ShortWrite: a write applies only a sector-aligned prefix before
+//     failing with ErrInjected (a torn write on a lost power budget).
+//   - Crash: the operation is torn like ShortWrite, then the schedule
+//     enters the crashed state — every subsequent operation fails with
+//     ErrCrashed, simulating the process dying at that exact point.
+//
+// The fault choice and torn-write lengths come from a seeded generator, so
+// every run of a crash loop is reproducible. Device wraps any store.Device
+// (FileDevice, MemDevice, vdisk.Disk); FS wraps any store.FS, covering the
+// file-level operations — create, rename, remove, directory sync — of the
+// atomic save paths. Combine FS with MemFS (a crash-simulating in-memory
+// filesystem that drops unsynced state on crash) for full power-fail loops.
+package faultio
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"accluster/internal/store"
+)
+
+var (
+	// ErrInjected is returned by an operation hit by an Err or ShortWrite
+	// fault; the device and filesystem stay usable afterwards.
+	ErrInjected = errors.New("faultio: injected I/O fault")
+	// ErrCrashed is returned by every operation at and after a Crash
+	// fault; nothing reaches the media once the schedule has crashed.
+	ErrCrashed = errors.New("faultio: simulated crash")
+)
+
+// Kind selects what happens at the scheduled operation.
+type Kind uint8
+
+const (
+	// None disables the fault: the schedule only counts operations.
+	None Kind = iota
+	// Err fails the operation without applying it.
+	Err
+	// ShortWrite applies a sector-aligned prefix of a write, then fails;
+	// non-write operations fail unapplied.
+	ShortWrite
+	// Crash tears the operation like ShortWrite and permanently fails
+	// everything after it.
+	Crash
+)
+
+// SectorSize is the torn-write granularity: an interrupted write persists a
+// whole number of sectors, as on real media.
+const SectorSize = 512
+
+// Schedule is the shared fault plan of a set of wrapped devices and
+// filesystems. All methods are safe for concurrent use.
+type Schedule struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	n       int64
+	at      int64
+	kind    Kind
+	crashed bool
+}
+
+// NewSchedule returns a counting-only schedule; torn-write lengths drawn
+// during faults are seeded for reproducibility.
+func NewSchedule(seed int64) *Schedule {
+	return &Schedule{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetFault arms the schedule: the n-th subsequent countable operation
+// (1-based, counted across all wrapped devices and filesystems) suffers the
+// given fault kind.
+func (s *Schedule) SetFault(n int64, kind Kind) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.at, s.kind = s.n+n, kind
+}
+
+// Ops returns the number of operations counted so far.
+func (s *Schedule) Ops() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Crashed reports whether a Crash fault has fired.
+func (s *Schedule) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// step accounts one operation. writeLen is the byte length for writes and
+// negative for everything else; keep is how many bytes of a torn write to
+// apply before returning the error.
+func (s *Schedule) step(writeLen int) (keep int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return 0, ErrCrashed
+	}
+	s.n++
+	if s.kind == None || s.n != s.at {
+		return 0, nil
+	}
+	switch s.kind {
+	case Err:
+		return 0, ErrInjected
+	default: // ShortWrite, Crash
+		if writeLen > 0 {
+			keep = s.rng.Intn(writeLen)
+			keep -= keep % SectorSize
+		}
+		if s.kind == Crash {
+			s.crashed = true
+			return keep, ErrCrashed
+		}
+		return keep, ErrInjected
+	}
+}
+
+// checkAlive fails uncounted operations once crashed.
+func (s *Schedule) checkAlive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Device wraps a store.Device, routing every read, write, truncate and sync
+// through the schedule.
+type Device struct {
+	Inner store.Device
+	Sched *Schedule
+}
+
+// WrapDevice builds a fault-injecting view of dev.
+func WrapDevice(dev store.Device, s *Schedule) *Device { return &Device{Inner: dev, Sched: s} }
+
+// ReadAt implements store.Device.
+func (d *Device) ReadAt(p []byte, off int64) (int, error) {
+	if _, err := d.Sched.step(-1); err != nil {
+		return 0, err
+	}
+	return d.Inner.ReadAt(p, off)
+}
+
+// WriteAt implements store.Device; a torn write persists a sector-aligned
+// prefix before failing.
+func (d *Device) WriteAt(p []byte, off int64) (int, error) {
+	keep, err := d.Sched.step(len(p))
+	if err != nil {
+		if keep > 0 {
+			_, _ = d.Inner.WriteAt(p[:keep], off)
+		}
+		return keep, err
+	}
+	return d.Inner.WriteAt(p, off)
+}
+
+// Truncate implements store.Device.
+func (d *Device) Truncate(size int64) error {
+	if _, err := d.Sched.step(-1); err != nil {
+		return err
+	}
+	return d.Inner.Truncate(size)
+}
+
+// Size implements store.Device (metadata queries are not counted as fault
+// points, but fail once crashed).
+func (d *Device) Size() (int64, error) {
+	if err := d.Sched.checkAlive(); err != nil {
+		return 0, err
+	}
+	return d.Inner.Size()
+}
+
+// Sync implements store.Device.
+func (d *Device) Sync() error {
+	if _, err := d.Sched.step(-1); err != nil {
+		return err
+	}
+	return d.Inner.Sync()
+}
+
+// file wraps a store.File of a wrapped FS.
+type file struct {
+	Device
+	inner store.File
+}
+
+func (f *file) Close() error {
+	if err := f.Sched.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner.Close()
+}
+
+// FS wraps a store.FS, counting and fault-injecting the file-level
+// operations of the atomic save paths. Files it opens share the schedule.
+type FS struct {
+	Inner store.FS
+	Sched *Schedule
+}
+
+// WrapFS builds a fault-injecting view of fsys.
+func WrapFS(fsys store.FS, s *Schedule) *FS { return &FS{Inner: fsys, Sched: s} }
+
+// Create implements store.FS.
+func (f *FS) Create(path string) (store.File, error) {
+	if _, err := f.Sched.step(-1); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{Device: Device{Inner: inner, Sched: f.Sched}, inner: inner}, nil
+}
+
+// Open implements store.FS.
+func (f *FS) Open(path string) (store.File, error) {
+	if _, err := f.Sched.step(-1); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{Device: Device{Inner: inner, Sched: f.Sched}, inner: inner}, nil
+}
+
+// Rename implements store.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if _, err := f.Sched.step(-1); err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+// Remove implements store.FS.
+func (f *FS) Remove(path string) error {
+	if _, err := f.Sched.step(-1); err != nil {
+		return err
+	}
+	return f.Inner.Remove(path)
+}
+
+// MkdirAll implements store.FS.
+func (f *FS) MkdirAll(path string) error {
+	if _, err := f.Sched.step(-1); err != nil {
+		return err
+	}
+	return f.Inner.MkdirAll(path)
+}
+
+// SyncDir implements store.FS.
+func (f *FS) SyncDir(dir string) error {
+	if _, err := f.Sched.step(-1); err != nil {
+		return err
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+// ReadDir implements store.FS.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	if _, err := f.Sched.step(-1); err != nil {
+		return nil, err
+	}
+	return f.Inner.ReadDir(dir)
+}
+
+// ReadFile implements store.FS.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	if _, err := f.Sched.step(-1); err != nil {
+		return nil, err
+	}
+	return f.Inner.ReadFile(path)
+}
+
+// Compile-time interface checks.
+var (
+	_ store.Device = (*Device)(nil)
+	_ store.FS     = (*FS)(nil)
+	_ store.File   = (*file)(nil)
+)

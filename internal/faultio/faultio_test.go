@@ -1,0 +1,222 @@
+package faultio
+
+import (
+	"errors"
+	"testing"
+
+	"accluster/internal/store"
+)
+
+// TestScheduleCountsAndFires pins the op accounting: the Nth countable
+// operation (1-based) suffers the fault, everything before and after it
+// succeeds for Err/ShortWrite kinds.
+func TestScheduleCountsAndFires(t *testing.T) {
+	s := NewSchedule(1)
+	dev := WrapDevice(store.NewMemDevice(), s)
+	buf := []byte("0123456789abcdef")
+	s.SetFault(3, Err)
+	if _, err := dev.WriteAt(buf, 0); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := dev.Sync(); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := dev.WriteAt(buf, 16); err == nil || !errors.Is(err, ErrInjected) { // op 3: boom
+		t.Fatalf("op 3 err = %v, want ErrInjected", err)
+	}
+	if size, err := dev.Inner.Size(); err != nil || size != 16 {
+		t.Fatalf("failed Err write was applied: size=%d err=%v", size, err)
+	}
+	if _, err := dev.WriteAt(buf, 16); err != nil { // op 4: fine again
+		t.Fatal(err)
+	}
+	if got := s.Ops(); got != 4 {
+		t.Fatalf("ops = %d, want 4", got)
+	}
+}
+
+// TestTornWriteIsSectorAligned pins ShortWrite semantics: the persisted
+// prefix is a whole number of sectors and strictly shorter than the write.
+func TestTornWriteIsSectorAligned(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := NewSchedule(seed)
+		inner := store.NewMemDevice()
+		dev := WrapDevice(inner, s)
+		s.SetFault(1, ShortWrite)
+		buf := make([]byte, 4*SectorSize+100)
+		for i := range buf {
+			buf[i] = 0xAB
+		}
+		n, err := dev.WriteAt(buf, 0)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("seed %d: err = %v", seed, err)
+		}
+		if n%SectorSize != 0 || n >= len(buf) {
+			t.Fatalf("seed %d: torn write kept %d bytes (len %d)", seed, n, len(buf))
+		}
+		size, _ := inner.Size()
+		if size != int64(n) {
+			t.Fatalf("seed %d: inner device has %d bytes, want %d", seed, size, n)
+		}
+	}
+}
+
+// TestCrashIsPermanent pins Crash semantics: the faulting op tears, and
+// every later operation — counted or not — fails with ErrCrashed.
+func TestCrashIsPermanent(t *testing.T) {
+	s := NewSchedule(7)
+	dev := WrapDevice(store.NewMemDevice(), s)
+	s.SetFault(1, Crash)
+	if _, err := dev.WriteAt(make([]byte, 2*SectorSize), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash op err = %v", err)
+	}
+	if !s.Crashed() {
+		t.Fatal("schedule not marked crashed")
+	}
+	if _, err := dev.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read err = %v", err)
+	}
+	if err := dev.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v", err)
+	}
+	if _, err := dev.Size(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash size err = %v", err)
+	}
+}
+
+// TestFSOpsAreCounted pins that every file-level operation of the atomic
+// save paths flows through the schedule.
+func TestFSOpsAreCounted(t *testing.T) {
+	s := NewSchedule(1)
+	fsys := WrapFS(NewMemFS(), s)
+	if err := fsys.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename("d/a", "d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.ReadDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.ReadFile("d/b"); err != nil {
+		t.Fatal(err)
+	}
+	// mkdir, create, write, sync, rename, syncdir, readdir, readfile = 8
+	// (close is uncounted).
+	if got := s.Ops(); got != 8 {
+		t.Fatalf("ops = %d, want 8", got)
+	}
+}
+
+// TestMemFSDurability pins the power-failure contract of MemFS:
+// content survives only when synced, directory operations survive only
+// when the directory is synced.
+func TestMemFSDurability(t *testing.T) {
+	m := NewMemFS()
+
+	// Unsynced content is lost; the file name survives once the dir syncs.
+	f, _ := m.Create("a")
+	f.WriteAt([]byte("unsynced"), 0)
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Crash()
+	if !after.Exists("a") {
+		t.Fatal("created+dirsynced file lost on crash")
+	}
+	if data, _ := after.ReadFile("a"); len(data) != 0 {
+		t.Fatalf("unsynced content survived crash: %q", data)
+	}
+
+	// Synced content survives.
+	f, _ = m.Create("b")
+	f.WriteAt([]byte("synced"), 0)
+	f.Sync()
+	m.SyncDir(".")
+	after = m.Crash()
+	if data, _ := after.ReadFile("b"); string(data) != "synced" {
+		t.Fatalf("synced content lost: %q", data)
+	}
+
+	// A rename without SyncDir is volatile: the crash sees the old name.
+	f, _ = m.Create("c.tmp")
+	f.WriteAt([]byte("v2"), 0)
+	f.Sync()
+	m.SyncDir(".")
+	if err := m.Rename("c.tmp", "c"); err != nil {
+		t.Fatal(err)
+	}
+	after = m.Crash()
+	if after.Exists("c") || !after.Exists("c.tmp") {
+		t.Fatal("unsynced rename became durable")
+	}
+	// After SyncDir the rename is durable.
+	m.SyncDir(".")
+	after = m.Crash()
+	if !after.Exists("c") || after.Exists("c.tmp") {
+		t.Fatal("synced rename lost")
+	}
+
+	// Create-truncate over an existing durable file keeps the old durable
+	// content until the new content syncs.
+	f, _ = m.Create("b")
+	f.WriteAt([]byte("NEW"), 0)
+	after = m.Crash()
+	if data, _ := after.ReadFile("b"); string(data) != "synced" {
+		t.Fatalf("old durable content lost during rewrite: %q", data)
+	}
+
+	// Remove without SyncDir is volatile too.
+	if err := m.Remove("c"); err != nil {
+		t.Fatal(err)
+	}
+	after = m.Crash()
+	if !after.Exists("c") {
+		t.Fatal("unsynced remove became durable")
+	}
+	m.SyncDir(".")
+	after = m.Crash()
+	if after.Exists("c") {
+		t.Fatal("synced remove did not stick")
+	}
+}
+
+// TestMemFSCloneIndependence pins that Clone severs all storage sharing.
+func TestMemFSCloneIndependence(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("x")
+	f.WriteAt([]byte("orig"), 0)
+	f.Sync()
+	m.SyncDir(".")
+	c := m.Clone()
+	cf, err := c.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf.WriteAt([]byte("EDIT"), 0)
+	cf.Sync()
+	if data, _ := m.ReadFile("x"); string(data) != "orig" {
+		t.Fatalf("edit through clone leaked into original: %q", data)
+	}
+	// The clone preserved the rename-pending identity semantics: a crash of
+	// the clone matches a crash of the original before the edit.
+	if data, _ := c.Crash().ReadFile("x"); string(data) != "EDIT" {
+		t.Fatalf("clone durable content wrong: %q", data)
+	}
+}

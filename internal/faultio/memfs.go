@@ -1,0 +1,330 @@
+package faultio
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"accluster/internal/store"
+)
+
+// MemFS is an in-memory filesystem with power-failure semantics: every file
+// and every directory entry keeps a volatile view (what the running process
+// observes) and a durable view (what would survive a crash). Writes and
+// truncates are volatile until the file is synced; creates, renames and
+// removes are volatile until the parent directory is synced — exactly the
+// POSIX contract the atomic save paths must honor. Crash() materializes the
+// durable view as a fresh filesystem, so a test can kill a save at an
+// arbitrary point (via FS + Schedule) and reopen from precisely what a real
+// power cut would have left.
+//
+// MemFS is safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*inode // volatile directory: path → inode
+	dur   map[string]*inode // durable directory: path → inode
+	dirs  map[string]bool   // created directories (durable immediately)
+}
+
+// inode is one file's storage. data is the volatile content; durable is the
+// content as of the last Sync (nil = never synced ⇒ empty after crash).
+type inode struct {
+	data    []byte
+	durable []byte
+}
+
+// NewMemFS returns an empty crash-simulating filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files: make(map[string]*inode),
+		dur:   make(map[string]*inode),
+		dirs:  map[string]bool{".": true, "/": true},
+	}
+}
+
+// Clone deep-copies the filesystem, both views, preserving inode sharing;
+// used by crash loops to restart every iteration from the same state.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	seen := make(map[*inode]*inode)
+	cp := func(ino *inode) *inode {
+		if ino == nil {
+			return nil
+		}
+		if d, ok := seen[ino]; ok {
+			return d
+		}
+		d := &inode{data: append([]byte(nil), ino.data...), durable: cloneBytes(ino.durable)}
+		seen[ino] = d
+		return d
+	}
+	for p, ino := range m.files {
+		c.files[p] = cp(ino)
+	}
+	for p, ino := range m.dur {
+		c.dur[p] = cp(ino)
+	}
+	for d := range m.dirs {
+		c.dirs[d] = true
+	}
+	return c
+}
+
+// Crash returns the filesystem a power cut at this instant would leave:
+// only durably-named entries exist, each holding only its last-synced
+// content. The receiver is unchanged.
+func (m *MemFS) Crash() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for p, ino := range m.dur {
+		content := cloneBytes(ino.durable)
+		if content == nil {
+			content = []byte{}
+		}
+		c.files[p] = &inode{data: content, durable: append([]byte(nil), content...)}
+		c.dur[p] = c.files[p]
+	}
+	for d := range m.dirs {
+		c.dirs[d] = true
+	}
+	return c
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// Exists reports whether path exists in the volatile view.
+func (m *MemFS) Exists(path string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.files[filepath.Clean(path)]
+	return ok
+}
+
+// Corrupt flips one byte of path's volatile and durable content, for
+// bit-rot tests.
+func (m *MemFS) Corrupt(path string, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[filepath.Clean(path)]
+	if !ok {
+		return fmt.Errorf("memfs: corrupt %s: %w", path, fs.ErrNotExist)
+	}
+	if off < 0 || off >= int64(len(ino.data)) {
+		return fmt.Errorf("memfs: corrupt %s: offset %d out of range", path, off)
+	}
+	ino.data[off] ^= 0xFF
+	if off < int64(len(ino.durable)) {
+		ino.durable[off] ^= 0xFF
+	}
+	return nil
+}
+
+// Create implements store.FS. Truncation is volatile: the previous durable
+// content survives a crash until the new content is synced.
+func (m *MemFS) Create(path string) (store.File, error) {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		ino = &inode{}
+		m.files[path] = ino
+	} else {
+		ino.data = ino.data[:0]
+	}
+	return &memFile{fs: m, ino: ino}, nil
+}
+
+// Open implements store.FS.
+func (m *MemFS) Open(path string) (store.File, error) {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("memfs: open %s: %w", path, fs.ErrNotExist)
+	}
+	return &memFile{fs: m, ino: ino}, nil
+}
+
+// Rename implements store.FS; the move is volatile until SyncDir.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[oldpath]
+	if !ok {
+		return fmt.Errorf("memfs: rename %s: %w", oldpath, fs.ErrNotExist)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = ino
+	return nil
+}
+
+// Remove implements store.FS; the removal is volatile until SyncDir.
+func (m *MemFS) Remove(path string) error {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("memfs: remove %s: %w", path, fs.ErrNotExist)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// MkdirAll implements store.FS (directory creation is durable immediately;
+// checkpoint crash-safety does not hinge on it).
+func (m *MemFS) MkdirAll(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[filepath.Clean(path)] = true
+	return nil
+}
+
+// SyncDir implements store.FS: the volatile name set under dir — including
+// each name's current inode binding — becomes durable.
+func (m *MemFS) SyncDir(dir string) error {
+	dir = filepath.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := range m.dur {
+		if filepath.Dir(p) == dir {
+			if _, ok := m.files[p]; !ok {
+				delete(m.dur, p)
+			}
+		}
+	}
+	for p, ino := range m.files {
+		if filepath.Dir(p) == dir {
+			m.dur[p] = ino
+		}
+	}
+	return nil
+}
+
+// ReadDir implements store.FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	dir = filepath.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[dir] {
+		// A directory is also visible once any file exists under it.
+		found := false
+		for p := range m.files {
+			if filepath.Dir(p) == dir {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("memfs: readdir %s: %w", dir, fs.ErrNotExist)
+		}
+	}
+	var names []string
+	for p := range m.files {
+		if filepath.Dir(p) == dir {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements store.FS.
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("memfs: read %s: %w", path, fs.ErrNotExist)
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// memFile is an open handle on a MemFS inode.
+type memFile struct {
+	fs  *MemFS
+	ino *inode
+}
+
+// ReadAt implements store.Device.
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off < 0 || off >= int64(len(f.ino.data)) {
+		return 0, fmt.Errorf("memfs: read at %d beyond size %d", off, len(f.ino.data))
+	}
+	n := copy(p, f.ino.data[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("memfs: short read at %d", off)
+	}
+	return n, nil
+}
+
+// WriteAt implements store.Device; the write is volatile until Sync.
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("memfs: negative offset")
+	}
+	end := off + int64(len(p))
+	if end > int64(len(f.ino.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.ino.data)
+		f.ino.data = grown
+	}
+	copy(f.ino.data[off:], p)
+	return len(p), nil
+}
+
+// Truncate implements store.Device; volatile until Sync.
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("memfs: negative size")
+	}
+	if size <= int64(len(f.ino.data)) {
+		f.ino.data = f.ino.data[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, f.ino.data)
+	f.ino.data = grown
+	return nil
+}
+
+// Size implements store.Device.
+func (f *memFile) Size() (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(len(f.ino.data)), nil
+}
+
+// Sync implements store.Device: the volatile content becomes the crash
+// survivor.
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.ino.durable = append(f.ino.durable[:0], f.ino.data...)
+	return nil
+}
+
+// Close implements store.File.
+func (f *memFile) Close() error { return nil }
+
+// Compile-time interface check.
+var _ store.FS = (*MemFS)(nil)

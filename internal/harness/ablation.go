@@ -229,6 +229,8 @@ func Run(id string, o Options) (*Experiment, error) {
 		return RunSharded(o)
 	case "latency":
 		return RunLatency(o)
+	case "recovery":
+		return RunRecovery(o)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", id, Experiments())
 	}
@@ -236,5 +238,5 @@ func Run(id string, o Options) (*Experiment, error) {
 
 // Experiments lists the available experiment identifiers.
 func Experiments() []string {
-	return []string{"fig7", "fig8", "point", "ablation-grouping", "ablation-f", "convergence", "relations", "updates", "baselines", "disk-exec", "sharded", "latency"}
+	return []string{"fig7", "fig8", "point", "ablation-grouping", "ablation-f", "convergence", "relations", "updates", "baselines", "disk-exec", "sharded", "latency", "recovery"}
 }

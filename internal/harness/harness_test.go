@@ -305,7 +305,7 @@ func TestRunDispatchAndErrors(t *testing.T) {
 	if _, err := Run("nope", tinyOptions()); err == nil {
 		t.Error("unknown experiment must fail")
 	}
-	if len(Experiments()) != 12 {
+	if len(Experiments()) != 13 {
 		t.Errorf("Experiments() = %v", Experiments())
 	}
 	o := tinyOptions()

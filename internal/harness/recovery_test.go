@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRecovery(t *testing.T) {
+	o := tinyOptions()
+	o.Objects = 600
+	o.ShardSweep = []int{1, 4}
+	exp, err := RunRecovery(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ID != "recovery" || len(exp.Points) != 2 {
+		t.Fatalf("experiment %q with %d points, want recovery/2", exp.ID, len(exp.Points))
+	}
+	// The single-shard point times save/load only: corrupting the one
+	// segment would leave no healthy partition for salvage to serve.
+	p1 := exp.Points[0]
+	if _, ok := p1.Results[phaseSave]; !ok {
+		t.Error("1-shard point missing save phase")
+	}
+	if _, ok := p1.Results[phaseSalvage]; ok {
+		t.Error("1-shard point must not run the salvage phase")
+	}
+	p4 := exp.Points[1]
+	for _, phase := range []string{phaseSave, phaseLoad, phaseSalvage, phaseRestore} {
+		r, ok := p4.Results[phase]
+		if !ok {
+			t.Fatalf("4-shard point missing phase %s", phase)
+		}
+		if r.MeasuredUS <= 0 || r.Partitions != 4 {
+			t.Errorf("phase %s implausible result: %+v", phase, r)
+		}
+	}
+	if len(exp.Notes) != 2 || !strings.Contains(exp.Notes[0], "torn=0") {
+		t.Errorf("Notes = %v, want crash-sample split with torn=0", exp.Notes)
+	}
+}

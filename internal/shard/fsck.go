@@ -1,0 +1,264 @@
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"accluster/internal/store"
+)
+
+// SegmentCheck is the verification outcome of one shard segment.
+type SegmentCheck struct {
+	// Shard is the partition index, Name the segment file name.
+	Shard int
+	Name  string
+	// Err is nil for a fully valid segment; open failures and checksum
+	// mismatches (store.ErrCorrupt) are both reported here.
+	Err error
+}
+
+// CheckReport is the full verification result of a checkpoint directory.
+type CheckReport struct {
+	// Dir is the checked directory.
+	Dir string
+	// ManifestErr is non-nil when the manifest itself is unreadable or
+	// corrupt; the per-segment fields are then empty.
+	ManifestErr error
+	// Generation, Shards and Dims echo the committed manifest.
+	Generation uint64
+	Shards     int
+	Dims       int
+	// Segments holds one entry per shard of the committed generation.
+	Segments []SegmentCheck
+	// Stray lists files that are not part of the committed checkpoint
+	// (previous or aborted generations, leftover temporaries).
+	Stray []string
+}
+
+// Healthy reports whether the checkpoint is fully intact (stray files are
+// cleanup candidates, not damage).
+func (r CheckReport) Healthy() bool {
+	if r.ManifestErr != nil {
+		return false
+	}
+	for _, s := range r.Segments {
+		if s.Err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// CorruptSegments returns the shard indexes of damaged segments.
+func (r CheckReport) CorruptSegments() []int {
+	var out []int
+	for _, s := range r.Segments {
+		if s.Err != nil {
+			out = append(out, s.Shard)
+		}
+	}
+	return out
+}
+
+// CheckDir verifies a checkpoint directory offline: the manifest, then
+// every checksum of every segment of the committed generation. It never
+// modifies the directory.
+func CheckDir(fsys store.FS, dir string) CheckReport {
+	r := CheckReport{Dir: dir}
+	m, err := readManifest(fsys, dir)
+	if err != nil {
+		r.ManifestErr = err
+		return r
+	}
+	r.Generation, r.Shards, r.Dims = m.gen, m.shards, m.dims
+	for i := 0; i < m.shards; i++ {
+		name := segmentName(i, m.gen)
+		r.Segments = append(r.Segments, SegmentCheck{
+			Shard: i,
+			Name:  name,
+			Err:   store.VerifyFileFS(fsys, filepath.Join(dir, name)),
+		})
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return r
+	}
+	for _, name := range names {
+		if name == manifestName {
+			continue
+		}
+		if i, g, ok := parseSegmentName(name); ok && g == m.gen && i < m.shards {
+			continue
+		}
+		if ok := strings.HasSuffix(name, ".tmp"); ok {
+			r.Stray = append(r.Stray, name)
+			continue
+		}
+		if _, _, ok := parseSegmentName(name); ok {
+			r.Stray = append(r.Stray, name)
+		}
+	}
+	return r
+}
+
+// RepairDir repairs a checkpoint directory in place and returns the
+// post-repair report. Damaged segments are restored from peer — another
+// checkpoint directory of the same database (same shard count and
+// dimensionality, e.g. a replica's shipped copy); pass "" for no peer.
+// Stray files of previous or aborted generations are removed. A corrupt or
+// missing manifest is rebuilt: preferentially from a complete valid
+// generation already present in the directory, otherwise by copying the
+// whole peer checkpoint.
+func RepairDir(fsys store.FS, dir, peer string) (CheckReport, error) {
+	r := CheckDir(fsys, dir)
+	if r.ManifestErr != nil {
+		if err := repairManifest(fsys, dir, peer); err != nil {
+			return r, err
+		}
+		r = CheckDir(fsys, dir)
+	}
+	if corrupt := r.CorruptSegments(); len(corrupt) > 0 {
+		if peer == "" {
+			return r, fmt.Errorf("shard: repair %s: %d damaged segments and no peer checkpoint to restore from", dir, len(corrupt))
+		}
+		pm, err := readManifest(fsys, peer)
+		if err != nil {
+			return r, fmt.Errorf("shard: repair: peer: %w", err)
+		}
+		if pm.shards != r.Shards || pm.dims != r.Dims {
+			return r, fmt.Errorf("shard: repair: peer has %d shards × %d dims, want %d × %d",
+				pm.shards, pm.dims, r.Shards, r.Dims)
+		}
+		for _, i := range corrupt {
+			src := filepath.Join(peer, segmentName(i, pm.gen))
+			if err := store.VerifyFileFS(fsys, src); err != nil {
+				return r, fmt.Errorf("shard: repair: peer segment %d: %w", i, err)
+			}
+			data, err := fsys.ReadFile(src)
+			if err != nil {
+				return r, fmt.Errorf("shard: repair: peer segment %d: %w", i, err)
+			}
+			dst := filepath.Join(dir, segmentName(i, r.Generation))
+			if err := store.WriteFileAtomic(fsys, dst, data); err != nil {
+				return r, fmt.Errorf("shard: repair segment %d: %w", i, err)
+			}
+		}
+	}
+	if err := gcDir(fsys, dir, r.Shards, r.Generation); err != nil {
+		return CheckDir(fsys, dir), fmt.Errorf("shard: repair: cleanup: %w", err)
+	}
+	return CheckDir(fsys, dir), nil
+}
+
+// repairManifest rebuilds a destroyed manifest: from the newest generation
+// already complete and valid in the directory, or failing that from the
+// peer checkpoint (copying its segments and manifest wholesale).
+func repairManifest(fsys store.FS, dir, peer string) error {
+	if m, ok := salvageableGeneration(fsys, dir); ok {
+		man := encodeManifest(m)
+		if err := store.WriteFileAtomic(fsys, filepath.Join(dir, manifestName), man); err != nil {
+			return fmt.Errorf("shard: repair manifest: %w", err)
+		}
+		return nil
+	}
+	if peer == "" {
+		return fmt.Errorf("shard: repair %s: manifest destroyed, no complete generation on disk and no peer checkpoint", dir)
+	}
+	pm, err := readManifest(fsys, peer)
+	if err != nil {
+		return fmt.Errorf("shard: repair: peer: %w", err)
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return fmt.Errorf("shard: repair: %w", err)
+	}
+	for i := 0; i < pm.shards; i++ {
+		src := filepath.Join(peer, segmentName(i, pm.gen))
+		if err := store.VerifyFileFS(fsys, src); err != nil {
+			return fmt.Errorf("shard: repair: peer segment %d: %w", i, err)
+		}
+		data, err := fsys.ReadFile(src)
+		if err != nil {
+			return fmt.Errorf("shard: repair: peer segment %d: %w", i, err)
+		}
+		if err := store.WriteFileAtomic(fsys, filepath.Join(dir, segmentName(i, pm.gen)), data); err != nil {
+			return fmt.Errorf("shard: repair segment %d: %w", i, err)
+		}
+	}
+	if err := store.WriteFileAtomic(fsys, filepath.Join(dir, manifestName), encodeManifest(pm)); err != nil {
+		return fmt.Errorf("shard: repair manifest: %w", err)
+	}
+	return nil
+}
+
+// salvageableGeneration scans dir for the newest generation whose segment
+// set is complete (a power-of-two count of valid segments 0..n-1, all equal
+// dimensionality) and returns a manifest describing it.
+func salvageableGeneration(fsys store.FS, dir string) (manifest, bool) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return manifest{}, false
+	}
+	gens := make(map[uint64]map[int]bool)
+	for _, name := range names {
+		if i, g, ok := parseSegmentName(name); ok {
+			if gens[g] == nil {
+				gens[g] = make(map[int]bool)
+			}
+			gens[g][i] = true
+		}
+	}
+	var best uint64
+	found := false
+	var bestShards int
+	for g, set := range gens {
+		n := len(set)
+		if n < 1 || n > maxShards || n != ceilPow2(n) {
+			continue
+		}
+		complete := true
+		for i := 0; i < n; i++ {
+			if !set[i] {
+				complete = false
+				break
+			}
+		}
+		if !complete || (found && g <= best) {
+			continue
+		}
+		// Validate every segment and read the dimensionality off shard 0.
+		valid := true
+		for i := 0; i < n; i++ {
+			if store.VerifyFileFS(fsys, filepath.Join(dir, segmentName(i, g))) != nil {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			best, bestShards, found = g, n, true
+		}
+	}
+	if !found {
+		return manifest{}, false
+	}
+	dims, err := segmentDims(fsys, filepath.Join(dir, segmentName(0, best)))
+	if err != nil {
+		return manifest{}, false
+	}
+	version := 2
+	if best == 0 {
+		version = 1
+	}
+	return manifest{version: version, shards: bestShards, dims: dims, gen: best}, true
+}
+
+// segmentDims reads a segment's dimensionality via its directory header.
+func segmentDims(fsys store.FS, path string) (int, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	_, dims, err := store.ReadDirectory(f)
+	return dims, err
+}

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"accluster/internal/faultio"
+	"accluster/internal/store"
+)
+
+// TestManifestEveryBitFlipDetected flips every single bit of a valid v2
+// manifest and requires the decoder to reject each mutation: the CRC covers
+// the whole block, so no single-bit damage may decode.
+func TestManifestEveryBitFlipDetected(t *testing.T) {
+	man := encodeManifest(manifest{version: 2, shards: 4, dims: 3, gen: 9})
+	if _, err := decodeManifest(man); err != nil {
+		t.Fatalf("pristine manifest rejected: %v", err)
+	}
+	for byteOff := range man {
+		for bit := 0; bit < 8; bit++ {
+			man[byteOff] ^= 1 << bit
+			_, err := decodeManifest(man)
+			man[byteOff] ^= 1 << bit
+			if err == nil {
+				t.Fatalf("flip of byte %d bit %d decoded silently", byteOff, bit)
+			}
+			if !errors.Is(err, store.ErrCorrupt) {
+				t.Fatalf("flip of byte %d bit %d: error not ErrCorrupt: %v", byteOff, bit, err)
+			}
+		}
+	}
+}
+
+// TestManifestTruncationsAndPadding rejects every prefix and every padded
+// extension of a valid manifest except the two exact wire sizes.
+func TestManifestTruncationsAndPadding(t *testing.T) {
+	man := encodeManifest(manifest{version: 2, shards: 2, dims: 5, gen: 3})
+	for n := 0; n <= len(man)+8; n++ {
+		if n == manifestSizeV2 {
+			continue
+		}
+		buf := make([]byte, n)
+		copy(buf, man)
+		if _, err := decodeManifest(buf); err == nil {
+			t.Fatalf("%d-byte mutation decoded silently", n)
+		}
+	}
+}
+
+// TestManifestImplausibleValuesRejected pins the semantic validation layer
+// behind the CRC: re-checksummed manifests with out-of-range fields must
+// still be rejected.
+func TestManifestImplausibleValuesRejected(t *testing.T) {
+	cases := []manifest{
+		{version: 2, shards: 0, dims: 3, gen: 1},             // no shards
+		{version: 2, shards: 3, dims: 3, gen: 1},             // not a power of two
+		{version: 2, shards: maxShards * 2, dims: 3, gen: 1}, // too wide
+		{version: 2, shards: 4, dims: 0, gen: 1},             // no dims
+		{version: 2, shards: 4, dims: 3, gen: 0},             // v2 without generation
+	}
+	for _, m := range cases {
+		if _, err := decodeManifest(encodeManifest(m)); err == nil {
+			t.Fatalf("implausible manifest %+v decoded silently", m)
+		}
+	}
+}
+
+// TestLoadDirMixedGenerationsRefused pins that a manifest pointing at a
+// generation with missing segments fails (or salvages) instead of silently
+// mixing segments of different generations.
+func TestLoadDirMixedGenerationsRefused(t *testing.T) {
+	e, _, _ := crashEngine(t, 2, 160, 59)
+	fsys := faultio.NewMemFS()
+	if err := e.SaveDirFS(fsys, "ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveDirFS(fsys, "ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	gen := e.Generation()
+	// Replace one committed segment with one named for a future generation:
+	// the committed set is now incomplete even though a same-index segment
+	// of another generation sits in the directory.
+	old := filepath.Join("ckpt", segmentName(1, gen))
+	data, err := fsys.ReadFile(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFileAtomic(fsys, filepath.Join("ckpt", segmentName(1, gen+5)), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(old); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadDirFS(fsys, "ckpt", Config{Workers: 1}); err == nil {
+		t.Fatal("load mixed generations silently")
+	}
+	// Salvage still works — it serves the present generation's survivors
+	// and quarantines the missing shard; it never reads the foreign file.
+	back, err := LoadDirFS(fsys, "ckpt", Config{Workers: 1, Salvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.QuarantinedCount() != 1 || back.Quarantined()[0].Shard != 1 {
+		t.Fatalf("quarantine = %+v, want shard 1", back.Quarantined())
+	}
+}
+
+// FuzzManifest fuzzes the decoder: arbitrary bytes must either fail or
+// decode to a manifest that re-encodes canonically (round-trip closure for
+// v2) — and must never panic.
+func FuzzManifest(f *testing.F) {
+	f.Add(encodeManifest(manifest{version: 2, shards: 4, dims: 3, gen: 7}))
+	f.Add(encodeManifest(manifest{version: 2, shards: 1, dims: 1, gen: 1}))
+	v1 := encodeManifest(manifest{version: 2, shards: 2, dims: 2, gen: 1})[:manifestSizeV1]
+	f.Add(v1)
+	f.Add([]byte{})
+	f.Add([]byte("ACSM"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		if m.shards < 1 || m.shards > maxShards || m.shards != ceilPow2(m.shards) || m.dims < 1 {
+			t.Fatalf("decoder accepted implausible manifest %+v", m)
+		}
+		if m.version == 2 {
+			if m.gen == 0 {
+				t.Fatalf("decoder accepted v2 manifest with generation 0: %+v", m)
+			}
+			enc := encodeManifest(m)
+			back, err := decodeManifest(enc)
+			if err != nil || back != m {
+				t.Fatalf("round trip: %+v -> %+v (%v)", m, back, err)
+			}
+		}
+	})
+}

@@ -46,6 +46,10 @@ type Config struct {
 	// Workers bounds the fan-out worker pool; 0 picks
 	// min(Shards, GOMAXPROCS).
 	Workers int
+	// Salvage makes LoadDir degrade instead of fail when segments are
+	// corrupt: damaged shards are quarantined (started empty) and the
+	// readable partitions are served. New ignores it.
+	Salvage bool
 	// Core configures every shard's adaptive index (Dims is required).
 	Core core.Config
 }
@@ -127,6 +131,24 @@ type Engine struct {
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+	// generation is the committed checkpoint generation this engine was
+	// loaded from (and advanced by every SaveDir); 0 before any save.
+	generation atomic.Uint64
+	// quarantined records shards whose checkpoint segments failed
+	// validation in a salvage load; guarded by qmu.
+	qmu         sync.Mutex
+	quarantined []QuarantinedShard
+}
+
+// QuarantinedShard records one partition whose checkpoint segment was
+// missing or failed validation during a salvage load. The shard serves an
+// empty partition until restored.
+type QuarantinedShard struct {
+	// Shard is the partition's routing position.
+	Shard int
+	// Err is the validation failure (matches store.ErrCorrupt for
+	// integrity damage).
+	Err error
 }
 
 // mergeBuffers is one pooled set of per-shard answer buffers.
@@ -547,12 +569,19 @@ type ShardInfo struct {
 	StatsBacklog int
 	// Epoch is the shard's reorganization epoch.
 	Epoch int64
+	// Quarantined reports whether the shard's checkpoint segment failed
+	// validation in a salvage load and has not been restored yet.
+	Quarantined bool
 	// Meter is the shard-local operation counters.
 	Meter cost.Meter
 }
 
 // ShardInfos reports every partition in routing order.
 func (e *Engine) ShardInfos() []ShardInfo {
+	quarantined := make(map[int]bool)
+	for _, q := range e.Quarantined() {
+		quarantined[q.Shard] = true
+	}
 	out := make([]ShardInfo, len(e.shards))
 	for i, s := range e.shards {
 		s.mu.RLock()
@@ -562,11 +591,65 @@ func (e *Engine) ShardInfos() []ShardInfo {
 			ReorgBacklog: s.ix.ReorgBacklog(),
 			StatsBacklog: s.ix.StatsBacklog(),
 			Epoch:        s.ix.Epoch(),
+			Quarantined:  quarantined[i],
 			Meter:        s.ix.Meter(),
 		}
 		s.mu.RUnlock()
 	}
 	return out
+}
+
+// Generation returns the committed checkpoint generation the engine was
+// loaded from or last saved as (0 before any save of a fresh engine).
+func (e *Engine) Generation() uint64 { return e.generation.Load() }
+
+// Quarantined returns the shards degraded by a salvage load, in routing
+// order; empty on a healthy engine.
+func (e *Engine) Quarantined() []QuarantinedShard {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return append([]QuarantinedShard(nil), e.quarantined...)
+}
+
+// QuarantinedCount returns the number of quarantined shards.
+func (e *Engine) QuarantinedCount() int {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return len(e.quarantined)
+}
+
+// RestoreQuarantined rebuilds quarantined shards from the original objects
+// (or a peer's full object set): objects routing to a quarantined shard are
+// inserted, everything else is skipped, and the quarantine is lifted. On
+// error the quarantine stays in place.
+func (e *Engine) RestoreQuarantined(ids []uint32, rects []geom.Rect) error {
+	if len(ids) != len(rects) {
+		return fmt.Errorf("shard: restore has %d ids but %d rectangles", len(ids), len(rects))
+	}
+	quarantined := make(map[int]bool)
+	for _, q := range e.Quarantined() {
+		quarantined[q.Shard] = true
+	}
+	if len(quarantined) == 0 {
+		return nil
+	}
+	for k := range ids {
+		i := e.route(ids[k])
+		if !quarantined[i] {
+			continue
+		}
+		s := e.shards[i]
+		s.mu.Lock()
+		err := s.ix.Insert(ids[k], rects[k])
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard: restore shard %d: %w", i, err)
+		}
+	}
+	e.qmu.Lock()
+	e.quarantined = nil
+	e.qmu.Unlock()
+	return nil
 }
 
 // ClusterInfos reports every materialized cluster, shard by shard in routing

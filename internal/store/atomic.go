@@ -1,0 +1,107 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+
+	"accluster/internal/core"
+)
+
+// tmpSuffix marks in-flight checkpoint files; loaders never open them and
+// the next save (or a repair pass) removes leftovers.
+const tmpSuffix = ".tmp"
+
+// SaveFile atomically checkpoints the index into path: the full segment is
+// written to a temporary file in the same directory, synced to media (file
+// and directory), then renamed over path. A crash or I/O error at any point
+// leaves either the previous checkpoint or the new one loadable — never a
+// torn mix, never total loss.
+func SaveFile(ix *core.Index, path string) error { return SaveFileFS(OS, ix, path) }
+
+// SaveFileFS is SaveFile over an explicit filesystem (fault injection).
+func SaveFileFS(fsys FS, ix *core.Index, path string) error {
+	tmp := path + tmpSuffix
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	err = Save(ix, f) // writes the segment, truncates, syncs the file
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = fsys.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile validates the checkpoint at path and rebuilds the index (see
+// Load). The file is opened read-only: loading never creates or modifies
+// checkpoint files.
+func LoadFile(path string, cfg core.Config) (*core.Index, error) {
+	return LoadFileFS(OS, path, cfg)
+}
+
+// LoadFileFS is LoadFile over an explicit filesystem.
+func LoadFileFS(fsys FS, path string, cfg core.Config) (*core.Index, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, cfg)
+}
+
+// Verify validates every checksum of the checkpoint on dev — header,
+// directory, statistics block and all cluster regions — without rebuilding
+// the index. It reads the whole device once; any failure is a CorruptError.
+func Verify(dev Device) error {
+	h, err := readHeader(dev)
+	if err != nil {
+		return err
+	}
+	entries, err := readDirEntries(dev, h)
+	if err != nil {
+		return err
+	}
+	if h.version >= version2 {
+		stats := make([]byte, h.statsLen)
+		if _, err := dev.ReadAt(stats, int64(h.size+h.dirLen)); err != nil {
+			return corrupt("short statistics block: %v", err)
+		}
+		if crc32.ChecksumIEEE(stats) != h.statsCRC {
+			return corrupt("statistics checksum mismatch")
+		}
+	}
+	var (
+		ids  []uint32
+		data []float32
+	)
+	for i, e := range entries {
+		if ids, data, err = ReadRegionInto(dev, e, h.dims, ids[:0], data[:0]); err != nil {
+			return corrupt("cluster %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// VerifyFile is Verify over the file at path (opened read-only).
+func VerifyFile(path string) error { return VerifyFileFS(OS, path) }
+
+// VerifyFileFS is VerifyFile over an explicit filesystem.
+func VerifyFileFS(fsys FS, path string) error {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Verify(f)
+}

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"accluster/internal/core"
+)
+
+// TestSaveTruncatesShrunkenDatabase pins the truncate-to-new-length
+// behavior of Save: re-saving a database that shrank must not leave stale
+// tail bytes of the previous, larger checkpoint on the device, and the
+// shrunken file must reload to exactly the surviving objects.
+func TestSaveTruncatesShrunkenDatabase(t *testing.T) {
+	ix := buildIndex(t, 3, 900)
+	dev := NewMemDevice()
+	if err := Save(ix, dev); err != nil {
+		t.Fatal(err)
+	}
+	bigSize, _ := dev.Size()
+
+	// Shrink the index drastically and re-save onto the same device.
+	for id := 100; id < 900; id++ {
+		ix.Delete(uint32(id))
+	}
+	if err := Save(ix, dev); err != nil {
+		t.Fatal(err)
+	}
+	smallSize, _ := dev.Size()
+	if smallSize >= bigSize {
+		t.Fatalf("re-save of shrunken database did not truncate: %d -> %d bytes", bigSize, smallSize)
+	}
+	back, err := Load(dev, core.Config{Dims: 3})
+	if err != nil {
+		t.Fatalf("load shrunken database: %v", err)
+	}
+	if back.Len() != ix.Len() {
+		t.Fatalf("shrunken reload has %d objects, want %d", back.Len(), ix.Len())
+	}
+	if err := Verify(dev); err != nil {
+		t.Fatalf("verify shrunken database: %v", err)
+	}
+}
+
+// TestSaveFileRoundTrip exercises the atomic save path on the real
+// filesystem: save, reload, overwrite with a smaller state, reload again;
+// no temporary files may remain.
+func TestSaveFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.acdb")
+	ix := buildIndex(t, 2, 400)
+	if err := SaveFile(ix, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ix.Len() || back.Dims() != 2 {
+		t.Fatalf("reload: %d objects / %d dims, want %d / 2", back.Len(), back.Dims(), ix.Len())
+	}
+	for id := 50; id < 400; id++ {
+		ix.Delete(uint32(id))
+	}
+	if err := SaveFile(ix, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err = LoadFile(path, core.Config{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 50 {
+		t.Fatalf("reload after shrink: %d objects, want 50", back.Len())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "db.acdb" {
+			t.Fatalf("unexpected leftover file %q", e.Name())
+		}
+	}
+}
+
+// TestLoadFileMissing pins that opening a missing database fails instead of
+// silently creating an empty file (the pre-atomic behavior).
+func TestLoadFileMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.acdb")
+	if _, err := LoadFile(path, core.Config{}); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("a failed load created the file")
+	}
+}
+
+// TestVerifyDetectsEveryFlip mirrors the bit-flip load test at the Verify
+// level: a pristine database verifies clean, and a flip anywhere must fail
+// verification with an error classified as ErrCorrupt.
+func TestVerifyDetectsEveryFlip(t *testing.T) {
+	ix := buildIndex(t, 4, 600)
+	dev := NewMemDevice()
+	if err := Save(ix, dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(dev); err != nil {
+		t.Fatalf("pristine database failed verification: %v", err)
+	}
+	size, _ := dev.Size()
+	// Deterministic sweep: one flip per stride window across the file; the
+	// flip is XOR, so undoing it restores the pristine image.
+	for off := int64(0); off < size; off += 97 {
+		if err := dev.Corrupt(off); err != nil {
+			t.Fatal(err)
+		}
+		err := Verify(dev)
+		if uerr := dev.Corrupt(off); uerr != nil {
+			t.Fatal(uerr)
+		}
+		if err == nil {
+			t.Fatalf("flip at %d/%d verified clean", off, size)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: error not classified as ErrCorrupt: %v", off, err)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) || ce.Reason == "" {
+			t.Fatalf("flip at %d: error not a *CorruptError with a reason: %v", off, err)
+		}
+	}
+}
+
+// TestWriteFileAtomic pins the helper used for manifests: content lands
+// complete, overwrites are atomic, and no .tmp residue survives.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "MANIFEST")
+	if err := WriteFileAtomic(OS, path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(OS, path, []byte("second-longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second-longer" {
+		t.Fatalf("content %q, want %q", got, "second-longer")
+	}
+	if err := WriteFileAtomic(OS, path, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "x" {
+		t.Fatalf("shrinking overwrite left %q", got)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}

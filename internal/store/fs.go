@@ -1,0 +1,125 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is an open file of an FS: a Device with a lifetime.
+type File interface {
+	Device
+	Close() error
+}
+
+// FS abstracts the file-level operations of the atomic checkpoint paths
+// (SaveFile, shard directory saves). Production uses OS; crash-recovery
+// tests substitute fault-injecting and crash-simulating implementations
+// (internal/faultio) so every write, sync and rename is an injectable fault
+// point.
+type FS interface {
+	// Create opens path for writing, truncating any existing content.
+	Create(path string) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath. Durability of the
+	// new name requires a following SyncDir.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// MkdirAll creates path and any missing parents.
+	MkdirAll(path string) error
+	// SyncDir flushes directory metadata, making completed creates,
+	// renames and removes under dir durable.
+	SyncDir(dir string) error
+	// ReadDir returns the names of the entries in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the content of path.
+	ReadFile(path string) ([]byte, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileDevice{f: f}, nil
+}
+
+func (osFS) Open(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileDevice{f: f}, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+func (osFS) MkdirAll(path string) error           { return os.MkdirAll(path, 0o755) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// WriteFileAtomic durably replaces path with data: the bytes are written to
+// a temporary file in the same directory, synced to media, renamed into
+// place, and the directory entry is synced. A crash at any point leaves
+// either the previous content of path or the new one — never a torn mix —
+// plus at worst a stale temporary file the next writer truncates.
+func WriteFileAtomic(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	err = func() error {
+		if _, err := f.WriteAt(data, 0); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = fsys.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	return nil
+}

@@ -35,6 +35,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -67,10 +68,22 @@ type header struct {
 	size           int // header bytes on device
 }
 
-// ErrCorrupt wraps all integrity failures detected by Load.
+// ErrCorrupt is the sentinel matched by errors.Is for every integrity
+// failure (checksum mismatch, truncation, implausible geometry) detected by
+// Load, Verify and the manifest readers. It distinguishes corruption — the
+// stored bytes are wrong — from plain I/O errors, so callers can decide
+// between salvage and retry.
+var ErrCorrupt = errors.New("corrupt database")
+
+// CorruptError is the concrete error carrying the corruption diagnosis;
+// match with errors.As for the reason, or errors.Is(err, ErrCorrupt) to
+// classify.
 type CorruptError struct{ Reason string }
 
 func (e *CorruptError) Error() string { return "store: corrupt database: " + e.Reason }
+
+// Unwrap makes every CorruptError match ErrCorrupt under errors.Is.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 
 func corrupt(format string, args ...any) error {
 	return &CorruptError{Reason: fmt.Sprintf(format, args...)}

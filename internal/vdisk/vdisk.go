@@ -110,6 +110,18 @@ func (d *Disk) Size() (int64, error) {
 // Sync implements store.Device (the virtual disk is always durable).
 func (d *Disk) Sync() error { return nil }
 
+// Corrupt flips one stored byte without touching the clock or counters,
+// simulating silent media bit-rot for recovery tests.
+func (d *Disk) Corrupt(off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 || off >= int64(len(d.buf)) {
+		return fmt.Errorf("vdisk: corrupt offset %d out of range [0,%d)", off, len(d.buf))
+	}
+	d.buf[off] ^= 0xFF
+	return nil
+}
+
 // ElapsedMS returns the simulated time consumed so far.
 func (d *Disk) ElapsedMS() float64 {
 	d.mu.Lock()

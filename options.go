@@ -39,6 +39,7 @@ type options struct {
 	maxOverlap      float64
 	shards          int
 	fanout          int
+	salvage         bool
 	diskCache       int64
 	diskCacheSet    bool
 	readaheadGap    int64
@@ -187,6 +188,19 @@ func WithShards(n int) Option {
 // (default min(shards, GOMAXPROCS)).
 func WithFanout(workers int) Option {
 	return func(o *options) { o.fanout = workers }
+}
+
+// WithSalvage lets OpenSharded degrade instead of fail when a checkpoint is
+// damaged: segments whose checksums do not validate are quarantined — those
+// shards start empty — and the remaining partitions are served normally.
+// Selections on a degraded index return the answers of the healthy shards
+// only. The damage is reported by Stats (QuarantinedPartitions) and
+// Quarantined; repopulate with RestoreQuarantined or repair the directory
+// offline with cmd/acfsck. Without this option any integrity failure aborts
+// the open with an error wrapping ErrCorrupt. Other constructors ignore the
+// option.
+func WithSalvage() Option {
+	return func(o *options) { o.salvage = true }
 }
 
 // WithDiskCache sets the decoded-region cache budget (bytes) of a disk

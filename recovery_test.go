@@ -1,0 +1,222 @@
+package accluster
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestErrCorruptClassification pins the exported corruption taxonomy: any
+// integrity failure surfaced by the public open paths must match ErrCorrupt
+// via errors.Is and expose its detail via errors.As.
+func TestErrCorruptClassification(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.acdb")
+	a, err := NewAdaptive(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		if err := a.Insert(uint32(i), randomRect(rng, 2, 0.2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the file.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenAdaptive(path)
+	if err == nil {
+		t.Fatal("corrupted database opened silently")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("errors.Is(err, ErrCorrupt) = false for %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Reason == "" {
+		t.Fatalf("errors.As to *CorruptError failed for %v", err)
+	}
+}
+
+// TestOpenAdaptiveMissingFile pins the read-only open: a missing path is an
+// error and no file is created as a side effect.
+func TestOpenAdaptiveMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.acdb")
+	if _, err := OpenAdaptive(path); err == nil {
+		t.Fatal("opening a missing database succeeded")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("a failed open created the file")
+	}
+}
+
+// TestSalvageOpenEndToEnd drives the full degraded-open story through the
+// public API on the real filesystem: checkpoint, corrupt one segment,
+// observe the strict open fail, open with WithSalvage, read the quarantine
+// out of Stats/ShardStats/Quarantined, restore, re-save, reload healthy.
+func TestSalvageOpenEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	s, err := NewSharded(2, WithShards(4), WithReorgEvery(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(7))
+	const n = 600
+	ids := make([]uint32, n)
+	rects := make([]Rect, n)
+	for i := 0; i < n; i++ {
+		ids[i], rects[i] = uint32(i), randomRect(rng, 2, 0.2)
+	}
+	if err := s.InsertBatch(ids, rects); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Generation(); g != 1 {
+		t.Fatalf("generation after first save = %d, want 1", g)
+	}
+
+	// Corrupt one segment on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victimFile string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "shard-0001") {
+			victimFile = filepath.Join(dir, e.Name())
+		}
+	}
+	if victimFile == "" {
+		t.Fatalf("no segment for shard 1 among %v", entries)
+	}
+	raw, err := os.ReadFile(victimFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[128] ^= 0xFF
+	if err := os.WriteFile(victimFile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict open refuses with a classified error.
+	if _, err := OpenSharded(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict open err = %v, want ErrCorrupt", err)
+	}
+
+	// Salvage open degrades.
+	back, err := OpenSharded(dir, WithSalvage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	q := back.Quarantined()
+	if len(q) != 1 || q[0].Shard != 1 || !errors.Is(q[0].Err, ErrCorrupt) {
+		t.Fatalf("quarantine = %+v", q)
+	}
+	if got := back.Stats().QuarantinedPartitions; got != 1 {
+		t.Fatalf("Stats.QuarantinedPartitions = %d, want 1", got)
+	}
+	if !strings.Contains(back.Stats().String(), "QUARANTINED=1") {
+		t.Fatalf("Stats.String() hides the quarantine: %s", back.Stats())
+	}
+	perShard := back.ShardStats()
+	for i, st := range perShard {
+		want := 0
+		if i == 1 {
+			want = 1
+		}
+		if st.QuarantinedPartitions != want {
+			t.Fatalf("shard %d QuarantinedPartitions = %d, want %d", i, st.QuarantinedPartitions, want)
+		}
+	}
+	if back.Len() >= n || back.Len() == 0 {
+		t.Fatalf("degraded engine has %d objects, want within (0,%d)", back.Len(), n)
+	}
+	// Healthy shards answer queries.
+	got, err := back.Count(MustRect([]float32{0, 0}, []float32{1, 1}), Intersects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != back.Len() {
+		t.Fatalf("degraded count = %d, want %d", got, back.Len())
+	}
+
+	// Restore, verify, checkpoint, reopen clean.
+	if err := back.RestoreQuarantined(ids, rects); err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats().QuarantinedPartitions != 0 {
+		t.Fatal("quarantine survives restore")
+	}
+	if back.Len() != n {
+		t.Fatalf("restored engine has %d objects, want %d", back.Len(), n)
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if g := back.Generation(); g != 2 {
+		t.Fatalf("generation after repair save = %d, want 2", g)
+	}
+	clean, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	defer clean.Close()
+	if clean.Len() != n || clean.Stats().QuarantinedPartitions != 0 {
+		t.Fatalf("reopened engine: %d objects, %d quarantined", clean.Len(), clean.Stats().QuarantinedPartitions)
+	}
+}
+
+// TestGenerationalSaveKeepsDirClean pins the public-path GC: repeated saves
+// leave exactly shards+1 files, regardless of how many generations passed.
+func TestGenerationalSaveKeepsDirClean(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	s, err := NewSharded(2, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		if err := s.Insert(uint32(i), randomRect(rng, 2, 0.2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 1; round <= 4; round++ {
+		if err := s.SaveDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		if g := s.Generation(); g != uint64(round) {
+			t.Fatalf("round %d: generation %d", round, g)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 3 { // MANIFEST + 2 segments
+			names := make([]string, len(entries))
+			for i, e := range entries {
+				names[i] = e.Name()
+			}
+			t.Fatalf("round %d: %d files %v, want 3", round, len(entries), names)
+		}
+	}
+}

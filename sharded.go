@@ -178,7 +178,9 @@ func (s *Sharded) Merges() int64 { return s.e.Merges() }
 // per selection. The parallel speedup appears in wall time, not in the
 // modeled time.
 func (s *Sharded) Stats() Stats {
-	return statsFrom(s.e.Meter(), s.e.Len(), s.e.Clusters(), s.e.Dims())
+	st := statsFrom(s.e.Meter(), s.e.Len(), s.e.Clusters(), s.e.Dims())
+	st.QuarantinedPartitions = s.e.QuarantinedCount()
+	return st
 }
 
 // ShardStats returns one Stats snapshot per shard, in routing order; useful
@@ -188,6 +190,9 @@ func (s *Sharded) ShardStats() []Stats {
 	out := make([]Stats, len(infos))
 	for i, in := range infos {
 		out[i] = statsFrom(in.Meter, in.Objects, in.Clusters, s.e.Dims())
+		if in.Quarantined {
+			out[i].QuarantinedPartitions = 1
+		}
 	}
 	return out
 }
@@ -204,6 +209,28 @@ func (s *Sharded) ClusterInfos() []ClusterInfo {
 		out[i] = ClusterInfo(in)
 	}
 	return out
+}
+
+// QuarantinedShard describes one partition that failed to load during a
+// salvage open (WithSalvage): its index and the integrity or I/O error that
+// quarantined it.
+type QuarantinedShard = shard.QuarantinedShard
+
+// Generation returns the checkpoint generation the index was loaded from or
+// last saved as (0 for a fresh index that has never touched disk).
+func (s *Sharded) Generation() uint64 { return s.e.Generation() }
+
+// Quarantined reports the partitions that failed to load during a salvage
+// open, with the error that condemned each; empty on a healthy index.
+func (s *Sharded) Quarantined() []QuarantinedShard { return s.e.Quarantined() }
+
+// RestoreQuarantined re-ingests the objects of quarantined partitions from
+// an authoritative copy of the full data set (e.g. the original objects or
+// a peer's checkpoint contents): objects routing to healthy shards are
+// skipped, objects routing to quarantined shards are re-inserted, and on
+// success the quarantine is cleared. No-op on a healthy index.
+func (s *Sharded) RestoreQuarantined(ids []uint32, rects []Rect) error {
+	return s.e.RestoreQuarantined(ids, rects)
 }
 
 // CheckInvariants validates every shard's structural invariants and the

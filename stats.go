@@ -51,6 +51,12 @@ type Stats struct {
 	CacheMisses int64
 	// Results counts emitted answers.
 	Results int64
+	// QuarantinedPartitions counts shards quarantined by a salvage open
+	// (WithSalvage): partitions whose checkpoint segment was damaged and
+	// which therefore started empty. Zero on healthy engines and on
+	// engines without shards. In a per-shard snapshot (ShardStats) the
+	// field is 1 on the quarantined shard itself.
+	QuarantinedPartitions int
 }
 
 // meter reconstructs the internal counter view.
@@ -105,6 +111,9 @@ func (s Stats) String() string {
 		s.Objects, s.Partitions, s.Queries, 100*s.ExploredFraction(), 100*s.VerifiedFraction())
 	if s.CacheHits+s.CacheMisses > 0 {
 		base += fmt.Sprintf(" cache=%d/%d hits", s.CacheHits, s.CacheMisses+s.CacheHits)
+	}
+	if s.QuarantinedPartitions > 0 {
+		base += fmt.Sprintf(" QUARANTINED=%d", s.QuarantinedPartitions)
 	}
 	return base
 }

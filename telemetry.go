@@ -171,7 +171,8 @@ func (s *Sharded) initTelemetry(o options) error {
 		return err
 	}
 	s.tel, s.ownTel = t, owned
-	cols := append([]string{"objects", "clusters", "reorg_backlog", "stats_backlog", "epoch"}, meterCols...)
+	cols := append([]string{"objects", "clusters", "reorg_backlog", "stats_backlog", "epoch",
+		"generation", "quarantined"}, meterCols...)
 	for i := 0; i < s.e.Shards(); i++ {
 		cols = append(cols,
 			fmt.Sprintf("shard%d_objects", i),
@@ -194,7 +195,8 @@ func (s *Sharded) initTelemetry(o options) error {
 					epoch = in.Epoch
 				}
 			}
-			dst = append(dst, objects, clusters, reorgQ, statsQ, epoch)
+			dst = append(dst, objects, clusters, reorgQ, statsQ, epoch,
+				int64(s.e.Generation()), int64(s.e.QuarantinedCount()))
 			dst = appendMeter(dst, s.e.Meter())
 			for _, in := range infos {
 				dst = append(dst, int64(in.Objects), int64(in.Clusters), int64(in.ReorgBacklog))
