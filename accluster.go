@@ -294,6 +294,8 @@ func (a *Adaptive) Get(id uint32) (Rect, bool) {
 // (shared lock); the query's statistics updates are recorded during the
 // search and published afterwards. emit must not call back into the same
 // index.
+//
+//ac:noalloc
 func (a *Adaptive) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
 	// Latency capture is branch-guarded rather than deferred so the warm
 	// path stays allocation-free with telemetry on.
@@ -319,6 +321,8 @@ func (a *Adaptive) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 // SearchIDsAppend appends all qualifying identifiers to dst and returns the
 // extended slice; with a reused dst of sufficient capacity the selection
 // allocates nothing. Concurrent searches run in parallel (shared lock).
+//
+//ac:noalloc
 func (a *Adaptive) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
 	var t0 time.Time
 	if a.qhist != nil {
@@ -336,6 +340,8 @@ func (a *Adaptive) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32
 
 // Count returns the number of qualifying objects. Concurrent counts run in
 // parallel (shared lock).
+//
+//ac:noalloc
 func (a *Adaptive) Count(q Rect, rel Relation) (int, error) {
 	var t0 time.Time
 	if a.qhist != nil {

@@ -1,0 +1,115 @@
+// Command acvet runs this repository's invariant analyzers — the
+// lock-discipline, zero-alloc, meter-publication and corrupt-error-wrapping
+// checks under internal/analysis — over Go packages.
+//
+// Standalone (package patterns, default ./...):
+//
+//	acvet ./...
+//
+// As a `go vet` backend (cmd/go invokes it once per package with a JSON
+// config file; diagnostics gate the build like any vet finding):
+//
+//	go build -o bin/acvet ./cmd/acvet
+//	go vet -vettool=$PWD/bin/acvet ./...
+//
+// Exit status: 0 clean, 1 driver error, 2 findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"accluster/internal/analysis"
+	"accluster/internal/analysis/suite"
+)
+
+func main() {
+	// cmd/go probes the tool before use: -V=full asks for a cache
+	// identity, -flags for the analyzer flags it may forward.
+	progname := os.Args[0]
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			fmt.Println(analysis.VetVersionLine(progname))
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			runVetTool(args[0])
+			return
+		}
+	}
+
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: acvet [packages]   (standalone)\n       go vet -vettool=acvet [packages]\n\nAnalyzers:\n")
+		for _, a := range suite.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range suite.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	runStandalone(flag.Args())
+}
+
+// runVetTool handles one `go vet -vettool` package unit.
+func runVetTool(cfgPath string) {
+	cfg, err := analysis.ReadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	found, err := analysis.RunVetTool(cfg, suite.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acvet: %s: %v\n", cfg.ImportPath, err)
+		os.Exit(1)
+	}
+	if found {
+		os.Exit(2)
+	}
+}
+
+// runStandalone loads the patterns and runs the suite over every matched
+// package.
+func runStandalone(patterns []string) {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	annot, err := analysis.ScanModule(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acvet: %v\n", err)
+		os.Exit(1)
+	}
+	pkgs, err := analysis.LoadPackages(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acvet: %v\n", err)
+		os.Exit(1)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, suite.Analyzers(), annot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acvet: %v\n", err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "acvet: %d finding(s)\n", found)
+		os.Exit(2)
+	}
+}

@@ -90,6 +90,8 @@ func (d *Disk) Close() error {
 // Search calls emit for every object satisfying the relation with q; emit
 // returning false stops the search (regions not yet read stay unread). The
 // emission order across clusters is unspecified.
+//
+//ac:noalloc
 func (d *Disk) Search(q Rect, rel Relation, emit func(id uint32) bool) error {
 	var t0 time.Time
 	if d.qhist != nil {
@@ -118,6 +120,8 @@ func (d *Disk) SearchIDs(q Rect, rel Relation) ([]uint32, error) {
 // SearchIDsAppend appends all qualifying identifiers to dst and returns the
 // extended slice; with a reused dst, selections whose regions are all
 // cached allocate nothing.
+//
+//ac:noalloc
 func (d *Disk) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error) {
 	var t0 time.Time
 	if d.qhist != nil {
@@ -131,6 +135,8 @@ func (d *Disk) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, er
 }
 
 // Count returns the number of qualifying objects.
+//
+//ac:noalloc
 func (d *Disk) Count(q Rect, rel Relation) (int, error) {
 	var t0 time.Time
 	if d.qhist != nil {

@@ -172,4 +172,22 @@
 // construction (WithTelemetryRing): the ring evicts whole chunks
 // oldest-first and each chunk carries its own schema, so old dumps stay
 // decodable.
+//
+// # Enforced invariants
+//
+// Several of the guarantees above are conventions the compiler cannot
+// check: read paths hold only the shared lock and never call exclusive
+// operations, statistics publication (TryDrainStats) happens strictly after
+// RUnlock, the warm search paths allocate nothing, cost-meter counts are
+// recorded into per-query scratch and published through SyncMeter.Merge,
+// and every integrity failure wraps ErrCorrupt so errors.Is can classify
+// it. These invariants are machine-enforced by cmd/acvet, a static-analysis
+// suite (internal/analysis) run in CI as a `go vet -vettool` backend. The
+// contracts are declared in source with annotations — //ac:excl marks
+// operations requiring the write lock, //ac:noalloc pins a function as an
+// allocation-free hot path (also driven at runtime by
+// TestNoAllocAnnotatedPaths under testing.AllocsPerRun), //ac:scratch and
+// //ac:serialmeter mark the approved meter-mutation containers — and a
+// finding is suppressed only by an "//acvet:ignore <analyzer>
+// <justification>" comment whose justification is mandatory.
 package accluster

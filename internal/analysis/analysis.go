@@ -1,0 +1,220 @@
+// Package analysis is a miniature, dependency-free static-analysis
+// framework in the spirit of golang.org/x/tools/go/analysis, built only on
+// the standard library's go/ast, go/parser, go/types and go/importer.
+//
+// It exists because this repository's correctness depends on conventions
+// the compiler cannot see: read paths must hold only the shared lock and
+// never touch exclusive state, statistics publication must happen after
+// RUnlock, annotated hot paths must stay allocation-free, cost-meter fields
+// may only be mutated through scratch records merged via
+// cost.SyncMeter.Merge, and every integrity failure must wrap
+// store.ErrCorrupt. The analyzers under internal/analysis/... encode those
+// invariants; cmd/acvet runs them — standalone (`acvet ./...`) or as a
+// `go vet -vettool` backend.
+//
+// Invariant annotations recognized across the module (one per line, in a
+// declaration's doc comment):
+//
+//	//ac:excl     — the function requires exclusive (write-locked) access;
+//	                calling it while an RLock is held is a bug.
+//	//ac:noalloc  — the function is a pinned zero-allocation hot path;
+//	                alloc-inducing constructs in its body are diagnosed.
+//	//ac:scratch  — the type is a per-query scratch record; direct writes
+//	                to cost-meter fields reached through it are the
+//	                approved record-then-Merge pattern.
+//	//ac:serialmeter — the type is a single-mutex baseline engine whose
+//	                every operation holds the exclusive lock, so direct
+//	                writes to its embedded plain cost.Meter are safe by
+//	                construction.
+//
+// Suppression: a finding is silenced by a comment on the same line or the
+// line directly above, naming the analyzer and a justification:
+//
+//	//acvet:ignore noalloc amortized scratch growth, resets per query
+//
+// A bare analyzer name with no justification does not suppress.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker: a name (used in diagnostics and
+// suppression comments), one-line documentation, and the per-package run
+// function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzed package through an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Annot is the module-wide annotation table (//ac:excl, //ac:noalloc,
+	// //ac:scratch), keyed by qualified declaration name. It is built by a
+	// syntax-only scan of the whole module, so analyzers can resolve
+	// annotations on cross-package callees without a fact store.
+	Annot *Annotations
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// FuncKey returns the annotation-table key for a resolved function or
+// method: "pkgpath.Name" for package functions, "pkgpath.Recv.Name" for
+// methods (pointer receivers and type parameters stripped).
+func FuncKey(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			return f.Pkg().Path() + "." + n.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}
+
+// TypeKey returns the annotation-table key for a named type.
+func TypeKey(n *types.Named) string {
+	if n == nil || n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// namedOf unwraps pointers and aliases down to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// NamedOf is namedOf, exported for analyzers.
+func NamedOf(t types.Type) *types.Named { return namedOf(t) }
+
+// RunAnalyzers runs each analyzer over the loaded package, filters
+// suppressed findings, and returns the remainder sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, annot *Annotations) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Annot:    annot,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = filterSuppressed(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// suppressKey identifies one (file line, analyzer) suppression.
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// filterSuppressed drops diagnostics covered by an //acvet:ignore comment
+// on the same line or the line directly above.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	sup := make(map[suppressKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				sup[suppressKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	if len(sup) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if sup[suppressKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			sup[suppressKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parseIgnore recognizes "//acvet:ignore <analyzer> <justification>"; the
+// justification is mandatory — a suppression without a reason is ignored.
+func parseIgnore(text string) (analyzer string, ok bool) {
+	const prefix = "//acvet:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	name, reason, found := strings.Cut(rest, " ")
+	if !found || strings.TrimSpace(reason) == "" {
+		return "", false
+	}
+	return name, true
+}

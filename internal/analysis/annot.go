@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Annotations is the module-wide table of //ac:* invariant annotations,
+// built by a syntax-only parse of every non-test .go file under the module
+// root. Keys follow FuncKey/TypeKey: "pkgpath.Name" or "pkgpath.Recv.Name".
+//
+// Because the table is derived from syntax alone it is available in every
+// driver mode — the standalone runner, the `go vet -vettool` backend (which
+// only receives one package's files per invocation) and the fixture test
+// harness — without a cross-package fact store.
+type Annotations struct {
+	// m maps declaration key -> set of markers ("excl", "noalloc", ...).
+	m map[string]map[string]bool
+}
+
+// NewAnnotations returns an empty table; the fixture test harness fills it
+// with AnnotateFile.
+func NewAnnotations() *Annotations {
+	return &Annotations{m: make(map[string]map[string]bool)}
+}
+
+// Has reports whether the declaration key carries the marker.
+func (a *Annotations) Has(key, marker string) bool {
+	if a == nil {
+		return false
+	}
+	return a.m[key][marker]
+}
+
+// Keys returns every declaration key carrying the marker, sorted.
+func (a *Annotations) Keys(marker string) []string {
+	if a == nil {
+		return nil
+	}
+	var out []string
+	for k, set := range a.m {
+		if set[marker] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// add records marker on key.
+func (a *Annotations) add(key, marker string) {
+	set := a.m[key]
+	if set == nil {
+		set = make(map[string]bool)
+		a.m[key] = set
+	}
+	set[marker] = true
+}
+
+// markersOf extracts the //ac:* markers from a doc comment.
+func markersOf(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if rest, ok := strings.CutPrefix(text, "//ac:"); ok {
+			marker, _, _ := strings.Cut(rest, " ")
+			if marker != "" {
+				out = append(out, marker)
+			}
+		}
+	}
+	return out
+}
+
+// AnnotateFile records every annotated declaration of one parsed file under
+// package path pkgPath.
+func (a *Annotations) AnnotateFile(pkgPath string, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			markers := markersOf(d.Doc)
+			if len(markers) == 0 {
+				continue
+			}
+			key := pkgPath + "." + d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				if rn := recvTypeName(d.Recv.List[0].Type); rn != "" {
+					key = pkgPath + "." + rn + "." + d.Name.Name
+				}
+			}
+			for _, m := range markers {
+				a.add(key, m)
+			}
+		case *ast.GenDecl:
+			declMarkers := markersOf(d.Doc)
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				markers := append(markersOf(ts.Doc), declMarkers...)
+				for _, m := range markers {
+					a.add(pkgPath+"."+ts.Name.Name, m)
+				}
+			}
+		}
+	}
+}
+
+// recvTypeName extracts the receiver's base type name ("*Index" -> "Index",
+// "Engine[T]" -> "Engine").
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod and
+// returns it with the module path parsed from the file.
+func ModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ScanModule builds the annotation table for the module containing dir by
+// parsing (syntax only, with comments) every non-test .go file outside
+// testdata and hidden directories.
+func ScanModule(dir string) (*Annotations, error) {
+	root, modPath, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	a := &Annotations{m: make(map[string]map[string]bool)}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("analysis: scan %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		a.AnnotateFile(pkgPath, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}

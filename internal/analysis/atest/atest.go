@@ -1,0 +1,172 @@
+// Package atest is the fixture harness for the invariant analyzers, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest but built only on
+// the standard library.
+//
+// A fixture directory holds one Go package. Expected diagnostics are
+// written inline as trailing comments:
+//
+//	return make([]uint64, n) // want "make in"
+//
+// Each quoted string after `want` is a regular expression that must match
+// the message of exactly one diagnostic reported on that line; diagnostics
+// without a matching expectation, and expectations without a matching
+// diagnostic, fail the test. A line with no want comment asserts that no
+// diagnostic lands there — negative fixtures are just files with no wants.
+//
+// The package is type-checked for real (imports resolve through the build
+// cache via `go list -export`), so fixtures can import the repository's own
+// packages — cost for the meter rules, store for the corruption sentinel —
+// and must compile.
+package atest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"accluster/internal/analysis"
+)
+
+// Run type-checks the fixture package in dir under import path pkgPath,
+// runs the analyzer over it, and compares the diagnostics against the
+// fixture's want comments. pkgPath matters: corrupterr scopes its
+// construction rule to persistence package names, and the annotation table
+// keys every //ac:* marker by it.
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatalf("atest: no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("atest: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		root, _, err := analysis.ModuleRoot(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pats []string
+		for p := range imports {
+			pats = append(pats, p)
+		}
+		sort.Strings(pats)
+		exports, err = analysis.ListExports(root, pats...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	annot := analysis.NewAnnotations()
+	for _, f := range files {
+		annot.AnnotateFile(pkgPath, f)
+	}
+	pkg, err := analysis.TypeCheckFiles(fset, pkgPath, dir, files, exports)
+	if err != nil {
+		t.Fatalf("atest: fixture must compile: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, annot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", posString(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one inline expectation.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantString pulls the quoted regular expressions out of a want comment.
+var wantString = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants parses every `// want "re" ...` comment in the fixtures.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantString.FindAllString(text[len("want "):], -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, text)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claim matches a diagnostic against the first unmatched expectation on its
+// line.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func posString(p token.Position) string {
+	return p.Filename + ":" + strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Column)
+}

@@ -1,0 +1,263 @@
+// Package corrupterr enforces the integrity-error contract from PR 7: in
+// the persistence packages (store, shard, diskengine, telemetry's decoder)
+// every error born from a checksum, CRC, magic-number, truncation or
+// decode failure wraps store.ErrCorrupt — via *store.CorruptError or a
+// %w chain — so salvage, quarantine and fsck can classify corruption with
+// errors.Is; and no caller anywhere matches errors by equality or by
+// string inspection.
+//
+// Rules:
+//
+//  1. (persistence packages only) errors.New with a corruption-keyword
+//     message cannot wrap anything — construct a *store.CorruptError (the
+//     corrupt/corruptf helpers) instead. fmt.Errorf with a corruption
+//     keyword must carry a %w verb wrapping an underlying error.
+//  2. (everywhere) comparing an error against a sentinel Err* variable
+//     with == or != misses wrapped chains — use errors.Is. io.EOF and
+//     io.ErrUnexpectedEOF are exempt: the stdlib returns them unwrapped
+//     by contract.
+//  3. (everywhere) matching err.Error() text — equality or
+//     strings.Contains/HasPrefix/HasSuffix — is never the right
+//     classification; use errors.Is / errors.As.
+package corrupterr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"accluster/internal/analysis"
+)
+
+// Analyzer is the corrupterr invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "corrupterr",
+	Doc:  "integrity errors must wrap store.ErrCorrupt; error matching must use errors.Is, not ==/string tests",
+	Run:  run,
+}
+
+// corruptionWord matches messages describing integrity failures.
+var corruptionWord = regexp.MustCompile(`(?i)\b(checksum|crc|magic|corrupt\w*|truncat\w*|decode)\b`)
+
+// persistencePackages are the packages where rule 1 applies: the layers
+// that read the device formats.
+var persistencePackages = []string{"store", "shard", "diskengine", "telemetry"}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, persistence: inPersistenceLayer(pass.Pkg.Path())}
+	for _, f := range pass.Files {
+		c.collectSentinelDefs(f)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.visit)
+	}
+	return nil
+}
+
+// collectSentinelDefs records the source spans of package-level Err*
+// variable initializers: `var ErrCorrupt = errors.New(...)` is the
+// sentinel's definition, not a failure to wrap it.
+func (c *checker) collectSentinelDefs(f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if strings.HasPrefix(name.Name, "Err") || strings.HasPrefix(name.Name, "err") {
+					c.sentinelDefs = append(c.sentinelDefs, span{vs.Pos(), vs.End()})
+					break
+				}
+			}
+		}
+	}
+}
+
+type span struct{ pos, end token.Pos }
+
+func (c *checker) inSentinelDef(pos token.Pos) bool {
+	for _, s := range c.sentinelDefs {
+		if pos >= s.pos && pos < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+func inPersistenceLayer(path string) bool {
+	last := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		last = path[i+1:]
+	}
+	for _, p := range persistencePackages {
+		if last == p {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass         *analysis.Pass
+	persistence  bool
+	sentinelDefs []span
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch e := n.(type) {
+	case *ast.CallExpr:
+		c.checkConstruction(e)
+		c.checkStringMatch(e)
+	case *ast.BinaryExpr:
+		if e.Op == token.EQL || e.Op == token.NEQ {
+			c.checkComparison(e)
+		}
+	}
+	return true
+}
+
+// callee resolves the qualified name "pkgpath.Name" of a static callee.
+func (c *checker) callee(call *ast.CallExpr) (qualified, name string) {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return "", ""
+	}
+	fn, ok := c.pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name(), fn.Name()
+}
+
+// checkConstruction applies rule 1 to errors.New / fmt.Errorf calls.
+func (c *checker) checkConstruction(call *ast.CallExpr) {
+	if !c.persistence || len(call.Args) == 0 || c.inSentinelDef(call.Pos()) {
+		return
+	}
+	qualified, _ := c.callee(call)
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	text, err := strconv.Unquote(lit.Value)
+	if err != nil || !corruptionWord.MatchString(text) {
+		return
+	}
+	switch qualified {
+	case "errors.New":
+		c.pass.Reportf(call.Pos(), "integrity-failure error %q does not wrap store.ErrCorrupt: construct a *store.CorruptError instead of errors.New", text)
+	case "fmt.Errorf":
+		if !strings.Contains(text, "%w") {
+			c.pass.Reportf(call.Pos(), "integrity-failure error %q does not wrap an underlying error: use %%w with a *store.CorruptError (or build one directly)", text)
+		}
+	}
+}
+
+// checkComparison applies rule 2 (sentinel equality) and the equality half
+// of rule 3 (err.Error() == "...").
+func (c *checker) checkComparison(e *ast.BinaryExpr) {
+	x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+	if c.isErrorText(x) || c.isErrorText(y) {
+		c.pass.Reportf(e.Pos(), "comparing err.Error() text: classify errors with errors.Is / errors.As, not string matching")
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		sentinel, other := pair[0], pair[1]
+		if !c.isSentinelError(sentinel) {
+			continue
+		}
+		if !c.isErrorExpr(other) || isNil(c.pass, other) {
+			continue
+		}
+		c.pass.Reportf(e.Pos(), "comparing error against sentinel %s with %s misses wrapped errors: use errors.Is", types.ExprString(sentinel), e.Op)
+		return
+	}
+}
+
+// checkStringMatch applies rule 3 to strings.Contains/HasPrefix/HasSuffix.
+func (c *checker) checkStringMatch(call *ast.CallExpr) {
+	qualified, _ := c.callee(call)
+	switch qualified {
+	case "strings.Contains", "strings.HasPrefix", "strings.HasSuffix", "strings.Index", "strings.EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if c.isErrorText(ast.Unparen(arg)) {
+			c.pass.Reportf(call.Pos(), "matching err.Error() text with %s: classify errors with errors.Is / errors.As, not string matching", qualified)
+			return
+		}
+	}
+}
+
+// isErrorText reports whether e is a call of the Error() method on an
+// error value.
+func (c *checker) isErrorText(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return c.isErrorExpr(sel.X)
+}
+
+// isSentinelError reports whether e names an exported-or-not Err* package
+// variable of type error, excluding the stdlib's unwrapped-by-contract
+// io.EOF / io.ErrUnexpectedEOF.
+func (c *checker) isSentinelError(e ast.Expr) bool {
+	var id *ast.Ident
+	switch v := e.(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return false
+	}
+	obj, ok := c.pass.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return false
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") && !strings.HasPrefix(obj.Name(), "err") {
+		return false
+	}
+	if obj.Pkg().Path() == "io" && (obj.Name() == "EOF" || obj.Name() == "ErrUnexpectedEOF") {
+		return false
+	}
+	return c.isErrorType(obj.Type())
+}
+
+func (c *checker) isErrorExpr(e ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[e]
+	return ok && c.isErrorType(tv.Type)
+}
+
+func (c *checker) isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorInterface) || types.Implements(types.NewPointer(t), errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,21 @@
+package corrupterr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"accluster/internal/analysis/atest"
+	"accluster/internal/analysis/corrupterr"
+)
+
+func TestViolations(t *testing.T) {
+	atest.Run(t, filepath.Join("testdata", "positive"), "store", corrupterr.Analyzer)
+}
+
+func TestRealIdiomsClean(t *testing.T) {
+	atest.Run(t, filepath.Join("testdata", "negative"), "shard", corrupterr.Analyzer)
+}
+
+func TestNonPersistenceScope(t *testing.T) {
+	atest.Run(t, filepath.Join("testdata", "nonpersist"), "engine", corrupterr.Analyzer)
+}

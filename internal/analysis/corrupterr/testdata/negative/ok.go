@@ -1,0 +1,40 @@
+// Package shard (a fixture named after the persistence layer) holds the
+// correct integrity-error idioms — mirrors of store/format.go readers and
+// the shard routing layer — and must produce no diagnostics.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"accluster/internal/store"
+)
+
+// ErrStopped is this package's own sentinel; its definition is not a
+// failure to wrap (mirrors store.ErrCorrupt's own definition).
+var ErrStopped = errors.New("shard: stopped")
+
+// readHeader classifies an integrity failure by wrapping the sentinel
+// (mirrors store's corruptf helper).
+func readHeader(ok bool) error {
+	if !ok {
+		return fmt.Errorf("shard: header checksum mismatch: %w", store.ErrCorrupt)
+	}
+	return nil
+}
+
+// classify matches with errors.Is; io.EOF equality is exempt because the
+// stdlib returns it unwrapped by contract.
+func classify(err error) bool {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return false
+	}
+	return errors.Is(err, store.ErrCorrupt)
+}
+
+// describe reads the message for humans, not for classification: building
+// log text from err.Error() is fine as long as no branch depends on it.
+func describe(err error) string {
+	return "shard: salvage skipped region: " + err.Error()
+}

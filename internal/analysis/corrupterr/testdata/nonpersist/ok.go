@@ -1,0 +1,15 @@
+// Package engine (a fixture outside the persistence layer) shows the
+// construction rule's scope: corruption-keyword messages are fine in
+// packages that never read device formats.
+package engine
+
+import "errors"
+
+// ErrPlanDecode is unrelated to storage integrity; outside the persistence
+// packages errors.New with a keyword is not diagnosed.
+var ErrPlanDecode = errors.New("engine: decode of cached plan failed")
+
+// newDecodeError builds a non-integrity error mentioning decode.
+func newDecodeError() error {
+	return errors.New("engine: decode stage disabled")
+}

@@ -1,0 +1,44 @@
+// Package store (a fixture named after the persistence layer, which scopes
+// the construction rule) holds integrity errors that fail to wrap the
+// corruption sentinel, plus sentinel and string matching.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errStopped = errors.New("fixture: stopped")
+
+// openBad classifies an integrity failure without wrapping ErrCorrupt.
+func openBad(err error) error {
+	if err != nil {
+		return errors.New("checksum mismatch in header") // want "does not wrap store.ErrCorrupt"
+	}
+	return nil
+}
+
+// decodeBad formats a corruption message with no %w chain.
+func decodeBad() error {
+	return fmt.Errorf("decode region: bad magic %#x", 7) // want "does not wrap an underlying error"
+}
+
+// truncBad reports a truncated read unclassified.
+func truncBad(got, want int) error {
+	if got < want {
+		return fmt.Errorf("truncated directory: %d of %d bytes", got, want) // want "does not wrap an underlying error"
+	}
+	return nil
+}
+
+// matchBad classifies errors by equality and by text.
+func matchBad(err error) bool {
+	if err == errStopped { // want "use errors.Is"
+		return true
+	}
+	if err.Error() == "corrupt database" { // want "errors.Is / errors.As, not string matching"
+		return true
+	}
+	return strings.Contains(err.Error(), "checksum") // want "errors.Is / errors.As, not string matching"
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+}
+
+// goList runs `go list -export -deps -json` for the patterns and decodes
+// the package stream. Export data for every dependency comes out of the
+// build cache, so loading works offline.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,ImportMap", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts a map of import path -> export-data file into the
+// lookup function go/importer's gc importer expects.
+func exportLookup(exports map[string]string, importMap map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// newInfo allocates a fully-populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// typeCheck parses files and type-checks them as package path, resolving
+// imports through the export map.
+func typeCheck(fset *token.FileSet, path, dir string, goFiles []string, exports, importMap map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		full := name
+		if !filepath.IsAbs(full) {
+			full = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", exportLookup(exports, importMap)),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// TypeCheckFiles type-checks already-parsed files as a package with import
+// path pkgPath, resolving imports through the export map. The fixture test
+// harness uses it to check testdata packages that live outside the module's
+// package graph.
+func TypeCheckFiles(fset *token.FileSet, pkgPath, dir string, files []*ast.File, exports map[string]string) (*Package, error) {
+	info := newInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", exportLookup(exports, nil)),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", pkgPath, err)
+	}
+	return &Package{Path: pkgPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadPackages loads and type-checks every package matching the patterns
+// (resolved relative to dir; empty patterns mean "./..."), skipping
+// dependencies that only need export data.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, p.ImportPath, p.Dir, p.GoFiles, exports, p.ImportMap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ListExports returns the import path -> export data file map for the
+// patterns (plus all dependencies). The fixture test harness uses it to
+// resolve standard-library imports without compiling them from source.
+func ListExports(dir string, patterns ...string) (map[string]string, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,366 @@
+// Package lockdiscipline enforces the repository's reader/writer lock
+// contract (established in PR 4): read paths hold only the shared lock and
+// may call only read-safe operations, and statistics publication
+// (core.TryDrainStats / core.DrainStats) happens strictly after RUnlock.
+//
+// Three rules are checked inside every lexical RLock region — the
+// statements between x.RLock() and the matching x.RUnlock(), with
+// `defer x.RUnlock()` holding to the end of the function:
+//
+//  1. No call to an exclusive operation: a function annotated //ac:excl
+//     anywhere in the module, or a same-package function that (transitively)
+//     calls one without taking a write lock itself.
+//  2. No statistics publication before RUnlock: calls to TryDrainStats or
+//     DrainStats (or same-package wrappers that call them, like the
+//     engines' publishStats) are diagnosed inside the region.
+//  3. No lock upgrade: x.Lock() while x's read lock is held deadlocks.
+//
+// The region tracking is lexical, matching how every wrapper in this
+// repository is written (RLock; defer RUnlock, or RLock; ...; RUnlock;
+// publish). Function literals are not entered: a closure built under the
+// lock may legitimately run after release.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"accluster/internal/analysis"
+)
+
+// Analyzer is the lockdiscipline invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flag exclusive operations and statistics publication inside RLock regions",
+	Run:  run,
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// decls maps each package-level function object to its declaration.
+	decls map[*types.Func]*ast.FuncDecl
+	// excl holds same-package functions requiring exclusive access
+	// (annotated, or transitively calling an exclusive function without
+	// self-locking).
+	excl map[*types.Func]bool
+	// publish holds same-package functions that perform statistics
+	// publication (call TryDrainStats/DrainStats).
+	publish map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		excl:    make(map[*types.Func]bool),
+		publish: make(map[*types.Func]bool),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.decls[fn] = fd
+			if pass.Annot.Has(analysis.FuncKey(fn), "excl") {
+				c.excl[fn] = true
+			}
+		}
+	}
+	c.computeExclusive()
+	c.computePublish()
+	for fn, fd := range c.decls {
+		_ = fn
+		c.walkBody(fd.Body.List, map[string]bool{})
+	}
+	return nil
+}
+
+// callee resolves the static callee of a call expression, or nil.
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// syncLockOp reports whether call is a method call on a sync mutex and
+// returns the method name and the receiver expression.
+func (c *checker) syncLockOp(call *ast.CallExpr) (method string, recv ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	fn := c.callee(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil, false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return fn.Name(), sel.X, true
+	}
+	return "", nil, false
+}
+
+// selfLocking reports whether the declaration takes a write lock itself —
+// such a function manages its own exclusivity, so calling an exclusive
+// operation inside it does not make its callers exclusive.
+func (c *checker) selfLocking(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if m, _, ok := c.syncLockOp(call); ok && m == "Lock" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isExclusive reports whether fn requires exclusive access: annotated
+// //ac:excl (any package, via the module annotation table) or in the
+// same-package transitive set.
+func (c *checker) isExclusive(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if c.excl[fn] {
+		return true
+	}
+	return c.pass.Annot.Has(analysis.FuncKey(fn), "excl")
+}
+
+// isPublication reports whether calling fn performs statistics
+// publication: the core mailbox drains themselves, or a same-package
+// wrapper around them.
+func (c *checker) isPublication(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if c.publish[fn] {
+		return true
+	}
+	if fn.Name() != "TryDrainStats" && fn.Name() != "DrainStats" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	n := analysis.NamedOf(sig.Recv().Type())
+	return n != nil && n.Obj().Name() == "Index"
+}
+
+// computeExclusive closes the annotated set over same-package static
+// calls: a function calling an exclusive function is itself exclusive,
+// unless it acquires a write lock (then it self-serializes).
+func (c *checker) computeExclusive() {
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range c.decls {
+			if c.excl[fn] || c.selfLocking(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if c.excl[fn] {
+					return false
+				}
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok && c.isExclusive(c.callee(call)) {
+					c.excl[fn] = true
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+}
+
+// computePublish marks direct same-package callers of
+// TryDrainStats/DrainStats (one level: the publishStats-style wrappers).
+func (c *checker) computePublish() {
+	for fn, fd := range c.decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && c.isPublication(c.callee(call)) {
+				c.publish[fn] = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// walkBody scans a statement list in order, tracking which mutexes are
+// read-locked, and diagnoses rule violations inside held regions. Branch
+// bodies get a copy of the held set: lock-state changes inside a branch
+// are local to it (matching the repo's balanced-region idioms).
+func (c *checker) walkBody(stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if m, recv, ok := c.syncLockOp(call); ok {
+					key := types.ExprString(recv)
+					switch m {
+					case "RLock":
+						held[key] = true
+					case "RUnlock":
+						delete(held, key)
+					case "Lock":
+						if held[key] {
+							c.pass.Reportf(call.Pos(), "write-lock acquisition of %s while its read lock is held (lock upgrade deadlocks)", key)
+						}
+					}
+					continue
+				}
+			}
+			c.checkExpr(s.X, held)
+		case *ast.DeferStmt:
+			if m, recv, ok := c.syncLockOp(s.Call); ok {
+				// defer x.RUnlock() holds the region to function end;
+				// leave the mutex in the held set.
+				_ = m
+				_ = recv
+				continue
+			}
+			c.checkExprs(s.Call.Args, held)
+		case *ast.GoStmt:
+			// A spawned goroutine does not inherit the caller's lock.
+			c.checkExprs(s.Call.Args, held)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				c.walkBody([]ast.Stmt{s.Init}, held)
+			}
+			c.checkExpr(s.Cond, held)
+			c.walkBody(s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				c.walkBody([]ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				c.walkBody([]ast.Stmt{s.Init}, held)
+			}
+			if s.Cond != nil {
+				c.checkExpr(s.Cond, held)
+			}
+			c.walkBody(s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			c.checkExpr(s.X, held)
+			c.walkBody(s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				c.walkBody([]ast.Stmt{s.Init}, held)
+			}
+			if s.Tag != nil {
+				c.checkExpr(s.Tag, held)
+			}
+			c.walkBody(s.Body.List, copyHeld(held))
+		case *ast.TypeSwitchStmt:
+			c.walkBody(s.Body.List, copyHeld(held))
+		case *ast.SelectStmt:
+			c.walkBody(s.Body.List, copyHeld(held))
+		case *ast.CaseClause:
+			c.checkExprs(s.List, held)
+			c.walkBody(s.Body, held)
+		case *ast.CommClause:
+			c.walkBody(s.Body, held)
+		case *ast.BlockStmt:
+			c.walkBody(s.List, held)
+		case *ast.LabeledStmt:
+			c.walkBody([]ast.Stmt{s.Stmt}, held)
+		case *ast.AssignStmt:
+			c.checkExprs(s.Rhs, held)
+			c.checkExprs(s.Lhs, held)
+		case *ast.ReturnStmt:
+			c.checkExprs(s.Results, held)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						c.checkExprs(vs.Values, held)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			c.checkExpr(s.X, held)
+		case *ast.SendStmt:
+			c.checkExpr(s.Chan, held)
+			c.checkExpr(s.Value, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *checker) checkExprs(exprs []ast.Expr, held map[string]bool) {
+	for _, e := range exprs {
+		c.checkExpr(e, held)
+	}
+}
+
+// checkExpr diagnoses calls to exclusive or publication functions inside a
+// held region. Function-literal bodies are not entered.
+func (c *checker) checkExpr(e ast.Expr, held map[string]bool) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	lock := anyKey(held)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := c.callee(call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case c.isPublication(fn):
+			c.pass.Reportf(call.Pos(), "statistics publication %s called before RUnlock of %s: publish only after releasing the read lock", fn.Name(), lock)
+		case c.isExclusive(fn):
+			c.pass.Reportf(call.Pos(), "call to exclusive operation %s inside a read-locked region (%s): exclusive operations require the write lock", fn.Name(), lock)
+		}
+		return true
+	})
+}
+
+// anyKey returns one held mutex name for diagnostics.
+func anyKey(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

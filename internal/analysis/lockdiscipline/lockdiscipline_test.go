@@ -1,0 +1,17 @@
+package lockdiscipline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"accluster/internal/analysis/atest"
+	"accluster/internal/analysis/lockdiscipline"
+)
+
+func TestViolations(t *testing.T) {
+	atest.Run(t, filepath.Join("testdata", "positive"), "lockpos", lockdiscipline.Analyzer)
+}
+
+func TestRealIdiomsClean(t *testing.T) {
+	atest.Run(t, filepath.Join("testdata", "negative"), "lockneg", lockdiscipline.Analyzer)
+}

@@ -1,0 +1,87 @@
+// Package lockneg holds the repository's real locking idioms — mirrors of
+// core/publish.go and the shard read paths — and must produce no
+// diagnostics.
+package lockneg
+
+import "sync"
+
+// Index mimics the core index.
+type Index struct {
+	mu      sync.RWMutex
+	objects int
+	pending int
+	window  int
+}
+
+// applyPending folds queued deltas into the window.
+//
+//ac:excl
+func (ix *Index) applyPending() {
+	ix.window += ix.pending
+	ix.pending = 0
+}
+
+// TryDrainStats opportunistically applies queued deltas under the write
+// lock (mirrors core.Index.TryDrainStats).
+func (ix *Index) TryDrainStats(mu *sync.RWMutex) bool {
+	mu.Lock()
+	ix.applyPending()
+	mu.Unlock()
+	return true
+}
+
+// Count is the read-phase idiom: shared lock, read-only work, publication
+// strictly after RUnlock (mirrors core.Index.CountRead and the engines'
+// Search wrappers).
+func (ix *Index) Count() int {
+	ix.mu.RLock()
+	n := ix.objects
+	ix.mu.RUnlock()
+	ix.TryDrainStats(&ix.mu)
+	return n
+}
+
+// Insert is the mutation idiom: write lock first, then exclusive work
+// (mirrors core.Index.Insert).
+func (ix *Index) Insert() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.applyPending()
+	ix.objects++
+}
+
+// Reorganize holds the write lock across a branch calling exclusive work.
+func (ix *Index) Reorganize(full bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if full {
+		ix.applyPending()
+	}
+}
+
+// Snapshot builds a closure under the read lock that runs only after
+// release; function-literal bodies are not part of the locked region.
+func (ix *Index) Snapshot() func() {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return func() {
+		ix.mu.Lock()
+		ix.applyPending()
+		ix.mu.Unlock()
+	}
+}
+
+// ScopedRead releases inside one branch; the held set is branch-local, so
+// the sibling path stays accurate.
+func (ix *Index) ScopedRead(fast bool) int {
+	ix.mu.RLock()
+	if fast {
+		n := ix.objects
+		ix.mu.RUnlock()
+		return n
+	}
+	n := ix.objects + ix.window
+	ix.mu.RUnlock()
+	ix.TryDrainStats(&ix.mu)
+	return n
+}

@@ -1,0 +1,90 @@
+// Package lockpos holds deliberate violations of the reader/writer lock
+// contract; every flagged line carries a want expectation.
+package lockpos
+
+import "sync"
+
+// Index mimics the core index: an RWMutex guarding structural state, with
+// a drain method matching the publication signature.
+type Index struct {
+	mu      sync.RWMutex
+	pending int
+	window  int
+}
+
+// applyPending folds queued deltas into the window.
+//
+//ac:excl
+func (ix *Index) applyPending() {
+	ix.window += ix.pending
+	ix.pending = 0
+}
+
+// TryDrainStats opportunistically applies queued deltas under the write
+// lock (self-locking, so it is not itself exclusive).
+func (ix *Index) TryDrainStats(mu *sync.RWMutex) bool {
+	mu.Lock()
+	ix.applyPending()
+	mu.Unlock()
+	return true
+}
+
+// publishStats is a same-package wrapper around the drain.
+func (ix *Index) publishStats() {
+	ix.TryDrainStats(&ix.mu)
+}
+
+// mutate is unannotated but transitively exclusive through applyPending.
+func (ix *Index) mutate() {
+	ix.applyPending()
+}
+
+// CountBad calls an exclusive operation under the read lock.
+func (ix *Index) CountBad() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.applyPending() // want "exclusive operation applyPending"
+	return ix.window
+}
+
+// TransitiveBad reaches an exclusive operation through the unannotated
+// same-package wrapper.
+func (ix *Index) TransitiveBad() {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.mutate() // want "exclusive operation mutate"
+}
+
+// SearchBad publishes statistics before releasing the read lock.
+func (ix *Index) SearchBad() int {
+	ix.mu.RLock()
+	n := ix.window
+	ix.TryDrainStats(&ix.mu) // want "statistics publication TryDrainStats called before RUnlock"
+	ix.mu.RUnlock()
+	return n
+}
+
+// WrapperBad publishes through the wrapper while still read-locked.
+func (ix *Index) WrapperBad() {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.publishStats() // want "statistics publication publishStats"
+}
+
+// UpgradeBad upgrades a read lock to a write lock, which deadlocks.
+func (ix *Index) UpgradeBad() {
+	ix.mu.RLock()
+	ix.mu.Lock() // want "lock upgrade"
+	ix.mu.Unlock()
+	ix.mu.RUnlock()
+}
+
+// BranchBad violates inside a conditional: branch bodies inherit the held
+// set.
+func (ix *Index) BranchBad(drain bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if drain {
+		ix.applyPending() // want "exclusive operation applyPending"
+	}
+}

@@ -1,0 +1,17 @@
+package meterdiscipline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"accluster/internal/analysis/atest"
+	"accluster/internal/analysis/meterdiscipline"
+)
+
+func TestViolations(t *testing.T) {
+	atest.Run(t, filepath.Join("testdata", "positive"), "meterpos", meterdiscipline.Analyzer)
+}
+
+func TestRealIdiomsClean(t *testing.T) {
+	atest.Run(t, filepath.Join("testdata", "negative"), "meterneg", meterdiscipline.Analyzer)
+}

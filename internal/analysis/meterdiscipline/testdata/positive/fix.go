@@ -1,0 +1,39 @@
+// Package meterpos holds direct shared-meter writes that violate the
+// record-then-Merge contract.
+package meterpos
+
+import "accluster/internal/cost"
+
+// engine carries a shared meter but no //ac:scratch or //ac:serialmeter
+// annotation, so direct writes through it are diagnosed.
+type engine struct {
+	meter cost.Meter
+}
+
+var global cost.Meter
+
+// IncBad increments a shared meter field in place.
+func (e *engine) IncBad() {
+	e.meter.Queries++ // want "direct write to cost-meter field Queries"
+}
+
+// AssignBad stores into a shared meter field.
+func (e *engine) AssignBad() {
+	e.meter.Seeks = 3 // want "direct write to cost-meter field Seeks"
+}
+
+// CompoundBad compound-assigns a shared meter field.
+func (e *engine) CompoundBad(n int64) {
+	e.meter.BytesVerified += n // want "direct write to cost-meter field BytesVerified"
+}
+
+// GlobalBad mutates a package-level meter.
+func GlobalBad() {
+	global.CacheHits++ // want "direct write to cost-meter field CacheHits"
+}
+
+// EscapeBad takes the address of a shared meter field, escaping it for
+// arbitrary writes.
+func EscapeBad(e *engine) *int64 {
+	return &e.meter.Results // want "direct write to cost-meter field Results"
+}

@@ -1,0 +1,333 @@
+// Package noalloc checks functions annotated //ac:noalloc — the pinned
+// zero-allocation hot paths (warm disk searches, the core read phase, the
+// telemetry record path) — for allocation-inducing constructs:
+//
+//   - slice and map composite literals, and pointers to composite literals
+//   - make (slice/map/chan) and new
+//   - append whose destination is a plain local (appends into parameters,
+//     dereferenced out-parameters and struct-field scratch buffers are the
+//     repository's pooled/amortized idiom and are allowed)
+//   - function literals that capture local variables (closure allocation)
+//   - string concatenation, string<->[]byte/[]rune conversions
+//   - explicit and implicit conversions of non-pointer concrete values to
+//     interface types (boxing), including every fmt call
+//   - go statements (goroutine + closure allocation)
+//
+// The check is local to the annotated body: callees are not followed.
+// Transitive guarantees come from annotating the helpers on the hot path
+// (they are) and from the runtime pin TestNoAllocAnnotatedPaths, which
+// drives every annotated exported path under testing.AllocsPerRun. A
+// construct the escape analyzer provably keeps on the stack can be
+// suppressed with //acvet:ignore noalloc <justification>.
+package noalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"accluster/internal/analysis"
+)
+
+// Analyzer is the noalloc invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocation-inducing constructs in //ac:noalloc-annotated functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !pass.Annot.Has(analysis.FuncKey(fn), "noalloc") {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fd   *ast.FuncDecl
+	// params holds the objects of the function's parameters and named
+	// results: append destinations rooted in them are caller-owned.
+	params map[types.Object]bool
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, fd: fd, params: map[types.Object]bool{}}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					c.params[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	collect(fd.Type.Results)
+	ast.Inspect(fd.Body, c.visit)
+}
+
+func (c *checker) report(n ast.Node, format string, args ...any) {
+	c.pass.Reportf(n.Pos(), format, args...)
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch e := n.(type) {
+	case *ast.GoStmt:
+		c.report(e, "go statement in //ac:noalloc function allocates (goroutine and closure)")
+	case *ast.CompositeLit:
+		c.checkCompositeLit(e)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				c.report(e, "pointer to composite literal in //ac:noalloc function allocates")
+				return false // the literal itself is covered by this report
+			}
+		}
+	case *ast.FuncLit:
+		c.checkFuncLit(e)
+	case *ast.BinaryExpr:
+		if e.Op.String() == "+" && isString(c.typeOf(e)) {
+			c.report(e, "string concatenation in //ac:noalloc function allocates")
+		}
+	case *ast.CallExpr:
+		c.checkCall(e)
+	}
+	return true
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (c *checker) checkCompositeLit(e *ast.CompositeLit) {
+	switch c.typeUnder(e) {
+	case "slice":
+		c.report(e, "slice literal in //ac:noalloc function allocates")
+	case "map":
+		c.report(e, "map literal in //ac:noalloc function allocates")
+	}
+}
+
+func (c *checker) typeUnder(e ast.Expr) string {
+	t := c.typeOf(e)
+	if t == nil {
+		return ""
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "chan"
+	}
+	return ""
+}
+
+// checkFuncLit flags literals that capture variables declared outside the
+// literal: those closures allocate. Capture-free literals compile to
+// static functions and are allowed.
+func (c *checker) checkFuncLit(e *ast.FuncLit) {
+	captured := ""
+	ast.Inspect(e.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := c.pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.Parent() == nil {
+			return true
+		}
+		// Package-level variables are not captured; only objects declared
+		// in an enclosing function body (or its parameters) are.
+		if obj.Parent() == c.pass.Pkg.Scope() || types.Universe.Lookup(id.Name) != nil {
+			return true
+		}
+		if obj.Pos() < e.Pos() || obj.Pos() > e.End() {
+			captured = id.Name
+		}
+		return true
+	})
+	if captured != "" {
+		c.report(e, "function literal capturing %q in //ac:noalloc function allocates a closure", captured)
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: T(x).
+	if tv, ok := c.pass.Info.Types[fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				c.report(call, "make in //ac:noalloc function allocates")
+			case "new":
+				c.report(call, "new in //ac:noalloc function allocates")
+			case "append":
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+
+	// fmt calls allocate (formatting state, boxing of operands).
+	if fn := c.staticCallee(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		c.report(call, "fmt.%s call in //ac:noalloc function allocates", fn.Name())
+		return
+	}
+
+	c.checkImplicitBoxing(call)
+}
+
+// staticCallee resolves the called function, or nil.
+func (c *checker) staticCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkConversion flags boxing and string conversions.
+func (c *checker) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argT := c.typeOf(call.Args[0])
+	if argT == nil {
+		return
+	}
+	if types.IsInterface(target.Underlying()) {
+		if boxes(argT) {
+			c.report(call, "conversion of %s to interface %s in //ac:noalloc function allocates (boxing)", argT, target)
+		}
+		return
+	}
+	_, targetSlice := target.Underlying().(*types.Slice)
+	_, argSlice := argT.Underlying().(*types.Slice)
+	switch {
+	case isString(target) && argSlice:
+		c.report(call, "[]byte/[]rune-to-string conversion in //ac:noalloc function allocates")
+	case targetSlice && isString(argT):
+		c.report(call, "string-to-slice conversion in //ac:noalloc function allocates")
+	}
+}
+
+// checkImplicitBoxing flags arguments whose assignment to an interface
+// parameter boxes a concrete non-pointer value.
+func (c *checker) checkImplicitBoxing(call *ast.CallExpr) {
+	sig, ok := c.typeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (i == sig.Params().Len()-1 && !sig.Variadic()):
+			paramT = sig.Params().At(i).Type()
+		case sig.Variadic() && sig.Params().Len() > 0:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				paramT = sl.Elem()
+			}
+		}
+		if paramT == nil || !types.IsInterface(paramT.Underlying()) {
+			continue
+		}
+		argT := c.typeOf(arg)
+		if argT != nil && boxes(argT) {
+			c.report(arg, "passing %s to interface parameter in //ac:noalloc function allocates (boxing)", argT)
+		}
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// requires a heap allocation: concrete non-pointer, non-interface types do
+// (modulo small-value caches the analyzer conservatively ignores);
+// pointers, channels, maps, funcs and untyped nil don't.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+// checkAppend allows the repository's amortized idioms — appending into a
+// parameter, a dereferenced out-parameter, or a struct-field scratch
+// buffer — and flags appends into plain locals, which start nil and grow
+// on the heap.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(call.Args[0])
+	for {
+		switch d := dst.(type) {
+		case *ast.StarExpr:
+			dst = ast.Unparen(d.X)
+			continue
+		case *ast.IndexExpr:
+			dst = ast.Unparen(d.X)
+			continue
+		case *ast.SliceExpr:
+			dst = ast.Unparen(d.X)
+			continue
+		case *ast.SelectorExpr:
+			// Field of a scratch/receiver struct: pooled by convention.
+			return
+		case *ast.Ident:
+			if obj := c.pass.Info.Uses[d]; obj != nil && c.params[obj] {
+				return
+			}
+			c.report(call, "append into local %q in //ac:noalloc function allocates (pooled scratch or caller-owned destinations only)", d.Name)
+			return
+		default:
+			c.report(call, "append in //ac:noalloc function allocates")
+			return
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,17 @@
+package noalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"accluster/internal/analysis/atest"
+	"accluster/internal/analysis/noalloc"
+)
+
+func TestViolations(t *testing.T) {
+	atest.Run(t, filepath.Join("testdata", "positive"), "nallocpos", noalloc.Analyzer)
+}
+
+func TestRealIdiomsClean(t *testing.T) {
+	atest.Run(t, filepath.Join("testdata", "negative"), "nallocneg", noalloc.Analyzer)
+}

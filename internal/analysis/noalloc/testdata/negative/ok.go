@@ -1,0 +1,79 @@
+// Package nallocneg holds the repository's real zero-alloc idioms —
+// mirrors of geom/kernel.go, core/query.go and diskengine — and must
+// produce no diagnostics.
+package nallocneg
+
+// scratch mirrors the pooled searchScratch records.
+type scratch struct {
+	ids   []uint32
+	bits  []uint64
+	order []int
+}
+
+// AppendSurvivors appends into a caller-owned destination (mirrors
+// geom.AppendSurvivors).
+//
+//ac:noalloc
+func AppendSurvivors(dst []uint32, ids []uint32, bits []uint64) []uint32 {
+	for i, id := range ids {
+		if bits[i>>6]&(1<<uint(i&63)) != 0 {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// fill appends through a dereferenced out-parameter (mirrors the
+// search(..., out *[]uint32) plumbing in core and diskengine).
+//
+//ac:noalloc
+func fill(out *[]uint32, id uint32) {
+	*out = append(*out, id)
+}
+
+// record appends into a pooled struct-field scratch buffer (mirrors
+// searchScratch reuse in core/query.go and diskengine).
+//
+//ac:noalloc
+func (sc *scratch) record(id uint32) {
+	sc.ids = append(sc.ids, id)
+}
+
+// view reslices without allocating (mirrors ensureBits' steady state).
+//
+//ac:noalloc
+func (sc *scratch) view(w int) []uint64 {
+	return sc.bits[:w]
+}
+
+// emitRange drives a caller-supplied emit func (mirrors the Search
+// early-stop protocol); calling through a func value does not allocate.
+//
+//ac:noalloc
+func (sc *scratch) emitRange(emit func(id uint32) bool) bool {
+	for _, id := range sc.ids {
+		if !emit(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// captureFree passes a capture-free literal, which compiles to a static
+// function and allocates nothing.
+//
+//ac:noalloc
+func (sc *scratch) captureFree() bool {
+	return sc.emitRange(func(id uint32) bool { return id != 0 })
+}
+
+// grow documents the justified escape hatch for amortized scratch growth.
+//
+//ac:noalloc
+func (sc *scratch) grow(n int) []int {
+	if cap(sc.order) < n {
+		//acvet:ignore noalloc amortized scratch growth, no alloc once warm
+		sc.order = make([]int, n)
+	}
+	return sc.order[:n]
+}

@@ -1,0 +1,123 @@
+// Package nallocpos holds one of each allocation-inducing construct inside
+// //ac:noalloc bodies.
+package nallocpos
+
+import "fmt"
+
+type scratch struct {
+	ids  []uint32
+	bits []uint64
+}
+
+func sink(v any) { _ = v }
+
+// MakeSlice allocates with make.
+//
+//ac:noalloc
+func MakeSlice(n int) []uint64 {
+	return make([]uint64, n) // want "make in"
+}
+
+// NewScratch allocates with new.
+//
+//ac:noalloc
+func NewScratch() *scratch {
+	return new(scratch) // want "new in"
+}
+
+// SliceLit allocates a slice literal.
+//
+//ac:noalloc
+func SliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal"
+}
+
+// MapLit allocates a map literal.
+//
+//ac:noalloc
+func MapLit() map[string]int {
+	return map[string]int{} // want "map literal"
+}
+
+// PtrLit heap-allocates the pointed-to literal.
+//
+//ac:noalloc
+func PtrLit() *scratch {
+	return &scratch{} // want "pointer to composite literal"
+}
+
+// Closure allocates a capturing closure.
+//
+//ac:noalloc
+func Closure(n int) func() int {
+	return func() int { return n } // want "capturing \"n\""
+}
+
+// Concat allocates the concatenated string.
+//
+//ac:noalloc
+func Concat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+// Sprintf allocates formatting state and boxes operands.
+//
+//ac:noalloc
+func Sprintf(n int) string {
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf"
+}
+
+// AppendLocal grows a heap slice from nil every call.
+//
+//ac:noalloc
+func AppendLocal(src []uint32) []uint32 {
+	var out []uint32
+	for _, v := range src {
+		out = append(out, v) // want "append into local \"out\""
+	}
+	return out
+}
+
+// Box converts a concrete value to an interface explicitly.
+//
+//ac:noalloc
+func Box(v int) any {
+	return any(v) // want "boxing"
+}
+
+// ImplicitBox boxes at the interface parameter.
+//
+//ac:noalloc
+func ImplicitBox(v float64) {
+	sink(v) // want "boxing"
+}
+
+// StringBytes copies the string into a fresh byte slice.
+//
+//ac:noalloc
+func StringBytes(s string) []byte {
+	return []byte(s) // want "string-to-slice"
+}
+
+// BytesString copies the bytes into a fresh string.
+//
+//ac:noalloc
+func BytesString(b []byte) string {
+	return string(b) // want "to-string conversion"
+}
+
+// Spawn allocates a goroutine.
+//
+//ac:noalloc
+func Spawn(f func()) {
+	go f() // want "go statement"
+}
+
+// BareIgnore shows that a suppression without a justification does not
+// suppress.
+//
+//ac:noalloc
+func BareIgnore(n int) []byte {
+	//acvet:ignore noalloc
+	return make([]byte, n) // want "make in"
+}

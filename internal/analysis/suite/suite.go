@@ -1,0 +1,21 @@
+// Package suite registers the repository's invariant analyzers in one
+// place, shared by cmd/acvet and the analysis test suites.
+package suite
+
+import (
+	"accluster/internal/analysis"
+	"accluster/internal/analysis/corrupterr"
+	"accluster/internal/analysis/lockdiscipline"
+	"accluster/internal/analysis/meterdiscipline"
+	"accluster/internal/analysis/noalloc"
+)
+
+// Analyzers returns the full acvet suite in diagnostic order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockdiscipline.Analyzer,
+		noalloc.Analyzer,
+		meterdiscipline.Analyzer,
+		corrupterr.Analyzer,
+	}
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// VetConfig mirrors the JSON configuration file cmd/go passes to a
+// `go vet -vettool` backend (one invocation per package). Field names
+// follow cmd/go/internal/work's vetConfig.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+	GoVersion                 string
+}
+
+// ReadVetConfig parses the cfg file named on the command line.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: read vet config: %w", err)
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("analysis: parse vet config %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
+// writeVetx writes the (empty) facts file cmd/go expects the tool to
+// produce; without it the go command reports the tool as failed.
+func (cfg *VetConfig) writeVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}
+
+// RunVetTool executes one `go vet -vettool` package unit: type-check the
+// package from the config's file lists, run the analyzers, print findings
+// in vet's file:line:col format and report whether any were found. Facts
+// are not used by this suite, so dependency-only invocations (VetxOnly)
+// just write the empty facts file and return.
+func RunVetTool(cfg *VetConfig, analyzers []*Analyzer) (found bool, err error) {
+	if err := cfg.writeVetx(); err != nil {
+		return false, err
+	}
+	if cfg.VetxOnly {
+		return false, nil
+	}
+	// Skip test-binary pseudo-packages' generated files but analyze
+	// in-module test variants like the compiler sees them.
+	fset := token.NewFileSet()
+	pkg, err := typeCheck(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.PackageFile, cfg.ImportMap)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return false, nil
+		}
+		return false, err
+	}
+	var annot *Annotations
+	if root, _, rerr := ModuleRoot(cfg.Dir); rerr == nil {
+		annot, err = ScanModule(root)
+		if err != nil {
+			return false, err
+		}
+	}
+	diags, err := RunAnalyzers(pkg, analyzers, annot)
+	if err != nil {
+		return false, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	return len(diags) > 0, nil
+}
+
+// VetVersionLine is the response to the -V=full probe cmd/go uses as the
+// tool's build-cache identity. The trailing token must change when the
+// analyzers change behavior; bump it with the suite.
+func VetVersionLine(progname string) string {
+	base := progname
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return fmt.Sprintf("%s version acvet-%s", base, SuiteVersion)
+}
+
+// SuiteVersion identifies the analyzer suite revision for vet result
+// caching; bump when analyzer behavior changes.
+const SuiteVersion = "1"

@@ -211,6 +211,7 @@ func TestTryDrainStatsRespectsReaders(t *testing.T) {
 	}
 	var mu sync.RWMutex
 	mu.RLock()
+	//acvet:ignore lockdiscipline deliberately drains under the read lock to pin the blocked-drain policy
 	if ix.TryDrainStats(&mu) {
 		t.Fatal("TryDrainStats reported reorg work on a blocked drain")
 	}

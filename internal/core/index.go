@@ -237,6 +237,8 @@ func (ix *Index) prob(q float64) float64 {
 // Insert adds an object (Fig. 4): among all materialized clusters whose
 // signature accepts the object, the one with the lowest access probability
 // hosts it.
+//
+//ac:excl
 func (ix *Index) Insert(id uint32, r geom.Rect) error {
 	if r.Dims() != ix.cfg.Dims {
 		return fmt.Errorf("core: object has %d dims, index has %d", r.Dims(), ix.cfg.Dims)
@@ -271,6 +273,8 @@ func (ix *Index) Insert(id uint32, r geom.Rect) error {
 }
 
 // Delete removes the object with the given id, reporting whether it existed.
+//
+//ac:excl
 func (ix *Index) Delete(id uint32) bool {
 	ix.exclusivePrep()
 	l, ok := ix.loc[id]
@@ -288,6 +292,8 @@ func (ix *Index) Delete(id uint32) bool {
 // Update replaces the rectangle stored under id, relocating the object to
 // the matching cluster with the lowest access probability. The stored object
 // is untouched if the new rectangle is invalid.
+//
+//ac:excl
 func (ix *Index) Update(id uint32, r geom.Rect) error {
 	if r.Dims() != ix.cfg.Dims {
 		return fmt.Errorf("core: object has %d dims, index has %d", r.Dims(), ix.cfg.Dims)

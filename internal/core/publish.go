@@ -60,14 +60,19 @@ func (d *statDelta) reset() {
 }
 
 // getScratch takes a query scratch from the pool (its buffers are reset).
+//
+//ac:noalloc
 func (ix *Index) getScratch() *searchScratch {
 	if sc, ok := ix.scratch.Get().(*searchScratch); ok {
 		return sc
 	}
+	//acvet:ignore noalloc pool-miss construction; steady state reuses pooled scratch
 	return &searchScratch{}
 }
 
 // putScratch clears the per-query state and returns sc to the pool.
+//
+//ac:noalloc
 func (ix *Index) putScratch(sc *searchScratch) {
 	sc.meter.Reset()
 	sc.stats.reset()
@@ -76,6 +81,8 @@ func (ix *Index) putScratch(sc *searchScratch) {
 
 // enqueueStats queues a completed query's statistics delta for the next
 // exclusive holder; safe under the shared lock.
+//
+//ac:noalloc
 func (ix *Index) enqueueStats(sc *searchScratch) {
 	ix.pendMu.Lock()
 	ix.pending = append(ix.pending, sc)
@@ -93,6 +100,8 @@ func (ix *Index) StatsBacklog() int { return int(ix.pendN.Load()) }
 // data race — an emit callback calling back into the index) and applies all
 // queued statistics publications so the operation observes current
 // statistics.
+//
+//ac:excl
 func (ix *Index) exclusivePrep() {
 	if ix.readers.Load() != 0 {
 		panic("core: exclusive operation during an in-flight query (emit must not call back into the index)")
@@ -102,6 +111,8 @@ func (ix *Index) exclusivePrep() {
 
 // applyPending applies every queued statistics delta in enqueue order and
 // returns the number applied. Caller must hold the index exclusively.
+//
+//ac:excl
 func (ix *Index) applyPending() int {
 	if ix.pendN.Load() == 0 {
 		return 0
@@ -167,6 +178,8 @@ const maxDrainReorgSteps = 8
 // maxDrainReorgSteps per call so the exclusive section stays bounded even
 // when a full mailbox drains at once. It reports whether reorganization
 // work remains queued. The caller must hold the index exclusively.
+//
+//ac:excl
 func (ix *Index) DrainStats() bool {
 	if ix.readers.Load() != 0 {
 		panic("core: exclusive operation during an in-flight query (emit must not call back into the index)")

@@ -18,6 +18,8 @@ import (
 // each concurrent query owns its own for the duration of the read phase;
 // the scratch travels with the statistics delta through the publication
 // mailbox and returns to the pool once the delta is applied.
+//
+//ac:scratch
 type searchScratch struct {
 	matches []int32   // positions of signature-matching clusters
 	bits    []uint64  // candidate bitmap for the block-scan kernels
@@ -35,9 +37,12 @@ type searchScratch struct {
 }
 
 // ensureBits returns the bitmap sized for n objects.
+//
+//ac:noalloc
 func (sc *searchScratch) ensureBits(n int) []uint64 {
 	w := geom.BitmapWords(n)
 	if cap(sc.bits) < w {
+		//acvet:ignore noalloc amortized scratch growth; no alloc once bits reaches dataset size
 		sc.bits = make([]uint64, w)
 	}
 	return sc.bits[:w]
@@ -99,12 +104,16 @@ func (ix *Index) searchSerial(q geom.Rect, rel geom.Relation, emit func(id uint3
 // statistics updates are recorded and queued rather than applied; they take
 // effect when an exclusive holder drains them (every mutating operation
 // does, as does TryDrainStats).
+//
+//ac:noalloc
 func (ix *Index) SearchRead(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
 	return ix.searchShared(q, rel, emit, nil, nil)
 }
 
 // SearchIDsAppendRead is SearchIDsAppend for concurrent callers; see
 // SearchRead for the publication contract.
+//
+//ac:noalloc
 func (ix *Index) SearchIDsAppendRead(dst []uint32, q geom.Rect, rel geom.Relation) ([]uint32, error) {
 	err := ix.searchShared(q, rel, nil, &dst, nil)
 	return dst, err
@@ -112,6 +121,8 @@ func (ix *Index) SearchIDsAppendRead(dst []uint32, q geom.Rect, rel geom.Relatio
 
 // CountRead is Count for concurrent callers; see SearchRead for the
 // publication contract.
+//
+//ac:noalloc
 func (ix *Index) CountRead(q geom.Rect, rel geom.Relation) (int, error) {
 	n := 0
 	err := ix.searchShared(q, rel, nil, nil, &n)
@@ -120,6 +131,8 @@ func (ix *Index) CountRead(q geom.Rect, rel geom.Relation) (int, error) {
 
 // searchShared runs the read phase and defers the statistics publication to
 // the mailbox.
+//
+//ac:noalloc
 func (ix *Index) searchShared(q geom.Rect, rel geom.Relation, emit func(id uint32) bool, out *[]uint32, count *int) error {
 	sc := ix.getScratch()
 	if err := ix.searchRead(sc, q, rel, emit, out, count); err != nil {
@@ -138,11 +151,15 @@ func (ix *Index) searchShared(q geom.Rect, rel geom.Relation, emit func(id uint3
 // counts into sc.meter, statistics increments into sc.stats. It touches no
 // index state that mutations change, so any number of read phases may run
 // concurrently; mutations require exclusivity.
+//
+//ac:noalloc
 func (ix *Index) searchRead(sc *searchScratch, q geom.Rect, rel geom.Relation, emit func(id uint32) bool, out *[]uint32, count *int) error {
 	if q.Dims() != ix.cfg.Dims {
+		//acvet:ignore noalloc cold argument-validation failure path
 		return fmt.Errorf("core: query has %d dims, index has %d", q.Dims(), ix.cfg.Dims)
 	}
 	if !rel.Valid() {
+		//acvet:ignore noalloc cold argument-validation failure path
 		return fmt.Errorf("core: invalid relation %v", rel)
 	}
 	ix.readers.Add(1)
@@ -276,6 +293,8 @@ func updateCandidateStats(c *Cluster, q geom.Rect, rel geom.Relation) {
 // sig.QueryDimMatch, specialized per relation so the pass over the candidate
 // array carries no per-candidate dispatch) into the statistics delta; the
 // matching indicators are incremented when the delta is published.
+//
+//ac:noalloc
 func recordCandidateStats(c *Cluster, q geom.Rect, rel geom.Relation, d *statDelta) {
 	cs := &c.cands
 	switch rel {

@@ -33,6 +33,8 @@ package core
 // full pass did) and then every pending revisit runs with no budget. It is
 // exported so callers can force convergence — after bulk loading plus query
 // warm-up, or before comparing clusterings in tests and calibration.
+//
+//ac:excl
 func (ix *Index) Reorganize() {
 	ix.exclusivePrep()
 	ix.beginEpoch()
@@ -77,6 +79,8 @@ func (ix *Index) ReorgPending() bool { return len(ix.reorgQ) > 0 }
 // (Config.ReorgBudgetClusters revisits, Config.ReorgBudgetObjects
 // relocations) and reports whether work remains. It is the unit an external
 // drainer runs per lock acquisition when Config.BackgroundReorg is set.
+//
+//ac:excl
 func (ix *Index) ReorgStep() bool {
 	ix.exclusivePrep()
 	return ix.drain(ix.cfg.ReorgBudgetClusters, ix.cfg.ReorgBudgetObjects)

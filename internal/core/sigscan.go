@@ -43,6 +43,8 @@ func (ix *Index) rebuildSigBounds() {
 // matchClusters appends the positions of all clusters whose signature
 // matches the query to dst, in cluster order (sig.MatchBounds over the flat
 // mirror).
+//
+//ac:noalloc
 func (ix *Index) matchClusters(q geom.Rect, rel geom.Relation, dst []int32) []int32 {
 	return sig.MatchBounds(ix.sigBounds, len(ix.clusters), ix.cfg.Dims, q, rel, dst)
 }
@@ -50,10 +52,14 @@ func (ix *Index) matchClusters(q geom.Rect, rel geom.Relation, dst []int32) []in
 // queryDimOrder orders the dimensions most-selective-first for the
 // verification kernels (geom.QueryDimOrder), computed once per query into
 // the query's scratch and applied to every explored cluster.
+//
+//ac:noalloc
 func queryDimOrder(sc *searchScratch, q geom.Rect, rel geom.Relation) []int {
 	dims := q.Dims()
 	if cap(sc.order) < dims {
+		//acvet:ignore noalloc amortized scratch growth; no alloc once order fits query dims
 		sc.order = make([]int, dims)
+		//acvet:ignore noalloc amortized scratch growth; no alloc once widths fits query dims
 		sc.widths = make([]float32, dims)
 	}
 	return geom.QueryDimOrder(sc.order[:dims], sc.widths[:dims], q, rel)

@@ -49,6 +49,8 @@ type ClusterSnapshot struct {
 // order from the root so that every parent precedes its children (merges
 // reorder the internal cluster list, so positional order is not
 // topological). The returned slices share no storage with the index.
+//
+//ac:excl
 func (ix *Index) Snapshot() []ClusterSnapshot {
 	// Apply deferred statistics publications, then age every cluster to
 	// the current epoch so the captured indicators are directly
@@ -93,6 +95,8 @@ func (ix *Index) StatsWindow() float64 {
 
 // SetStatsWindow restores a persisted statistics window on a freshly
 // restored index (before any queries run).
+//
+//ac:excl
 func (ix *Index) SetStatsWindow(w float64) error {
 	if math.IsNaN(w) || w < 0 {
 		return fmt.Errorf("core: invalid statistics window %g", w)

@@ -103,6 +103,8 @@ type Engine struct {
 
 // searchScratch holds the per-query buffers of one in-flight selection so
 // the fully cached (hit) path allocates nothing.
+//
+//ac:scratch
 type searchScratch struct {
 	matched []int32         // signature-matching cluster positions
 	miss    []int32         // matched positions absent from the cache
@@ -119,9 +121,12 @@ type searchScratch struct {
 }
 
 // ensureBits returns the bitmap sized for n objects.
+//
+//ac:noalloc
 func (sc *searchScratch) ensureBits(n int) []uint64 {
 	w := geom.BitmapWords(n)
 	if cap(sc.bits) < w {
+		//acvet:ignore noalloc amortized scratch growth; no alloc once bits reaches dataset size
 		sc.bits = make([]uint64, w)
 	}
 	return sc.bits[:w]
@@ -208,6 +213,8 @@ func (e *Engine) CacheStats() blockcache.Stats {
 // unspecified. emit returning false stops the search: remaining regions are
 // neither read nor charged. Concurrent Searches are safe and share cached
 // regions without copying.
+//
+//ac:noalloc
 func (e *Engine) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool) error {
 	return e.search(q, rel, emit, nil, nil)
 }
@@ -215,6 +222,8 @@ func (e *Engine) Search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 // Count returns the number of objects satisfying the selection. It sums the
 // per-region survivor counts of the block scan directly — no ids are
 // extracted, no closure is allocated.
+//
+//ac:noalloc
 func (e *Engine) Count(q geom.Rect, rel geom.Relation) (int, error) {
 	n := 0
 	err := e.search(q, rel, nil, nil, &n)
@@ -229,6 +238,8 @@ func (e *Engine) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error) {
 // SearchIDsAppend appends the identifiers of all qualifying objects to dst
 // and returns the extended slice. With a reused dst of sufficient capacity a
 // fully cached selection allocates nothing.
+//
+//ac:noalloc
 func (e *Engine) SearchIDsAppend(dst []uint32, q geom.Rect, rel geom.Relation) ([]uint32, error) {
 	err := e.search(q, rel, nil, &dst, nil)
 	return dst, err
@@ -236,11 +247,15 @@ func (e *Engine) SearchIDsAppend(dst []uint32, q geom.Rect, rel geom.Relation) (
 
 // search is the shared query path; qualifying ids go to exactly one of emit
 // (early-stop support), out (append) or count.
+//
+//ac:noalloc
 func (e *Engine) search(q geom.Rect, rel geom.Relation, emit func(id uint32) bool, out *[]uint32, count *int) error {
 	if q.Dims() != e.dims {
+		//acvet:ignore noalloc cold argument-validation failure path
 		return fmt.Errorf("diskengine: query has %d dims, database has %d", q.Dims(), e.dims)
 	}
 	if !rel.Valid() {
+		//acvet:ignore noalloc cold argument-validation failure path
 		return fmt.Errorf("diskengine: invalid relation %v", rel)
 	}
 	sc := e.scratch.Get().(*searchScratch)
@@ -249,7 +264,9 @@ func (e *Engine) search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 	sc.meter.SigChecks += int64(len(e.dir))
 	sc.matched = sig.MatchBounds(e.sigBounds, len(e.dir), e.dims, q, rel, sc.matched[:0])
 	if cap(sc.order) < e.dims {
+		//acvet:ignore noalloc amortized scratch growth; no alloc once order fits query dims
 		sc.order = make([]int, e.dims)
+		//acvet:ignore noalloc amortized scratch growth; no alloc once widths fits query dims
 		sc.widths = make([]float32, e.dims)
 	}
 	order := geom.QueryDimOrder(sc.order[:e.dims], sc.widths[:e.dims], q, rel)
@@ -289,14 +306,18 @@ func (e *Engine) search(q geom.Rect, rel geom.Relation, emit func(id uint32) boo
 // regions (sorted by device offset), then read run by run, decoding and
 // verifying each region as it arrives — an early stop leaves later runs
 // unread and uncharged. Decoded regions are offered to the cache.
+//
+//ac:noalloc
 func (e *Engine) readAndVerify(sc *searchScratch, q geom.Rect, rel geom.Relation, order []int, emit func(id uint32) bool, out *[]uint32, count *int) error {
 	sc.runs = store.PlanReadRuns(e.dir, sc.miss, e.dims, e.maxGap, sc.runs[:0])
 	for _, run := range sc.runs {
 		if int64(cap(sc.buf)) < run.Bytes {
+			//acvet:ignore noalloc amortized read-buffer growth to the largest coalesced run
 			sc.buf = make([]byte, run.Bytes)
 		}
 		buf := sc.buf[:run.Bytes]
 		if _, err := e.dev.ReadAt(buf, run.Offset); err != nil {
+			//acvet:ignore noalloc cold device-failure path
 			return fmt.Errorf("diskengine: read run at %d: %w", run.Offset, err)
 		}
 		sc.meter.Seeks++
@@ -307,9 +328,11 @@ func (e *Engine) readAndVerify(sc *searchScratch, q geom.Rect, rel geom.Relation
 			img := buf[ent.Offset-run.Offset : ent.Offset-run.Offset+int64(ent.RegionBytes(e.dims))]
 			var r *blockcache.Region
 			if e.cache != nil {
+				//acvet:ignore noalloc cache-miss region insert; the pinned warm path is all hits
 				r = new(blockcache.Region)
 			} else {
 				if sc.local == nil {
+					//acvet:ignore noalloc one-time lazy init of the cacheless scratch region
 					sc.local = new(blockcache.Region)
 				}
 				r = sc.local
@@ -339,6 +362,8 @@ func (e *Engine) readAndVerify(sc *searchScratch, q geom.Rect, rel geom.Relation
 // verifyRegion narrows the region's members through the columnar filter
 // kernels and delivers the survivors; it reports whether the search should
 // continue (false only when emit stopped it).
+//
+//ac:noalloc
 func (e *Engine) verifyRegion(sc *searchScratch, r *blockcache.Region, ci int, q geom.Rect, rel geom.Relation, order []int, emit func(id uint32) bool, out *[]uint32, count *int) bool {
 	n := r.Len()
 	if n == 0 {

@@ -27,6 +27,8 @@ func BitmapWords(n int) int { return (n + 63) >> 6 }
 // InitBitmap marks the first n objects alive and clears the tail bits. It
 // requires len(bits) ≥ BitmapWords(n) and leaves words beyond that count
 // untouched.
+//
+//ac:noalloc
 func InitBitmap(bits []uint64, n int) {
 	full := n >> 6
 	for w := 0; w < full; w++ {
@@ -55,6 +57,8 @@ func b2u(b bool) uint64 {
 
 // FilterIntersects narrows bits to objects whose interval [lo[i],hi[i]]
 // overlaps the query interval [qlo,qhi] and returns the survivor count.
+//
+//ac:noalloc
 func FilterIntersects(lo, hi []float32, qlo, qhi float32, bits []uint64) int {
 	survivors := 0
 	n := len(lo)
@@ -92,6 +96,8 @@ func FilterIntersects(lo, hi []float32, qlo, qhi float32, bits []uint64) int {
 
 // FilterContainedBy narrows bits to objects contained in the query interval
 // (lo[i] ≥ qlo and hi[i] ≤ qhi) and returns the survivor count.
+//
+//ac:noalloc
 func FilterContainedBy(lo, hi []float32, qlo, qhi float32, bits []uint64) int {
 	survivors := 0
 	n := len(lo)
@@ -129,6 +135,8 @@ func FilterContainedBy(lo, hi []float32, qlo, qhi float32, bits []uint64) int {
 
 // FilterEncloses narrows bits to objects enclosing the query interval
 // (lo[i] ≤ qlo and hi[i] ≥ qhi) and returns the survivor count.
+//
+//ac:noalloc
 func FilterEncloses(lo, hi []float32, qlo, qhi float32, bits []uint64) int {
 	survivors := 0
 	n := len(lo)
@@ -171,6 +179,8 @@ func FilterEncloses(lo, hi []float32, qlo, qhi float32, bits []uint64) int {
 // are caller-provided scratch of length q.Dims() — widths backs the sort
 // keys — so a pooled caller computes the order allocation-free once per
 // query and applies it to every explored cluster or cached region.
+//
+//ac:noalloc
 func QueryDimOrder(order []int, widths []float32, q Rect, rel Relation) []int {
 	dims := q.Dims()
 	desc := rel == Encloses
@@ -199,6 +209,8 @@ func QueryDimOrder(order []int, widths []float32, q Rect, rel Relation) []int {
 // AppendSurvivors appends ids[i] for every bit i set in bits to dst and
 // returns the extended slice — the shared bitmap-to-answer step after the
 // filter kernels have narrowed a cluster's candidates.
+//
+//ac:noalloc
 func AppendSurvivors(dst []uint32, ids []uint32, bits []uint64) []uint32 {
 	for w, word := range bits {
 		base := w << 6
@@ -212,6 +224,8 @@ func AppendSurvivors(dst []uint32, ids []uint32, bits []uint64) []uint32 {
 }
 
 // FilterDim dispatches to the relation's kernel for one dimension column.
+//
+//ac:noalloc
 func FilterDim(rel Relation, lo, hi []float32, qlo, qhi float32, bits []uint64) int {
 	switch rel {
 	case Intersects:

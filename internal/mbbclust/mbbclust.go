@@ -193,7 +193,11 @@ type objLoc struct {
 	pos int32
 }
 
-// Index is the MBB-grouping adaptive index. Not safe for concurrent use.
+// Index is the MBB-grouping adaptive index. Not safe for concurrent use:
+// every operation holds the caller's exclusive lock, so the embedded cost
+// meter is written directly.
+//
+//ac:serialmeter
 type Index struct {
 	cfg      Config
 	objBytes int

@@ -83,7 +83,10 @@ func (n *node) mbr() geom.Rect {
 }
 
 // Tree is an R*-tree over multidimensional extended objects. It is not safe
-// for concurrent use.
+// for concurrent use: every operation holds the caller's exclusive lock, so
+// the embedded cost meter is written directly.
+//
+//ac:serialmeter
 type Tree struct {
 	cfg        Config
 	maxEntries int // M

@@ -18,7 +18,10 @@ import (
 )
 
 // Store is a flat collection of multidimensional extended objects. It is not
-// safe for concurrent use.
+// safe for concurrent use: every operation holds the caller's exclusive
+// lock, so the embedded cost meter is written directly.
+//
+//ac:serialmeter
 type Store struct {
 	dims     int
 	objBytes int

@@ -447,6 +447,7 @@ func TestSearchIDsAppendPooled(t *testing.T) {
 				}
 				for j := range local {
 					if local[j] != wants[i][j] {
+						//acvet:ignore corrupterr test assertion message, not an integrity classification
 						done <- errors.New("concurrent append corrupted an answer")
 						return
 					}

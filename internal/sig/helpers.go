@@ -21,6 +21,8 @@ func QueryDimMatch(rel geom.Relation, qlo, qhi, alo, ahi, blo, bhi float32) bool
 // one linear scan over contiguous floats with no per-entry dispatch. Both
 // the in-memory index and the disk engine keep such a mirror; this is the
 // shared A-term kernel of the cost model.
+//
+//ac:noalloc
 func MatchBounds(sb []float32, n, dims int, q geom.Rect, rel geom.Relation, dst []int32) []int32 {
 	stride := 4 * dims
 	switch rel {
@@ -87,6 +89,8 @@ func MatchBounds(sb []float32, n, dims int, q geom.Rect, rel geom.Relation, dst 
 //
 // Both columnar engines (the in-memory core and the disk executor) share
 // this skip, so their BytesVerified accounting agrees by construction.
+//
+//ac:noalloc
 func BoundsImplyDim(rel geom.Relation, b []float32, d int, qlo, qhi float32) bool {
 	switch rel {
 	case geom.Intersects:
@@ -101,6 +105,8 @@ func BoundsImplyDim(rel geom.Relation, b []float32, d int, qlo, qhi float32) boo
 
 // AppendBounds mirrors s onto the end of a flat signature mirror in the
 // layout MatchBounds scans.
+//
+//ac:noalloc
 func AppendBounds(dst []float32, s Signature) []float32 {
 	for d := 0; d < s.Dims(); d++ {
 		dst = append(dst, s.ALo[d], s.AHi[d], s.BLo[d], s.BHi[d])

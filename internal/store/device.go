@@ -89,6 +89,7 @@ func (m *MemDevice) Corrupt(off int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if off < 0 || off >= int64(len(m.buf)) {
+		//acvet:ignore corrupterr argument validation of the fault-injection helper itself, not an integrity classification
 		return fmt.Errorf("memdevice: corrupt offset %d out of range", off)
 	}
 	m.buf[off] ^= 0xFF

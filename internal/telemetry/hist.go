@@ -93,6 +93,8 @@ func NewHistogram(name string) *Histogram { return &Histogram{name: name} }
 func (h *Histogram) Name() string { return h.name }
 
 // Record adds one observation (negative values clamp to zero).
+//
+//ac:noalloc
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0
@@ -102,6 +104,8 @@ func (h *Histogram) Record(v int64) {
 }
 
 // RecordSince records the nanoseconds elapsed since t0.
+//
+//ac:noalloc
 func (h *Histogram) RecordSince(t0 time.Time) {
 	h.Record(int64(time.Since(t0)))
 }

@@ -89,7 +89,10 @@ func (n *node) mbr() geom.Rect {
 }
 
 // Tree is an X-tree over multidimensional extended objects. It is not safe
-// for concurrent use.
+// for concurrent use: every operation holds the caller's exclusive lock, so
+// the embedded cost meter is written directly.
+//
+//ac:serialmeter
 type Tree struct {
 	cfg        Config
 	perPage    int // entries per page
