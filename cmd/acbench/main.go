@@ -10,6 +10,7 @@
 //	acbench -exp all -n 50000 -csv results.csv
 //	acbench -benchjson bench.json -cpuprofile cpu.out
 //	acbench -diskjson BENCH_disk.json -disk-cache 67108864
+//	acbench -brokerjson BENCH_broker.json
 //
 // The tables print the modeled per-query execution time under both storage
 // scenarios (paper cost constants: 15 ms disk access, 20 MB/s transfer,
@@ -49,6 +50,7 @@ func main() {
 		diskCache  = flag.Int64("disk-cache", 0, "decoded-region cache budget in bytes for the disk benchmark's largest sweep point (<= 0 = default 64 MiB)")
 		benchJSON  = flag.String("benchjson", "", "run the steady-state query micro-benchmark and write JSON results to this file (skips -exp)")
 		diskJSON   = flag.String("diskjson", "", "run the disk-scenario benchmark (seed-scalar vs columnar, cold/warm x cache sizes) and write JSON results to this file (skips -exp)")
+		brokerJSON = flag.String("brokerjson", "", "run the loopback netbroker load benchmark (10k subscriptions, paced event stream) and write JSON results to this file (skips -exp)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		telAddr    = flag.String("telemetry", "", "serve the flight-recorder introspection endpoint (runtime gauges, pprof, ring dump) on this address while the experiments run")
@@ -125,7 +127,7 @@ func main() {
 				}
 			}()
 		}
-		return run(o, *exps, *benchJSON, *diskJSON, *csvPath, *charts)
+		return run(o, *exps, *benchJSON, *diskJSON, *brokerJSON, *csvPath, *charts)
 	}()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acbench: %v\n", err)
@@ -146,7 +148,7 @@ func writeJSONReport(path string, render func(w io.Writer) error) error {
 	return f.Close()
 }
 
-func run(o harness.Options, exps, benchJSON, diskJSON, csvPath string, charts bool) error {
+func run(o harness.Options, exps, benchJSON, diskJSON, brokerJSON, csvPath string, charts bool) error {
 	// The benchmark modes replace the -exp experiments; both may be asked
 	// for in one invocation.
 	if benchJSON != "" {
@@ -167,7 +169,16 @@ func run(o harness.Options, exps, benchJSON, diskJSON, csvPath string, charts bo
 			return fmt.Errorf("diskjson: %w", err)
 		}
 	}
-	if benchJSON != "" || diskJSON != "" {
+	if brokerJSON != "" {
+		rep, err := harness.RunBrokerBench(o)
+		if err != nil {
+			return fmt.Errorf("brokerjson: %w", err)
+		}
+		if err := writeJSONReport(brokerJSON, rep.WriteJSON); err != nil {
+			return fmt.Errorf("brokerjson: %w", err)
+		}
+	}
+	if benchJSON != "" || diskJSON != "" || brokerJSON != "" {
 		return nil
 	}
 

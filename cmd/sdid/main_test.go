@@ -1,6 +1,12 @@
 package main
 
 import (
+	"context"
+	"net"
+	"strings"
+	"time"
+
+	"accluster/internal/netbroker"
 	"testing"
 
 	"accluster/internal/pubsub"
@@ -39,5 +45,62 @@ func TestParseRanges(t *testing.T) {
 	}
 	if got, err := parseRanges(nil); err != nil || len(got) != 0 {
 		t.Error("empty args must parse to empty map")
+	}
+}
+
+// TestREPLLocalAndRemote drives the same script through a local session
+// serving over netbroker and through a remote session connected to it.
+func TestREPLLocalAndRemote(t *testing.T) {
+	schema := pubsub.Schema{
+		{Name: "price", Min: 0, Max: 5000},
+		{Name: "rooms", Min: 1, Max: 10},
+	}
+	broker, err := pubsub.NewBroker(schema, pubsub.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netbroker.Serve(broker, ln, netbroker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	local := &localSession{broker: broker, srv: srv}
+	script := "sub price=400:700\npub price=550 rooms=4\nstats\nunsub 0\nquit\n"
+	if err := runREPL(strings.NewReader(script), local); err != nil {
+		t.Fatalf("local repl: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cl, err := netbroker.Dial(ctx, ln.Addr().String(), netbroker.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	remote := &remoteSession{ctx: ctx, cl: cl}
+	id, err := remote.subscribe(map[string]pubsub.Range{"price": {Lo: 0, Hi: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line, err := remote.publish(map[string]pubsub.Range{"price": pubsub.Value(500), "rooms": pubsub.Value(3)}); err != nil || !strings.Contains(line, "matched 1") {
+		t.Fatalf("remote publish: %q, %v", line, err)
+	}
+	if existed, err := remote.unsubscribe(id); err != nil || !existed {
+		t.Fatalf("remote unsubscribe: %v, %v", existed, err)
+	}
+	if s := remote.stats(); !strings.Contains(s, "connected=true") {
+		t.Fatalf("remote stats: %q", s)
+	}
+	if s := local.stats(); !strings.Contains(s, "net: conns=") {
+		t.Fatalf("local stats missing net line: %q", s)
+	}
+	if err := runREPL(strings.NewReader("pub price=100 rooms=2\nquit\n"), remote); err != nil {
+		t.Fatalf("remote repl: %v", err)
 	}
 }

@@ -173,6 +173,21 @@
 // oldest-first and each chunk carries its own schema, so old dumps stay
 // decodable.
 //
+// # Networked notification
+//
+// The §1 selective-dissemination broker (internal/pubsub) also serves over
+// TCP: internal/netbroker wraps a pubsub.Broker in a streaming server —
+// standing subscriptions registered over the wire, matches pushed to
+// subscribers as events arrive — with a reconnecting client on the other
+// end. Frames are length-prefixed and CRC-checked (corruption wraps
+// ErrCorrupt and closes the connection, mirroring the storage integrity
+// convention), slow consumers degrade per a configurable bounded-queue
+// policy (drop-oldest, drop-newest or disconnect), dead peers are detected
+// by heartbeat, and the client redials with capped jittered backoff and
+// re-registers its subscriptions. cmd/sdid -listen / -connect serve and
+// drive a broker interactively; cmd/acbench -brokerjson runs the loopback
+// load harness behind BENCH_broker.json.
+//
 // # Enforced invariants
 //
 // Several of the guarantees above are conventions the compiler cannot

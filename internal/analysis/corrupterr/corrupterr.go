@@ -43,8 +43,9 @@ var Analyzer = &analysis.Analyzer{
 var corruptionWord = regexp.MustCompile(`(?i)\b(checksum|crc|magic|corrupt\w*|truncat\w*|decode)\b`)
 
 // persistencePackages are the packages where rule 1 applies: the layers
-// that read the device formats.
-var persistencePackages = []string{"store", "shard", "diskengine", "telemetry"}
+// that read the device formats — and netbroker, whose wire frames carry
+// the same CRC-integrity convention.
+var persistencePackages = []string{"store", "shard", "diskengine", "telemetry", "netbroker"}
 
 func run(pass *analysis.Pass) error {
 	c := &checker{pass: pass, persistence: inPersistenceLayer(pass.Pkg.Path())}

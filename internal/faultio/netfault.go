@@ -1,0 +1,234 @@
+package faultio
+
+// Network fault injection, mirroring the device/FS schedule of the crash
+// suite: a NetSchedule counts the network operations (reads, writes,
+// accepts) flowing through wrapped connections and listeners and fires
+// configured faults deterministically — either once at the Nth operation
+// (At) or recurringly every Kth operation (Every) — with all randomness
+// (partial-write lengths, corrupted byte positions, latency spikes) drawn
+// from a seeded generator, so every run of a network fault loop is
+// reproducible. The wrappers model the failures a streaming broker must
+// survive: a reset mid-conversation, a write torn mid-frame, a flipped bit
+// that must be caught by frame CRCs, and latency spikes that push a
+// connection against its deadlines.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// NetKind selects what happens at a scheduled network operation.
+type NetKind uint8
+
+const (
+	// NetNone disables the rule: the schedule only counts operations.
+	NetNone NetKind = iota
+	// NetErr fails the operation with ErrInjected without applying it.
+	NetErr
+	// NetPartial applies a seeded-length prefix of a write, then closes
+	// the connection and fails — the peer observes a frame torn
+	// mid-stream. Non-write operations fail like NetErr.
+	NetPartial
+	// NetReset closes the underlying connection and fails the operation
+	// — an abrupt peer reset.
+	NetReset
+	// NetCorrupt flips one seeded bit of a write's payload and delivers
+	// the rest intact — the peer's frame CRC must catch it. Non-write
+	// operations are unaffected (the rule is skipped, not consumed).
+	NetCorrupt
+	// NetDelay sleeps a seeded duration (bounded by SetMaxDelay) before
+	// applying the operation normally — a latency spike.
+	NetDelay
+)
+
+// netRule is one armed fault: fire when the operation counter reaches at
+// (once), or on every multiple of every.
+type netRule struct {
+	kind  NetKind
+	at    int64 // one-shot trigger; 0 = disabled
+	every int64 // recurring trigger; 0 = disabled
+}
+
+// NetSchedule is the shared fault plan of a set of wrapped connections and
+// listeners. All methods are safe for concurrent use.
+type NetSchedule struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	n        int64
+	rules    []netRule
+	maxDelay time.Duration
+}
+
+// NewNetSchedule returns a counting-only schedule; fault parameters drawn
+// during injection are seeded for reproducibility.
+func NewNetSchedule(seed int64) *NetSchedule {
+	return &NetSchedule{rng: rand.New(rand.NewSource(seed)), maxDelay: 10 * time.Millisecond}
+}
+
+// At arms a one-shot fault at the n-th subsequent countable operation
+// (1-based, counted across every wrapped connection and listener).
+func (s *NetSchedule) At(n int64, kind NetKind) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, netRule{kind: kind, at: s.n + n})
+}
+
+// Every arms a recurring fault firing on every k-th countable operation.
+func (s *NetSchedule) Every(k int64, kind NetKind) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k > 0 {
+		s.rules = append(s.rules, netRule{kind: kind, every: k})
+	}
+}
+
+// SetMaxDelay bounds the sleep injected by NetDelay faults (default 10ms).
+func (s *NetSchedule) SetMaxDelay(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxDelay = d
+}
+
+// Ops returns the number of operations counted so far.
+func (s *NetSchedule) Ops() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// netDirective is the resolved outcome of one operation step.
+type netDirective struct {
+	kind  NetKind
+	keep  int           // NetPartial: bytes of the write to apply
+	flip  int           // NetCorrupt: byte index to damage
+	bit   uint          // NetCorrupt: bit to flip within that byte
+	delay time.Duration // NetDelay: sleep length
+}
+
+// step accounts one operation and resolves the fault directive for it.
+// writeLen is the byte length for writes and negative for everything else.
+func (s *NetSchedule) step(writeLen int) netDirective {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	for i := range s.rules {
+		r := &s.rules[i]
+		fire := (r.at != 0 && s.n == r.at) || (r.every != 0 && s.n%r.every == 0)
+		if !fire {
+			continue
+		}
+		switch r.kind {
+		case NetCorrupt, NetPartial:
+			if writeLen <= 0 {
+				if r.kind == NetCorrupt {
+					continue // corruption only makes sense on writes
+				}
+				return netDirective{kind: NetErr}
+			}
+			if r.kind == NetCorrupt {
+				return netDirective{kind: NetCorrupt, flip: s.rng.Intn(writeLen), bit: uint(s.rng.Intn(8))}
+			}
+			return netDirective{kind: NetPartial, keep: s.rng.Intn(writeLen)}
+		case NetDelay:
+			d := time.Duration(0)
+			if s.maxDelay > 0 {
+				d = time.Duration(s.rng.Int63n(int64(s.maxDelay)))
+			}
+			return netDirective{kind: NetDelay, delay: d}
+		default:
+			return netDirective{kind: r.kind}
+		}
+	}
+	return netDirective{}
+}
+
+// NetConn wraps a net.Conn, routing every Read and Write through the
+// schedule.
+type NetConn struct {
+	net.Conn
+	Sched *NetSchedule
+}
+
+// WrapConn builds a fault-injecting view of c.
+func WrapConn(c net.Conn, s *NetSchedule) *NetConn { return &NetConn{Conn: c, Sched: s} }
+
+// Read implements net.Conn.
+func (c *NetConn) Read(p []byte) (int, error) {
+	d := c.Sched.step(-1)
+	switch d.kind {
+	case NetErr, NetPartial:
+		return 0, fmt.Errorf("read: %w", ErrInjected)
+	case NetReset:
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("read: reset: %w", ErrInjected)
+	case NetDelay:
+		time.Sleep(d.delay)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn. A NetPartial fault delivers a prefix and
+// closes the connection (a frame torn mid-stream); a NetCorrupt fault
+// flips one bit and delivers the rest intact.
+func (c *NetConn) Write(p []byte) (int, error) {
+	d := c.Sched.step(len(p))
+	switch d.kind {
+	case NetErr:
+		return 0, fmt.Errorf("write: %w", ErrInjected)
+	case NetPartial:
+		n := 0
+		if d.keep > 0 {
+			n, _ = c.Conn.Write(p[:d.keep])
+		}
+		_ = c.Conn.Close()
+		return n, fmt.Errorf("write: torn after %d/%d bytes: %w", n, len(p), ErrInjected)
+	case NetReset:
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("write: reset: %w", ErrInjected)
+	case NetCorrupt:
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		buf[d.flip] ^= 1 << d.bit
+		return c.Conn.Write(buf)
+	case NetDelay:
+		time.Sleep(d.delay)
+	}
+	return c.Conn.Write(p)
+}
+
+// NetListener wraps a net.Listener: Accept is a countable operation and
+// every accepted connection shares the schedule.
+type NetListener struct {
+	net.Listener
+	Sched *NetSchedule
+}
+
+// WrapListener builds a fault-injecting view of ln.
+func WrapListener(ln net.Listener, s *NetSchedule) *NetListener {
+	return &NetListener{Listener: ln, Sched: s}
+}
+
+// Accept implements net.Listener.
+func (l *NetListener) Accept() (net.Conn, error) {
+	d := l.Sched.step(-1)
+	switch d.kind {
+	case NetErr, NetReset, NetPartial:
+		return nil, fmt.Errorf("accept: %w", ErrInjected)
+	case NetDelay:
+		time.Sleep(d.delay)
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.Sched), nil
+}
+
+// Compile-time interface checks.
+var (
+	_ net.Conn     = (*NetConn)(nil)
+	_ net.Listener = (*NetListener)(nil)
+)

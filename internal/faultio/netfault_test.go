@@ -1,0 +1,222 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConns returns a connected in-memory pair.
+func pipeConns() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestNetConnWritePassThrough(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	s := NewNetSchedule(1)
+	w := WrapConn(a, s)
+	msg := []byte("hello, broker")
+	go func() { _, _ = w.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+	if s.Ops() != 1 {
+		t.Fatalf("ops = %d, want 1", s.Ops())
+	}
+}
+
+func TestNetConnErrFault(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	s := NewNetSchedule(1)
+	s.At(1, NetErr)
+	w := WrapConn(a, s)
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// The connection survives an Err fault: the next write goes through.
+	go func() { _, _ = w.Write([]byte("y")) }()
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(b, got); err != nil || got[0] != 'y' {
+		t.Fatalf("read after Err fault: %q, %v", got, err)
+	}
+}
+
+func TestNetConnCorruptFlipsExactlyOneBit(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	s := NewNetSchedule(7)
+	s.At(1, NetCorrupt)
+	w := WrapConn(a, s)
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	go func() { _, _ = w.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	diffBits := 0
+	for i := range msg {
+		x := msg[i] ^ got[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("corrupt fault flipped %d bits, want exactly 1", diffBits)
+	}
+}
+
+func TestNetConnPartialTearsAndCloses(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	s := NewNetSchedule(3)
+	s.At(1, NetPartial)
+	w := WrapConn(a, s)
+	msg := make([]byte, 256)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := w.Write(msg)
+		errc <- err
+	}()
+	// The peer sees a prefix then EOF — a frame torn mid-stream.
+	n, err := io.Copy(io.Discard, b)
+	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("peer read: %v", err)
+	}
+	if n >= int64(len(msg)) {
+		t.Fatalf("peer got %d bytes, want a strict prefix of %d", n, len(msg))
+	}
+	if werr := <-errc; !errors.Is(werr, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", werr)
+	}
+}
+
+func TestNetConnResetClosesUnderlying(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	s := NewNetSchedule(1)
+	s.At(1, NetReset)
+	w := WrapConn(a, s)
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after reset, want closed")
+	}
+}
+
+func TestNetScheduleEveryRecurs(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	s := NewNetSchedule(1)
+	s.Every(3, NetErr)
+	w := WrapConn(a, s)
+	go io.Copy(io.Discard, b)
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if _, err := w.Write([]byte("x")); err != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("every-3 rule failed %d of 9 writes, want 3", fails)
+	}
+}
+
+func TestNetScheduleDeterminism(t *testing.T) {
+	run := func() []byte {
+		a, b := pipeConns()
+		defer a.Close()
+		defer b.Close()
+		s := NewNetSchedule(42)
+		s.At(2, NetCorrupt)
+		w := WrapConn(a, s)
+		msg := make([]byte, 128)
+		go func() {
+			_, _ = w.Write(msg[:64])
+			_, _ = w.Write(msg[64:])
+		}()
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(b, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("same seed produced different corruption")
+	}
+}
+
+func TestNetListenerWrapsAccepted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewNetSchedule(1)
+	fln := WrapListener(ln, s)
+	defer fln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := fln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		if _, ok := c.(*NetConn); !ok {
+			t.Errorf("accepted conn is %T, want *NetConn", c)
+		}
+		_, _ = io.Copy(io.Discard, c)
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = c.Write([]byte("ping"))
+	c.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept goroutine did not finish")
+	}
+	if s.Ops() == 0 {
+		t.Fatal("listener operations were not counted")
+	}
+}
+
+func TestNetListenerAcceptFault(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewNetSchedule(1)
+	s.At(1, NetErr)
+	fln := WrapListener(ln, s)
+	defer fln.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			c.Close()
+		}
+	}()
+	if _, err := fln.Accept(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("accept err = %v, want ErrInjected", err)
+	}
+}

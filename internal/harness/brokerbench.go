@@ -1,0 +1,236 @@
+package harness
+
+// Networked-broker load harness emitting machine-readable JSON
+// (BENCH_broker.json): a netbroker server fronting the adaptive index is
+// loaded over real loopback TCP with a standing-subscription population
+// and a paced event stream, measuring end-to-end delivery latency —
+// publisher timestamp to subscriber handler — through the wire protocol,
+// the per-connection bounded queues and the client dispatch path. Events
+// carry their publish timestamp's serial in a dedicated attribute that
+// subscriptions leave unconstrained, so correlation is exact without a
+// side channel.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"accluster/internal/netbroker"
+	"accluster/internal/pubsub"
+	"accluster/internal/telemetry"
+)
+
+// BrokerBenchReport is the document written to BENCH_broker.json.
+type BrokerBenchReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Subscriptions is the standing-subscription population;
+	// SubscriberConns is how many client connections share it.
+	Subscriptions   int `json:"subscriptions"`
+	SubscriberConns int `json:"subscriber_conns"`
+	// Events is the published event count; TargetEventsPerSec the pacing
+	// goal and EventsPerSec the achieved rate.
+	Events             int     `json:"events"`
+	TargetEventsPerSec float64 `json:"target_events_per_sec"`
+	EventsPerSec       float64 `json:"events_per_sec"`
+	// Delivered counts handler invocations across all subscriber conns;
+	// AvgMatches is deliveries per event.
+	Delivered  int64   `json:"delivered"`
+	AvgMatches float64 `json:"avg_matches"`
+	// Delivery latency, publisher clock to handler clock, milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+	// Server-side accounting for the run.
+	DroppedOldest int64   `json:"dropped_oldest"`
+	DroppedNewest int64   `json:"dropped_newest"`
+	MaxQueueDepth int64   `json:"max_queue_depth"`
+	DrainMS       float64 `json:"drain_ms"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *BrokerBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// brokerBenchConfig sizes the load; the defaults are the acceptance
+// numbers (10k standing subscriptions, 1k events/s sustained on one core).
+type brokerBenchConfig struct {
+	subs   int
+	conns  int
+	events int
+	rate   float64 // events per second
+	dims   int     // spatial attributes
+	width  float64 // per-dimension subscription width
+	queue  int     // per-connection delivery queue depth
+}
+
+// RunBrokerBench runs the loopback broker load harness.
+func RunBrokerBench(o Options) (*BrokerBenchReport, error) {
+	cfg := brokerBenchConfig{
+		subs:   10_000,
+		conns:  4,
+		events: 3_300,
+		// Target 10% above the 1k events/s acceptance floor so pacing
+		// overhead cannot pull the achieved rate below it.
+		rate: 1_100,
+		dims: 3,
+		// 10k subs x width^3 ≈ 5 matches per point event.
+		width: 0.08,
+		queue: 1024,
+	}
+	return runBrokerBench(cfg, &o)
+}
+
+func runBrokerBench(cfg brokerBenchConfig, o *Options) (*BrokerBenchReport, error) {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	schema := make(pubsub.Schema, 0, cfg.dims+1)
+	for d := 0; d < cfg.dims; d++ {
+		schema = append(schema, pubsub.Attribute{Name: fmt.Sprintf("x%d", d), Min: 0, Max: 1})
+	}
+	schema = append(schema, pubsub.Attribute{Name: "serial", Min: 0, Max: 1e9})
+
+	broker, err := pubsub.NewBroker(schema, pubsub.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer broker.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv, err := netbroker.Serve(broker, ln, netbroker.Options{QueueDepth: cfg.queue})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Publish timestamps by serial; handlers on the subscriber read
+	// goroutines correlate without locks.
+	published := make([]atomic.Int64, cfg.events)
+	hist := telemetry.NewHistogram("broker_delivery_ns")
+	var delivered atomic.Int64
+	handler := func(_ uint32, ev pubsub.Event) {
+		s := int(ev["serial"].Lo)
+		if s < 0 || s >= len(published) {
+			return
+		}
+		if t0 := published[s].Load(); t0 != 0 {
+			hist.Record(time.Now().UnixNano() - t0)
+		}
+		delivered.Add(1)
+	}
+
+	// Standing subscriptions, spread across cfg.conns client connections.
+	rng := rand.New(rand.NewSource(seed))
+	clients := make([]*netbroker.Client, 0, cfg.conns)
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	for i := 0; i < cfg.conns; i++ {
+		cl, err := netbroker.Dial(ctx, ln.Addr().String(), netbroker.ClientOptions{Seed: seed + int64(i)})
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, cl)
+	}
+	start := time.Now()
+	for i := 0; i < cfg.subs; i++ {
+		sub := make(pubsub.Subscription, cfg.dims)
+		for d := 0; d < cfg.dims; d++ {
+			lo := rng.Float64() * (1 - cfg.width)
+			sub[fmt.Sprintf("x%d", d)] = pubsub.Range{Lo: lo, Hi: lo + cfg.width}
+		}
+		if _, err := clients[i%cfg.conns].Subscribe(ctx, sub, handler); err != nil {
+			return nil, fmt.Errorf("subscribe %d: %w", i, err)
+		}
+	}
+	o.logf("brokerbench: %d subscriptions registered in %v", cfg.subs, time.Since(start).Round(time.Millisecond))
+
+	pub, err := netbroker.Dial(ctx, ln.Addr().String(), netbroker.ClientOptions{Seed: seed + 100})
+	if err != nil {
+		return nil, err
+	}
+	defer pub.Close()
+
+	// Paced publish loop: batches every tick, catching up if behind.
+	var matches int64
+	tick := 10 * time.Millisecond
+	perTick := cfg.rate * tick.Seconds()
+	begin := time.Now()
+	sent := 0
+	for sent < cfg.events {
+		due := int(time.Since(begin).Seconds()*cfg.rate + perTick)
+		if due > cfg.events {
+			due = cfg.events
+		}
+		for ; sent < due; sent++ {
+			ev := make(pubsub.Event, cfg.dims+1)
+			for d := 0; d < cfg.dims; d++ {
+				ev[fmt.Sprintf("x%d", d)] = pubsub.Value(rng.Float64())
+			}
+			ev["serial"] = pubsub.Value(float64(sent))
+			published[sent].Store(time.Now().UnixNano())
+			n, err := pub.Publish(ctx, ev)
+			if err != nil {
+				return nil, fmt.Errorf("publish %d: %w", sent, err)
+			}
+			matches += int64(n)
+		}
+		if sent < cfg.events {
+			time.Sleep(tick)
+		}
+	}
+	elapsed := time.Since(begin)
+
+	// Let in-flight deliveries land, then drain the server so the queues
+	// flush deterministically before reading the counters.
+	waitUntil := time.Now().Add(5 * time.Second)
+	for delivered.Load() < matches && time.Now().Before(waitUntil) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := srv.Stats()
+	drain := srv.Shutdown()
+
+	snap := hist.Snapshot()
+	rep := &BrokerBenchReport{
+		Generated:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:          runtime.Version(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		Subscriptions:      cfg.subs,
+		SubscriberConns:    cfg.conns,
+		Events:             cfg.events,
+		TargetEventsPerSec: cfg.rate,
+		EventsPerSec:       float64(cfg.events) / elapsed.Seconds(),
+		Delivered:          delivered.Load(),
+		AvgMatches:         float64(matches) / float64(cfg.events),
+		P50MS:              float64(snap.Quantile(0.5)) / 1e6,
+		P99MS:              float64(snap.Quantile(0.99)) / 1e6,
+		MaxMS:              float64(snap.Max()) / 1e6,
+		DroppedOldest:      st.DroppedOldest,
+		DroppedNewest:      st.DroppedNewest,
+		MaxQueueDepth:      st.MaxQueueDepth,
+		DrainMS:            float64(drain) / float64(time.Millisecond),
+	}
+	o.logf("brokerbench: %d events at %.0f/s, %d delivered (%.1f avg matches), p50=%.2fms p99=%.2fms max=%.2fms",
+		rep.Events, rep.EventsPerSec, rep.Delivered, rep.AvgMatches, rep.P50MS, rep.P99MS, rep.MaxMS)
+	return rep, nil
+}

@@ -1,0 +1,37 @@
+package harness
+
+import "testing"
+
+// TestBrokerBenchSmall exercises the loopback broker harness end to end at
+// a CI-friendly scale and checks the report's internal consistency.
+func TestBrokerBenchSmall(t *testing.T) {
+	cfg := brokerBenchConfig{
+		subs:   200,
+		conns:  2,
+		events: 100,
+		rate:   2_000,
+		dims:   3,
+		width:  0.2,
+		queue:  256,
+	}
+	o := Options{Seed: 7}
+	rep, err := runBrokerBench(cfg, &o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Subscriptions != cfg.subs || rep.Events != cfg.events {
+		t.Fatalf("report sizing = %+v", rep)
+	}
+	if rep.EventsPerSec <= 0 {
+		t.Fatalf("events/s = %v", rep.EventsPerSec)
+	}
+	if rep.Delivered == 0 {
+		t.Fatal("no deliveries: subscription widths should match some events")
+	}
+	if rep.P50MS < 0 || rep.P99MS < rep.P50MS || rep.MaxMS < rep.P99MS {
+		t.Fatalf("latency ordering violated: p50=%v p99=%v max=%v", rep.P50MS, rep.P99MS, rep.MaxMS)
+	}
+	if rep.Generated == "" || rep.GoVersion == "" {
+		t.Fatalf("missing provenance header: %+v", rep)
+	}
+}

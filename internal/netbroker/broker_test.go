@@ -1,0 +1,508 @@
+package netbroker
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accluster/internal/pubsub"
+)
+
+func testSchema() pubsub.Schema {
+	return pubsub.Schema{
+		{Name: "x", Min: 0, Max: 100},
+		{Name: "serial", Min: 0, Max: 1e9},
+	}
+}
+
+func newBroker(t *testing.T) *pubsub.Broker {
+	t.Helper()
+	b, err := pubsub.NewBroker(testSchema(), pubsub.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+// startServer serves a fresh broker on a loopback listener.
+func startServer(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	return startServerOn(t, newBroker(t), listen(t), opts)
+}
+
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+func startServerOn(t *testing.T, b *pubsub.Broker, ln net.Listener, opts Options) (*Server, string) {
+	t.Helper()
+	s, err := Serve(b, ln, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func serialEvent(i int) pubsub.Event {
+	return pubsub.Event{"serial": pubsub.Value(float64(i))}
+}
+
+// rawConn speaks the wire protocol directly, one operation at a time, so
+// tests control exactly which frames are in flight.
+type rawConn struct {
+	t  *testing.T
+	nc net.Conn
+	br *bufio.Reader
+}
+
+func rawDialConn(t *testing.T, nc net.Conn) *rawConn {
+	t.Helper()
+	t.Cleanup(func() { nc.Close() })
+	r := &rawConn{t: t, nc: nc, br: bufio.NewReader(nc)}
+	r.write(fHello, helloPayload())
+	if f := r.read(); f.typ != fWelcome {
+		t.Fatalf("handshake: frame type %d, want welcome", f.typ)
+	}
+	return r
+}
+
+func rawDial(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rawDialConn(t, nc)
+}
+
+func (r *rawConn) write(typ uint8, payload []byte) {
+	r.t.Helper()
+	r.nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := r.nc.Write(appendFrame(nil, typ, payload)); err != nil {
+		r.t.Fatalf("write frame type %d: %v", typ, err)
+	}
+}
+
+func (r *rawConn) tryRead(d time.Duration) (frame, error) {
+	r.nc.SetReadDeadline(time.Now().Add(d))
+	f, _, err := readFrame(r.br, nil)
+	return f, err
+}
+
+func (r *rawConn) read() frame {
+	r.t.Helper()
+	f, err := r.tryRead(5 * time.Second)
+	if err != nil {
+		r.t.Fatalf("read frame: %v", err)
+	}
+	return f
+}
+
+func (r *rawConn) subscribe(subID uint32, sub pubsub.Subscription) {
+	r.t.Helper()
+	p := appendU32(nil, 1)
+	p = appendU32(p, subID)
+	p = appendRanges(p, map[string]pubsub.Range(sub))
+	r.write(fSubscribe, p)
+	if f := r.read(); f.typ != fOK {
+		r.t.Fatalf("subscribe ack: frame type %d", f.typ)
+	}
+}
+
+func (r *rawConn) publish(ev pubsub.Event) int {
+	r.t.Helper()
+	p := appendU32(nil, 2)
+	p = appendRanges(p, map[string]pubsub.Range(ev))
+	r.write(fPublish, p)
+	f := r.read()
+	if f.typ != fOK {
+		r.t.Fatalf("publish ack: frame type %d payload %q", f.typ, f.payload)
+	}
+	_, rest, err := readU32(f.payload)
+	if err != nil || len(rest) < 8 {
+		r.t.Fatalf("publish ack payload: %v", err)
+	}
+	return int(binary.LittleEndian.Uint64(rest))
+}
+
+// event reads the next delivery, failing on any other frame type.
+func (r *rawConn) event() (subID uint32, serial float64) {
+	r.t.Helper()
+	f := r.read()
+	if f.typ != fEvent {
+		r.t.Fatalf("expected event, got frame type %d", f.typ)
+	}
+	subID, p, err := readU32(f.payload)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	m, _, err := decodeRanges(p)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return subID, m["serial"].Lo
+}
+
+// TestEndToEndDelivery drives the full client path: dial, subscribe,
+// publish, deliver, unsubscribe, shut down.
+func TestEndToEndDelivery(t *testing.T) {
+	s, addr := startServer(t, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	cl, err := Dial(ctx, addr, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if len(cl.Schema()) != len(testSchema()) {
+		t.Fatalf("handshake schema has %d attrs, want %d", len(cl.Schema()), len(testSchema()))
+	}
+
+	got := make(chan float64, 16)
+	id, err := cl.Subscribe(ctx, pubsub.Subscription{"x": {Lo: 0, Hi: 50}}, func(_ uint32, ev pubsub.Event) {
+		got <- ev["serial"].Lo
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := cl.Publish(ctx, pubsub.Event{"x": pubsub.Value(25), "serial": pubsub.Value(1)})
+	if err != nil || n != 1 {
+		t.Fatalf("matching publish: n=%d err=%v", n, err)
+	}
+	select {
+	case serial := <-got:
+		if serial != 1 {
+			t.Fatalf("delivered serial %g, want 1", serial)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delivery never arrived")
+	}
+
+	if n, err := cl.Publish(ctx, pubsub.Event{"x": pubsub.Value(75), "serial": pubsub.Value(2)}); err != nil || n != 0 {
+		t.Fatalf("non-matching publish: n=%d err=%v", n, err)
+	}
+
+	existed, err := cl.Unsubscribe(ctx, id)
+	if err != nil || !existed {
+		t.Fatalf("unsubscribe: existed=%v err=%v", existed, err)
+	}
+	if n, _ := cl.Publish(ctx, pubsub.Event{"x": pubsub.Value(25), "serial": pubsub.Value(3)}); n != 0 {
+		t.Fatalf("publish after unsubscribe matched %d", n)
+	}
+
+	st := s.Stats()
+	if st.TotalConns < 1 || st.Delivered != 1 || st.Subscriptions != 0 {
+		t.Fatalf("server stats: %+v", st)
+	}
+	cl.Close()
+	if d := s.Shutdown(); d < 0 {
+		t.Fatalf("drain duration %v", d)
+	}
+}
+
+// TestOrderedDelivery pins the per-subscriber ordering contract: a
+// subscriber that keeps up receives every delivery in publish order.
+func TestOrderedDelivery(t *testing.T) {
+	s, addr := startServer(t, Options{})
+	consumer := rawDial(t, addr)
+	consumer.subscribe(7, pubsub.Subscription{})
+	publisher := rawDial(t, addr)
+
+	const total = 200
+	for i := 0; i < total; i++ {
+		if n := publisher.publish(serialEvent(i)); n != 1 {
+			t.Fatalf("publish %d matched %d subs", i, n)
+		}
+	}
+	for i := 0; i < total; i++ {
+		subID, serial := consumer.event()
+		if subID != 7 || serial != float64(i) {
+			t.Fatalf("delivery %d: sub %d serial %g", i, subID, serial)
+		}
+	}
+	st := s.Stats()
+	if st.Delivered != total || st.DroppedOldest+st.DroppedNewest != 0 {
+		t.Fatalf("stats after ordered run: %+v", st)
+	}
+}
+
+// writeGate blocks a wrapped connection's writes while closed, simulating
+// a consumer whose TCP window never opens — deterministically.
+type writeGate struct {
+	mu sync.Mutex
+	ch chan struct{} // nil = open
+}
+
+func (g *writeGate) shut() {
+	g.mu.Lock()
+	if g.ch == nil {
+		g.ch = make(chan struct{})
+	}
+	g.mu.Unlock()
+}
+
+func (g *writeGate) open() {
+	g.mu.Lock()
+	if g.ch != nil {
+		close(g.ch)
+		g.ch = nil
+	}
+	g.mu.Unlock()
+}
+
+func (g *writeGate) wait() {
+	g.mu.Lock()
+	ch := g.ch
+	g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+type gatedConn struct {
+	net.Conn
+	g *writeGate
+}
+
+func (c gatedConn) Write(p []byte) (int, error) {
+	c.g.wait()
+	return c.Conn.Write(p)
+}
+
+// gatedListener gates the first accepted connection only; later ones pass
+// through (the test's publisher must stay responsive).
+type gatedListener struct {
+	net.Listener
+	g *writeGate
+	n atomic.Int32
+}
+
+func (l *gatedListener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if l.n.Add(1) == 1 {
+		return gatedConn{Conn: nc, g: l.g}, nil
+	}
+	return nc, nil
+}
+
+// slowOpts keeps heartbeats out of the gated write stream so the frame
+// arithmetic below is exact.
+func slowOpts(depth int, p Policy) Options {
+	return Options{QueueDepth: depth, Policy: p,
+		HeartbeatInterval: time.Minute, ReadTimeout: 2 * time.Minute,
+		WriteTimeout: time.Minute}
+}
+
+// gatedSetup: consumer (gated, subscribed full-domain) + publisher, with
+// one delivery already popped and stuck in the gate so the queue content
+// is exactly known.
+func gatedSetup(t *testing.T, opts Options) (s *Server, g *writeGate, consumer, publisher *rawConn) {
+	t.Helper()
+	g = &writeGate{}
+	t.Cleanup(g.open) // runs before the server Close cleanup (LIFO)
+	s, addr := startServerOn(t, newBroker(t), &gatedListener{Listener: listen(t), g: g}, opts)
+	consumer = rawDial(t, addr)
+	consumer.subscribe(7, pubsub.Subscription{})
+	publisher = rawDial(t, addr)
+	g.shut()
+	if n := publisher.publish(serialEvent(0)); n != 1 {
+		t.Fatalf("priming publish matched %d", n)
+	}
+	// The consumer's writer pops serial 0 and blocks in the gate; from
+	// here every queued frame is accounted.
+	waitFor(t, "writer to pick up the priming delivery", func() bool {
+		st := s.Stats()
+		return st.Delivered == 1 && st.QueueDepth == 0
+	})
+	return s, g, consumer, publisher
+}
+
+func TestSlowConsumerDropOldest(t *testing.T) {
+	s, g, consumer, publisher := gatedSetup(t, slowOpts(4, DropOldest))
+	for i := 1; i <= 20; i++ {
+		publisher.publish(serialEvent(i))
+	}
+	waitFor(t, "oldest deliveries to be shed", func() bool {
+		return s.Stats().DroppedOldest == 16
+	})
+	g.open()
+	// Serial 0 was in flight; of 1..20 only the newest 4 survived.
+	for _, want := range []float64{0, 17, 18, 19, 20} {
+		if _, serial := consumer.event(); serial != want {
+			t.Fatalf("delivered serial %g, want %g", serial, want)
+		}
+	}
+	if _, err := consumer.tryRead(200 * time.Millisecond); err == nil {
+		t.Fatal("unexpected extra frame after shed backlog")
+	}
+	if st := s.Stats(); st.Delivered != 21 || st.DroppedOldest != 16 || st.DroppedNewest != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSlowConsumerDropNewest(t *testing.T) {
+	s, g, consumer, publisher := gatedSetup(t, slowOpts(4, DropNewest))
+	for i := 1; i <= 20; i++ {
+		publisher.publish(serialEvent(i))
+	}
+	waitFor(t, "newest deliveries to be shed", func() bool {
+		return s.Stats().DroppedNewest == 16
+	})
+	g.open()
+	// Serial 0 was in flight; the backlog 1..4 drained intact, 5..20 shed.
+	for _, want := range []float64{0, 1, 2, 3, 4} {
+		if _, serial := consumer.event(); serial != want {
+			t.Fatalf("delivered serial %g, want %g", serial, want)
+		}
+	}
+	if _, err := consumer.tryRead(200 * time.Millisecond); err == nil {
+		t.Fatal("unexpected extra frame after shed backlog")
+	}
+	if st := s.Stats(); st.Delivered != 5 || st.DroppedNewest != 16 || st.DroppedOldest != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSlowConsumerDisconnect(t *testing.T) {
+	s, g, consumer, publisher := gatedSetup(t, slowOpts(2, Disconnect))
+	publisher.publish(serialEvent(1))
+	publisher.publish(serialEvent(2))
+	publisher.publish(serialEvent(3)) // queue full: policy fires
+	waitFor(t, "slow consumer to be disconnected", func() bool {
+		st := s.Stats()
+		return st.SlowDisconnects == 1 && st.ActiveConns == 1
+	})
+	g.open()
+	// The consumer's socket is closed; reads end in an error once the
+	// in-flight remnants (if any) are consumed.
+	for {
+		if _, err := consumer.tryRead(2 * time.Second); err != nil {
+			break
+		}
+	}
+	// The server keeps serving: the consumer's subscription is gone.
+	if n := publisher.publish(serialEvent(4)); n != 0 {
+		t.Fatalf("publish after disconnect matched %d subs", n)
+	}
+}
+
+// TestGracefulShutdownDrains proves Shutdown flushes queued deliveries
+// before closing: the consumer receives every queued frame and a goodbye.
+func TestGracefulShutdownDrains(t *testing.T) {
+	opts := slowOpts(16, DropOldest)
+	opts.DrainDeadline = 5 * time.Second
+	s, g, consumer, publisher := gatedSetup(t, opts)
+	for i := 1; i <= 4; i++ {
+		publisher.publish(serialEvent(i))
+	}
+	waitFor(t, "backlog to queue", func() bool { return s.Stats().Delivered == 5 })
+
+	done := make(chan time.Duration, 1)
+	go func() { done <- s.Shutdown() }()
+	time.Sleep(50 * time.Millisecond) // let drain begin against the gate
+	g.open()
+
+	for _, want := range []float64{0, 1, 2, 3, 4} {
+		if _, serial := consumer.event(); serial != want {
+			t.Fatalf("drained serial %g, want %g", serial, want)
+		}
+	}
+	if f := consumer.read(); f.typ != fGoodbye {
+		t.Fatalf("expected goodbye after drain, got frame type %d", f.typ)
+	}
+	select {
+	case d := <-done:
+		if d <= 0 || d > opts.DrainDeadline+time.Second {
+			t.Fatalf("drain took %v", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown never returned")
+	}
+	if st := s.Stats(); st.DrainMS <= 0 {
+		t.Fatalf("drain not recorded: %+v", st)
+	}
+}
+
+// TestShutdownDeadlineBound proves the drain bound holds against a consumer
+// that never opens its window: Shutdown returns shortly after the deadline.
+func TestShutdownDeadlineBound(t *testing.T) {
+	opts := slowOpts(16, DropOldest)
+	opts.DrainDeadline = 200 * time.Millisecond
+	s, g, _, publisher := gatedSetup(t, opts)
+	for i := 1; i <= 4; i++ {
+		publisher.publish(serialEvent(i))
+	}
+	done := make(chan time.Duration, 1)
+	go func() { done <- s.Shutdown() }()
+	// The gate models a peer whose writes never complete; open it after
+	// the deadline has passed — the clamped write deadline makes the
+	// still-pending write fail instead of delivering late.
+	time.Sleep(400 * time.Millisecond)
+	g.open()
+	select {
+	case d := <-done:
+		if d < opts.DrainDeadline {
+			t.Fatalf("drain returned before the deadline: %v", d)
+		}
+		if d > 5*time.Second {
+			t.Fatalf("drain unbounded: %v", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown never returned despite the backstop")
+	}
+}
+
+// TestMaxConnsBackpressure: with the only slot held, a second dial parks in
+// the listener backlog — accepted and welcomed only after the slot frees.
+func TestMaxConnsBackpressure(t *testing.T) {
+	opts := Options{MaxConns: 1}
+	_, addr := startServer(t, opts)
+	first := rawDial(t, addr)
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	second := &rawConn{t: t, nc: nc, br: bufio.NewReader(nc)}
+	second.write(fHello, helloPayload())
+	if f, err := second.tryRead(300 * time.Millisecond); err == nil {
+		t.Fatalf("welcomed with no free slot: frame type %d", f.typ)
+	}
+
+	first.nc.Close() // release the slot
+	if f := second.read(); f.typ != fWelcome {
+		t.Fatalf("after slot freed: frame type %d, want welcome", f.typ)
+	}
+	if n := second.publish(serialEvent(1)); n != 0 {
+		t.Fatalf("publish on second conn matched %d", n)
+	}
+}

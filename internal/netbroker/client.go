@@ -1,0 +1,644 @@
+package netbroker
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accluster/internal/pubsub"
+	"accluster/internal/telemetry"
+)
+
+// ErrClientClosed is returned by every operation after Close.
+var ErrClientClosed = errors.New("netbroker: client closed")
+
+// errConnLost aborts in-flight requests when the connection dies; the
+// request layer retries on a fresh connection.
+var errConnLost = errors.New("netbroker: connection lost")
+
+// EventHandler receives matched events for a client subscription.
+//
+// Delivery contract: handlers run on the client's single read goroutine,
+// in per-subscription server order. A handler that blocks stalls the
+// reads — the server's bounded queue for this connection then fills and
+// its slow-consumer policy decides what happens: DropOldest/DropNewest
+// shed deliveries (at-most-once with gaps — the dropped events are gone,
+// not retried), Disconnect closes the connection (the client reconnects
+// and resubscribes, and everything queued server-side at the disconnect
+// is lost). Deliveries in flight during any reconnect are likewise lost:
+// the broker offers at-most-once delivery, never duplicates.
+//
+// A handler must not call the client's request methods (Subscribe,
+// Unsubscribe, Publish) synchronously: their responses arrive on the same
+// goroutine the handler is running on, so the call would deadlock until
+// its context expires. Hand such work to another goroutine.
+type EventHandler func(sub uint32, ev pubsub.Event)
+
+// Client is a reconnecting broker client: standing subscriptions survive
+// connection loss (the client redials with capped jittered backoff and
+// resubscribes every one of them), and requests retry transparently across
+// reconnects under their context. Safe for concurrent use.
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	mu      sync.Mutex
+	nc      net.Conn // current connection; nil while down
+	lost    chan struct{}
+	up      chan struct{}
+	schema  pubsub.Schema
+	pending map[uint32]chan rpcResult
+	subs    map[uint32]*clientSub
+	nextReq uint32
+	nextSub uint32
+	closed  bool
+	rng     *rand.Rand
+
+	wmu sync.Mutex // serializes frame writes on the current conn
+
+	stop chan struct{}
+	done chan struct{}
+
+	reconnects atomic.Int64
+	delivered  atomic.Int64
+	corrupt    atomic.Int64
+}
+
+type clientSub struct {
+	sub pubsub.Subscription
+	h   EventHandler
+}
+
+type rpcResult struct {
+	value uint64
+	err   error
+}
+
+// Dial connects to a broker server, retrying with backoff until ctx is
+// done, and starts the reconnect supervisor. Close releases it.
+func Dial(ctx context.Context, addr string, opts ClientOptions) (*Client, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		addr:    addr,
+		opts:    o,
+		lost:    make(chan struct{}),
+		up:      make(chan struct{}),
+		pending: make(map[uint32]chan rpcResult),
+		subs:    make(map[uint32]*clientSub),
+		rng:     rand.New(rand.NewSource(o.Seed)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.run()
+	if err := c.await(ctx); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("netbroker: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// run is the connection supervisor: dial, handshake, resubscribe, serve
+// reads; on loss, fail in-flight requests and retry with jittered backoff.
+func (c *Client) run() {
+	defer close(c.done)
+	attempt := 0
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		nc, schema, err := c.connect()
+		if err == nil {
+			err = c.resubscribe(nc)
+			if err != nil {
+				nc.Close()
+			}
+		}
+		if err != nil {
+			attempt++
+			if !c.sleep(c.backoff(attempt)) {
+				return
+			}
+			continue
+		}
+		attempt = 0
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			nc.Close()
+			return
+		}
+		c.nc = nc
+		c.schema = schema
+		close(c.up)
+		c.mu.Unlock()
+
+		c.readLoop(nc) // returns on connection loss or Close
+		c.teardown(nc)
+		select {
+		case <-c.stop:
+			return
+		default:
+			c.reconnects.Add(1)
+		}
+	}
+}
+
+// connect dials and handshakes one connection.
+func (c *Client) connect() (net.Conn, pubsub.Schema, error) {
+	var nc net.Conn
+	var err error
+	if c.opts.Dialer != nil {
+		nc, err = c.opts.Dialer(c.addr)
+	} else {
+		d := net.Dialer{Timeout: c.opts.DialTimeout}
+		nc, err = d.Dial("tcp", c.addr)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	nc.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	if _, err := nc.Write(appendFrame(nil, fHello, helloPayload())); err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(nc, 32<<10)
+	nc.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+	f, _, err := readFrame(br, nil)
+	if err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	if f.typ == fErr {
+		_, werr := errText(f.payload)
+		nc.Close()
+		return nil, nil, werr
+	}
+	if f.typ != fWelcome {
+		nc.Close()
+		return nil, nil, corruptf("netbroker: expected welcome, got frame type %d", f.typ)
+	}
+	if err := checkHello(f.payload); err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	schema, err := decodeSchema(f.payload[5:])
+	if err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	// Hand the buffered reader to readLoop through the conn wrapper.
+	return &bufferedConn{Conn: nc, br: br}, schema, nil
+}
+
+// bufferedConn keeps the handshake's buffered reader attached to the conn.
+type bufferedConn struct {
+	net.Conn
+	br *bufio.Reader
+}
+
+// resubscribe re-registers every standing subscription on a fresh
+// connection, synchronously: request frames go out and each ok is awaited
+// before the connection goes live, so a resubscribed client never misses
+// its standing coverage without knowing.
+func (c *Client) resubscribe(nc net.Conn) error {
+	c.mu.Lock()
+	subs := make(map[uint32]*clientSub, len(c.subs))
+	for id, s := range c.subs {
+		subs[id] = s
+	}
+	c.mu.Unlock()
+	if len(subs) == 0 {
+		return nil
+	}
+	bc := nc.(*bufferedConn)
+	for id, s := range subs {
+		p := appendU32(nil, 0) // reqID 0: the only in-flight request here
+		p = appendU32(p, id)
+		p = appendRanges(p, map[string]pubsub.Range(s.sub))
+		nc.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+		if _, err := nc.Write(appendFrame(nil, fSubscribe, p)); err != nil {
+			return err
+		}
+		for {
+			nc.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+			f, _, err := readFrame(bc.br, nil)
+			if err != nil {
+				return err
+			}
+			// Deliveries for already-reestablished subscriptions can
+			// interleave with the acks; dispatch them normally.
+			if f.typ == fEvent {
+				c.dispatchEvent(f.payload)
+				continue
+			}
+			if f.typ == fPing {
+				c.writeFrame(nc, frame{typ: fPong})
+				continue
+			}
+			if f.typ == fErr {
+				_, rerr := errText(f.payload)
+				return rerr
+			}
+			if f.typ != fOK {
+				return corruptf("netbroker: expected subscribe ack, got frame type %d", f.typ)
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// readLoop dispatches frames from the live connection until it fails.
+func (c *Client) readLoop(nc net.Conn) {
+	bc := nc.(*bufferedConn)
+	var buf []byte
+	hb := time.NewTicker(c.opts.HeartbeatInterval)
+	defer hb.Stop()
+	pingStop := make(chan struct{})
+	defer close(pingStop)
+	// Keepalive: feed the server's read deadline even when traffic flows
+	// only server→client.
+	go func() {
+		for {
+			select {
+			case <-hb.C:
+				if err := c.writeFrame(nc, frame{typ: fPing}); err != nil {
+					nc.Close()
+					return
+				}
+			case <-pingStop:
+				return
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+	for {
+		nc.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+		f, b, err := readFrame(bc.br, buf)
+		buf = b
+		if err != nil {
+			if errors.Is(err, ErrCorruptFrame) {
+				c.corrupt.Add(1)
+			}
+			return
+		}
+		switch f.typ {
+		case fEvent:
+			c.dispatchEvent(f.payload)
+		case fOK:
+			reqID, p, err := readU32(f.payload)
+			if err != nil {
+				return
+			}
+			if len(p) < 8 {
+				return
+			}
+			v := uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+				uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+			c.complete(reqID, rpcResult{value: v})
+		case fErr:
+			reqID, rerr := errText(f.payload)
+			if reqID == 0 {
+				return // connection-level error; reconnect
+			}
+			c.complete(reqID, rpcResult{err: rerr})
+		case fPing:
+			if err := c.writeFrame(nc, frame{typ: fPong}); err != nil {
+				return
+			}
+		case fPong:
+			// deadline already refreshed
+		case fGoodbye:
+			return // server drain or policy disconnect; reconnect decides
+		default:
+			return
+		}
+	}
+}
+
+// dispatchEvent decodes one delivery and invokes its handler.
+func (c *Client) dispatchEvent(payload []byte) {
+	subID, p, err := readU32(payload)
+	if err != nil {
+		return
+	}
+	ranges, _, err := decodeRanges(p)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	s := c.subs[subID]
+	c.mu.Unlock()
+	if s == nil || s.h == nil {
+		return // unsubscribed while the delivery was in flight
+	}
+	c.delivered.Add(1)
+	s.h(subID, pubsub.Event(ranges))
+}
+
+// teardown retires a dead connection: fail in-flight requests, flip the
+// up/lost channels so waiters re-arm.
+func (c *Client) teardown(nc net.Conn) {
+	nc.Close()
+	c.mu.Lock()
+	if c.nc == nc {
+		c.nc = nil
+		close(c.lost)
+		c.lost = make(chan struct{})
+		c.up = make(chan struct{})
+	}
+	for id, ch := range c.pending {
+		ch <- rpcResult{err: errConnLost}
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// backoff returns the capped exponential delay with full jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.RetryBase << uint(min(attempt-1, 20))
+	if d > c.opts.RetryMax || d <= 0 {
+		d = c.opts.RetryMax
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d) + 1))
+	c.mu.Unlock()
+	return j
+}
+
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.stop:
+		return false
+	}
+}
+
+// await blocks until the client is connected, ctx is done, or Close.
+func (c *Client) await(ctx context.Context) error {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClientClosed
+		}
+		nc, up := c.nc, c.up
+		c.mu.Unlock()
+		if nc != nil {
+			return nil
+		}
+		select {
+		case <-up:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-c.stop:
+			return ErrClientClosed
+		}
+	}
+}
+
+// writeFrame writes one frame under the write lock with a deadline.
+func (c *Client) writeFrame(nc net.Conn, f frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	nc.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	_, err := nc.Write(appendFrame(nil, f.typ, f.payload))
+	return err
+}
+
+// roundTrip sends one request and awaits its response, retrying across
+// reconnects until ctx is done. Retried publishes may execute twice on the
+// server if a response was lost — matching is idempotent for subscribe and
+// unsubscribe, at-least-once for publish under retry.
+func (c *Client) roundTrip(ctx context.Context, typ uint8, build func(reqID uint32) []byte) (uint64, error) {
+	for {
+		if err := c.await(ctx); err != nil {
+			return 0, err
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return 0, ErrClientClosed
+		}
+		nc := c.nc
+		if nc == nil {
+			c.mu.Unlock()
+			continue
+		}
+		c.nextReq++
+		if c.nextReq == 0 {
+			c.nextReq = 1 // reqID 0 is reserved for connection-level errors
+		}
+		reqID := c.nextReq
+		ch := make(chan rpcResult, 1)
+		c.pending[reqID] = ch
+		lost := c.lost
+		c.mu.Unlock()
+
+		err := c.writeFrame(nc, frame{typ: typ, payload: build(reqID)})
+		if err != nil {
+			c.unregister(reqID)
+			nc.Close() // poke the supervisor; retry on the next conn
+			continue
+		}
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				if errors.Is(r.err, errConnLost) {
+					continue
+				}
+				return 0, r.err
+			}
+			return r.value, nil
+		case <-lost:
+			c.unregister(reqID)
+			continue
+		case <-ctx.Done():
+			c.unregister(reqID)
+			return 0, ctx.Err()
+		case <-c.stop:
+			c.unregister(reqID)
+			return 0, ErrClientClosed
+		}
+	}
+}
+
+func (c *Client) unregister(reqID uint32) {
+	c.mu.Lock()
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+}
+
+func (c *Client) complete(reqID uint32, r rpcResult) {
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- r
+	}
+}
+
+// Subscribe registers a standing subscription with a delivery handler and
+// returns its identifier. The subscription survives reconnects: the client
+// re-registers it on every fresh connection until Unsubscribe.
+func (c *Client) Subscribe(ctx context.Context, sub pubsub.Subscription, h EventHandler) (uint32, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClientClosed
+	}
+	c.nextSub++
+	id := c.nextSub
+	// Registered before the wire round trip: if the connection drops
+	// mid-request, the reconnect path resubscribes this id and the retry
+	// is acknowledged idempotently by the server.
+	c.subs[id] = &clientSub{sub: sub, h: h}
+	c.mu.Unlock()
+
+	_, err := c.roundTrip(ctx, fSubscribe, func(reqID uint32) []byte {
+		p := appendU32(nil, reqID)
+		p = appendU32(p, id)
+		return appendRanges(p, map[string]pubsub.Range(sub))
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.subs, id)
+		c.mu.Unlock()
+		return 0, err
+	}
+	return id, nil
+}
+
+// Unsubscribe removes a standing subscription, reporting whether the
+// server still had it.
+func (c *Client) Unsubscribe(ctx context.Context, id uint32) (bool, error) {
+	c.mu.Lock()
+	_, known := c.subs[id]
+	delete(c.subs, id) // stop resubscribing it whatever the wire says
+	c.mu.Unlock()
+	if !known {
+		return false, nil
+	}
+	v, err := c.roundTrip(ctx, fUnsubscribe, func(reqID uint32) []byte {
+		p := appendU32(nil, reqID)
+		return appendU32(p, id)
+	})
+	if err != nil {
+		return false, err
+	}
+	return v == 1, nil
+}
+
+// Publish matches an event against every standing subscription on the
+// server and returns the match count. A retry after a lost response may
+// publish the event twice (at-least-once under retry).
+func (c *Client) Publish(ctx context.Context, ev pubsub.Event) (int, error) {
+	v, err := c.roundTrip(ctx, fPublish, func(reqID uint32) []byte {
+		p := appendU32(nil, reqID)
+		return appendRanges(p, map[string]pubsub.Range(ev))
+	})
+	return int(v), err
+}
+
+// Schema returns the server's attribute schema (from the handshake of the
+// most recent connection).
+func (c *Client) Schema() pubsub.Schema {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.schema
+}
+
+// Connected reports whether a live connection is currently established.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nc != nil
+}
+
+// Close stops the supervisor, closes the connection and fails every
+// in-flight request. Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closed = true
+	nc := c.nc
+	c.mu.Unlock()
+	close(c.stop)
+	if nc != nil {
+		nc.Close()
+	}
+	<-c.done
+	// The supervisor exited; nothing completes pending requests anymore.
+	c.mu.Lock()
+	for id, ch := range c.pending {
+		ch <- rpcResult{err: ErrClientClosed}
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// ClientStats snapshots client activity.
+type ClientStats struct {
+	// Connected reports a live connection; Reconnects counts how many
+	// times the supervisor re-established one after a loss.
+	Connected  bool
+	Reconnects int64
+	// Delivered counts handler invocations; CorruptFrames counts frames
+	// the client rejected for integrity (each also dropped the
+	// connection); Subscriptions is the standing-subscription count.
+	Delivered     int64
+	CorruptFrames int64
+	Subscriptions int
+}
+
+// Stats returns a snapshot of client activity.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	subs, connected := len(c.subs), c.nc != nil
+	c.mu.Unlock()
+	return ClientStats{
+		Connected:     connected,
+		Reconnects:    c.reconnects.Load(),
+		Delivered:     c.delivered.Load(),
+		CorruptFrames: c.corrupt.Load(),
+		Subscriptions: subs,
+	}
+}
+
+// TelemetrySource exposes client activity as a flight-recorder gauge
+// source.
+func (c *Client) TelemetrySource() telemetry.Source {
+	return telemetry.Source{
+		Name: "netclient",
+		Cols: []string{"connected", "reconnects", "delivered", "corrupt_frames", "subscriptions"},
+		Read: func(dst []int64) []int64 {
+			st := c.Stats()
+			up := int64(0)
+			if st.Connected {
+				up = 1
+			}
+			return append(dst, up, st.Reconnects, st.Delivered, st.CorruptFrames, int64(st.Subscriptions))
+		},
+	}
+}

@@ -1,0 +1,46 @@
+// Package netbroker serves the paper's §1 SDI scenario to real clients: a
+// streaming broker over TCP whose failure behavior is specified, injected
+// and tested. A Server fronts a pubsub.Broker — Subscribe registers a
+// standing spatial subscription on the adaptive index and streams matches
+// back; Publish runs the point-enclosing query and fans matches out to
+// every subscribed connection. A Client maintains standing subscriptions
+// across connection loss: it redials with capped jittered exponential
+// backoff, resubscribes every one of them before going live, and retries
+// in-flight requests on the fresh connection.
+//
+// # Wire protocol
+//
+// The protocol is a length-prefixed, CRC-framed binary format in the
+// store-format style (stdlib only — the module stays dependency-free):
+// every message is `length uint32 | type uint8 | payload | crc uint32`,
+// little endian, with the IEEE CRC32 taken over type+payload. Attribute
+// range lists are uvarint-counted name/lo/hi triples. A frame that fails
+// its CRC — or carries an implausible length — is rejected with an error
+// wrapping ErrCorruptFrame (itself wrapping store.ErrCorrupt) and the
+// connection is closed: a byte stream that has lied once is never
+// resynchronized, the client's reconnect machinery starts over instead.
+//
+// # Slow consumers
+//
+// Every connection owns a bounded delivery queue; when a consumer reads
+// slower than its subscriptions match, the configured Policy decides:
+// DropOldest sheds the oldest queued delivery (the subscriber stays
+// current, with gaps in the past), DropNewest sheds the incoming one (the
+// backlog drains intact, the present is missed), Disconnect closes the
+// connection and lets the client's reconnect logic decide. All three are
+// at-most-once: a shed delivery is gone, never retried. Control frames
+// (request acks, pings, goodbyes) bypass the policy — they are bounded by
+// the request rate and dropping them would stall the peer rather than
+// shed load.
+//
+// # Liveness and drain
+//
+// Both sides ping when idle and answer pongs, feeding each other's read
+// deadlines; a peer silent past the read timeout is declared dead. Writes
+// carry deadlines so a stalled TCP window cannot wedge a writer. Server
+// connections run panic-isolated goroutines under a connection-count
+// limit whose slot is taken before accept — a full server exerts
+// backpressure in the listener backlog instead of admitting and starving
+// connections. Shutdown drains gracefully: stop accepting, flush each
+// bounded queue up to the drain deadline, say goodbye, close.
+package netbroker

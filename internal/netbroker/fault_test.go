@@ -1,0 +1,306 @@
+package netbroker
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"accluster/internal/faultio"
+	"accluster/internal/pubsub"
+)
+
+func fastClientOpts() ClientOptions {
+	return ClientOptions{RetryBase: 2 * time.Millisecond, RetryMax: 50 * time.Millisecond}
+}
+
+// TestServerKillMidStreamReconnectsAndResubscribes: an abrupt server death
+// mid-stream must cost the client nothing but a gap — after a restart it
+// has redialed with backoff and re-registered every standing subscription.
+func TestServerKillMidStreamReconnectsAndResubscribes(t *testing.T) {
+	b := newBroker(t)
+	ln := listen(t)
+	addr := ln.Addr().String()
+	s1, err := Serve(b, ln, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cl, err := Dial(ctx, addr, fastClientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	got := make(chan float64, 64)
+	handler := func(_ uint32, ev pubsub.Event) { got <- ev["serial"].Lo }
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Subscribe(ctx, pubsub.Subscription{}, handler); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := cl.Publish(ctx, serialEvent(1)); err != nil || n != 3 {
+		t.Fatalf("publish before kill: n=%d err=%v", n, err)
+	}
+	for i := 0; i < 3; i++ {
+		<-got
+	}
+
+	s1.Close() // abrupt: no drain, streams cut mid-conversation
+
+	// Restart on the same address; the client is already retrying.
+	var ln2 net.Listener
+	waitFor(t, "address to rebind", func() bool {
+		ln2, err = net.Listen("tcp", addr)
+		return err == nil
+	})
+	s2, _ := startServerOn(t, b, ln2, Options{})
+
+	waitFor(t, "client to resubscribe all standing subscriptions", func() bool {
+		return s2.Stats().Subscriptions == 3
+	})
+	if n, err := cl.Publish(ctx, serialEvent(2)); err != nil || n != 3 {
+		t.Fatalf("publish after restart: n=%d err=%v", n, err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case serial := <-got:
+			if serial != 2 {
+				t.Fatalf("post-restart delivery serial %g", serial)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("post-restart delivery never arrived")
+		}
+	}
+	if st := cl.Stats(); st.Reconnects < 1 || st.Subscriptions != 3 {
+		t.Fatalf("client stats: %+v", st)
+	}
+}
+
+// fakeServer scripts the server side of the protocol by hand so the test
+// controls exactly which (possibly damaged) frames the client receives.
+type fakeServer struct {
+	t  *testing.T
+	nc net.Conn
+	br *bufio.Reader
+}
+
+func acceptFake(t *testing.T, ln net.Listener) *fakeServer {
+	t.Helper()
+	nc, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	f := &fakeServer{t: t, nc: nc, br: bufio.NewReader(nc)}
+	if fr := f.read(); fr.typ != fHello {
+		t.Fatalf("expected hello, got frame type %d", fr.typ)
+	}
+	f.writeRaw(appendFrame(nil, fWelcome, appendSchema(helloPayload(), testSchema())))
+	return f
+}
+
+func (f *fakeServer) read() frame {
+	f.t.Helper()
+	for {
+		f.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		fr, _, err := readFrame(f.br, nil)
+		if err != nil {
+			f.t.Fatalf("fake server read: %v", err)
+		}
+		if fr.typ == fPing || fr.typ == fPong {
+			continue // client keepalive; irrelevant to the script
+		}
+		return fr
+	}
+}
+
+func (f *fakeServer) writeRaw(buf []byte) {
+	f.t.Helper()
+	f.nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := f.nc.Write(buf); err != nil {
+		f.t.Fatalf("fake server write: %v", err)
+	}
+}
+
+// ackSubscribe consumes one subscribe request and acks it, returning the
+// client's subscription id.
+func (f *fakeServer) ackSubscribe() uint32 {
+	f.t.Helper()
+	fr := f.read()
+	if fr.typ != fSubscribe {
+		f.t.Fatalf("expected subscribe, got frame type %d", fr.typ)
+	}
+	reqID, p, err := readU32(fr.payload)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	subID, _, err := readU32(p)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.writeRaw(appendFrame(nil, fOK, appendU64(appendU32(nil, reqID), 0)))
+	return subID
+}
+
+func eventFrame(subID uint32, serial float64) []byte {
+	p := appendU32(nil, subID)
+	p = appendRanges(p, map[string]pubsub.Range{"serial": {Lo: serial, Hi: serial}})
+	return appendFrame(nil, fEvent, p)
+}
+
+// TestClientRejectsCorruptDeliveryAndRecovers: a bit-flipped event frame
+// must never reach the handler — the client counts it, drops the
+// connection, reconnects and resubscribes the same standing subscription.
+func TestClientRejectsCorruptDeliveryAndRecovers(t *testing.T) {
+	ln := listen(t)
+	t.Cleanup(func() { ln.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	type dialed struct {
+		cl  *Client
+		err error
+	}
+	dialCh := make(chan dialed, 1)
+	go func() {
+		cl, err := Dial(ctx, ln.Addr().String(), fastClientOpts())
+		dialCh <- dialed{cl, err}
+	}()
+	srv1 := acceptFake(t, ln)
+	d := <-dialCh
+	if d.err != nil {
+		t.Fatal(d.err)
+	}
+	cl := d.cl
+	defer cl.Close()
+
+	got := make(chan float64, 16)
+	type subscribed struct {
+		id  uint32
+		err error
+	}
+	subCh := make(chan subscribed, 1)
+	go func() {
+		id, err := cl.Subscribe(ctx, pubsub.Subscription{"x": {Lo: 0, Hi: 50}}, func(_ uint32, ev pubsub.Event) {
+			got <- ev["serial"].Lo
+		})
+		subCh <- subscribed{id, err}
+	}()
+	subID := srv1.ackSubscribe()
+	sr := <-subCh
+	if sr.err != nil || sr.id != subID {
+		t.Fatalf("subscribe: id=%d (wire %d) err=%v", sr.id, subID, sr.err)
+	}
+
+	// Damage one payload bit of an otherwise valid delivery.
+	bad := eventFrame(subID, 42)
+	bad[len(bad)-6] ^= 0x04
+	srv1.writeRaw(bad)
+
+	// The client must reject it and redial; the fresh connection must
+	// resubscribe the same standing subscription id.
+	srv2 := acceptFake(t, ln)
+	if resubID := srv2.ackSubscribe(); resubID != subID {
+		t.Fatalf("resubscribed id %d, want %d", resubID, subID)
+	}
+	srv2.writeRaw(eventFrame(subID, 7))
+	select {
+	case serial := <-got:
+		if serial != 7 {
+			t.Fatalf("delivered serial %g, want 7 (corrupt 42 must never arrive)", serial)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("clean delivery never arrived")
+	}
+	if st := cl.Stats(); st.CorruptFrames != 1 || st.Reconnects != 1 || st.Delivered != 1 {
+		t.Fatalf("client stats: %+v", st)
+	}
+}
+
+// TestServerRejectsCorruptRequest: a request corrupted on the wire (one
+// seeded bit flip) is CRC-rejected, counted, never executed, and costs the
+// sender its connection — while the server keeps serving others.
+func TestServerRejectsCorruptRequest(t *testing.T) {
+	b := newBroker(t)
+	s, addr := startServerOn(t, b, listen(t), Options{})
+
+	sched := faultio.NewNetSchedule(3)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := rawDialConn(t, faultio.WrapConn(nc, sched))
+
+	sched.At(1, faultio.NetCorrupt) // next countable op: the publish write
+	p := appendU32(nil, 2)
+	p = appendRanges(p, map[string]pubsub.Range(serialEvent(1)))
+	raw.write(fPublish, p)
+
+	waitFor(t, "server to count the corrupt frame", func() bool {
+		return s.Stats().CorruptFrames == 1
+	})
+	// The publish must not have executed.
+	if ev := b.Stats().Events; ev != 0 {
+		t.Fatalf("corrupt publish executed: broker saw %d events", ev)
+	}
+	// The connection dies (possibly after a best-effort error frame).
+	for i := 0; ; i++ {
+		f, err := raw.tryRead(2 * time.Second)
+		if err != nil {
+			break
+		}
+		if f.typ != fErr {
+			t.Fatalf("unexpected frame type %d on dying connection", f.typ)
+		}
+		if i > 2 {
+			t.Fatal("connection not closed after corrupt frame")
+		}
+	}
+	// The server still serves fresh connections.
+	if n := rawDial(t, addr).publish(serialEvent(2)); n != 0 {
+		t.Fatalf("post-corruption publish matched %d", n)
+	}
+	if ev := b.Stats().Events; ev != 1 {
+		t.Fatalf("clean publish not executed: broker saw %d events", ev)
+	}
+}
+
+// TestTornFrameDropsConnCleanly: a write torn mid-frame (seeded prefix,
+// then reset) must not execute the request, wedge the server, or be
+// mistaken for a valid frame.
+func TestTornFrameDropsConnCleanly(t *testing.T) {
+	b := newBroker(t)
+	s, addr := startServerOn(t, b, listen(t), Options{})
+
+	sched := faultio.NewNetSchedule(5)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := faultio.WrapConn(nc, sched)
+	raw := rawDialConn(t, fc)
+
+	sched.At(1, faultio.NetPartial)
+	p := appendU32(nil, 2)
+	p = appendRanges(p, map[string]pubsub.Range(serialEvent(1)))
+	_, werr := fc.Write(appendFrame(nil, fPublish, p))
+	if !errors.Is(werr, faultio.ErrInjected) {
+		t.Fatalf("torn write error = %v, want ErrInjected", werr)
+	}
+
+	waitFor(t, "server to retire the torn connection", func() bool {
+		return s.Stats().ActiveConns == 0
+	})
+	if ev := b.Stats().Events; ev != 0 {
+		t.Fatalf("torn publish executed: broker saw %d events", ev)
+	}
+	if n := rawDial(t, addr).publish(serialEvent(2)); n != 0 {
+		t.Fatalf("post-tear publish matched %d", n)
+	}
+	_ = raw
+}

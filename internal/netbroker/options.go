@@ -1,0 +1,180 @@
+package netbroker
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Options tune a Server. The zero value selects every default; explicitly
+// invalid values are rejected at Serve time, per the option-validation
+// convention: engine defaulting maps zero to "use the default", so a
+// nonsensical explicit value must fail loudly instead of being silently
+// replaced.
+type Options struct {
+	// QueueDepth bounds each connection's outgoing delivery queue
+	// (default 256 frames). When a consumer falls behind, Policy decides
+	// what the full queue does.
+	QueueDepth int
+	// Policy is the slow-consumer policy (default DropOldest).
+	Policy Policy
+	// HeartbeatInterval is how long a connection's writer may sit idle
+	// before it sends a ping (default 2s). Pings keep an otherwise idle
+	// peer's read deadline fed.
+	HeartbeatInterval time.Duration
+	// ReadTimeout is the dead-peer detection window: a connection that
+	// produces no frame (not even a pong) for this long is closed
+	// (default 30s). It must exceed HeartbeatInterval or every idle
+	// connection would be declared dead between its own heartbeats.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s); a consumer
+	// whose TCP window stays closed past it is treated as dead.
+	WriteTimeout time.Duration
+	// DrainDeadline bounds the graceful-shutdown flush: Shutdown stops
+	// accepting, lets every connection's queued deliveries flush for at
+	// most this long, then closes whatever remains (default 5s).
+	DrainDeadline time.Duration
+	// MaxConns caps concurrently served connections (default 1024).
+	// Further dials stay in the listener backlog — accept backpressure —
+	// until a slot frees.
+	MaxConns int
+}
+
+const (
+	defaultQueueDepth    = 256
+	defaultHeartbeat     = 2 * time.Second
+	defaultReadTimeout   = 30 * time.Second
+	defaultWriteTimeout  = 10 * time.Second
+	defaultDrainDeadline = 5 * time.Second
+	defaultMaxConns      = 1024
+)
+
+// withDefaults validates o and fills defaults.
+func (o Options) withDefaults() (Options, error) {
+	if o.QueueDepth < 0 {
+		return o, fmt.Errorf("netbroker: queue depth must be ≥ 0, got %d", o.QueueDepth)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = defaultQueueDepth
+	}
+	if !o.Policy.Valid() {
+		return o, fmt.Errorf("netbroker: invalid slow-consumer policy %d", o.Policy)
+	}
+	if o.HeartbeatInterval < 0 {
+		return o, fmt.Errorf("netbroker: heartbeat interval must be ≥ 0, got %v", o.HeartbeatInterval)
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = defaultHeartbeat
+	}
+	if o.ReadTimeout < 0 {
+		return o, fmt.Errorf("netbroker: read timeout must be ≥ 0, got %v", o.ReadTimeout)
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = defaultReadTimeout
+	}
+	if o.WriteTimeout < 0 {
+		return o, fmt.Errorf("netbroker: write timeout must be ≥ 0, got %v", o.WriteTimeout)
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = defaultWriteTimeout
+	}
+	if o.DrainDeadline < 0 {
+		return o, fmt.Errorf("netbroker: drain deadline must be ≥ 0, got %v", o.DrainDeadline)
+	}
+	if o.DrainDeadline == 0 {
+		o.DrainDeadline = defaultDrainDeadline
+	}
+	if o.MaxConns < 0 {
+		return o, fmt.Errorf("netbroker: max connections must be ≥ 0, got %d", o.MaxConns)
+	}
+	if o.MaxConns == 0 {
+		o.MaxConns = defaultMaxConns
+	}
+	if o.ReadTimeout <= o.HeartbeatInterval {
+		return o, fmt.Errorf("netbroker: read timeout %v must exceed heartbeat interval %v (idle peers ping once per interval)",
+			o.ReadTimeout, o.HeartbeatInterval)
+	}
+	return o, nil
+}
+
+// ClientOptions tune a Client. The zero value selects every default.
+type ClientOptions struct {
+	// DialTimeout bounds one TCP connect attempt (default 5s); Dial as a
+	// whole retries under its context.
+	DialTimeout time.Duration
+	// ReadTimeout is the client's dead-peer window (default 30s); the
+	// server's heartbeats feed it on idle connections.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s).
+	WriteTimeout time.Duration
+	// HeartbeatInterval is the client's own keepalive cadence (default
+	// 2s): it pings the server whenever the connection has been idle
+	// this long, feeding the server's read deadline even while a stream
+	// of deliveries flows only server→client.
+	HeartbeatInterval time.Duration
+	// RetryBase and RetryMax shape the reconnect/redial backoff: delays
+	// double from RetryBase up to RetryMax, each with full jitter
+	// (defaults 50ms and 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed drives the backoff jitter (default 1); fixed so fault
+	// schedules replay deterministically in tests.
+	Seed int64
+	// Dialer overrides the TCP dial, e.g. to interpose a fault-injecting
+	// faultio.NetConn. nil uses net.Dialer with DialTimeout.
+	Dialer func(addr string) (net.Conn, error)
+}
+
+const (
+	defaultDialTimeout = 5 * time.Second
+	defaultRetryBase   = 50 * time.Millisecond
+	defaultRetryMax    = 5 * time.Second
+)
+
+// withDefaults validates o and fills defaults.
+func (o ClientOptions) withDefaults() (ClientOptions, error) {
+	if o.DialTimeout < 0 {
+		return o, fmt.Errorf("netbroker: dial timeout must be ≥ 0, got %v", o.DialTimeout)
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = defaultDialTimeout
+	}
+	if o.ReadTimeout < 0 {
+		return o, fmt.Errorf("netbroker: read timeout must be ≥ 0, got %v", o.ReadTimeout)
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = defaultReadTimeout
+	}
+	if o.WriteTimeout < 0 {
+		return o, fmt.Errorf("netbroker: write timeout must be ≥ 0, got %v", o.WriteTimeout)
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = defaultWriteTimeout
+	}
+	if o.HeartbeatInterval < 0 {
+		return o, fmt.Errorf("netbroker: heartbeat interval must be ≥ 0, got %v", o.HeartbeatInterval)
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = defaultHeartbeat
+	}
+	if o.RetryBase < 0 || o.RetryMax < 0 {
+		return o, fmt.Errorf("netbroker: retry backoff must be ≥ 0, got base %v max %v", o.RetryBase, o.RetryMax)
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = defaultRetryBase
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = defaultRetryMax
+	}
+	if o.RetryMax < o.RetryBase {
+		return o, fmt.Errorf("netbroker: retry max %v below retry base %v", o.RetryMax, o.RetryBase)
+	}
+	if o.ReadTimeout <= o.HeartbeatInterval {
+		return o, fmt.Errorf("netbroker: read timeout %v must exceed heartbeat interval %v",
+			o.ReadTimeout, o.HeartbeatInterval)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o, nil
+}

@@ -1,0 +1,108 @@
+package netbroker
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOptionValidation pins the option-layer convention: invalid explicit
+// values are rejected loudly, zero values select defaults.
+func TestOptionValidation(t *testing.T) {
+	serverCases := []struct {
+		name string
+		opts Options
+		want string // substring of the error; "" = must validate
+	}{
+		{"defaults", Options{}, ""},
+		{"full", Options{QueueDepth: 8, Policy: Disconnect, HeartbeatInterval: time.Second,
+			ReadTimeout: 10 * time.Second, WriteTimeout: time.Second,
+			DrainDeadline: time.Second, MaxConns: 2}, ""},
+		{"negative queue depth", Options{QueueDepth: -1}, "queue depth"},
+		{"invalid policy", Options{Policy: Policy(9)}, "policy"},
+		{"negative heartbeat", Options{HeartbeatInterval: -time.Second}, "heartbeat"},
+		{"negative read timeout", Options{ReadTimeout: -1}, "read timeout"},
+		{"negative write timeout", Options{WriteTimeout: -1}, "write timeout"},
+		{"negative drain deadline", Options{DrainDeadline: -1}, "drain deadline"},
+		{"negative max conns", Options{MaxConns: -1}, "max connections"},
+		{"read timeout below heartbeat", Options{HeartbeatInterval: time.Minute}, "must exceed heartbeat"},
+	}
+	for _, tc := range serverCases {
+		t.Run("server/"+tc.name, func(t *testing.T) {
+			got, err := tc.opts.withDefaults()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if got.QueueDepth <= 0 || got.HeartbeatInterval <= 0 || got.ReadTimeout <= 0 ||
+					got.WriteTimeout <= 0 || got.DrainDeadline <= 0 || got.MaxConns <= 0 {
+					t.Fatalf("defaults not filled: %+v", got)
+				}
+				return
+			}
+			//acvet:ignore corrupterr asserts which option the validation message names, not an integrity classification
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	clientCases := []struct {
+		name string
+		opts ClientOptions
+		want string
+	}{
+		{"defaults", ClientOptions{}, ""},
+		{"negative dial timeout", ClientOptions{DialTimeout: -1}, "dial timeout"},
+		{"negative read timeout", ClientOptions{ReadTimeout: -1}, "read timeout"},
+		{"negative write timeout", ClientOptions{WriteTimeout: -1}, "write timeout"},
+		{"negative heartbeat", ClientOptions{HeartbeatInterval: -1}, "heartbeat"},
+		{"negative retry base", ClientOptions{RetryBase: -1}, "retry backoff"},
+		{"retry max below base", ClientOptions{RetryBase: time.Second, RetryMax: time.Millisecond}, "below retry base"},
+		{"read timeout below heartbeat", ClientOptions{HeartbeatInterval: time.Minute}, "must exceed heartbeat"},
+	}
+	for _, tc := range clientCases {
+		t.Run("client/"+tc.name, func(t *testing.T) {
+			got, err := tc.opts.withDefaults()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if got.DialTimeout <= 0 || got.RetryBase <= 0 || got.RetryMax <= 0 || got.Seed == 0 {
+					t.Fatalf("defaults not filled: %+v", got)
+				}
+				return
+			}
+			//acvet:ignore corrupterr asserts which option the validation message names, not an integrity classification
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"dropoldest", DropOldest, true},
+		{"drop-oldest", DropOldest, true},
+		{"DropNewest", DropNewest, true},
+		{"disconnect", Disconnect, true},
+		{"block", 0, false},
+		{"", 0, false},
+	} {
+		got, err := ParsePolicy(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	for _, p := range []Policy{DropOldest, DropNewest, Disconnect} {
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("String/Parse round trip of %v: %v, %v", p, back, err)
+		}
+	}
+}

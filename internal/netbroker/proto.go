@@ -1,0 +1,252 @@
+package netbroker
+
+// Wire protocol. Every message is one frame, little endian, in the
+// store-format style:
+//
+//	length  uint32  // bytes that follow, excluding the trailing CRC
+//	type    uint8
+//	payload []byte
+//	crc     uint32  // IEEE CRC32 over type+payload
+//
+// A frame whose CRC does not validate — or whose length is implausible —
+// is an integrity failure: the reader rejects it with an error wrapping
+// ErrCorruptFrame (which itself wraps store.ErrCorrupt, so errors.Is
+// classifies wire corruption and checkpoint corruption uniformly) and the
+// connection is closed. A protocol peer never attempts to resynchronize
+// inside a byte stream that has lied once.
+//
+// Attribute range lists (subscriptions and events) are encoded as a uvarint
+// entry count followed by, per entry: uvarint name length, name bytes, and
+// lo/hi float64 bits. Request frames carry a uint32 request id echoed by
+// the matching ok/error response, so one connection multiplexes concurrent
+// requests with in-flight event deliveries.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"accluster/internal/pubsub"
+	"accluster/internal/store"
+)
+
+// Frame types.
+const (
+	// fHello (client→server) opens a connection: protoMagic, protoVersion.
+	fHello = uint8(iota + 1)
+	// fWelcome (server→client) answers fHello with protoMagic,
+	// protoVersion and the broker's attribute schema.
+	fWelcome
+	// fSubscribe (client→server): reqID, clientSubID, ranges. Idempotent
+	// per clientSubID — resubscribing an id already registered on this
+	// connection is acknowledged without a second registration.
+	fSubscribe
+	// fUnsubscribe (client→server): reqID, clientSubID.
+	fUnsubscribe
+	// fPublish (client→server): reqID, ranges.
+	fPublish
+	// fOK (server→client): reqID, value (match count for fPublish,
+	// 1/0 existed for fUnsubscribe, 0 for fSubscribe).
+	fOK
+	// fErr (server→client): reqID (0 = connection-level), message.
+	fErr
+	// fEvent (server→client): clientSubID, ranges — one matched delivery.
+	fEvent
+	// fPing / fPong keep deadlines fed in both directions.
+	fPing
+	fPong
+	// fGoodbye (server→client): message; the server is closing this
+	// connection deliberately (drain or slow-consumer disconnect).
+	fGoodbye
+)
+
+const (
+	protoMagic   = 0x41434E42 // "ACNB"
+	protoVersion = 1
+	// maxFrame bounds a frame's post-length bytes; a length beyond it is
+	// corruption (or a hostile peer), not a real message.
+	maxFrame = 1 << 20
+	// frameOverhead is the fixed framing cost: length + type + crc.
+	frameOverhead = 4 + 1 + 4
+)
+
+// ErrCorruptFrame is the sentinel matched by errors.Is for every wire
+// integrity failure: a CRC mismatch, an implausible length, a malformed
+// payload. It wraps store.ErrCorrupt so corruption classifies uniformly
+// across the wire and the device formats.
+var ErrCorruptFrame = fmt.Errorf("netbroker: corrupt frame: %w", store.ErrCorrupt)
+
+// corruptf builds a frame-integrity error wrapping ErrCorruptFrame.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorruptFrame)...)
+}
+
+// frame is one decoded message.
+type frame struct {
+	typ     uint8
+	payload []byte
+}
+
+// appendFrame encodes f into dst.
+func appendFrame(dst []byte, typ uint8, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+len(payload)))
+	start := len(dst)
+	dst = append(dst, typ)
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// readFrame decodes the next frame from r. Integrity failures wrap
+// ErrCorruptFrame; a clean EOF at a frame boundary returns io.EOF.
+func readFrame(r *bufio.Reader, buf []byte) (frame, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, buf, err // io.EOF at boundary; ErrUnexpectedEOF mid-header
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return frame{}, buf, corruptf("netbroker: frame length %d out of range", n)
+	}
+	need := int(n) + 4 // body + crc
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, buf, err
+	}
+	body, sum := buf[:n], binary.LittleEndian.Uint32(buf[n:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return frame{}, buf, corruptf("netbroker: frame crc mismatch (type %d, %d bytes)", body[0], n)
+	}
+	return frame{typ: body[0], payload: body[1:]}, buf, nil
+}
+
+// appendRanges encodes an attribute→range map.
+func appendRanges(dst []byte, m map[string]pubsub.Range) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m)))
+	for name, rg := range m {
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rg.Lo))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rg.Hi))
+	}
+	return dst
+}
+
+// decodeRanges decodes an attribute→range map, returning the remaining
+// bytes. Malformed payloads wrap ErrCorruptFrame.
+func decodeRanges(p []byte) (map[string]pubsub.Range, []byte, error) {
+	count, p, err := readUvarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if count > maxFrame/17 { // name byte + 16 range bytes minimum
+		return nil, nil, corruptf("netbroker: range count %d implausible", count)
+	}
+	m := make(map[string]pubsub.Range, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, rest, err := readUvarint(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		p = rest
+		if uint64(len(p)) < nameLen+16 {
+			return nil, nil, corruptf("netbroker: truncated range entry")
+		}
+		name := string(p[:nameLen])
+		p = p[nameLen:]
+		lo := math.Float64frombits(binary.LittleEndian.Uint64(p))
+		hi := math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+		p = p[16:]
+		m[name] = pubsub.Range{Lo: lo, Hi: hi}
+	}
+	return m, p, nil
+}
+
+// appendSchema encodes the broker's attribute schema for fWelcome.
+func appendSchema(dst []byte, s pubsub.Schema) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	for _, a := range s {
+		dst = binary.AppendUvarint(dst, uint64(len(a.Name)))
+		dst = append(dst, a.Name...)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.Min))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.Max))
+	}
+	return dst
+}
+
+// decodeSchema decodes an fWelcome schema.
+func decodeSchema(p []byte) (pubsub.Schema, error) {
+	count, p, err := readUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if count > maxFrame/17 {
+		return nil, corruptf("netbroker: schema attribute count %d implausible", count)
+	}
+	s := make(pubsub.Schema, 0, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, rest, err := readUvarint(p)
+		if err != nil {
+			return nil, err
+		}
+		p = rest
+		if uint64(len(p)) < nameLen+16 {
+			return nil, corruptf("netbroker: truncated schema attribute")
+		}
+		a := pubsub.Attribute{Name: string(p[:nameLen])}
+		p = p[nameLen:]
+		a.Min = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		a.Max = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+		p = p[16:]
+		s = append(s, a)
+	}
+	return s, nil
+}
+
+// readUvarint consumes a uvarint, classifying malformed input as frame
+// corruption.
+func readUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, corruptf("netbroker: malformed uvarint")
+	}
+	return v, p[n:], nil
+}
+
+// readU32 consumes a fixed uint32.
+func readU32(p []byte) (uint32, []byte, error) {
+	if len(p) < 4 {
+		return 0, nil, corruptf("netbroker: truncated uint32")
+	}
+	return binary.LittleEndian.Uint32(p), p[4:], nil
+}
+
+// helloPayload builds the fHello payload.
+func helloPayload() []byte {
+	p := binary.LittleEndian.AppendUint32(nil, protoMagic)
+	return append(p, protoVersion)
+}
+
+// checkHello validates an fHello payload.
+func checkHello(p []byte) error {
+	magic, p, err := readU32(p)
+	if err != nil {
+		return err
+	}
+	if magic != protoMagic {
+		return corruptf("netbroker: bad protocol magic %#x", magic)
+	}
+	if len(p) < 1 {
+		return corruptf("netbroker: truncated hello")
+	}
+	if p[0] != protoVersion {
+		return fmt.Errorf("netbroker: protocol version %d not supported (want %d)", p[0], protoVersion)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package netbroker
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"accluster/internal/pubsub"
+	"accluster/internal/store"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("some payload bytes")
+	buf := appendFrame(nil, fPublish, payload)
+	f, _, err := readFrame(bufio.NewReader(bytes.NewReader(buf)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.typ != fPublish || !bytes.Equal(f.payload, payload) {
+		t.Fatalf("round trip: type %d payload %q", f.typ, f.payload)
+	}
+}
+
+func TestFrameEveryBitFlipRejected(t *testing.T) {
+	// Any single-bit flip anywhere in the frame must be rejected (CRC or
+	// length/type checks), never silently decoded into a different frame.
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	good := appendFrame(nil, fEvent, payload)
+	for byteIx := 0; byteIx < len(good); byteIx++ {
+		for bit := 0; bit < 8; bit++ {
+			bad := bytes.Clone(good)
+			bad[byteIx] ^= 1 << bit
+			f, _, err := readFrame(bufio.NewReader(bytes.NewReader(bad)), nil)
+			if err == nil && f.typ == fEvent && bytes.Equal(f.payload, payload) {
+				t.Fatalf("flip byte %d bit %d: decoded unchanged", byteIx, bit)
+			}
+		}
+	}
+}
+
+func TestFrameCRCMismatchWrapsSentinel(t *testing.T) {
+	buf := appendFrame(nil, fEvent, []byte("payload"))
+	buf[7] ^= 0x10 // damage the payload, leave length intact
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(buf)), nil)
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("err = %v, want ErrCorruptFrame", err)
+	}
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("err = %v, want store.ErrCorrupt in the chain", err)
+	}
+}
+
+func TestFrameImplausibleLengthRejected(t *testing.T) {
+	buf := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(buf)), nil)
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestRangesRoundTrip(t *testing.T) {
+	in := map[string]pubsub.Range{
+		"price": {Lo: 400, Hi: 700},
+		"rooms": {Lo: 3, Hi: 5},
+		"x":     {Lo: -math.MaxFloat64, Hi: math.Inf(1)},
+		"":      {Lo: 0, Hi: 0},
+	}
+	buf := appendRanges(nil, in)
+	out, rest, err := decodeRanges(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries, want %d", len(out), len(in))
+	}
+	for k, v := range in {
+		if out[k] != v {
+			t.Fatalf("entry %q = %v, want %v", k, out[k], v)
+		}
+	}
+}
+
+func TestDecodeRangesTruncationRejected(t *testing.T) {
+	buf := appendRanges(nil, map[string]pubsub.Range{"price": {Lo: 1, Hi: 2}})
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := decodeRanges(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes decoded cleanly", cut)
+		} else if !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("truncation at %d: err = %v, want ErrCorruptFrame", cut, err)
+		}
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	in := pubsub.Schema{
+		{Name: "dist", Min: 0, Max: 100},
+		{Name: "price", Min: -5, Max: 5000},
+	}
+	out, err := decodeSchema(appendSchema(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d attrs, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("attr %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestCheckHello(t *testing.T) {
+	if err := checkHello(helloPayload()); err != nil {
+		t.Fatalf("valid hello rejected: %v", err)
+	}
+	bad := helloPayload()
+	bad[0] ^= 1
+	if err := checkHello(bad); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("bad magic: err = %v, want ErrCorruptFrame", err)
+	}
+	vbad := helloPayload()
+	vbad[4] = 99
+	if err := checkHello(vbad); err == nil {
+		t.Fatal("future protocol version accepted")
+	}
+}
+
+func FuzzDecodeRanges(f *testing.F) {
+	f.Add(appendRanges(nil, map[string]pubsub.Range{"a": {Lo: 1, Hi: 2}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; on success, a re-encode must decode equal.
+		m, _, err := decodeRanges(data)
+		if err != nil {
+			return
+		}
+		again, _, err := decodeRanges(appendRanges(nil, m))
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if len(again) != len(m) {
+			t.Fatalf("re-encode changed entry count: %d vs %d", len(again), len(m))
+		}
+	})
+}

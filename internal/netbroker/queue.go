@@ -1,0 +1,199 @@
+package netbroker
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Policy decides what happens when a subscriber's bounded send queue is
+// full: the connection is consuming slower than its subscriptions match.
+type Policy uint8
+
+const (
+	// DropOldest evicts the oldest queued delivery to make room for the
+	// new one: the subscriber keeps up with the present at the cost of a
+	// gap in the past. Per-subscriber order is preserved among the
+	// deliveries that do arrive.
+	DropOldest Policy = iota
+	// DropNewest discards the incoming delivery: the subscriber drains
+	// its backlog intact and misses what happened while it was behind.
+	DropNewest
+	// Disconnect closes the connection abruptly: no further delivery is
+	// shed one by one — the client's reconnect logic re-establishes its
+	// standing subscriptions, and everything queued at the disconnect is
+	// lost (a goodbye could not be flushed through the very queue that
+	// is full).
+	Disconnect
+)
+
+// String names the policy in the spelling ParsePolicy accepts.
+func (p Policy) String() string {
+	switch p {
+	case DropOldest:
+		return "dropoldest"
+	case DropNewest:
+		return "dropnewest"
+	case Disconnect:
+		return "disconnect"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Valid reports whether p names a defined policy.
+func (p Policy) Valid() bool { return p <= Disconnect }
+
+// ParsePolicy converts a flag spelling into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "dropoldest", "drop-oldest":
+		return DropOldest, nil
+	case "dropnewest", "drop-newest":
+		return DropNewest, nil
+	case "disconnect":
+		return Disconnect, nil
+	}
+	return 0, fmt.Errorf("netbroker: unknown slow-consumer policy %q (want dropoldest, dropnewest or disconnect)", s)
+}
+
+// sendq is one connection's outgoing frame queue, in two planes: delivery
+// frames fill a bounded ring governed by the slow-consumer policy, while
+// control frames (responses, pings, goodbyes) ride a small priority FIFO
+// that always enqueues — they are bounded by the request rate the reader
+// processes one at a time, dropping them would stall the peer's
+// request/response machinery rather than shed load, and shedding policy
+// must never evict them. pop serves control frames first.
+type sendq struct {
+	mu     sync.Mutex
+	ctrl   []frame // priority FIFO
+	ev     []frame // bounded delivery ring of exactly the configured depth
+	head   int
+	n      int
+	policy Policy
+	closed bool
+
+	droppedOldest int64
+	droppedNewest int64
+	maxDepth      int
+
+	// sig wakes the writer; 1-buffered so a push never blocks on it.
+	sig chan struct{}
+}
+
+func newSendq(capacity int, policy Policy) *sendq {
+	return &sendq{ev: make([]frame, capacity), policy: policy, sig: make(chan struct{}, 1)}
+}
+
+// pushResult tells the publisher what the queue did with a delivery.
+type pushResult uint8
+
+const (
+	pushQueued pushResult = iota
+	pushDroppedOldest
+	pushDroppedNewest
+	pushDisconnect
+	pushClosed
+)
+
+// pushEvent enqueues a delivery frame, applying the slow-consumer policy
+// when the ring is full. Never blocks.
+func (q *sendq) pushEvent(f frame) pushResult {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return pushClosed
+	}
+	res := pushQueued
+	if q.n == len(q.ev) {
+		switch q.policy {
+		case DropOldest:
+			q.head = (q.head + 1) % len(q.ev)
+			q.n--
+			q.droppedOldest++
+			res = pushDroppedOldest
+		case DropNewest:
+			q.droppedNewest++
+			q.mu.Unlock()
+			return pushDroppedNewest
+		default: // Disconnect
+			q.mu.Unlock()
+			return pushDisconnect
+		}
+	}
+	q.ev[(q.head+q.n)%len(q.ev)] = f
+	q.n++
+	if d := q.n + len(q.ctrl); d > q.maxDepth {
+		q.maxDepth = d
+	}
+	q.mu.Unlock()
+	q.wake()
+	return res
+}
+
+// pushControl enqueues a control frame on the priority plane. Returns
+// false if the queue is closed.
+func (q *sendq) pushControl(f frame) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.ctrl = append(q.ctrl, f)
+	if d := q.n + len(q.ctrl); d > q.maxDepth {
+		q.maxDepth = d
+	}
+	q.mu.Unlock()
+	q.wake()
+	return true
+}
+
+func (q *sendq) wake() {
+	select {
+	case q.sig <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes the next frame — control plane first; ok is false when both
+// planes are empty.
+func (q *sendq) pop() (f frame, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.ctrl) > 0 {
+		f = q.ctrl[0]
+		q.ctrl[0] = frame{}
+		q.ctrl = q.ctrl[1:]
+		return f, true
+	}
+	if q.n == 0 {
+		return frame{}, false
+	}
+	f = q.ev[q.head]
+	q.ev[q.head] = frame{}
+	q.head = (q.head + 1) % len(q.ev)
+	q.n--
+	return f, true
+}
+
+// close marks the queue closed: pushes fail from now on; queued frames
+// remain poppable (the drain path flushes them).
+func (q *sendq) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.wake()
+}
+
+// depth returns the current occupancy across both planes.
+func (q *sendq) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n + len(q.ctrl)
+}
+
+// stats snapshots the drop counters and high-water mark.
+func (q *sendq) stats() (droppedOldest, droppedNewest int64, maxDepth int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.droppedOldest, q.droppedNewest, q.maxDepth
+}

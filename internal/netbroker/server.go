@@ -1,0 +1,603 @@
+package netbroker
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accluster/internal/pubsub"
+	"accluster/internal/telemetry"
+)
+
+// Server streams a pubsub.Broker over a network listener. Each connection
+// gets a bounded delivery queue with the configured slow-consumer policy,
+// heartbeat/deadline dead-peer detection and panic-isolated goroutines;
+// Shutdown drains gracefully. Construct with Serve.
+type Server struct {
+	b    *pubsub.Broker
+	opts Options
+	ln   net.Listener
+
+	mu      sync.Mutex
+	conns   map[*srvConn]struct{}
+	closed  bool
+	slots   chan struct{} // MaxConns semaphore: acquired before Accept
+	acceptD sync.WaitGroup
+	connWG  sync.WaitGroup
+
+	totalConns    atomic.Int64
+	delivered     atomic.Int64
+	slowKills     atomic.Int64
+	corruptFrames atomic.Int64
+	deadPeers     atomic.Int64
+	panics        atomic.Int64
+	droppedOldest atomic.Int64 // aggregated from closed connections
+	droppedNewest atomic.Int64
+	maxQueueDepth atomic.Int64
+	drainNanos    atomic.Int64
+}
+
+// Serve starts serving broker b on ln. The caller owns b; the server owns
+// ln and every accepted connection — Shutdown or Close releases them. The
+// broker should use synchronous delivery (pubsub.Options.QueueDepth 0):
+// the per-connection queues here are the delivery buffers, and stacking
+// broker queues in front of them only adds latency and a second drop
+// point.
+func Serve(b *pubsub.Broker, ln net.Listener, opts Options) (*Server, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		b:     b,
+		opts:  o,
+		ln:    ln,
+		conns: make(map[*srvConn]struct{}),
+		slots: make(chan struct{}, o.MaxConns),
+	}
+	s.acceptD.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// acceptLoop admits connections under the MaxConns semaphore: the slot is
+// taken before Accept, so a full server stops accepting — dial attempts
+// queue in the listener backlog instead of being admitted and starved.
+func (s *Server) acceptLoop() {
+	defer s.acceptD.Done()
+	for {
+		s.slots <- struct{}{}
+		nc, err := s.ln.Accept()
+		if err != nil {
+			<-s.slots
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			// Transient accept failure (including injected faults):
+			// back off briefly and keep serving.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		c := &srvConn{
+			srv:  s,
+			nc:   nc,
+			q:    newSendq(s.opts.QueueDepth, s.opts.Policy),
+			subs: make(map[uint32]uint32),
+			stop: make(chan struct{}),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			<-s.slots
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		s.connWG.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, close every connection's
+// queue to new deliveries, flush what is queued until empty or the drain
+// deadline, send goodbyes, close. It returns how long the flush took.
+func (s *Server) Shutdown() time.Duration {
+	start := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.connWG.Wait()
+		return time.Duration(s.drainNanos.Load())
+	}
+	s.closed = true
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+
+	deadline := start.Add(s.opts.DrainDeadline)
+	for _, c := range conns {
+		c.beginDrain(deadline)
+	}
+	// Backstop: a consumer whose TCP window never reopens blocks its
+	// writer in a send until the write timeout; kill whatever is still
+	// alive shortly after the deadline so the drain bound holds.
+	backstop := time.AfterFunc(time.Until(deadline)+100*time.Millisecond, func() {
+		for _, c := range conns {
+			c.kill()
+		}
+	})
+	defer backstop.Stop()
+	s.acceptD.Wait()
+	s.connWG.Wait()
+	d := time.Since(start)
+	s.drainNanos.Store(int64(d))
+	return d
+}
+
+// Close shuts the server down immediately: no drain, queued deliveries are
+// discarded.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.connWG.Wait()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.kill()
+	}
+	s.acceptD.Wait()
+	s.connWG.Wait()
+	return nil
+}
+
+// removeConn retires a finished connection and releases its accept slot.
+func (s *Server) removeConn(c *srvConn) {
+	s.mu.Lock()
+	_, live := s.conns[c]
+	delete(s.conns, c)
+	s.mu.Unlock()
+	if live {
+		dOld, dNew, maxD := c.q.stats()
+		s.droppedOldest.Add(dOld)
+		s.droppedNewest.Add(dNew)
+		s.bumpMaxDepth(int64(maxD))
+		<-s.slots
+	}
+}
+
+func (s *Server) bumpMaxDepth(d int64) {
+	for {
+		cur := s.maxQueueDepth.Load()
+		if d <= cur || s.maxQueueDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// ServerStats snapshots server activity.
+type ServerStats struct {
+	// ActiveConns is the number of currently served connections;
+	// TotalConns counts every connection ever accepted.
+	ActiveConns, TotalConns int64
+	// Subscriptions is the number of standing subscriptions across all
+	// connections (the broker's live count includes local subscribers
+	// too; this counts only network-registered ones).
+	Subscriptions int64
+	// Delivered counts event frames queued for delivery; DroppedOldest
+	// and DroppedNewest count deliveries shed by the respective
+	// policies, and SlowDisconnects counts connections closed by the
+	// Disconnect policy.
+	Delivered, DroppedOldest, DroppedNewest, SlowDisconnects int64
+	// CorruptFrames counts frames rejected for CRC/length integrity;
+	// each one also closed its connection. DeadPeers counts connections
+	// closed by read-deadline expiry; Panics counts connection
+	// goroutines recovered from a panic.
+	CorruptFrames, DeadPeers, Panics int64
+	// QueueDepth sums current per-connection queue occupancy;
+	// MaxQueueDepth is the high-water mark any connection reached.
+	QueueDepth, MaxQueueDepth int64
+	// DrainMS is how long the last Shutdown flush took (0 before one).
+	DrainMS float64
+}
+
+// Stats returns a snapshot of server activity.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		TotalConns:      s.totalConns.Load(),
+		Delivered:       s.delivered.Load(),
+		DroppedOldest:   s.droppedOldest.Load(),
+		DroppedNewest:   s.droppedNewest.Load(),
+		SlowDisconnects: s.slowKills.Load(),
+		CorruptFrames:   s.corruptFrames.Load(),
+		DeadPeers:       s.deadPeers.Load(),
+		Panics:          s.panics.Load(),
+		DrainMS:         float64(s.drainNanos.Load()) / 1e6,
+	}
+	s.mu.Lock()
+	st.ActiveConns = int64(len(s.conns))
+	maxD := s.maxQueueDepth.Load()
+	for c := range s.conns {
+		st.QueueDepth += int64(c.q.depth())
+		dOld, dNew, m := c.q.stats()
+		st.DroppedOldest += dOld
+		st.DroppedNewest += dNew
+		if int64(m) > maxD {
+			maxD = int64(m)
+		}
+		c.subsMu.Lock()
+		st.Subscriptions += int64(len(c.subs))
+		c.subsMu.Unlock()
+	}
+	s.mu.Unlock()
+	st.MaxQueueDepth = maxD
+	return st
+}
+
+// TelemetrySource exposes server activity as a flight-recorder gauge
+// source; the drop counters mirror the pubsub broker's split-by-cause
+// convention, so the in-process and networked paths report identically.
+func (s *Server) TelemetrySource() telemetry.Source {
+	return telemetry.Source{
+		Name: "netbroker",
+		Cols: []string{"active_conns", "total_conns", "subscriptions",
+			"delivered", "dropped_oldest", "dropped_newest",
+			"slow_disconnects", "corrupt_frames", "dead_peers", "panics",
+			"queue_depth", "max_queue_depth", "drain_ms"},
+		Read: func(dst []int64) []int64 {
+			st := s.Stats()
+			return append(dst, st.ActiveConns, st.TotalConns, st.Subscriptions,
+				st.Delivered, st.DroppedOldest, st.DroppedNewest,
+				st.SlowDisconnects, st.CorruptFrames, st.DeadPeers, st.Panics,
+				st.QueueDepth, st.MaxQueueDepth, int64(st.DrainMS))
+		},
+	}
+}
+
+// srvConn is one served connection: a reader goroutine handling requests
+// and a writer goroutine flushing the bounded send queue.
+type srvConn struct {
+	srv *Server
+	nc  net.Conn
+	q   *sendq
+
+	subsMu sync.Mutex
+	subs   map[uint32]uint32 // client sub id → broker id
+
+	stop     chan struct{} // closed by kill
+	killOnce sync.Once
+	drainMu  sync.Mutex
+	drainAt  time.Time // non-zero once draining
+}
+
+// kill tears the connection down immediately (idempotent): queue closed,
+// socket closed, goroutines unblock, standing subscriptions removed.
+func (c *srvConn) kill() {
+	c.killOnce.Do(func() {
+		close(c.stop)
+		c.q.close()
+		c.nc.Close()
+		c.subsMu.Lock()
+		ids := make([]uint32, 0, len(c.subs))
+		for _, brokerID := range c.subs {
+			ids = append(ids, brokerID)
+		}
+		c.subs = make(map[uint32]uint32)
+		c.subsMu.Unlock()
+		for _, id := range ids {
+			c.srv.b.Unsubscribe(id)
+		}
+	})
+}
+
+// beginDrain switches the connection into drain mode: no new deliveries
+// enter the queue, and the writer flushes what is queued until empty or
+// the deadline, sends a goodbye, then kills the connection.
+func (c *srvConn) beginDrain(deadline time.Time) {
+	c.drainMu.Lock()
+	c.drainAt = deadline
+	c.drainMu.Unlock()
+	c.q.close() // stop new deliveries; queued frames stay poppable
+	c.q.wake()
+}
+
+func (c *srvConn) draining() (time.Time, bool) {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
+	return c.drainAt, !c.drainAt.IsZero()
+}
+
+// recoverPanic is the per-goroutine panic isolation: a handler or protocol
+// bug on one connection must not take the server down.
+func (c *srvConn) recoverPanic() {
+	if r := recover(); r != nil {
+		c.srv.panics.Add(1)
+		c.kill()
+	}
+}
+
+// readLoop handshakes, then serves requests until error or shutdown.
+func (c *srvConn) readLoop() {
+	defer c.srv.connWG.Done()
+	defer c.srv.removeConn(c)
+	defer c.kill()
+	defer c.recoverPanic()
+
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	var buf []byte
+	readFrameDeadline := func() (frame, error) {
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.opts.ReadTimeout))
+		f, b, err := readFrame(br, buf)
+		buf = b
+		return f, err
+	}
+
+	// Handshake: the first frame must be a valid hello.
+	f, err := readFrameDeadline()
+	if err != nil || f.typ != fHello {
+		c.classifyReadErr(err)
+		return
+	}
+	if err := checkHello(f.payload); err != nil {
+		c.classifyReadErr(err)
+		c.q.pushControl(frame{typ: fErr, payload: appendErrPayload(nil, 0, err.Error())})
+		return
+	}
+	c.q.pushControl(frame{typ: fWelcome, payload: appendSchema(helloPayload(), c.srv.b.Schema())})
+
+	for {
+		f, err := readFrameDeadline()
+		if err != nil {
+			c.classifyReadErr(err)
+			return
+		}
+		if err := c.handle(f); err != nil {
+			c.classifyReadErr(err)
+			return
+		}
+	}
+}
+
+// classifyReadErr counts why a connection's read side ended.
+func (c *srvConn) classifyReadErr(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrCorruptFrame):
+		c.srv.corruptFrames.Add(1)
+		// Best-effort: tell the peer before closing. The writer may
+		// already be gone; pushControl on a closed queue is a no-op.
+		c.q.pushControl(frame{typ: fErr, payload: appendErrPayload(nil, 0, err.Error())})
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			c.srv.deadPeers.Add(1)
+		}
+	}
+}
+
+// handle serves one request frame.
+func (c *srvConn) handle(f frame) error {
+	switch f.typ {
+	case fPing:
+		c.q.pushControl(frame{typ: fPong})
+		return nil
+	case fPong:
+		return nil // deadline already refreshed by the read itself
+	case fSubscribe:
+		reqID, p, err := readU32(f.payload)
+		if err != nil {
+			return err
+		}
+		subID, p, err := readU32(p)
+		if err != nil {
+			return err
+		}
+		ranges, _, err := decodeRanges(p)
+		if err != nil {
+			return err
+		}
+		c.subsMu.Lock()
+		_, exists := c.subs[subID]
+		c.subsMu.Unlock()
+		if exists {
+			// Idempotent resubscribe (a client retrying after a lost
+			// response): the standing registration already delivers.
+			c.reply(reqID, 0)
+			return nil
+		}
+		brokerID, err := c.srv.b.SubscribeFunc(pubsub.Subscription(ranges), c.deliver(subID))
+		if err != nil {
+			c.replyErr(reqID, err)
+			return nil
+		}
+		c.subsMu.Lock()
+		c.subs[subID] = brokerID
+		c.subsMu.Unlock()
+		select {
+		case <-c.stop:
+			// Raced with kill: the teardown may have missed this
+			// registration, remove it ourselves.
+			c.subsMu.Lock()
+			delete(c.subs, subID)
+			c.subsMu.Unlock()
+			c.srv.b.Unsubscribe(brokerID)
+		default:
+		}
+		c.reply(reqID, 0)
+		return nil
+	case fUnsubscribe:
+		reqID, p, err := readU32(f.payload)
+		if err != nil {
+			return err
+		}
+		subID, _, err := readU32(p)
+		if err != nil {
+			return err
+		}
+		c.subsMu.Lock()
+		brokerID, ok := c.subs[subID]
+		delete(c.subs, subID)
+		c.subsMu.Unlock()
+		existed := uint64(0)
+		if ok && c.srv.b.Unsubscribe(brokerID) {
+			existed = 1
+		}
+		c.reply(reqID, existed)
+		return nil
+	case fPublish:
+		reqID, p, err := readU32(f.payload)
+		if err != nil {
+			return err
+		}
+		ranges, _, err := decodeRanges(p)
+		if err != nil {
+			return err
+		}
+		n, err := c.srv.b.Publish(pubsub.Event(ranges))
+		if err != nil {
+			c.replyErr(reqID, err)
+			return nil
+		}
+		c.reply(reqID, uint64(n))
+		return nil
+	default:
+		return corruptf("netbroker: unexpected frame type %d", f.typ)
+	}
+}
+
+// deliver returns the pubsub handler fanning matches for clientSubID into
+// this connection's bounded queue under the slow-consumer policy.
+func (c *srvConn) deliver(clientSubID uint32) pubsub.Handler {
+	return func(_ uint32, ev pubsub.Event) {
+		payload := make([]byte, 0, 4+17*len(ev))
+		payload = appendU32(payload, clientSubID)
+		payload = appendRanges(payload, ev)
+		switch c.q.pushEvent(frame{typ: fEvent, payload: payload}) {
+		case pushQueued, pushDroppedOldest:
+			c.srv.delivered.Add(1)
+		case pushDisconnect:
+			c.srv.slowKills.Add(1)
+			// Abrupt teardown, no goodbye: the writer is wedged behind the
+			// very queue that is full, and only the writer may touch the
+			// socket (a direct write here would interleave frame bytes).
+			// Async because this handler runs inside Publish on another
+			// connection's reader goroutine.
+			go c.kill()
+		}
+	}
+}
+
+func (c *srvConn) reply(reqID uint32, value uint64) {
+	p := appendU32(nil, reqID)
+	p = appendU64(p, value)
+	c.q.pushControl(frame{typ: fOK, payload: p})
+}
+
+func (c *srvConn) replyErr(reqID uint32, err error) {
+	c.q.pushControl(frame{typ: fErr, payload: appendErrPayload(nil, reqID, err.Error())})
+}
+
+// writeLoop flushes the queue, pings on idle, and drains on shutdown.
+func (c *srvConn) writeLoop() {
+	defer c.srv.connWG.Done()
+	defer c.kill()
+	defer c.recoverPanic()
+
+	var out []byte
+	write := func(f frame) bool {
+		wd := time.Now().Add(c.srv.opts.WriteTimeout)
+		if dl, dr := c.draining(); dr && dl.Before(wd) {
+			wd = dl
+		}
+		c.nc.SetWriteDeadline(wd)
+		out = appendFrame(out[:0], f.typ, f.payload)
+		_, err := c.nc.Write(out)
+		return err == nil
+	}
+
+	idle := time.NewTimer(c.srv.opts.HeartbeatInterval)
+	defer idle.Stop()
+	for {
+		f, ok := c.q.pop()
+		if !ok {
+			if deadline, dr := c.draining(); dr {
+				// Queue flushed (or was empty): graceful goodbye.
+				if time.Now().Before(deadline) {
+					write(frame{typ: fGoodbye, payload: []byte("server draining")})
+				}
+				return
+			}
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(c.srv.opts.HeartbeatInterval)
+			select {
+			case <-c.q.sig:
+				continue
+			case <-idle.C:
+				if !write(frame{typ: fPing}) {
+					return
+				}
+			case <-c.stop:
+				return
+			}
+			continue
+		}
+		if deadline, dr := c.draining(); dr && !time.Now().Before(deadline) {
+			return // drain deadline passed with frames still queued
+		}
+		if !write(f) {
+			return
+		}
+	}
+}
+
+// appendU32/appendU64/appendErrPayload are small encoding helpers.
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	dst = appendU32(dst, uint32(v))
+	return appendU32(dst, uint32(v>>32))
+}
+
+func appendErrPayload(dst []byte, reqID uint32, msg string) []byte {
+	dst = appendU32(dst, reqID)
+	return append(dst, msg...)
+}
+
+// errText formats a server error payload back into an error.
+func errText(p []byte) (reqID uint32, err error) {
+	id, rest, derr := readU32(p)
+	if derr != nil {
+		return 0, derr
+	}
+	return id, fmt.Errorf("netbroker: server error: %s", rest)
+}

@@ -1,0 +1,231 @@
+package netbroker
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accluster/internal/faultio"
+	"accluster/internal/pubsub"
+)
+
+// TestSoakChurnFaultsRestart is the robustness soak: N clients holding
+// standing subscriptions and churning ephemeral ones, a publisher driving
+// monotonically increasing serials, a deterministic network fault schedule
+// (resets, bit flips, latency spikes) on the server side, and a full
+// server restart mid-run. Afterwards: zero goroutine leaks and — per
+// subscriber — deliveries in publish order (gaps allowed, disorder not).
+func TestSoakChurnFaultsRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	baseline := runtime.NumGoroutine()
+
+	schema := testSchema()
+	newB := func() *pubsub.Broker {
+		b, err := pubsub.NewBroker(schema, pubsub.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	sched := faultio.NewNetSchedule(42)
+	sched.SetMaxDelay(300 * time.Microsecond)
+	sched.Every(173, faultio.NetReset)
+	sched.Every(311, faultio.NetCorrupt)
+	sched.Every(41, faultio.NetDelay)
+
+	srvOpts := Options{QueueDepth: 256, HeartbeatInterval: 50 * time.Millisecond,
+		ReadTimeout: 2 * time.Second, WriteTimeout: time.Second, DrainDeadline: time.Second}
+	b := newB()
+	ln := listen(t)
+	addr := ln.Addr().String()
+	srv, err := Serve(b, faultio.WrapListener(ln, sched), srvOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srvMu sync.Mutex // guards srv/b across the restart
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	stop := make(chan struct{})
+
+	clOpts := fastClientOpts()
+	clOpts.HeartbeatInterval = 25 * time.Millisecond
+	clOpts.ReadTimeout = time.Second
+
+	const nClients = 4
+	type subState struct {
+		mu        sync.Mutex
+		last      float64
+		delivered int64
+		disorder  []string
+	}
+	states := make([]*subState, nClients)
+	var wg sync.WaitGroup
+	errCh := make(chan error, nClients+2)
+
+	for ci := 0; ci < nClients; ci++ {
+		st := &subState{last: -1}
+		states[ci] = st
+		wg.Add(1)
+		go func(ci int, st *subState) {
+			defer wg.Done()
+			opts := clOpts
+			opts.Seed = int64(ci + 1)
+			cl, err := Dial(ctx, addr, opts)
+			if err != nil {
+				errCh <- fmt.Errorf("client %d dial: %w", ci, err)
+				return
+			}
+			defer cl.Close()
+			// The standing subscription checks ordered delivery: serials
+			// may gap (drops, reconnects, restarts) but never go back.
+			_, err = cl.Subscribe(ctx, pubsub.Subscription{}, func(_ uint32, ev pubsub.Event) {
+				s := ev["serial"].Lo
+				st.mu.Lock()
+				if s < st.last {
+					st.disorder = append(st.disorder, fmt.Sprintf("%g after %g", s, st.last))
+				}
+				st.last = s
+				st.delivered++
+				st.mu.Unlock()
+			})
+			if err != nil {
+				errCh <- fmt.Errorf("client %d standing subscribe: %w", ci, err)
+				return
+			}
+			// Churn: ephemeral subscriptions on a range the publisher's
+			// point events never match (they leave x unbound).
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cctx, ccancel := context.WithTimeout(ctx, 2*time.Second)
+				id, err := cl.Subscribe(cctx, pubsub.Subscription{"x": {Lo: 10, Hi: 20}}, func(uint32, pubsub.Event) {})
+				if err == nil {
+					_, _ = cl.Unsubscribe(cctx, id)
+				}
+				ccancel()
+				if i%16 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(ci, st)
+	}
+
+	// Publisher: strictly increasing serials, synchronously, so every
+	// subscriber must observe a non-decreasing sequence (retries after a
+	// lost response may duplicate a serial, never reorder it).
+	var published atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		opts := clOpts
+		opts.Seed = 99
+		cl, err := Dial(ctx, addr, opts)
+		if err != nil {
+			errCh <- fmt.Errorf("publisher dial: %w", err)
+			return
+		}
+		defer cl.Close()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pctx, pcancel := context.WithTimeout(ctx, 2*time.Second)
+			_, err := cl.Publish(pctx, serialEvent(i))
+			pcancel()
+			if err == nil {
+				published.Add(1)
+			}
+		}
+	}()
+
+	// Restart the server mid-soak: abrupt close, rebind, fresh broker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(600 * time.Millisecond)
+		srvMu.Lock()
+		srv.Close()
+		b.Close()
+		var ln2 net.Listener
+		var err error
+		for i := 0; i < 500; i++ {
+			if ln2, err = net.Listen("tcp", addr); err == nil {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err != nil {
+			srvMu.Unlock()
+			errCh <- fmt.Errorf("rebind: %w", err)
+			return
+		}
+		b = newB()
+		srv, err = Serve(b, faultio.WrapListener(ln2, sched), srvOpts)
+		srvMu.Unlock()
+		if err != nil {
+			errCh <- fmt.Errorf("restart: %w", err)
+		}
+	}()
+
+	time.Sleep(1500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	srvMu.Lock()
+	st := srv.Stats()
+	srv.Close()
+	b.Close()
+	srvMu.Unlock()
+	cancel()
+
+	if published.Load() == 0 {
+		t.Fatal("publisher made no progress under faults")
+	}
+	var totalDelivered int64
+	for ci, s := range states {
+		s.mu.Lock()
+		totalDelivered += s.delivered
+		if len(s.disorder) > 0 {
+			t.Errorf("client %d out-of-order deliveries: %v", ci, s.disorder[:min(3, len(s.disorder))])
+		}
+		s.mu.Unlock()
+	}
+	if totalDelivered == 0 {
+		t.Fatal("no deliveries at all during the soak")
+	}
+	t.Logf("soak: published=%d delivered=%d netops=%d server=%+v",
+		published.Load(), totalDelivered, sched.Ops(), st)
+
+	// Leak check: everything closed, the goroutine count must settle back
+	// to the baseline (small slack for runtime housekeeping).
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			var sb strings.Builder
+			pprof.Lookup("goroutine").WriteTo(&sb, 1)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, sb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -135,7 +135,13 @@ type subscriber struct {
 	done      chan struct{} // closed when the deliverer drained out
 	closed    bool          // guarded by Broker.mu; q has been closed
 	delivered atomic.Int64
-	dropped   atomic.Int64
+	// Drops split by cause, matching the netbroker server's convention so
+	// the in-process and networked delivery paths report identically:
+	// droppedFull counts queue-overflow sheds, droppedClosed counts
+	// matches that arrived after the subscriber was stopped but before it
+	// was unregistered.
+	droppedFull   atomic.Int64
+	droppedClosed atomic.Int64
 }
 
 // run is the per-subscriber deliverer goroutine: it drains the queue in
@@ -387,6 +393,7 @@ func (b *Broker) Publish(ev Event) (int, error) {
 			continue
 		}
 		if s.closed {
+			s.droppedClosed.Add(1)
 			continue
 		}
 		// Non-blocking enqueue under b.mu: the lock orders us against
@@ -397,7 +404,7 @@ func (b *Broker) Publish(ev Event) (int, error) {
 				b.maxDepth.Store(d)
 			}
 		default:
-			s.dropped.Add(1)
+			s.droppedFull.Add(1)
 		}
 	}
 	b.mu.Unlock()
@@ -437,11 +444,14 @@ type Stats struct {
 	Subscriptions int
 	Events        int64
 	Matches       int64
-	// Delivered and Dropped total the per-subscriber delivery counters
-	// (handler invocations and queue-full drops). In synchronous mode
-	// Dropped is always 0.
-	Delivered int64
-	Dropped   int64
+	// Delivered totals the per-subscriber handler invocations. Dropped
+	// totals every shed delivery, split by cause: DroppedFull counts
+	// queue-overflow sheds, DroppedClosed counts matches that raced a
+	// subscriber's shutdown. In synchronous mode all three are always 0.
+	Delivered     int64
+	Dropped       int64
+	DroppedFull   int64
+	DroppedClosed int64
 	// Queued is the number of events currently waiting in subscriber
 	// queues; MaxQueueDepth is the high-water mark any single queue
 	// reached. Both are 0 in synchronous mode.
@@ -464,11 +474,13 @@ func (b *Broker) Stats() Stats {
 	}
 	for _, sub := range b.subs {
 		s.Delivered += sub.delivered.Load()
-		s.Dropped += sub.dropped.Load()
+		s.DroppedFull += sub.droppedFull.Load()
+		s.DroppedClosed += sub.droppedClosed.Load()
 		if sub.q != nil {
 			s.Queued += int64(len(sub.q))
 		}
 	}
+	s.Dropped = s.DroppedFull + s.DroppedClosed
 	return s
 }
 
@@ -477,9 +489,11 @@ func (b *Broker) Stats() Stats {
 type SubscriberStats struct {
 	// ID is the subscription identifier.
 	ID uint32
-	// Delivered counts handler invocations; Dropped counts events lost
-	// to a full queue.
-	Delivered, Dropped int64
+	// Delivered counts handler invocations; Dropped totals lost events,
+	// split into DroppedFull (queue overflow) and DroppedClosed (matched
+	// while the subscriber was shutting down).
+	Delivered, Dropped         int64
+	DroppedFull, DroppedClosed int64
 	// QueueLen is the current queue occupancy (0 in synchronous mode).
 	QueueLen int
 }
@@ -490,7 +504,9 @@ func (b *Broker) SubscriberStats() []SubscriberStats {
 	b.mu.Lock()
 	out := make([]SubscriberStats, 0, len(b.subs))
 	for _, s := range b.subs {
-		st := SubscriberStats{ID: s.id, Delivered: s.delivered.Load(), Dropped: s.dropped.Load()}
+		st := SubscriberStats{ID: s.id, Delivered: s.delivered.Load(),
+			DroppedFull: s.droppedFull.Load(), DroppedClosed: s.droppedClosed.Load()}
+		st.Dropped = st.DroppedFull + st.DroppedClosed
 		if s.q != nil {
 			st.QueueLen = len(s.q)
 		}
@@ -506,11 +522,12 @@ func (b *Broker) TelemetrySource() telemetry.Source {
 	return telemetry.Source{
 		Name: "pubsub",
 		Cols: []string{"subscriptions", "events", "matches", "delivered",
-			"dropped", "queued", "max_queue_depth", "clusters"},
+			"dropped_full", "dropped_closed", "queued", "max_queue_depth", "clusters"},
 		Read: func(dst []int64) []int64 {
 			s := b.Stats()
 			return append(dst, int64(s.Subscriptions), s.Events, s.Matches,
-				s.Delivered, s.Dropped, s.Queued, s.MaxQueueDepth, int64(s.Clusters))
+				s.Delivered, s.DroppedFull, s.DroppedClosed, s.Queued,
+				s.MaxQueueDepth, int64(s.Clusters))
 		},
 	}
 }

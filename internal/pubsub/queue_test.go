@@ -84,6 +84,12 @@ func TestQueueFullDrops(t *testing.T) {
 	if s.Dropped != 3 {
 		t.Fatalf("dropped = %d, want 3 (queue depth 2, 5 overflow publishes)", s.Dropped)
 	}
+	if s.DroppedFull != 3 || s.DroppedClosed != 0 {
+		t.Fatalf("drop split = full %d / closed %d, want 3 / 0", s.DroppedFull, s.DroppedClosed)
+	}
+	if ss := b.SubscriberStats(); len(ss) != 1 || ss[0].DroppedFull != 3 || ss[0].Dropped != 3 {
+		t.Fatalf("subscriber drop split = %+v", ss)
+	}
 	if s.Queued != 2 {
 		t.Fatalf("queued = %d, want full queue of 2", s.Queued)
 	}
@@ -218,5 +224,24 @@ func TestQueuedBrokerConcurrent(t *testing.T) {
 	s := b.Stats()
 	if s.Events == 0 {
 		t.Fatal("no events matched during stress")
+	}
+}
+
+// TestDroppedClosedCause pins the second drop cause: an event that matches
+// a subscriber whose queue has been stopped (here by Close) is counted as
+// dropped_closed, not dropped_full.
+func TestDroppedClosedCause(t *testing.T) {
+	b := queuedBroker(t, 4)
+	if _, err := b.SubscribeFunc(Subscription{}, func(uint32, Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close() // stops the deliverer; the subscription still matches
+	ev := Event{"distance": Value(10), "price": Value(550), "rooms": Value(4), "baths": Value(2)}
+	if _, err := b.Publish(ev); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.DroppedClosed != 1 || s.DroppedFull != 0 || s.Dropped != 1 {
+		t.Fatalf("drop split after close = %+v", s)
 	}
 }
