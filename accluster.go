@@ -60,6 +60,22 @@ func MustRect(min, max []float32) Rect {
 // Point builds a degenerate rectangle from point coordinates (copied).
 func Point(p []float32) Rect { return geom.Point(p) }
 
+// BatchResult carries the per-query answers of one batched selection
+// (SearchIDsBatch) in a single flat buffer. Reusing one BatchResult across
+// calls keeps steady-state batches allocation-free on the engines with a
+// native batch plane; the per-query slices alias the shared buffer and stay
+// valid until the next call that reuses the value.
+type BatchResult struct {
+	b geom.IDBatch
+}
+
+// Queries returns the number of queries answered by the batch.
+func (r *BatchResult) Queries() int { return r.b.Queries() }
+
+// IDs returns query i's qualifying identifiers. The slice aliases the
+// result buffer: copy it if it must outlive the BatchResult's reuse.
+func (r *BatchResult) IDs(i int) []uint32 { return r.b.Query(i) }
+
 // Index is the common interface of the access methods: the adaptive
 // clustering index (NewAdaptive), its parallel partitioned variant
 // (NewSharded) and the paper's baselines (NewSeqScan, NewRStar).
@@ -84,6 +100,15 @@ type Index interface {
 	// keeps steady-state selections allocation-free on engines with an
 	// allocation-free query path (Adaptive, Sharded).
 	SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, error)
+	// SearchIDsBatch executes every query of the batch in one call and
+	// fills dst with the per-query result sets (dst.IDs(i) holds query i's
+	// answers, in the same order SearchIDsAppend would produce them). A nil
+	// dst allocates one; passing the same dst across calls reuses its
+	// buffers. The adaptive engines (Adaptive, Sharded, Disk) execute the
+	// batch natively — one pass over the signature mirror, one coalesced
+	// read plan — while the baselines loop the single-query path, so
+	// results and per-query statistics are engine-independent.
+	SearchIDsBatch(dst *BatchResult, qs []Rect, rel Relation) (*BatchResult, error)
 	// Count returns the number of qualifying objects.
 	Count(q Rect, rel Relation) (int, error)
 	// Len returns the number of stored objects.
@@ -338,6 +363,35 @@ func (a *Adaptive) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32
 	return ids, err
 }
 
+// SearchIDsBatch executes every query of the batch under one shared-lock
+// acquisition with a single pass over the signature mirror: clusters matched
+// by several queries are verified against all of them while their columns
+// are hot, and the whole batch publishes its statistics as one mailbox
+// entry. Results, per-query meter charges and clustering statistics are
+// exactly those of looping SearchIDsAppend over the batch; with a reused
+// dst a steady-state batch allocates nothing. The latency histogram records
+// one sample for the whole batch.
+//
+//ac:noalloc
+func (a *Adaptive) SearchIDsBatch(dst *BatchResult, qs []Rect, rel Relation) (*BatchResult, error) {
+	if dst == nil {
+		//acvet:ignore noalloc nil-dst convenience; steady-state callers pass a reused BatchResult
+		dst = new(BatchResult)
+	}
+	var t0 time.Time
+	if a.qhist != nil {
+		t0 = time.Now()
+	}
+	a.mu.RLock()
+	err := a.ix.SearchBatchRead(&dst.b, qs, rel)
+	a.mu.RUnlock()
+	a.publishStats()
+	if a.qhist != nil {
+		a.qhist.Record(int64(time.Since(t0)))
+	}
+	return dst, err
+}
+
 // Count returns the number of qualifying objects. Concurrent counts run in
 // parallel (shared lock).
 //
@@ -491,6 +545,12 @@ func (s *SeqScan) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32,
 	return appendViaSearch(s.s.Search, dst, q, rel)
 }
 
+// SearchIDsBatch answers every query of the batch (looped scans; the
+// baseline has no batch plane to exploit).
+func (s *SeqScan) SearchIDsBatch(dst *BatchResult, qs []Rect, rel Relation) (*BatchResult, error) {
+	return batchViaSingle(s.SearchIDsAppend, dst, qs, rel)
+}
+
 // Count returns the number of qualifying objects.
 func (s *SeqScan) Count(q Rect, rel Relation) (int, error) {
 	s.mu.Lock()
@@ -597,6 +657,12 @@ func (r *RStar) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, e
 	return appendViaSearch(r.t.Search, dst, q, rel)
 }
 
+// SearchIDsBatch answers every query of the batch (looped tree walks; the
+// baseline has no batch plane to exploit).
+func (r *RStar) SearchIDsBatch(dst *BatchResult, qs []Rect, rel Relation) (*BatchResult, error) {
+	return batchViaSingle(r.SearchIDsAppend, dst, qs, rel)
+}
+
 // Count returns the number of qualifying objects.
 func (r *RStar) Count(q Rect, rel Relation) (int, error) {
 	r.mu.Lock()
@@ -664,6 +730,29 @@ func appendViaSearch(search func(q Rect, rel Relation, emit func(uint32) bool) e
 	out := dst
 	err := search(q, rel, func(id uint32) bool { out = append(out, id); return true })
 	return out, err
+}
+
+// batchViaSingle implements SearchIDsBatch for engines without a native
+// batch plane by looping the single-query append path into the shared result
+// buffer — same answers, no batching advantage. Unlike the native engines
+// (which validate the whole batch up front), a mid-batch error leaves the
+// earlier queries executed and charged; dst is reset so no partial results
+// escape.
+func batchViaSingle(searchAppend func(dst []uint32, q Rect, rel Relation) ([]uint32, error), dst *BatchResult, qs []Rect, rel Relation) (*BatchResult, error) {
+	if dst == nil {
+		dst = new(BatchResult)
+	}
+	dst.b.Reset(len(qs))
+	for i, q := range qs {
+		ids, err := searchAppend(dst.b.IDs, q, rel)
+		if err != nil {
+			dst.b.Reset(len(qs))
+			return dst, err
+		}
+		dst.b.IDs = ids
+		dst.b.Off[i+1] = int32(len(ids))
+	}
+	return dst, nil
 }
 
 // updateByReplace implements Update for engines without a native one:

@@ -48,6 +48,7 @@ func main() {
 		verbose = flag.Bool("v", false, "log progress to stderr")
 
 		diskCache  = flag.Int64("disk-cache", 0, "decoded-region cache budget in bytes for the disk benchmark's largest sweep point (<= 0 = default 64 MiB)")
+		batchMax   = flag.Int("batch", 0, "max batch size of the -benchjson batched-selection sweep 1,4,16,64,256 (0 = full sweep, negative = skip the batch section)")
 		benchJSON  = flag.String("benchjson", "", "run the steady-state query micro-benchmark and write JSON results to this file (skips -exp)")
 		diskJSON   = flag.String("diskjson", "", "run the disk-scenario benchmark (seed-scalar vs columnar, cold/warm x cache sizes) and write JSON results to this file (skips -exp)")
 		brokerJSON = flag.String("brokerjson", "", "run the loopback netbroker load benchmark (10k subscriptions, paced event stream) and write JSON results to this file (skips -exp)")
@@ -81,6 +82,7 @@ func main() {
 		MaxObjSize: float32(*maxSize),
 		Parallel:   *par,
 		DiskCache:  *diskCache,
+		BatchMax:   *batchMax,
 	}
 	if *par <= 0 {
 		o.Parallel = -1 // skip the concurrency sweep

@@ -8,6 +8,12 @@
 //	acgen -n 100000 -dims 16 -out objs.txt
 //	acgen -queries 1000 -selectivity 5e-4 -dims 16 -out qs.txt
 //	acquery -method adaptive -objects objs.txt -queries qs.txt -rel intersects
+//
+// With -batchfile the queries (one per line, same format) are executed as a
+// single SearchIDsBatch call per pass — one signature-mirror pass and one
+// statistics publication for the whole file — instead of looped singles:
+//
+//	acquery -method adaptive -objects objs.txt -batchfile qs.txt -rel intersects
 package main
 
 import (
@@ -73,7 +79,8 @@ func main() {
 	var (
 		method   = flag.String("method", "adaptive", "access method: adaptive, seqscan, rstar")
 		objPath  = flag.String("objects", "", "objects workload file (required)")
-		qPath    = flag.String("queries", "", "queries workload file (required)")
+		qPath    = flag.String("queries", "", "queries workload file (looped, one call per query)")
+		bPath    = flag.String("batchfile", "", "queries workload file executed as one SearchIDsBatch call per pass")
 		relName  = flag.String("rel", "intersects", "relation: intersects, contained-by, encloses")
 		scenario = flag.String("scenario", "memory", "cost scenario for the adaptive index: memory, disk, calibrated")
 		reorg    = flag.Int("reorg", 100, "queries between reorganizations (adaptive)")
@@ -81,8 +88,15 @@ func main() {
 		repeat   = flag.Int("repeat", 1, "replay the query file this many times (first pass warms the clustering)")
 	)
 	flag.Parse()
-	if *objPath == "" || *qPath == "" {
-		fail("both -objects and -queries are required")
+	if *objPath == "" || (*qPath == "" && *bPath == "") {
+		fail("-objects and one of -queries / -batchfile are required")
+	}
+	if *qPath != "" && *bPath != "" {
+		fail("-queries and -batchfile are mutually exclusive")
+	}
+	batched := *bPath != ""
+	if batched {
+		*qPath = *bPath
 	}
 	rel, err := parseRelation(*relName)
 	if err != nil {
@@ -125,14 +139,21 @@ func main() {
 	loadTime := time.Since(start)
 
 	var elapsed time.Duration
+	var dst *accluster.BatchResult
 	for pass := 0; pass < *repeat; pass++ {
 		if pass == *repeat-1 {
 			ix.ResetStats()
 			start = time.Now()
 		}
-		for _, q := range queries {
-			if _, err := ix.Count(q, rel); err != nil {
-				fail("query: %v", err)
+		if batched {
+			if dst, err = ix.SearchIDsBatch(dst, queries, rel); err != nil {
+				fail("batch: %v", err)
+			}
+		} else {
+			for _, q := range queries {
+				if _, err := ix.Count(q, rel); err != nil {
+					fail("query: %v", err)
+				}
 			}
 		}
 		if pass == *repeat-1 {
@@ -145,8 +166,12 @@ func main() {
 		*method, len(rects), dims, len(queries), rel)
 	fmt.Printf("load: %v (%.0f objs/s)\n", loadTime.Round(time.Millisecond),
 		float64(len(rects))/loadTime.Seconds())
-	fmt.Printf("measured: %.1f µs/query (last pass of %d)\n",
-		float64(elapsed.Microseconds())/float64(len(queries)), *repeat)
+	mode := "looped"
+	if batched {
+		mode = fmt.Sprintf("one batch of %d", len(queries))
+	}
+	fmt.Printf("measured: %.1f µs/query (last pass of %d, %s)\n",
+		float64(elapsed.Microseconds())/float64(len(queries)), *repeat, mode)
 	fmt.Printf("partitions=%d explored=%.1f%% verified=%.1f%% avg-results=%.1f\n",
 		st.Partitions, 100*st.ExploredFraction(), 100*st.VerifiedFraction(),
 		float64(st.Results)/float64(st.Queries))

@@ -121,6 +121,27 @@
 // with a retained buffer in hot loops; SearchIDs is the convenience form
 // that allocates a fresh result slice per call.
 //
+// # Batched queries
+//
+// SearchIDsBatch answers N queries in one engine pass: the signature mirror
+// is scanned once for the whole batch (the query rectangles become
+// per-dimension coordinate columns and each signature the scalar side of
+// the columnar kernels), every matched cluster is verified against all its
+// interested queries while its member columns are hot, and the whole
+// batch's statistics publish as a single mailbox entry. Per-query answers,
+// meters and clustering statistics are exactly those of looping
+// SearchIDsAppend — batching saves passes, never work accounting. A batch
+// of all-point queries (Min == Max everywhere, the pub/sub event regime)
+// takes a faster kernel still: the batch's coordinates are sorted once per
+// dimension and each signature binary-searches its narrowest membership
+// interval — precomputed alongside the mirror — instead of scanning the
+// batch. On the disk engine a batch unions the cluster misses of all
+// queries into one coalesced, seek-ordered read plan, probing the region
+// cache once per distinct cluster. Reuse the *BatchResult across calls for
+// allocation-free steady state; every engine supports the call (the
+// baselines loop internally), and the networked broker coalesces queued
+// publishes into the pub/sub tier's PublishBatch.
+//
 // # Disk scenario
 //
 // OpenDisk queries a SaveFile checkpoint directly in the paper's disk

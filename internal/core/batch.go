@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+
+	"accluster/internal/cost"
+	"accluster/internal/geom"
+	"accluster/internal/sig"
+)
+
+// Batched selection: one engine pass for N queries. A looped single-query
+// caller pays N scans of the flat signature mirror, N statistics
+// publications and — when several queries select the same cluster — N
+// separate walks over that cluster's member columns. The batch path
+// restructures the same work around the data instead of the queries:
+//
+//   - the signature mirror is scanned once for the whole batch with the
+//     transposed query-block kernel (sig.MatchBoundsBatch),
+//   - candidate clusters are grouped across queries, so each explored
+//     cluster's columns are verified against every interested query while
+//     they are hot in cache,
+//   - the whole batch travels through the statistics mailbox as one
+//     publication and costs one drain.
+//
+// Per-query observable state is preserved exactly: each query's result set,
+// its cost-meter increments and its statistics increments (cluster Q,
+// candidate q, one window tick per query, the epoch trigger between
+// queries) equal the looped single-query execution against the same
+// structure — the batch is one structural snapshot, which is also what a
+// concurrent caller issuing N SearchRead calls back-to-back observes.
+
+// batchScratch holds the per-batch buffers of one in-flight batched
+// selection, pooled like searchScratch so steady-state batches allocate
+// nothing. It travels with the batch statistics delta through the
+// publication mailbox and returns to the pool once the delta is applied.
+//
+//ac:scratch
+type batchScratch struct {
+	bq    sig.BatchQueries // query-coordinate SoA of the batch
+	match sig.BatchMatch   // cluster-major signature matches
+	qbits []uint64         // query-survivor bitmap of the signature pass
+
+	// Query-major transpose of match: qcIdx[qcOff[qi]:qcOff[qi+1]] are the
+	// statistics-record indices (positions in match.QIdx and stats.d) of
+	// query qi's matched clusters, in ascending cluster order — the order
+	// matchClusters would have returned.
+	qcOff []int32
+	qcIdx []int32
+
+	orders []int     // flat nq×dims per-query dimension orders
+	widths []float32 // sort keys backing orders
+
+	perQ [][]uint32 // per-query result accumulators (cluster-major fill)
+	bits []uint64   // member-verification bitmap
+
+	meter cost.Meter // the whole batch's operation counts
+	stats batchDelta // the whole batch's deferred statistics publication
+}
+
+// batchDelta is the statistics publication a batch owes: statDelta's flat
+// cluster/candidate record, one record per (cluster,query) signature match,
+// laid out cluster-major — record j is the j-th entry of the kernel's
+// cluster-major match, so recording walks each cluster's candidate columns
+// once, hot, for all its interested queries. The query-major view needed to
+// replay the increments query by query (each query's cluster Q and candidate
+// q bumps followed by its window tick and epoch trigger, exactly the looped
+// single-query order) is the scratch's qcOff/qcIdx transpose, whose entries
+// index these records.
+type batchDelta struct {
+	nq int
+	d  statDelta
+}
+
+func (bd *batchDelta) reset() {
+	bd.nq = 0
+	bd.d.reset()
+}
+
+// ensureBits returns the member-verification bitmap sized for n objects.
+//
+//ac:noalloc
+func (bc *batchScratch) ensureBits(n int) []uint64 {
+	w := geom.BitmapWords(n)
+	if cap(bc.bits) < w {
+		//acvet:ignore noalloc amortized scratch growth; no alloc once bits reaches dataset size
+		bc.bits = make([]uint64, w)
+	}
+	return bc.bits[:w]
+}
+
+// getBatchScratch takes a batch scratch from the pool (its buffers are
+// reset).
+//
+//ac:noalloc
+func (ix *Index) getBatchScratch() *batchScratch {
+	if bc, ok := ix.bscratch.Get().(*batchScratch); ok {
+		return bc
+	}
+	//acvet:ignore noalloc pool-miss construction; steady state reuses pooled scratch
+	return &batchScratch{}
+}
+
+// putBatchScratch clears the per-batch state and returns bc to the pool.
+//
+//ac:noalloc
+func (ix *Index) putBatchScratch(bc *batchScratch) {
+	bc.meter.Reset()
+	bc.stats.reset()
+	ix.bscratch.Put(bc)
+}
+
+// validateBatch rejects a malformed batch before any of it executes: unlike
+// a loop of single queries, which errors mid-stream with the earlier
+// queries already charged, a batch is atomic — either every query is valid
+// or nothing runs.
+func (ix *Index) validateBatch(qs []geom.Rect, rel geom.Relation) error {
+	if !rel.Valid() {
+		//acvet:ignore noalloc cold argument-validation failure path
+		return fmt.Errorf("core: invalid relation %v", rel)
+	}
+	for i := range qs {
+		if qs[i].Dims() != ix.cfg.Dims {
+			//acvet:ignore noalloc cold argument-validation failure path
+			return fmt.Errorf("core: batch query %d has %d dims, index has %d", i, qs[i].Dims(), ix.cfg.Dims)
+		}
+	}
+	return nil
+}
+
+// SearchBatchRead executes every query in qs in one engine pass and fills
+// dst with the per-query result sets (dst.Query(i) holds query i's ids, in
+// the same order SearchIDsAppendRead would produce). It is the batch twin
+// of SearchIDsAppendRead: safe to run simultaneously with other *Read
+// queries under a shared lock, with the whole batch's statistics recorded
+// and queued as a single publication — one mailbox entry, one drain —
+// while the applied increments stay exactly those of the looped single
+// queries. The batch reads one structural snapshot; an invalid query fails
+// the whole batch before any of it executes.
+//
+//ac:noalloc
+func (ix *Index) SearchBatchRead(dst *geom.IDBatch, qs []geom.Rect, rel geom.Relation) error {
+	if err := ix.validateBatch(qs, rel); err != nil {
+		return err
+	}
+	dst.Reset(len(qs))
+	if len(qs) == 0 {
+		return nil
+	}
+	bc := ix.getBatchScratch()
+	ix.batchRead(bc, qs, rel, dst, false)
+	ix.meter.Merge(bc.meter)
+	ix.enqueueBatchStats(bc)
+	return nil
+}
+
+// SearchIDsBatch is SearchBatchRead for exclusive-access callers: the batch
+// statistics apply inline — replayed query by query, window ticks and epoch
+// triggers interleaved exactly as the serial single-query loop would — and
+// each query pays its budgeted slice of pending reorganization work.
+func (ix *Index) SearchIDsBatch(dst *geom.IDBatch, qs []geom.Rect, rel geom.Relation) error {
+	if err := ix.validateBatch(qs, rel); err != nil {
+		return err
+	}
+	ix.exclusivePrep()
+	dst.Reset(len(qs))
+	if len(qs) == 0 {
+		return nil
+	}
+	bc := ix.getBatchScratch()
+	// With no epoch boundary inside the batch and no pending
+	// reorganization work to interleave, the per-query statistics replay
+	// is order-independent (syncStats is idempotent within an epoch, the
+	// increments commute), so the read pass applies the increments
+	// directly — the looped exclusive path's sc.direct mode, cluster-major
+	// — instead of recording and replaying them.
+	direct := len(ix.reorgQ) == 0 && ix.sinceReorg+len(qs) < ix.cfg.ReorgEvery
+	ix.batchRead(bc, qs, rel, dst, direct)
+	ix.meter.Merge(bc.meter)
+	if direct {
+		ix.window += float64(len(qs))
+		ix.sinceReorg += len(qs)
+	} else {
+		for qi := 0; qi < len(qs); qi++ {
+			ix.applyBatchQuery(bc, qi)
+			if !ix.cfg.BackgroundReorg && len(ix.reorgQ) > 0 {
+				ix.drain(ix.cfg.ReorgBudgetClusters, ix.cfg.ReorgBudgetObjects)
+			}
+		}
+	}
+	ix.putBatchScratch(bc)
+	return nil
+}
+
+// batchRead is the read phase of a batched selection. With direct unset it
+// touches no index state that mutations change and records every side effect
+// into the batch scratch, so any number of read phases (single or batched)
+// may run concurrently. With direct set — exclusive callers only, and only
+// when no epoch boundary falls inside the batch — the per-cluster statistics
+// apply inline during the cluster-major walk (the single-query sc.direct
+// mode) and the recording, transpose and replay passes are skipped entirely.
+//
+//ac:noalloc
+func (ix *Index) batchRead(bc *batchScratch, qs []geom.Rect, rel geom.Relation, dst *geom.IDBatch, direct bool) {
+	ix.readers.Add(1)
+	defer ix.readers.Add(-1)
+	nq := len(qs)
+	dims := ix.cfg.Dims
+	nc := len(ix.clusters)
+	bc.meter.Queries += int64(nq)
+	bc.meter.SigChecks += int64(nq) * int64(nc)
+
+	// One pass over the signature mirror for the whole batch: the N query
+	// rectangles become coordinate columns, each signature the scalar side
+	// of the block-scan kernels.
+	bc.bq.Reset(qs, dims)
+	qw := geom.BitmapWords(nq)
+	if cap(bc.qbits) < qw {
+		//acvet:ignore noalloc amortized scratch growth; no alloc once qbits covers the batch size
+		bc.qbits = make([]uint64, qw)
+	}
+	sig.MatchBoundsBatch(ix.sigBounds, nc, dims, &bc.bq, rel, ix.sigSel, bc.qbits[:qw], &bc.match)
+
+	bd := &bc.stats
+	if !direct {
+		// Transpose the cluster-major match into the query-major view
+		// the statistics replay needs (counting sort over match
+		// positions; within a query the records stay in ascending
+		// cluster order, exactly the matchClusters order of the
+		// single-query path). Each match.QIdx entry becomes one
+		// statistics record below, in the same order, so the stored
+		// value is the entry's own position.
+		if cap(bc.qcOff) < nq+1 {
+			//acvet:ignore noalloc amortized scratch growth; no alloc once qcOff covers the batch size
+			bc.qcOff = make([]int32, 0, nq+1)
+		}
+		bc.qcOff = bc.qcOff[:nq+1]
+		for i := range bc.qcOff {
+			bc.qcOff[i] = 0
+		}
+		for _, q32 := range bc.match.QIdx {
+			bc.qcOff[q32+1]++
+		}
+		for i := 0; i < nq; i++ {
+			bc.qcOff[i+1] += bc.qcOff[i]
+		}
+		pairs := len(bc.match.QIdx)
+		if cap(bc.qcIdx) < pairs {
+			//acvet:ignore noalloc amortized scratch growth; no alloc once qcIdx covers the match volume
+			bc.qcIdx = make([]int32, 0, pairs)
+		}
+		bc.qcIdx = bc.qcIdx[:pairs]
+		for j, q32 := range bc.match.QIdx {
+			bc.qcIdx[bc.qcOff[q32]] = int32(j)
+			bc.qcOff[q32]++
+		}
+		// The cursor pass shifted every offset to the start of the
+		// next query's range; shift back.
+		for i := nq; i > 0; i-- {
+			bc.qcOff[i] = bc.qcOff[i-1]
+		}
+		bc.qcOff[0] = 0
+
+		bd.nq = nq
+		bd.d.candOff = append(bd.d.candOff[:0], 0)
+	}
+
+	// Per-query dimension orders, computed once per batch.
+	if cap(bc.orders) < nq*dims {
+		//acvet:ignore noalloc amortized scratch growth; no alloc once orders covers the batch size
+		bc.orders = make([]int, 0, nq*dims)
+		//acvet:ignore noalloc amortized scratch growth; no alloc once widths covers the batch size
+		bc.widths = make([]float32, 0, nq*dims)
+	}
+	orders, widths := bc.orders[:nq*dims], bc.widths[:nq*dims]
+	for qi := range qs {
+		geom.QueryDimOrder(orders[qi*dims:qi*dims+dims], widths[qi*dims:qi*dims+dims], qs[qi], rel)
+	}
+
+	if cap(bc.perQ) < nq {
+		//acvet:ignore noalloc amortized scratch growth; no alloc once perQ covers the batch size
+		next := make([][]uint32, nq)
+		copy(next, bc.perQ)
+		bc.perQ = next
+	}
+	bc.perQ = bc.perQ[:nq]
+	for i := range bc.perQ {
+		bc.perQ[i] = bc.perQ[i][:0]
+	}
+
+	// Cluster-major statistics recording and verification: each matched
+	// cluster's candidate array and member columns are walked for every
+	// interested query back-to-back, while they are hot in cache. The
+	// per-(cluster,query) work and meter charges are exactly the
+	// single-query path's; the records land in match order, which is what
+	// the qcIdx transpose above indexes.
+	stride := ix.sigStride()
+	for p, ci := range bc.match.Clusters {
+		c := ix.clusters[ci]
+		n := len(c.ids)
+		sb := ix.sigBounds[int(ci)*stride : (int(ci)+1)*stride]
+		if direct {
+			ix.syncStats(c)
+			for _, q32 := range bc.match.QIdx[bc.match.QOff[p]:bc.match.QOff[p+1]] {
+				c.q++
+				updateCandidateStats(c, qs[q32], rel)
+			}
+		} else {
+			for _, q32 := range bc.match.QIdx[bc.match.QOff[p]:bc.match.QOff[p+1]] {
+				bd.d.clusters = append(bd.d.clusters, c)
+				recordCandidateStats(c, qs[q32], rel, &bd.d)
+				bd.d.candOff = append(bd.d.candOff, int32(len(bd.d.cands)))
+			}
+		}
+		for _, q32 := range bc.match.QIdx[bc.match.QOff[p]:bc.match.QOff[p+1]] {
+			qi := int(q32)
+			q := qs[qi]
+			bc.meter.Explorations++
+			bc.meter.Seeks++
+			bc.meter.BytesTransferred += int64(n) * int64(ix.objBytes)
+			bc.meter.ObjectsVerified += int64(n)
+			if n == 0 {
+				continue
+			}
+			bits := bc.ensureBits(n)
+			geom.InitBitmap(bits, n)
+			alive := n
+			for _, dd := range orders[qi*dims : qi*dims+dims] {
+				if sig.BoundsImplyDim(rel, sb, dd, q.Min[dd], q.Max[dd]) {
+					continue
+				}
+				bc.meter.BytesVerified += int64(alive) * 8
+				alive = geom.FilterDim(rel, c.lo[dd], c.hi[dd], q.Min[dd], q.Max[dd], bits)
+				if alive == 0 {
+					break
+				}
+			}
+			if alive == 0 {
+				continue
+			}
+			bc.meter.Results += int64(alive)
+			bc.perQ[qi] = geom.AppendSurvivors(bc.perQ[qi], c.ids, bits)
+		}
+	}
+
+	// Concatenate the per-query accumulators into the flat result batch.
+	for qi := 0; qi < nq; qi++ {
+		dst.IDs = append(dst.IDs, bc.perQ[qi]...)
+		dst.Off[qi+1] = int32(len(dst.IDs))
+	}
+}
+
+// applyBatchQuery performs one batched query's share of the deferred
+// statistics publication — the same increments applyScratch makes for a
+// single query, picked out of the cluster-major batch delta through the
+// query-major transpose.
+func (ix *Index) applyBatchQuery(bc *batchScratch, qi int) {
+	bd := &bc.stats
+	for _, j := range bc.qcIdx[bc.qcOff[qi]:bc.qcOff[qi+1]] {
+		c := bd.d.clusters[j]
+		if c.removed {
+			continue
+		}
+		ix.syncStats(c)
+		c.q++
+		cq := c.cands.q
+		for _, k := range bd.d.cands[bd.d.candOff[j]:bd.d.candOff[j+1]] {
+			cq[k]++
+		}
+	}
+	ix.window++
+	ix.sinceReorg++
+	if ix.sinceReorg >= ix.cfg.ReorgEvery {
+		ix.beginEpoch()
+	}
+}
+
+// applyBatchInline applies the whole batch's statistics in one cluster-major
+// walk over the delta records. Valid only when no epoch boundary falls inside
+// the batch (ix.sinceReorg + nq < ReorgEvery): then the per-query replay's
+// observable effects — syncStats, which early-returns once a cluster is
+// synced to the current epoch, and the commutative Q increments and window
+// ticks — are order-independent, so the linear walk over the records (each
+// cluster's entries adjacent, its stats hot) produces the identical state at
+// a fraction of the pointer-chasing.
+func (ix *Index) applyBatchInline(bc *batchScratch) {
+	bd := &bc.stats
+	var last *Cluster
+	for j, c := range bd.d.clusters {
+		if c.removed {
+			continue
+		}
+		if c != last {
+			ix.syncStats(c)
+			last = c
+		}
+		c.q++
+		cq := c.cands.q
+		for _, k := range bd.d.cands[bd.d.candOff[j]:bd.d.candOff[j+1]] {
+			cq[k]++
+		}
+	}
+	ix.window += float64(bd.nq)
+	ix.sinceReorg += bd.nq
+}

@@ -118,25 +118,32 @@ type Index struct {
 	// sigBounds mirrors every cluster's signature as one flat float32
 	// array (4·dims per cluster, positionally aligned with clusters), so
 	// the per-query signature pass is a single linear scan (sigscan.go).
+	// sigSel is its dimension-selector side array (4 bytes per cluster,
+	// sig.AppendSelectors): the precomputed narrowest membership
+	// dimensions the batch point kernel probes, maintained at the same
+	// sites as the mirror. Empty when dims exceeds sig.MaxSelectorDims.
 	sigBounds []float32
+	sigSel    []uint8
 
 	loc map[uint32]objLoc
 
-	// scratch pools per-query buffers (*searchScratch) so that
-	// steady-state queries perform no allocations while each in-flight
-	// query still owns a private set; readers counts in-flight read
-	// phases (the reentrancy guard of exclusivePrep).
-	scratch sync.Pool
-	readers atomic.Int32
+	// scratch pools per-query buffers (*searchScratch) and bscratch
+	// per-batch buffers (*batchScratch) so that steady-state queries
+	// perform no allocations while each in-flight query still owns a
+	// private set; readers counts in-flight read phases (the reentrancy
+	// guard of exclusivePrep).
+	scratch  sync.Pool
+	bscratch sync.Pool
+	readers  atomic.Int32
 
 	// Statistics-publication mailbox: completed read phases enqueue their
-	// scratch (carrying the statistics delta) under pendMu; the next
-	// exclusive holder applies the batch (publish.go). pendN mirrors
-	// len(pending) for lock-free backlog checks; pendSpare recycles the
-	// drained slice.
+	// scratch (carrying the statistics delta — one entry per query, or one
+	// per whole batch) under pendMu; the next exclusive holder applies the
+	// batch (publish.go). pendN mirrors len(pending) for lock-free backlog
+	// checks; pendSpare recycles the drained slice.
 	pendMu    sync.Mutex
-	pending   []*searchScratch
-	pendSpare []*searchScratch
+	pending   []statPub
+	pendSpare []statPub
 	pendN     atomic.Int32
 
 	// Statistics window: W is the decayed total number of queries; every

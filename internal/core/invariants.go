@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"accluster/internal/sig"
+)
 
 // CheckInvariants validates the structural invariants of the index. It is
 // O(objects × candidates) and intended for tests and debugging:
@@ -126,12 +130,22 @@ func (ix *Index) CheckInvariants() error {
 	if len(ix.sigBounds) != len(ix.clusters)*ix.sigStride() {
 		return fmt.Errorf("signature mirror holds %d floats, want %d", len(ix.sigBounds), len(ix.clusters)*ix.sigStride())
 	}
+	if dims <= sig.MaxSelectorDims && len(ix.sigSel) != len(ix.clusters)*4 {
+		return fmt.Errorf("selector side array holds %d bytes, want %d", len(ix.sigSel), len(ix.clusters)*4)
+	}
+	var selWant []uint8
 	for pos, c := range ix.clusters {
 		b := ix.sigBounds[pos*ix.sigStride() : (pos+1)*ix.sigStride()]
 		s := c.signature
 		for d := 0; d < dims; d++ {
 			if b[4*d] != s.ALo[d] || b[4*d+1] != s.AHi[d] || b[4*d+2] != s.BLo[d] || b[4*d+3] != s.BHi[d] {
 				return fmt.Errorf("cluster %v: signature mirror out of sync in dimension %d", s, d)
+			}
+		}
+		if dims <= sig.MaxSelectorDims {
+			selWant = sig.AppendSelectors(selWant[:0], b, dims)
+			if got := ix.sigSel[pos*4 : pos*4+4]; got[0] != selWant[0] || got[1] != selWant[1] || got[2] != selWant[2] || got[3] != selWant[3] {
+				return fmt.Errorf("cluster %v: dimension selectors out of sync: got %v want %v", s, got, selWant)
 			}
 		}
 	}

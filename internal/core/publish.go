@@ -59,6 +59,14 @@ func (d *statDelta) reset() {
 	d.cands = d.cands[:0]
 }
 
+// statPub is one mailbox entry: either a single query's scratch or a whole
+// batch's. Exactly one field is set; the entry owns the scratch until the
+// delta is applied, when it returns to its pool.
+type statPub struct {
+	sc *searchScratch
+	bc *batchScratch
+}
+
 // getScratch takes a query scratch from the pool (its buffers are reset).
 //
 //ac:noalloc
@@ -85,7 +93,19 @@ func (ix *Index) putScratch(sc *searchScratch) {
 //ac:noalloc
 func (ix *Index) enqueueStats(sc *searchScratch) {
 	ix.pendMu.Lock()
-	ix.pending = append(ix.pending, sc)
+	ix.pending = append(ix.pending, statPub{sc: sc})
+	ix.pendN.Store(int32(len(ix.pending)))
+	ix.pendMu.Unlock()
+}
+
+// enqueueBatchStats queues a completed batch's statistics delta — the whole
+// batch is one mailbox entry, so it costs one drain; safe under the shared
+// lock.
+//
+//ac:noalloc
+func (ix *Index) enqueueBatchStats(bc *batchScratch) {
+	ix.pendMu.Lock()
+	ix.pending = append(ix.pending, statPub{bc: bc})
 	ix.pendN.Store(int32(len(ix.pending)))
 	ix.pendMu.Unlock()
 }
@@ -110,7 +130,8 @@ func (ix *Index) exclusivePrep() {
 }
 
 // applyPending applies every queued statistics delta in enqueue order and
-// returns the number applied. Caller must hold the index exclusively.
+// returns the number of queries applied (a batched entry counts as its
+// query count). Caller must hold the index exclusively.
 //
 //ac:excl
 func (ix *Index) applyPending() int {
@@ -123,12 +144,28 @@ func (ix *Index) applyPending() int {
 	ix.pendSpare = nil
 	ix.pendN.Store(0)
 	ix.pendMu.Unlock()
-	for i, sc := range batch {
-		ix.applyScratch(sc)
-		ix.putScratch(sc)
-		batch[i] = nil
+	n := 0
+	for i, p := range batch {
+		if p.sc != nil {
+			ix.applyScratch(p.sc)
+			ix.putScratch(p.sc)
+			n++
+		} else {
+			if ix.sinceReorg+p.bc.stats.nq < ix.cfg.ReorgEvery {
+				// No epoch boundary inside the batch: the
+				// per-query replay is order-independent, so
+				// apply cluster-major (see applyBatchInline).
+				ix.applyBatchInline(p.bc)
+			} else {
+				for qi := 0; qi < p.bc.stats.nq; qi++ {
+					ix.applyBatchQuery(p.bc, qi)
+				}
+			}
+			n += p.bc.stats.nq
+			ix.putBatchScratch(p.bc)
+		}
+		batch[i] = statPub{}
 	}
-	n := len(batch)
 	ix.pendMu.Lock()
 	if ix.pendSpare == nil {
 		ix.pendSpare = batch[:0]

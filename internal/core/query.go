@@ -260,30 +260,41 @@ func (ix *Index) searchRead(sc *searchScratch, q geom.Rect, rel geom.Relation, e
 	return nil
 }
 
+// b2q converts a candidate-match condition into its statistics increment.
+// The compiler lowers the conditional to a flag materialization (SETcc), so
+// the candidate pass below carries no data-dependent branches — whether a
+// candidate matches is close to a coin flip, which made the naive
+// conditional increment mispredict-bound.
+func b2q(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // updateCandidateStats bumps the query indicator of every candidate
 // subcluster virtually explored by the query — the exclusive-mode twin of
 // recordCandidateStats below, with the same relation-specialized match
-// conditions (pinned equal by TestConcurrentStatsMatchSerial).
+// conditions (pinned equal by TestConcurrentStatsMatchSerial). The pass is
+// branch-free: every indicator is written back with +0 or +1 rather than
+// conditionally skipped.
 func updateCandidateStats(c *Cluster, q geom.Rect, rel geom.Relation) {
 	cs := &c.cands
 	switch rel {
 	case geom.Intersects:
 		for i, d := range cs.dim {
-			if cs.aLo[i] <= q.Max[d] && q.Min[d] <= cs.bHi[i] {
-				cs.q[i]++
-			}
+			m := b2q(cs.aLo[i] <= q.Max[d]) & b2q(q.Min[d] <= cs.bHi[i])
+			cs.q[i] += float64(m)
 		}
 	case geom.ContainedBy:
 		for i, d := range cs.dim {
-			if cs.aHi[i] >= q.Min[d] && cs.bLo[i] <= q.Max[d] {
-				cs.q[i]++
-			}
+			m := b2q(cs.aHi[i] >= q.Min[d]) & b2q(cs.bLo[i] <= q.Max[d])
+			cs.q[i] += float64(m)
 		}
 	case geom.Encloses:
 		for i, d := range cs.dim {
-			if cs.aLo[i] <= q.Min[d] && cs.bHi[i] >= q.Max[d] {
-				cs.q[i]++
-			}
+			m := b2q(cs.aLo[i] <= q.Min[d]) & b2q(cs.bHi[i] >= q.Max[d])
+			cs.q[i] += float64(m)
 		}
 	}
 }

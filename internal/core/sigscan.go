@@ -17,24 +17,34 @@ import (
 // sigStride returns the per-cluster float count of the signature mirror.
 func (ix *Index) sigStride() int { return 4 * ix.cfg.Dims }
 
-// appendSigBounds mirrors s for the cluster just appended to ix.clusters.
+// appendSigBounds mirrors s for the cluster just appended to ix.clusters,
+// with its dimension-selector block when the dimensionality fits.
 func (ix *Index) appendSigBounds(s sig.Signature) {
 	ix.sigBounds = sig.AppendBounds(ix.sigBounds, s)
+	if ix.cfg.Dims <= sig.MaxSelectorDims {
+		ix.sigSel = sig.AppendSelectors(ix.sigSel, ix.sigBounds[len(ix.sigBounds)-ix.sigStride():], ix.cfg.Dims)
+	}
 }
 
-// removeSigBoundsAt swap-removes the bounds block of the cluster at position
-// pos, matching the swap-removal of ix.clusters entries.
+// removeSigBoundsAt swap-removes the bounds block (and selector block) of the
+// cluster at position pos, matching the swap-removal of ix.clusters entries.
 func (ix *Index) removeSigBoundsAt(pos int) {
 	stride := ix.sigStride()
 	last := len(ix.sigBounds) - stride
 	copy(ix.sigBounds[pos*stride:(pos+1)*stride], ix.sigBounds[last:])
 	ix.sigBounds = ix.sigBounds[:last]
+	if len(ix.sigSel) != 0 {
+		lastSel := len(ix.sigSel) - 4
+		copy(ix.sigSel[pos*4:pos*4+4], ix.sigSel[lastSel:])
+		ix.sigSel = ix.sigSel[:lastSel]
+	}
 }
 
 // rebuildSigBounds re-derives the whole mirror from ix.clusters (restore
 // path).
 func (ix *Index) rebuildSigBounds() {
 	ix.sigBounds = ix.sigBounds[:0]
+	ix.sigSel = ix.sigSel[:0]
 	for _, c := range ix.clusters {
 		ix.appendSigBounds(c.signature)
 	}

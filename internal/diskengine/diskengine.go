@@ -94,6 +94,7 @@ type Engine struct {
 	objBytes  int
 	dir       []store.DirEntry
 	sigBounds []float32 // flat signature mirror, 4·dims floats per cluster
+	sigSel    []uint8   // its dimension-selector side array (sig.AppendSelectors)
 	cache     *blockcache.Cache
 	gen       uint64
 	maxGap    int64
@@ -156,6 +157,12 @@ func OpenConfig(dev store.Device, cfg Config) (*Engine, error) {
 	e.sigBounds = make([]float32, 0, len(dir)*4*dims)
 	for _, d := range dir {
 		e.sigBounds = sig.AppendBounds(e.sigBounds, d.Signature)
+	}
+	if dims <= sig.MaxSelectorDims {
+		e.sigSel = make([]uint8, 0, len(dir)*4)
+		for ci := range dir {
+			e.sigSel = sig.AppendSelectors(e.sigSel, e.sigBounds[ci*4*dims:(ci+1)*4*dims], dims)
+		}
 	}
 	switch {
 	case cfg.Cache != nil:

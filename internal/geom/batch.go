@@ -1,0 +1,45 @@
+package geom
+
+// IDBatch carries the per-query answers of one batched selection in a single
+// pair of flat slices: Off has one entry per query plus a final sentinel, and
+// IDs[Off[i]:Off[i+1]] is query i's result set. The layout is the result-side
+// twin of the flat signature mirror — one allocation-free growable arena
+// instead of N slices — so engines can retain and reuse one IDBatch across
+// batches the same way SearchIDsAppend callers retain a result buffer.
+type IDBatch struct {
+	IDs []uint32
+	Off []int32
+}
+
+// Reset prepares the batch for nq queries, reusing the backing arrays. After
+// Reset the batch reports nq empty result sets.
+//
+//ac:noalloc
+func (b *IDBatch) Reset(nq int) {
+	b.IDs = b.IDs[:0]
+	if cap(b.Off) < nq+1 {
+		b.Off = make([]int32, 0, nq+1) //acvet:ignore noalloc amortized growth of the offset arena
+	}
+	b.Off = b.Off[:nq+1]
+	for i := range b.Off {
+		b.Off[i] = 0
+	}
+}
+
+// Queries returns the number of per-query result sets the batch holds.
+//
+//ac:noalloc
+func (b *IDBatch) Queries() int {
+	if len(b.Off) == 0 {
+		return 0
+	}
+	return len(b.Off) - 1
+}
+
+// Query returns query i's result IDs. The slice aliases the batch arena and
+// is valid until the next Reset.
+//
+//ac:noalloc
+func (b *IDBatch) Query(i int) []uint32 {
+	return b.IDs[b.Off[i]:b.Off[i+1]]
+}

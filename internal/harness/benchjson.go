@@ -67,6 +67,10 @@ type QueryBenchReport struct {
 	// query path): queries/s at 1,2,4,…  goroutines per engine. Speedup
 	// beyond 1.0 requires a multi-core runner.
 	Concurrency []ConcurrencyResult `json:"concurrency,omitempty"`
+	// Batch is the batched-selection sweep: SearchIDsBatch against its
+	// looped single-query equivalent per batch size, plus the disk
+	// read-plan row (see BatchBenchResult).
+	Batch []BatchBenchResult `json:"batch,omitempty"`
 }
 
 // benchWorkload names one standard benchmark scenario.
@@ -75,6 +79,7 @@ type benchWorkload struct {
 	params      cost.Params
 	rel         geom.Relation
 	selectivity float64 // 0 = point queries
+	skewed      bool    // the paper's skewed object distribution (§7.2, Fig. 8)
 }
 
 func benchWorkloads() []benchWorkload {
@@ -107,7 +112,7 @@ func convergeEngine(w benchWorkload, o Options,
 	search func(q geom.Rect) error,
 	reorganize func(),
 ) ([]geom.Rect, error) {
-	objSpec := workload.ObjectSpec{Dims: o.Dims, MaxSize: o.MaxObjSize, Seed: o.Seed}
+	objSpec := workload.ObjectSpec{Dims: o.Dims, MaxSize: o.MaxObjSize, Skewed: w.skewed, Seed: o.Seed}
 	og, err := workload.NewObjectGen(objSpec)
 	if err != nil {
 		return nil, err
@@ -262,6 +267,11 @@ func RunQueryBench(o Options) (*QueryBenchReport, error) {
 		}
 		rep.Concurrency = conc
 	}
+	batch, err := runBatchSweep(o)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	rep.Batch = batch
 	return rep, nil
 }
 

@@ -110,6 +110,10 @@ type Options struct {
 	// cache-disabled point, so disabling the cache outright is not a
 	// flag concern).
 	DiskCache int64
+	// BatchMax caps the benchjson batch-size sweep (default sweep
+	// 1,4,16,64,256; 0 keeps the full sweep, negative skips the batch
+	// section entirely).
+	BatchMax int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }

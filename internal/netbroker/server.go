@@ -29,6 +29,14 @@ type Server struct {
 	acceptD sync.WaitGroup
 	connWG  sync.WaitGroup
 
+	// Publish coalescing: readers enqueue incoming publishes on pubq and a
+	// single publisher goroutine drains whatever has accumulated into one
+	// pubsub.PublishBatch call — one batched index pass for N concurrent
+	// publishers. pubDone stops the publisher (after a final drain).
+	pubq    chan pubReq
+	pubDone chan struct{}
+	pubD    sync.WaitGroup
+
 	totalConns    atomic.Int64
 	delivered     atomic.Int64
 	slowKills     atomic.Int64
@@ -39,7 +47,21 @@ type Server struct {
 	droppedNewest atomic.Int64
 	maxQueueDepth atomic.Int64
 	drainNanos    atomic.Int64
+
+	publishBatches  atomic.Int64
+	publishedEvents atomic.Int64
+	maxPublishBatch atomic.Int64
 }
+
+// pubReq is one queued publish request awaiting the coalescing publisher.
+type pubReq struct {
+	c     *srvConn
+	reqID uint32
+	ev    pubsub.Event
+}
+
+// maxPublishCoalesce caps how many queued publishes one broker batch absorbs.
+const maxPublishCoalesce = 256
 
 // Serve starts serving broker b on ln. The caller owns b; the server owns
 // ln and every accepted connection — Shutdown or Close releases them. The
@@ -53,15 +75,92 @@ func Serve(b *pubsub.Broker, ln net.Listener, opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		b:     b,
-		opts:  o,
-		ln:    ln,
-		conns: make(map[*srvConn]struct{}),
-		slots: make(chan struct{}, o.MaxConns),
+		b:       b,
+		opts:    o,
+		ln:      ln,
+		conns:   make(map[*srvConn]struct{}),
+		slots:   make(chan struct{}, o.MaxConns),
+		pubq:    make(chan pubReq, 4*maxPublishCoalesce),
+		pubDone: make(chan struct{}),
 	}
 	s.acceptD.Add(1)
 	go s.acceptLoop()
+	s.pubD.Add(1)
+	go s.publishLoop()
 	return s, nil
+}
+
+// publishLoop is the server's single publisher: it drains the publish
+// requests queued by every connection's reader into one
+// pubsub.PublishBatch call, so a busy server matches N in-flight events
+// with one batched pass over the subscription index instead of N
+// independent passes. Replies travel back through each requester's control
+// queue (a no-op if that connection died while its publish was in flight).
+func (s *Server) publishLoop() {
+	defer s.pubD.Done()
+	reqs := make([]pubReq, 0, maxPublishCoalesce)
+	for {
+		reqs = reqs[:0]
+		select {
+		case r := <-s.pubq:
+			reqs = append(reqs, r)
+		case <-s.pubDone:
+			// Final drain: answer what is already queued, then exit.
+		final:
+			for {
+				select {
+				case r := <-s.pubq:
+					reqs = append(reqs, r)
+				default:
+					break final
+				}
+			}
+			if len(reqs) > 0 {
+				s.publishCoalesced(reqs)
+			}
+			return
+		}
+	drain:
+		for len(reqs) < maxPublishCoalesce {
+			select {
+			case r := <-s.pubq:
+				reqs = append(reqs, r)
+			default:
+				break drain
+			}
+		}
+		s.publishCoalesced(reqs)
+	}
+}
+
+// publishCoalesced runs one batched publish over the queued requests and
+// replies to each requester, keeping the per-event error/count split of
+// looped Publish calls.
+func (s *Server) publishCoalesced(reqs []pubReq) {
+	evs := make([]pubsub.Event, len(reqs))
+	for i, r := range reqs {
+		evs[i] = r.ev
+	}
+	counts, errs := s.b.PublishBatch(evs)
+	s.publishBatches.Add(1)
+	s.publishedEvents.Add(int64(len(reqs)))
+	s.bumpMaxPublish(int64(len(reqs)))
+	for i, r := range reqs {
+		if errs[i] != nil {
+			r.c.replyErr(r.reqID, errs[i])
+		} else {
+			r.c.reply(r.reqID, uint64(counts[i]))
+		}
+	}
+}
+
+func (s *Server) bumpMaxPublish(d int64) {
+	for {
+		cur := s.maxPublishBatch.Load()
+		if d <= cur || s.maxPublishBatch.CompareAndSwap(cur, d) {
+			return
+		}
+	}
 }
 
 // Addr returns the listener address.
@@ -129,6 +228,11 @@ func (s *Server) Shutdown() time.Duration {
 	}
 	s.mu.Unlock()
 	s.ln.Close()
+	// Stop the coalescing publisher first: its final drain answers the
+	// publishes already queued, and those replies must enter the connection
+	// queues before the drain below flushes them.
+	close(s.pubDone)
+	s.pubD.Wait()
 
 	deadline := start.Add(s.opts.DrainDeadline)
 	for _, c := range conns {
@@ -166,6 +270,8 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.ln.Close()
+	close(s.pubDone)
+	s.pubD.Wait()
 	for _, c := range conns {
 		c.kill()
 	}
@@ -220,6 +326,11 @@ type ServerStats struct {
 	// QueueDepth sums current per-connection queue occupancy;
 	// MaxQueueDepth is the high-water mark any connection reached.
 	QueueDepth, MaxQueueDepth int64
+	// PublishBatches counts coalesced publish rounds, PublishedEvents the
+	// publish requests they carried (PublishedEvents/PublishBatches is the
+	// achieved coalescing factor), and MaxPublishBatch the largest single
+	// batch handed to the broker.
+	PublishBatches, PublishedEvents, MaxPublishBatch int64
 	// DrainMS is how long the last Shutdown flush took (0 before one).
 	DrainMS float64
 }
@@ -235,6 +346,9 @@ func (s *Server) Stats() ServerStats {
 		CorruptFrames:   s.corruptFrames.Load(),
 		DeadPeers:       s.deadPeers.Load(),
 		Panics:          s.panics.Load(),
+		PublishBatches:  s.publishBatches.Load(),
+		PublishedEvents: s.publishedEvents.Load(),
+		MaxPublishBatch: s.maxPublishBatch.Load(),
 		DrainMS:         float64(s.drainNanos.Load()) / 1e6,
 	}
 	s.mu.Lock()
@@ -266,13 +380,17 @@ func (s *Server) TelemetrySource() telemetry.Source {
 		Cols: []string{"active_conns", "total_conns", "subscriptions",
 			"delivered", "dropped_oldest", "dropped_newest",
 			"slow_disconnects", "corrupt_frames", "dead_peers", "panics",
-			"queue_depth", "max_queue_depth", "drain_ms"},
+			"queue_depth", "max_queue_depth",
+			"publish_batches", "published_events", "max_publish_batch",
+			"drain_ms"},
 		Read: func(dst []int64) []int64 {
 			st := s.Stats()
 			return append(dst, st.ActiveConns, st.TotalConns, st.Subscriptions,
 				st.Delivered, st.DroppedOldest, st.DroppedNewest,
 				st.SlowDisconnects, st.CorruptFrames, st.DeadPeers, st.Panics,
-				st.QueueDepth, st.MaxQueueDepth, int64(st.DrainMS))
+				st.QueueDepth, st.MaxQueueDepth,
+				st.PublishBatches, st.PublishedEvents, st.MaxPublishBatch,
+				int64(st.DrainMS))
 		},
 	}
 }
@@ -476,12 +594,17 @@ func (c *srvConn) handle(f frame) error {
 		if err != nil {
 			return err
 		}
-		n, err := c.srv.b.Publish(pubsub.Event(ranges))
-		if err != nil {
-			c.replyErr(reqID, err)
-			return nil
+		// Hand the event to the coalescing publisher: publishes arriving
+		// while a batch is being matched queue up and go out together in
+		// the next one. The reply comes back asynchronously through this
+		// connection's control queue, in arrival order.
+		select {
+		case c.srv.pubq <- pubReq{c: c, reqID: reqID, ev: pubsub.Event(ranges)}:
+		case <-c.stop:
+			// Connection dying: the reply could never be delivered anyway.
+		case <-c.srv.pubDone:
+			// Server shutting down; the connection is about to be killed.
 		}
-		c.reply(reqID, uint64(n))
 		return nil
 	default:
 		return corruptf("netbroker: unexpected frame type %d", f.typ)

@@ -79,6 +79,7 @@ type engine interface {
 	Insert(id uint32, r geom.Rect) error
 	Delete(id uint32) bool
 	SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error)
+	SearchIDsBatch(dst *geom.IDBatch, qs []geom.Rect, rel geom.Relation) error
 	Len() int
 	Clusters() int
 }
@@ -111,6 +112,14 @@ func (l *lockedIndex) SearchIDs(q geom.Rect, rel geom.Relation) ([]uint32, error
 	l.mu.RUnlock()
 	l.ix.TryDrainStats(&l.mu)
 	return ids, err
+}
+
+func (l *lockedIndex) SearchIDsBatch(dst *geom.IDBatch, qs []geom.Rect, rel geom.Relation) error {
+	l.mu.RLock()
+	err := l.ix.SearchBatchRead(dst, qs, rel)
+	l.mu.RUnlock()
+	l.ix.TryDrainStats(&l.mu)
+	return err
 }
 
 func (l *lockedIndex) Len() int {
@@ -413,6 +422,111 @@ func (b *Broker) Publish(ev Event) (int, error) {
 		s.delivered.Add(1)
 	}
 	return len(ids), nil
+}
+
+// directDelivery is one synchronous handler invocation owed by a batch:
+// subscriber s matched event evs[ev].
+type directDelivery struct {
+	s  *subscriber
+	ev int
+}
+
+// PublishBatch publishes a batch of events through at most two batched index
+// passes — the point events as one Encloses batch, the range events as one
+// Intersects batch — instead of one index pass per event, and delivers every
+// match under a single broker lock acquisition in event order. The returned
+// slices are positional: counts[i] is the number of subscriptions event i
+// matched and errs[i] its error (nil on success) — one malformed event fails
+// only itself, never its batchmates. Per-event matching, delivery and drop
+// accounting (DroppedFull/DroppedClosed) are exactly those of looped Publish
+// calls; only Events/Matches bookkeeping and delivery locking are coalesced.
+func (b *Broker) PublishBatch(evs []Event) ([]int, []error) {
+	counts := make([]int, len(evs))
+	errs := make([]error, len(evs))
+	if len(evs) == 0 {
+		return counts, errs
+	}
+	// Partition the batch by relation; each partition is one index batch.
+	var (
+		encQ, intQ     []geom.Rect
+		encIdx, intIdx []int
+	)
+	for i, ev := range evs {
+		q, rel, err := b.eventQuery(ev)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if rel == geom.Encloses {
+			encQ, encIdx = append(encQ, q), append(encIdx, i)
+		} else {
+			intQ, intIdx = append(intQ, q), append(intIdx, i)
+		}
+	}
+	ids := make([][]uint32, len(evs))
+	var encRes, intRes geom.IDBatch
+	if len(encQ) > 0 {
+		if err := b.ix.SearchIDsBatch(&encRes, encQ, geom.Encloses); err != nil {
+			for _, i := range encIdx {
+				errs[i] = err
+			}
+		} else {
+			for k, i := range encIdx {
+				ids[i] = encRes.Query(k)
+			}
+		}
+	}
+	if len(intQ) > 0 {
+		if err := b.ix.SearchIDsBatch(&intRes, intQ, geom.Intersects); err != nil {
+			for _, i := range intIdx {
+				errs[i] = err
+			}
+		} else {
+			for k, i := range intIdx {
+				ids[i] = intRes.Query(k)
+			}
+		}
+	}
+	// Delivery: one lock acquisition for the whole batch, events in order.
+	// Synchronous handlers run outside the lock afterwards, also in order.
+	b.mu.Lock()
+	var direct []directDelivery
+	for i := range evs {
+		if errs[i] != nil {
+			continue
+		}
+		b.events++
+		b.matches += int64(len(ids[i]))
+		counts[i] = len(ids[i])
+		for _, id := range ids[i] {
+			s := b.subs[id]
+			if s == nil {
+				continue
+			}
+			if s.q == nil {
+				direct = append(direct, directDelivery{s: s, ev: i})
+				continue
+			}
+			if s.closed {
+				s.droppedClosed.Add(1)
+				continue
+			}
+			select {
+			case s.q <- evs[i]:
+				if d := int64(len(s.q)); d > b.maxDepth.Load() {
+					b.maxDepth.Store(d)
+				}
+			default:
+				s.droppedFull.Add(1)
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, d := range direct {
+		d.s.h(d.s.id, evs[d.ev])
+		d.s.delivered.Add(1)
+	}
+	return counts, errs
 }
 
 // eventQuery converts an event into a query rectangle and relation.

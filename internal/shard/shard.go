@@ -151,9 +151,12 @@ type QuarantinedShard struct {
 	Err error
 }
 
-// mergeBuffers is one pooled set of per-shard answer buffers.
+// mergeBuffers is one pooled set of per-shard answer buffers: perShard backs
+// the single-query fan-out, batch the batched fan-out (one IDBatch per
+// shard, merged query-major after the barrier).
 type mergeBuffers struct {
 	perShard [][]uint32
+	batch    []geom.IDBatch
 }
 
 func (e *Engine) getMergeBuffers() *mergeBuffers {
@@ -443,6 +446,43 @@ func (e *Engine) SearchIDsAppend(dst []uint32, q geom.Rect, rel geom.Relation) (
 		dst = append(dst, ids...)
 	}
 	return dst, nil
+}
+
+// SearchIDsBatch executes every query in qs in one engine pass and fills dst
+// with the per-query result sets. One *batch* — not N queries — fans out to
+// each shard: every shard runs core.SearchBatchRead once over its partition
+// (one signature-mirror scan, one statistics publication for the whole
+// batch) into a pooled per-shard result batch, and the per-query answers
+// merge in shard order, exactly the order SearchIDsAppend produces. An
+// invalid query fails the whole batch with no shard charged.
+func (e *Engine) SearchIDsBatch(dst *geom.IDBatch, qs []geom.Rect, rel geom.Relation) error {
+	dst.Reset(len(qs))
+	if len(qs) == 0 {
+		return nil
+	}
+	bufs := e.getMergeBuffers()
+	defer e.merge.Put(bufs)
+	if bufs.batch == nil {
+		bufs.batch = make([]geom.IDBatch, len(e.shards))
+	}
+	err := e.forEachShard(func(i int, s *lockedShard) error {
+		s.mu.RLock()
+		err := s.ix.SearchBatchRead(&bufs.batch[i], qs, rel)
+		s.mu.RUnlock()
+		s.publishStats()
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	e.queries.Add(int64(len(qs)))
+	for qi := range qs {
+		for i := range bufs.batch {
+			dst.IDs = append(dst.IDs, bufs.batch[i].Query(qi)...)
+		}
+		dst.Off[qi+1] = int32(len(dst.IDs))
+	}
+	return nil
 }
 
 // Count returns the number of objects satisfying the selection. Unlike the

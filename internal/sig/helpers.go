@@ -22,6 +22,11 @@ func QueryDimMatch(rel geom.Relation, qlo, qhi, alo, ahi, blo, bhi float32) bool
 // the in-memory index and the disk engine keep such a mirror; this is the
 // shared A-term kernel of the cost model.
 //
+// The conditions are written in their positive form (not the De Morgan
+// negation) so NaN query coordinates fail every dimension and match nothing
+// — the behavior of Signature.MatchesQuery and of the batched kernels, which
+// the batch-vs-looped differentials pin.
+//
 //ac:noalloc
 func MatchBounds(sb []float32, n, dims int, q geom.Rect, rel geom.Relation, dst []int32) []int32 {
 	stride := 4 * dims
@@ -31,8 +36,7 @@ func MatchBounds(sb []float32, n, dims int, q geom.Rect, rel geom.Relation, dst 
 			b := sb[ci*stride : ci*stride+stride]
 			ok := true
 			for d := 0; d < dims; d++ {
-				// alo ≤ qhi && qlo ≤ bhi
-				if b[4*d] > q.Max[d] || q.Min[d] > b[4*d+3] {
+				if !(b[4*d] <= q.Max[d] && q.Min[d] <= b[4*d+3]) {
 					ok = false
 					break
 				}
@@ -46,8 +50,7 @@ func MatchBounds(sb []float32, n, dims int, q geom.Rect, rel geom.Relation, dst 
 			b := sb[ci*stride : ci*stride+stride]
 			ok := true
 			for d := 0; d < dims; d++ {
-				// ahi ≥ qlo && blo ≤ qhi
-				if b[4*d+1] < q.Min[d] || b[4*d+2] > q.Max[d] {
+				if !(b[4*d+1] >= q.Min[d] && b[4*d+2] <= q.Max[d]) {
 					ok = false
 					break
 				}
@@ -61,8 +64,7 @@ func MatchBounds(sb []float32, n, dims int, q geom.Rect, rel geom.Relation, dst 
 			b := sb[ci*stride : ci*stride+stride]
 			ok := true
 			for d := 0; d < dims; d++ {
-				// alo ≤ qlo && bhi ≥ qhi
-				if b[4*d] > q.Min[d] || b[4*d+3] < q.Max[d] {
+				if !(b[4*d] <= q.Min[d] && b[4*d+3] >= q.Max[d]) {
 					ok = false
 					break
 				}

@@ -83,6 +83,7 @@ func TestNoAllocAnnotatedPaths(t *testing.T) {
 		sb = sig.AppendBounds(sb, rootSig)
 	}
 	matched := make([]int32, 0, 16)
+	selBuf := make([]uint8, 0, 64)
 
 	// core fixtures: a small in-memory index queried directly through the
 	// read-phase entry points, draining the stats mailbox after each query
@@ -139,6 +140,35 @@ func TestNoAllocAnnotatedPaths(t *testing.T) {
 	defer d.Close()
 	ddst := make([]uint32, 0, 4096)
 
+	// Batch fixtures: reused query batches and result carriers (the batch
+	// plane's contract is zero steady-state allocations with reused buffers).
+	qs4 := make([]Rect, 8)
+	for i := range qs4 {
+		r := NewRect(4)
+		for dd := 0; dd < 4; dd++ {
+			size := rng.Float32() * 0.3
+			r.Min[dd] = rng.Float32() * (1 - size)
+			r.Max[dd] = r.Min[dd] + size
+		}
+		qs4[i] = r
+	}
+	qs2 := make([]geom.Rect, 6)
+	for i := range qs2 {
+		r := geom.NewRect(2)
+		for dd := 0; dd < 2; dd++ {
+			size := rng.Float32() * 0.3
+			r.Min[dd] = rng.Float32() * (1 - size)
+			r.Max[dd] = r.Min[dd] + size
+		}
+		qs2[i] = r
+	}
+	var idb, cb, dcb geom.IDBatch
+	idb.Reset(8)
+	abr, dbr := new(BatchResult), new(BatchResult)
+	var bq sig.BatchQueries
+	var bm sig.BatchMatch
+	qbits := make([]uint64, geom.BitmapWords(len(qs4)))
+
 	emit := func(id uint32) bool { return true }
 	var runErr error
 	entries := []noallocEntry{
@@ -151,7 +181,14 @@ func TestNoAllocAnnotatedPaths(t *testing.T) {
 		{"accluster/internal/geom.AppendSurvivors", func() { surv = geom.AppendSurvivors(surv[:0], kids, bits) }},
 		{"accluster/internal/sig.MatchBounds", func() { matched = sig.MatchBounds(sb, 16, 4, q4, Intersects, matched[:0]) }},
 		{"accluster/internal/sig.BoundsImplyDim", func() { sig.BoundsImplyDim(Intersects, sb, 1, 0.2, 0.6) }},
+		{"accluster/internal/sig.BatchQueries.Reset", func() { bq.Reset(qs4, 4) }},
+		{"accluster/internal/sig.BatchMatch.Reset", func() { bm.Reset() }},
+		{"accluster/internal/sig.MatchBoundsBatch", func() { sig.MatchBoundsBatch(sb, 16, 4, &bq, Intersects, nil, qbits, &bm) }},
+		{"accluster/internal/geom.IDBatch.Reset", func() { idb.Reset(8) }},
+		{"accluster/internal/geom.IDBatch.Queries", func() { _ = idb.Queries() }},
+		{"accluster/internal/geom.IDBatch.Query", func() { _ = idb.Query(0) }},
 		{"accluster/internal/sig.AppendBounds", func() { sb = sig.AppendBounds(sb[:0], rootSig) }},
+		{"accluster/internal/sig.AppendSelectors", func() { selBuf = sig.AppendSelectors(selBuf[:0], sb[:16], 4) }},
 		{"accluster/internal/core.Index.SearchRead", func() {
 			runErr = ix.SearchRead(q2, Intersects, emit)
 			ix.TryDrainStats(&ixMu)
@@ -164,17 +201,24 @@ func TestNoAllocAnnotatedPaths(t *testing.T) {
 			_, runErr = ix.CountRead(q2, Intersects)
 			ix.TryDrainStats(&ixMu)
 		}},
+		{"accluster/internal/core.Index.SearchBatchRead", func() {
+			runErr = ix.SearchBatchRead(&cb, qs2, Intersects)
+			ix.TryDrainStats(&ixMu)
+		}},
 		{"accluster/internal/telemetry.Histogram.Record", func() { hist.Record(12345) }},
 		{"accluster/internal/telemetry.Histogram.RecordSince", func() { hist.RecordSince(t0) }},
 		{"accluster.Adaptive.Search", func() { runErr = a.Search(q4, Intersects, emit) }},
 		{"accluster.Adaptive.SearchIDsAppend", func() { adst, runErr = a.SearchIDsAppend(adst[:0], q4, Intersects) }},
 		{"accluster.Adaptive.Count", func() { _, runErr = a.Count(q4, Intersects) }},
+		{"accluster.Adaptive.SearchIDsBatch", func() { _, runErr = a.SearchIDsBatch(abr, qs4, Intersects) }},
 		{"accluster.Disk.Search", func() { runErr = d.Search(q4, Intersects, emit) }},
 		{"accluster.Disk.SearchIDsAppend", func() { ddst, runErr = d.SearchIDsAppend(ddst[:0], q4, Intersects) }},
 		{"accluster.Disk.Count", func() { _, runErr = d.Count(q4, Intersects) }},
+		{"accluster.Disk.SearchIDsBatch", func() { _, runErr = d.SearchIDsBatch(dbr, qs4, Intersects) }},
 		{"accluster/internal/diskengine.Engine.Search", func() { runErr = d.eng.Search(q4, Intersects, emit) }},
 		{"accluster/internal/diskengine.Engine.SearchIDsAppend", func() { ddst, runErr = d.eng.SearchIDsAppend(ddst[:0], q4, Intersects) }},
 		{"accluster/internal/diskengine.Engine.Count", func() { _, runErr = d.eng.Count(q4, Intersects) }},
+		{"accluster/internal/diskengine.Engine.SearchIDsBatch", func() { runErr = d.eng.SearchIDsBatch(&dcb, qs4, Intersects) }},
 	}
 
 	// Drift check: the table and the module's annotation scan must agree on

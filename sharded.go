@@ -133,6 +133,26 @@ func (s *Sharded) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32,
 	return ids, err
 }
 
+// SearchIDsBatch executes every query of the batch with one fan-out: each
+// shard receives the whole batch (one signature-mirror pass per shard, not
+// one per query) and the per-shard answers merge into dst in shard order per
+// query — exactly the id order looped SearchIDsAppend calls produce. The
+// latency histogram records one sample for the whole batch.
+func (s *Sharded) SearchIDsBatch(dst *BatchResult, qs []Rect, rel Relation) (*BatchResult, error) {
+	if dst == nil {
+		dst = new(BatchResult)
+	}
+	var t0 time.Time
+	if s.qhist != nil {
+		t0 = time.Now()
+	}
+	err := s.e.SearchIDsBatch(&dst.b, qs, rel)
+	if s.qhist != nil {
+		s.qhist.Record(int64(time.Since(t0)))
+	}
+	return dst, err
+}
+
 // Count returns the number of qualifying objects.
 func (s *Sharded) Count(q Rect, rel Relation) (int, error) {
 	var t0 time.Time

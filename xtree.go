@@ -86,6 +86,12 @@ func (x *XTree) SearchIDsAppend(dst []uint32, q Rect, rel Relation) ([]uint32, e
 	return appendViaSearch(x.t.Search, dst, q, rel)
 }
 
+// SearchIDsBatch answers every query of the batch (looped tree walks; the
+// baseline has no batch plane to exploit).
+func (x *XTree) SearchIDsBatch(dst *BatchResult, qs []Rect, rel Relation) (*BatchResult, error) {
+	return batchViaSingle(x.SearchIDsAppend, dst, qs, rel)
+}
+
 // Count returns the number of qualifying objects.
 func (x *XTree) Count(q Rect, rel Relation) (int, error) {
 	x.mu.Lock()
